@@ -1,0 +1,60 @@
+"""F10 — ablation: the dynamic structure's chunk-size constant.
+
+Chunk size is ``chunk_scale · log2 n``.  Small chunks mean more directory
+(treap/PMA) churn per update and larger middle windows per query; large
+chunks mean more in-chunk shifting per update.  The ablation sweeps the
+scale to show the design's operating point is flat — i.e. the structure is
+robust to the constant, which is what an O-bound promises.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DynamicIRS
+from repro.workloads import UpdateStream, selectivity_queries, uniform_points
+
+N = 100_000
+SCALES = [0.5, 1.0, 2.0, 4.0, 8.0]
+T = 256
+OPS = 2_000
+
+
+@pytest.fixture(scope="module")
+def data():
+    return uniform_points(N, seed=101)
+
+
+@pytest.fixture(scope="module")
+def rec(experiment):
+    return experiment(
+        "F10",
+        f"DynamicIRS chunk-scale ablation (n={N:,}, t={T}, {OPS} updates)",
+        ["chunk_scale", "chunk bounds", "us/query", "us/update"],
+    )
+
+
+@pytest.mark.parametrize("scale", SCALES)
+@pytest.mark.benchmark(group="F10 chunk ablation")
+def test_chunk_scale(benchmark, data, rec, scale):
+    d = DynamicIRS(data, seed=102, chunk_scale=scale)
+    queries = selectivity_queries(sorted(data), 0.3, 8, seed=103)
+
+    def run_queries():
+        for lo, hi in queries:
+            d.sample(lo, hi, T)
+
+    benchmark(run_queries)
+    query_us = benchmark.stats["mean"] / len(queries) * 1e6
+
+    import time
+
+    ops = UpdateStream(data, insert_fraction=0.5, seed=104).take(OPS)
+    t0 = time.perf_counter()
+    for op, value in ops:
+        if op == "insert":
+            d.insert(value)
+        else:
+            d.delete(value)
+    update_us = (time.perf_counter() - t0) / OPS * 1e6
+    rec.row(scale, str(d.chunk_size_bounds), query_us, update_us)

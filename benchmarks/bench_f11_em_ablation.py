@@ -1,0 +1,82 @@
+"""F11 — ablation: ExternalIRS buffer sizing and pool capacity.
+
+Two knobs from DESIGN.md's deviation notes:
+
+* ``buffer_factor`` — pre-drawn entries per piece as a fraction of the piece
+  length.  Smaller buffers save space but refill more often (amortization
+  degrades toward per-sample probing);
+* ``pool_capacity`` — memory frames.  The t/B claim needs only O(1) frames
+  for the active buffer blocks; a tiny pool must not break the bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExternalIRS
+from repro.workloads import selectivity_queries, uniform_points
+
+N = 131_072
+B = 512
+T = 4096
+QUERIES = 30  # 123k samples: enough pops to reach every factor's ceiling
+
+
+@pytest.fixture(scope="module")
+def data():
+    return uniform_points(N, seed=111)
+
+
+@pytest.fixture(scope="module")
+def rec(experiment):
+    return experiment(
+        "F11",
+        f"ExternalIRS ablation (n={N:,}, B={B}, t={T})",
+        ["variant", "I/Os per query", "buffer blocks", "refills"],
+    )
+
+
+def _measure(structure, queries):
+    for lo, hi in queries[:5]:
+        structure.sample(lo, hi, 256)  # modest warm-up; growth is measured
+    before = structure.device.stats.snapshot()
+    for lo, hi in queries:
+        structure.sample(lo, hi, T)
+    delta = structure.device.stats.delta(before)
+    return delta.total / len(queries)
+
+
+@pytest.mark.parametrize("factor", [0.125, 0.5, 1.0, 2.0])
+@pytest.mark.benchmark(group="F11 EM ablation")
+def test_buffer_factor(benchmark, data, rec, factor):
+    queries = selectivity_queries(sorted(data), 0.5, QUERIES, seed=112)
+
+    def run():
+        e = ExternalIRS(data, block_size=B, seed=113, buffer_factor=factor)
+        return e, _measure(e, queries)
+
+    e, per_query = benchmark.pedantic(run, rounds=1, iterations=1)
+    rec.row(
+        f"buffer_factor={factor}",
+        per_query,
+        e.buffer_blocks,
+        e.stats.extra.get("refills", 0),
+    )
+
+
+@pytest.mark.parametrize("capacity", [4, 16, 64])
+@pytest.mark.benchmark(group="F11 EM ablation")
+def test_pool_capacity(benchmark, data, rec, capacity):
+    queries = selectivity_queries(sorted(data), 0.5, QUERIES, seed=114)
+
+    def run():
+        e = ExternalIRS(data, block_size=B, seed=115, pool_capacity=capacity)
+        return e, _measure(e, queries)
+
+    e, per_query = benchmark.pedantic(run, rounds=1, iterations=1)
+    rec.row(
+        f"pool_capacity={capacity}",
+        per_query,
+        e.buffer_blocks,
+        e.stats.extra.get("refills", 0),
+    )

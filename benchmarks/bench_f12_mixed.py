@@ -1,0 +1,64 @@
+"""F12 — mixed-workload throughput vs update fraction (claim R2's point).
+
+The regime the dynamic structure exists for: queries interleaved with
+updates.  Sweeping the update fraction shows DynamicIRS dominating
+TreeWalkSampler at query-heavy mixes (O(1) vs O(log n) per sample) while
+staying competitive at update-heavy mixes; the sorted-array baseline decays
+as updates take over (O(n) memmove per update).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DynamicIRS
+from repro.baselines import ReportThenSample, TreeWalkSampler
+from repro.workloads import (
+    UpdateStream,
+    run_mixed_workload,
+    selectivity_queries,
+    uniform_points,
+)
+
+N = 50_000
+T = 128
+OPS = 2_000
+FRACTIONS = [0.1, 0.5, 0.9]
+
+FACTORIES = {
+    "DynamicIRS": lambda data: DynamicIRS(data, seed=122),
+    "TreeWalkSampler": lambda data: TreeWalkSampler(data, seed=123),
+    "sorted array": lambda data: ReportThenSample(data, seed=124),
+}
+
+
+@pytest.fixture(scope="module")
+def data():
+    return uniform_points(N, seed=121)
+
+
+@pytest.fixture(scope="module")
+def rec(experiment):
+    return experiment(
+        "F12",
+        f"mixed workload throughput (n={N:,}, t={T}, {OPS} updates, query every 5)",
+        ["structure", "update fraction", "ops/sec"],
+    )
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+@pytest.mark.parametrize("name", list(FACTORIES))
+@pytest.mark.benchmark(group="F12 mixed workload")
+def test_mixed(benchmark, data, rec, name, fraction):
+    queries = selectivity_queries(sorted(data), 0.2, 16, seed=125)
+
+    def fresh():
+        structure = FACTORIES[name](data)
+        ops = UpdateStream(data, insert_fraction=fraction, seed=126).take(OPS)
+        return (structure, ops), {}
+
+    def run(structure, ops):
+        return run_mixed_workload(structure, ops, queries, t=T, query_every=5)
+
+    result = benchmark.pedantic(run, setup=fresh, rounds=2, iterations=1)
+    rec.row(name, fraction, result.throughput)

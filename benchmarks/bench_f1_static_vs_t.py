@@ -1,0 +1,55 @@
+"""F1 — static query time vs sample count ``t`` (claim R1).
+
+Fixed ``n`` and selectivity; sweep ``t``.  Expected shape: StaticIRS grows
+linearly in ``t`` with a tiny slope and a tiny intercept; ReportThenSample
+is flat but stuck at the ``O(K)`` materialization cost; TreeWalkSampler
+grows with slope ``log n``.  Crossover: report-then-sample only competes
+once ``t`` approaches ``K``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import StaticIRS
+from repro.baselines import ReportThenSample, TreeWalkSampler
+from repro.workloads import selectivity_queries, uniform_points
+
+N = 100_000
+SELECTIVITY = 0.2
+TS = [1, 4, 16, 64, 256, 1024]
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = uniform_points(N, seed=11)
+    queries = selectivity_queries(sorted(data), SELECTIVITY, 8, seed=12)
+    return {
+        "StaticIRS": StaticIRS(data, seed=13),
+        "ReportThenSample": ReportThenSample(data, seed=14),
+        "TreeWalkSampler": TreeWalkSampler(data, seed=15),
+    }, queries
+
+
+@pytest.fixture(scope="module")
+def rec(experiment):
+    return experiment(
+        "F1",
+        f"static query time vs t  (n={N:,}, K≈{int(SELECTIVITY * N):,}); us/query",
+        ["structure", "t", "us/query"],
+    )
+
+
+@pytest.mark.parametrize("t", TS)
+@pytest.mark.parametrize("name", ["StaticIRS", "ReportThenSample", "TreeWalkSampler"])
+@pytest.mark.benchmark(group="F1 static query vs t")
+def test_query_vs_t(benchmark, setup, rec, name, t):
+    structures, queries = setup
+    sampler = structures[name]
+
+    def run():
+        for lo, hi in queries:
+            sampler.sample(lo, hi, t)
+
+    benchmark(run)
+    rec.row(name, t, benchmark.stats["mean"] / len(queries) * 1e6)

@@ -1,0 +1,60 @@
+"""F2 — static query time vs data size ``n`` (claim R1).
+
+Fixed ``t``; proportional (10%) selectivity.  Expected shape: StaticIRS
+grows logarithmically (binary searches), ReportThenSample linearly (``K``
+grows with ``n``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import StaticIRS
+from repro.baselines import ReportThenSample
+from repro.workloads import selectivity_queries, uniform_points
+
+NS = [10_000, 100_000, 1_000_000]
+T = 16
+
+
+@pytest.fixture(scope="module")
+def rec(experiment):
+    return experiment(
+        "F2",
+        f"static query time vs n  (t={T}, selectivity 10%); us/query",
+        ["structure", "n", "us/query"],
+    )
+
+
+def _setup(n):
+    data = uniform_points(n, seed=21)
+    queries = selectivity_queries(sorted(data), 0.1, 8, seed=22)
+    return data, queries
+
+
+@pytest.mark.parametrize("n", NS)
+@pytest.mark.benchmark(group="F2 static query vs n")
+def test_static_irs(benchmark, rec, n):
+    data, queries = _setup(n)
+    s = StaticIRS(data, seed=23)
+
+    def run():
+        for lo, hi in queries:
+            s.sample(lo, hi, T)
+
+    benchmark(run)
+    rec.row("StaticIRS", n, benchmark.stats["mean"] / len(queries) * 1e6)
+
+
+@pytest.mark.parametrize("n", NS)
+@pytest.mark.benchmark(group="F2 static query vs n")
+def test_report_then_sample(benchmark, rec, n):
+    data, queries = _setup(n)
+    r = ReportThenSample(data, seed=24)
+
+    def run():
+        for lo, hi in queries:
+            r.sample(lo, hi, T)
+
+    benchmark(run)
+    rec.row("ReportThenSample", n, benchmark.stats["mean"] / len(queries) * 1e6)

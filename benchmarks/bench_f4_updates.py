@@ -1,0 +1,79 @@
+"""F4 — dynamic update cost vs ``n`` (claim R2: O(log n) amortized).
+
+A balanced insert/delete stream applied to structures preloaded at several
+sizes.  Expected shape: DynamicIRS and TreeWalkSampler grow ~logarithmically
+(DynamicIRS carries chunk-maintenance constants); the sorted-array baseline
+grows linearly (memmove).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DynamicIRS
+from repro.baselines import ReportThenSample, TreeWalkSampler
+from repro.workloads import UpdateStream, uniform_points
+
+NS = [10_000, 100_000, 400_000]
+OPS = 2_000
+
+
+@pytest.fixture(scope="module")
+def rec(experiment):
+    return experiment(
+        "F4",
+        f"update cost vs n  ({OPS} mixed updates); us/update",
+        ["structure", "n", "us/update"],
+    )
+
+
+def _stream(data, seed):
+    return UpdateStream(data, insert_fraction=0.5, seed=seed).take(OPS)
+
+
+def _apply(structure, ops):
+    for op, value in ops:
+        if op == "insert":
+            structure.insert(value)
+        else:
+            structure.delete(value)
+
+
+@pytest.mark.parametrize("n", NS)
+@pytest.mark.benchmark(group="F4 updates")
+def test_dynamic_irs(benchmark, rec, n):
+    data = uniform_points(n, seed=41)
+    ops = _stream(data, 43)
+
+    def fresh():
+        # Untimed per-round setup: each round mutates a fresh structure.
+        return (DynamicIRS(data, seed=42),), {}
+
+    benchmark.pedantic(lambda d: _apply(d, ops), setup=fresh, rounds=3, iterations=1)
+    rec.row("DynamicIRS", n, benchmark.stats["mean"] / OPS * 1e6)
+
+
+@pytest.mark.parametrize("n", NS)
+@pytest.mark.benchmark(group="F4 updates")
+def test_tree_walk(benchmark, rec, n):
+    data = uniform_points(n, seed=44)
+    ops = _stream(data, 46)
+
+    def fresh():
+        return (TreeWalkSampler(data, seed=45),), {}
+
+    benchmark.pedantic(lambda s: _apply(s, ops), setup=fresh, rounds=3, iterations=1)
+    rec.row("TreeWalkSampler", n, benchmark.stats["mean"] / OPS * 1e6)
+
+
+@pytest.mark.parametrize("n", NS)
+@pytest.mark.benchmark(group="F4 updates")
+def test_sorted_array(benchmark, rec, n):
+    data = uniform_points(n, seed=47)
+    ops = _stream(data, 49)
+
+    def fresh():
+        return (ReportThenSample(data, seed=48),), {}
+
+    benchmark.pedantic(lambda s: _apply(s, ops), setup=fresh, rounds=3, iterations=1)
+    rec.row("sorted array (insort)", n, benchmark.stats["mean"] / OPS * 1e6)

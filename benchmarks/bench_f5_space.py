@@ -1,0 +1,63 @@
+"""F5 — space per point vs ``n`` (claims: R1/R2 linear, X1 ``O(n log n)``).
+
+Deep-measured bytes per stored point for each structure at several sizes.
+Expected shape: StaticIRS and DynamicIRS flat (linear space, DynamicIRS with
+a constant-factor directory overhead); WeightedStaticIRS growing ~log n;
+ExternalIRS reported in blocks (file + index + buffers).  Build time is the
+benchmarked quantity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DynamicIRS, ExternalIRS, StaticIRS, WeightedStaticIRS
+from repro.bench.memory import deep_size_bytes
+from repro.workloads import uniform_points
+
+NS = [10_000, 40_000, 160_000]
+
+
+@pytest.fixture(scope="module")
+def rec(experiment):
+    return experiment(
+        "F5",
+        "space per point vs n (bytes/point; ExternalIRS in blocks)",
+        ["structure", "n", "space"],
+    )
+
+
+@pytest.mark.parametrize("n", NS)
+@pytest.mark.benchmark(group="F5 build+space")
+def test_static(benchmark, rec, n):
+    data = uniform_points(n, seed=51)
+    s = benchmark(lambda: StaticIRS(data, seed=52))
+    rec.row("StaticIRS", n, f"{deep_size_bytes(s) / n:.1f} B/pt")
+
+
+@pytest.mark.parametrize("n", NS)
+@pytest.mark.benchmark(group="F5 build+space")
+def test_dynamic(benchmark, rec, n):
+    data = uniform_points(n, seed=53)
+    d = benchmark(lambda: DynamicIRS(data, seed=54))
+    rec.row("DynamicIRS", n, f"{deep_size_bytes(d) / n:.1f} B/pt")
+
+
+@pytest.mark.parametrize("n", NS)
+@pytest.mark.benchmark(group="F5 build+space")
+def test_weighted(benchmark, rec, n):
+    data = uniform_points(n, seed=55)
+    weights = [1.0 + (i % 9) for i in range(n)]
+    w = benchmark(lambda: WeightedStaticIRS(data, weights, seed=56))
+    rec.row("WeightedStaticIRS", n, f"{deep_size_bytes(w) / n:.1f} B/pt")
+
+
+@pytest.mark.parametrize("n", NS)
+@pytest.mark.benchmark(group="F5 build+space")
+def test_external(benchmark, rec, n):
+    data = uniform_points(n, seed=57)
+    e = benchmark(lambda: ExternalIRS(data, block_size=512, seed=58))
+    # Exercise buffers so their blocks are allocated, then report EM space.
+    e.sample(0.1, 0.9, 1024)
+    blocks = e.device.blocks_in_use
+    rec.row("ExternalIRS", n, f"{blocks} blocks ({blocks * 512 / n:.2f} slots/pt)")

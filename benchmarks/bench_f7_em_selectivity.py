@@ -1,0 +1,65 @@
+"""F7 — EM I/Os vs selectivity at fixed ``t`` (claim R3 crossover).
+
+Report-then-sample costs ``K/B`` which grows with selectivity; ExternalIRS
+stays flat at ``~log_B n + t/B``.  Expected crossover where ``K ≈ t``: below
+it scanning is optimal, above it the sampling index wins by ``K/t``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExternalIRS
+from repro.baselines import EMReportSample
+from repro.workloads import selectivity_queries, uniform_points
+
+N = 262_144
+B = 512
+T = 256
+SELECTIVITIES = [0.0005, 0.005, 0.05, 0.25, 0.75]
+QUERIES = 12
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = uniform_points(N, seed=71)
+    ordered = sorted(data)
+    structures = {
+        "ExternalIRS": ExternalIRS(data, block_size=B, seed=72),
+        "EMReportSample": EMReportSample(data, block_size=B, seed=73),
+    }
+    return structures, ordered
+
+
+@pytest.fixture(scope="module")
+def rec(experiment):
+    return experiment(
+        "F7",
+        f"EM block I/Os per query vs selectivity  (n={N:,}, B={B}, t={T})",
+        ["structure", "selectivity", "K", "I/Os per query"],
+    )
+
+
+@pytest.mark.parametrize("selectivity", SELECTIVITIES)
+@pytest.mark.parametrize("name", ["ExternalIRS", "EMReportSample"])
+@pytest.mark.benchmark(group="F7 EM I/O vs selectivity")
+def test_em_io_vs_selectivity(benchmark, setup, rec, name, selectivity):
+    structures, ordered = setup
+    sampler = structures[name]
+    queries = selectivity_queries(ordered, selectivity, QUERIES, seed=74)
+    k = sampler.count(*queries[0])
+    if name == "ExternalIRS":
+        for lo, hi in queries:  # amortized claim: warm buffers on the workload
+            sampler.sample(lo, hi, 32)
+    batches = 0
+    before = sampler.device.stats.snapshot()
+
+    def run():
+        nonlocal batches
+        batches += 1
+        for lo, hi in queries:
+            sampler.sample(lo, hi, T)
+
+    benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    delta = sampler.device.stats.delta(before)
+    rec.row(name, selectivity, k, delta.total / (batches * len(queries)))

@@ -1,0 +1,56 @@
+"""F8 — statistical quality: uniformity p-values for every sampler.
+
+Regenerates the correctness table: chi-square goodness-of-fit of 20k samples
+against the true in-range population, per structure.  All p-values must be
+unremarkable (the structures sample *exactly* uniformly; tiny p-values would
+indicate a bug, huge sample counts would detect even 1% bias).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DynamicIRS, ExternalIRS, StaticIRS, WeightedStaticIRS
+from repro.baselines import ReportThenSample, TreeWalkSampler
+from repro.stats import uniformity_test
+from repro.workloads import duplicate_heavy
+
+N = 2_000
+DRAWS = 20_000
+
+
+@pytest.fixture(scope="module")
+def data():
+    return duplicate_heavy(N, distinct=120, seed=81)
+
+
+@pytest.fixture(scope="module")
+def rec(experiment):
+    return experiment(
+        "F8",
+        f"uniformity: chi-square p-values ({DRAWS:,} draws, duplicate-heavy data)",
+        ["structure", "p-value", "verdict"],
+    )
+
+
+FACTORIES = {
+    "StaticIRS": lambda d: StaticIRS(d, seed=82),
+    "DynamicIRS": lambda d: DynamicIRS(d, seed=83),
+    "ExternalIRS": lambda d: ExternalIRS(d, block_size=64, seed=84),
+    "WeightedStaticIRS(w=1)": lambda d: WeightedStaticIRS(d, [1.0] * len(d), seed=85),
+    "ReportThenSample": lambda d: ReportThenSample(d, seed=86),
+    "TreeWalkSampler": lambda d: TreeWalkSampler(d, seed=87),
+}
+
+
+@pytest.mark.parametrize("name", list(FACTORIES))
+@pytest.mark.benchmark(group="F8 uniformity")
+def test_uniformity(benchmark, data, rec, name):
+    sampler = FACTORIES[name](data)
+    lo, hi = 0.05, 0.95
+    population = [v for v in data if lo <= v <= hi]
+
+    samples = benchmark(lambda: sampler.sample(lo, hi, DRAWS))
+    _stat, p = uniformity_test(samples, population)
+    rec.row(name, p, "PASS" if p > 1e-4 else "FAIL")
+    assert p > 1e-4

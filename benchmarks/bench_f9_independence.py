@@ -1,0 +1,69 @@
+"""F9 — independence across queries, with the negative control.
+
+The defining IRS property.  Each structure answers the same query 600 times;
+the first samples of consecutive answers are tested for independence.  The
+honest structures must pass; the cache-replaying baseline must fail — that
+failure is the evidence the test can detect the violation the paper rules
+out.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DynamicIRS, ExternalIRS, StaticIRS, WeightedStaticIRS
+from repro.baselines import CachedSampleBaseline, ReportThenSample
+from repro.stats import repeated_query_test
+
+N = 1_000
+DATA = [float(i) for i in range(N)]
+LO, HI = 99.5, 899.5
+REPEATS = 600
+
+
+@pytest.fixture(scope="module")
+def rec(experiment):
+    return experiment(
+        "F9",
+        f"cross-query independence p-values ({REPEATS} repeats of one query)",
+        ["structure", "p-value", "expected", "verdict"],
+    )
+
+
+HONEST = {
+    "StaticIRS": lambda: StaticIRS(DATA, seed=91),
+    "DynamicIRS": lambda: DynamicIRS(DATA, seed=92),
+    "ExternalIRS": lambda: ExternalIRS(DATA, block_size=64, seed=93),
+    "WeightedStaticIRS": lambda: WeightedStaticIRS(DATA, [1.0] * N, seed=94),
+    "ReportThenSample": lambda: ReportThenSample(DATA, seed=95),
+}
+
+
+@pytest.mark.parametrize("name", list(HONEST))
+@pytest.mark.benchmark(group="F9 independence")
+def test_honest(benchmark, rec, name):
+    sampler = HONEST[name]()
+
+    def run():
+        return repeated_query_test(
+            lambda: sampler.sample(LO, HI, 1)[0], repeats=REPEATS, bins=4
+        )
+
+    _stat, p = benchmark.pedantic(run, rounds=1, iterations=1)
+    rec.row(name, p, "pass (p > 1e-4)", "PASS" if p > 1e-4 else "FAIL")
+    assert p > 1e-4
+
+
+@pytest.mark.benchmark(group="F9 independence")
+def test_negative_control(benchmark, rec):
+    cheat = CachedSampleBaseline(DATA, seed=96)
+
+    def run():
+        return repeated_query_test(
+            lambda: cheat.sample(LO, HI, 1)[0], repeats=REPEATS, bins=4
+        )
+
+    _stat, p = benchmark.pedantic(run, rounds=1, iterations=1)
+    rec.row("CachedSampleBaseline", p, "FAIL by design (p < 1e-6)",
+            "FAIL (as designed)" if p < 1e-6 else "unexpectedly passed")
+    assert p < 1e-6

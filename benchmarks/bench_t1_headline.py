@@ -1,0 +1,78 @@
+"""T1 — headline bounds spot-check for every structure (DESIGN.md §4).
+
+One standard query per structure at fixed ``n`` and ``t``; the terminal
+summary records the measured cost next to the claimed bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DynamicIRS, ExternalIRS, StaticIRS, WeightedStaticIRS
+from repro.workloads import uniform_points
+
+N = 100_000
+T = 256
+LO, HI = 0.2, 0.7
+
+
+@pytest.fixture(scope="module")
+def data():
+    return uniform_points(N, seed=1)
+
+
+@pytest.fixture(scope="module")
+def rec(experiment):
+    return experiment(
+        "T1",
+        f"headline query cost, n={N:,}, t={T}, selectivity 50%",
+        ["structure", "claimed", "measured"],
+    )
+
+
+@pytest.mark.benchmark(group="T1 headline")
+def test_static(benchmark, data, rec):
+    s = StaticIRS(data, seed=2)
+    result = benchmark(lambda: s.sample(LO, HI, T))
+    assert len(result) == T
+    rec.row("StaticIRS", "O(log n + t) worst", f"{benchmark.stats['mean'] * 1e6:.0f} us")
+
+
+@pytest.mark.benchmark(group="T1 headline")
+def test_dynamic(benchmark, data, rec):
+    d = DynamicIRS(data, seed=3)
+    result = benchmark(lambda: d.sample(LO, HI, T))
+    assert len(result) == T
+    rec.row("DynamicIRS", "O(log n + t) expected", f"{benchmark.stats['mean'] * 1e6:.0f} us")
+
+
+@pytest.mark.benchmark(group="T1 headline")
+def test_weighted(benchmark, data, rec):
+    w = WeightedStaticIRS(data, [1.0 + (i % 7) for i in range(N)], seed=4)
+    result = benchmark(lambda: w.sample(LO, HI, T))
+    assert len(result) == T
+    rec.row(
+        "WeightedStaticIRS", "O(log n + t) worst", f"{benchmark.stats['mean'] * 1e6:.0f} us"
+    )
+
+
+@pytest.mark.benchmark(group="T1 headline")
+def test_external(benchmark, data, rec):
+    e = ExternalIRS(data, block_size=512, seed=5)
+    e.sample(LO, HI, T)  # warm buffers: the bound is amortized
+    before = e.device.stats.snapshot()
+    queries = 0
+
+    def run():
+        nonlocal queries
+        queries += 1
+        return e.sample(LO, HI, T)
+
+    result = benchmark(run)
+    assert len(result) == T
+    io_per_query = e.device.stats.delta(before).total / max(queries, 1)
+    rec.row(
+        "ExternalIRS",
+        "O(log_B n + t/B) I/Os amortized",
+        f"{io_per_query:.1f} I/Os per query (t/B = {T / 512:.2f})",
+    )

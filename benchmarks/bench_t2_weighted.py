@@ -1,0 +1,137 @@
+"""T2 — weighted extension X1: query time vs ``t`` under weight skew.
+
+WeightedStaticIRS (canonical decomposition + alias, worst-case O(log n + t))
+against the weighted report-then-sample baseline (materialize the range,
+build a cumulative table, binary-search per sample — O(K + t log K)).  Skew
+should not affect the structure at all; that flatness is part of the claim.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+
+import numpy as np
+import pytest
+
+from repro import WeightedStaticIRS
+from repro.core.base import RangeSampler, validate_query
+from repro.rng import RandomSource
+from repro.workloads import selectivity_queries, uniform_points
+
+N = 100_000
+TS = [16, 256, 1024]
+SKEWS = {"uniform": 0.0, "zipf(1.5)": 1.5}
+
+
+class WeightedReportBaseline(RangeSampler):
+    """Materialize + cumulative weights + binary search per sample."""
+
+    def __init__(self, values, weights, seed=None):
+        order = sorted(range(len(values)), key=lambda i: values[i])
+        self._values = [values[i] for i in order]
+        self._weights = [weights[i] for i in order]
+        self._rng = RandomSource(seed)
+
+    def __len__(self):
+        return len(self._values)
+
+    def count(self, lo, hi):
+        return bisect.bisect_right(self._values, hi) - bisect.bisect_left(
+            self._values, lo
+        )
+
+    def report(self, lo, hi):
+        a = bisect.bisect_left(self._values, lo)
+        b = bisect.bisect_right(self._values, hi)
+        return self._values[a:b]
+
+    def sample(self, lo, hi, t):
+        validate_query(lo, hi, t)
+        a = bisect.bisect_left(self._values, lo)
+        b = bisect.bisect_right(self._values, hi)
+        if self._require_nonempty(b - a, t):
+            return []
+        cumulative = list(itertools.accumulate(self._weights[a:b]))  # O(K)
+        total = cumulative[-1]
+        out = []
+        for _ in range(t):
+            u = self._rng.random() * total
+            out.append(self._values[a + bisect.bisect_right(cumulative, u)])
+        return out
+
+
+def _weights(skew: float, n: int) -> list[float]:
+    if skew == 0.0:
+        return [1.0] * n
+    gen = np.random.default_rng(127)
+    ranks = gen.permutation(n) + 1
+    return (1.0 / ranks**skew).tolist()
+
+
+@pytest.fixture(scope="module")
+def data():
+    return uniform_points(N, seed=128)
+
+
+@pytest.fixture(scope="module")
+def rec(experiment):
+    return experiment(
+        "T2",
+        f"weighted query time vs t and skew (n={N:,}, selectivity 20%); us/query",
+        ["structure", "weights", "t", "us/query"],
+    )
+
+
+@pytest.mark.parametrize("t", TS)
+@pytest.mark.parametrize("skew_name", list(SKEWS))
+@pytest.mark.benchmark(group="T2 weighted")
+def test_weighted_irs(benchmark, data, rec, skew_name, t):
+    weights = _weights(SKEWS[skew_name], N)
+    w = WeightedStaticIRS(data, weights, seed=129)
+    queries = selectivity_queries(sorted(data), 0.2, 8, seed=130)
+
+    def run():
+        for lo, hi in queries:
+            w.sample(lo, hi, t)
+
+    benchmark(run)
+    rec.row("WeightedStaticIRS", skew_name, t, benchmark.stats["mean"] / len(queries) * 1e6)
+
+
+@pytest.mark.parametrize("t", TS)
+@pytest.mark.parametrize("skew_name", list(SKEWS))
+@pytest.mark.benchmark(group="T2 weighted")
+def test_weighted_dynamic(benchmark, data, rec, skew_name, t):
+    from repro import WeightedDynamicIRS
+
+    weights = _weights(SKEWS[skew_name], N)
+    w = WeightedDynamicIRS(data, weights, seed=133)
+    queries = selectivity_queries(sorted(data), 0.2, 8, seed=134)
+
+    def run():
+        for lo, hi in queries:
+            w.sample(lo, hi, t)
+
+    benchmark(run)
+    rec.row(
+        "WeightedDynamicIRS", skew_name, t, benchmark.stats["mean"] / len(queries) * 1e6
+    )
+
+
+@pytest.mark.parametrize("t", TS)
+@pytest.mark.parametrize("skew_name", list(SKEWS))
+@pytest.mark.benchmark(group="T2 weighted")
+def test_weighted_report_baseline(benchmark, data, rec, skew_name, t):
+    weights = _weights(SKEWS[skew_name], N)
+    baseline = WeightedReportBaseline(data, weights, seed=131)
+    queries = selectivity_queries(sorted(data), 0.2, 8, seed=132)
+
+    def run():
+        for lo, hi in queries:
+            baseline.sample(lo, hi, t)
+
+    benchmark(run)
+    rec.row(
+        "WeightedReportBaseline", skew_name, t, benchmark.stats["mean"] / len(queries) * 1e6
+    )

@@ -1,0 +1,48 @@
+"""Shared benchmark plumbing.
+
+Every experiment registers the rows of its would-be figure/table through the
+``experiment`` fixture; ``pytest_terminal_summary`` prints them all at the
+end of the run, so ``pytest benchmarks/ --benchmark-only`` emits the series
+the paper-shape claims are judged on (EXPERIMENTS.md is written from these).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import pytest
+
+from repro.bench import format_table
+
+_TABLES: "OrderedDict[str, dict]" = OrderedDict()
+
+
+class ExperimentRecorder:
+    """Accumulates rows for one experiment id across parametrized tests."""
+
+    def __init__(self, exp_id: str, title: str, headers: list[str]) -> None:
+        table = _TABLES.setdefault(
+            exp_id, {"title": title, "headers": headers, "rows": []}
+        )
+        self._rows = table["rows"]
+
+    def row(self, *values) -> None:
+        """Append one row (values align with the headers)."""
+        self._rows.append(list(values))
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    """Factory fixture: ``experiment("F1", "title", [headers...])``."""
+    return ExperimentRecorder
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    out = terminalreporter
+    out.write_sep("=", "experiment series (paper-shape reproduction)")
+    for exp_id, table in _TABLES.items():
+        out.write_line("")
+        out.write_line(f"[{exp_id}] {table['title']}")
+        out.write_line(format_table(table["headers"], table["rows"]))

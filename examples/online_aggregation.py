@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Online aggregation over ranges — the database motivation for IRS.
+
+Scenario: a fact table of 500k order amounts indexed by timestamp.  An
+analyst asks for the mean order amount inside a time window.  Scanning the
+window (report-then-aggregate) reads every row; independent range sampling
+reads ``t`` rows and returns an estimate whose confidence interval shrinks
+like ``1/sqrt(t)`` — the "online aggregation" interaction of Hellerstein et
+al., powered by the paper's index.
+
+The script prints the estimate converging to the exact answer as the sample
+budget grows, together with the speedup over the full scan.
+
+Run:  python examples/online_aggregation.py [n_rows]
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import time
+
+import numpy as np
+
+from repro import StaticIRS
+from repro.bench import format_table
+
+
+def main(n_rows: int = 500_000) -> None:
+    # Synthetic fact table: timestamp drives the index, amount is the metric.
+    gen = np.random.default_rng(2014)
+    timestamps = np.sort(gen.uniform(0.0, 86_400.0, n_rows))  # one day
+    amounts = gen.lognormal(mean=3.0, sigma=1.0, size=n_rows)
+    amount_of = dict(zip(timestamps.tolist(), amounts.tolist()))
+
+    index = StaticIRS(timestamps.tolist(), seed=42)
+
+    window = (32_000.0, 61_000.0)  # ~1/3 of the day
+    t0 = time.perf_counter()
+    rows = index.report(*window)
+    exact = sum(amount_of[ts] for ts in rows) / len(rows)
+    scan_seconds = time.perf_counter() - t0
+
+    print(f"rows in window: {len(rows):,} of {n_rows:,}")
+    print(f"exact mean amount: {exact:.4f}  (full scan: {scan_seconds * 1e3:.1f} ms)\n")
+
+    rows_out = []
+    for t in (64, 256, 1024, 4096, 16_384):
+        t0 = time.perf_counter()
+        sampled_ts = index.sample(*window, t)
+        sample_amounts = [amount_of[ts] for ts in sampled_ts]
+        estimate = sum(sample_amounts) / t
+        seconds = time.perf_counter() - t0
+        std = (
+            math.sqrt(sum((a - estimate) ** 2 for a in sample_amounts) / (t - 1))
+            if t > 1
+            else float("nan")
+        )
+        half_ci = 1.96 * std / math.sqrt(t)
+        rows_out.append(
+            [
+                t,
+                f"{estimate:.4f}",
+                f"±{half_ci:.4f}",
+                f"{100 * abs(estimate - exact) / exact:.2f}%",
+                f"{seconds * 1e3:.2f}",
+                f"{scan_seconds / seconds:.0f}x",
+            ]
+        )
+    print(
+        format_table(
+            ["t", "estimate", "95% CI", "true err", "ms", "speedup vs scan"],
+            rows_out,
+        )
+    )
+    print(
+        "\nEvery estimate uses fresh, independent samples — re-running a"
+        " query never replays stale randomness."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 500_000)

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Sliding-window percentile dashboard on a live stream (DynamicIRS).
+
+Scenario: request latencies arrive continuously; the dashboard shows p50/p95
+/p99 of *recent* traffic (a sliding window maintained by inserts+deletes) as
+well as of ad-hoc latency bands.  The dynamic IRS structure absorbs the
+churn in O(log n) per update and answers each percentile probe from ``t``
+independent samples instead of sorting the window.
+
+Run:  python examples/streaming_percentiles.py [events]
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from collections import deque
+
+from repro import DynamicIRS
+from repro.bench import format_table
+
+
+def sampled_percentiles(index: DynamicIRS, lo: float, hi: float, t: int, qs):
+    """Estimate percentiles of P ∩ [lo, hi] from t independent samples."""
+    samples = sorted(index.sample(lo, hi, t))
+    return [samples[min(t - 1, int(q * t))] for q in qs]
+
+
+def main(events: int = 60_000) -> None:
+    window_size = 20_000
+    rng = random.Random(99)
+    index = DynamicIRS(seed=7)
+    window: deque[float] = deque()
+
+    def one_latency(i: int) -> float:
+        base = rng.lognormvariate(1.2, 0.6)
+        if i // 10_000 % 2 == 1:  # alternating "slow regime" phases
+            base *= 2.5
+        return base
+
+    report_rows = []
+    for i in range(events):
+        latency = one_latency(i)
+        index.insert(latency)
+        window.append(latency)
+        if len(window) > window_size:
+            index.delete(window.popleft())
+
+        if (i + 1) % 10_000 == 0:
+            p50, p95, p99 = sampled_percentiles(
+                index, 0.0, float("1e9"), 2000, (0.50, 0.95, 0.99)
+            )
+            exact = sorted(window)
+            e50 = exact[int(0.50 * len(exact))]
+            e95 = exact[int(0.95 * len(exact))]
+            e99 = exact[int(0.99 * len(exact))]
+            report_rows.append(
+                [
+                    i + 1,
+                    len(index),
+                    f"{p50:.2f} ({e50:.2f})",
+                    f"{p95:.2f} ({e95:.2f})",
+                    f"{p99:.2f} ({e99:.2f})",
+                ]
+            )
+
+    print("sampled percentile (exact in parentheses):\n")
+    print(
+        format_table(
+            ["events", "window", "p50", "p95", "p99"],
+            report_rows,
+        )
+    )
+
+    # Ad-hoc band query: spread of the slow tail only.
+    slow = sampled_percentiles(index, 10.0, 1e9, 1000, (0.5, 0.9))
+    print(f"\nwithin the >=10ms band: p50={slow[0]:.2f}  p90={slow[1]:.2f}")
+    index.check_invariants()
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 60_000)

@@ -1,0 +1,67 @@
+"""``repro`` — Independent Range Sampling (Hu–Qiao–Tao, PODS 2014).
+
+A full reproduction of the paper's structures plus the substrates they need:
+
+* :class:`StaticIRS` — static 1-D uniform IRS, ``O(log n + t)`` worst case;
+* :class:`DynamicIRS` — dynamic 1-D uniform IRS, ``O(log n + t)`` expected
+  query, ``O(log n)`` amortized update;
+* :class:`ExternalIRS` — external-memory static IRS over a simulated block
+  device, ``O(log_B n + t/B)`` amortized expected I/Os;
+* :class:`WeightedStaticIRS` — weighted extension (exact proportional
+  sampling, worst-case query).
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.  Quick start::
+
+    from repro import StaticIRS
+    s = StaticIRS([3.0, 1.0, 4.0, 1.0, 5.0], seed=42)
+    s.sample(1.0, 4.0, 3)   # three independent uniform samples from [1, 4]
+"""
+
+from .core import (
+    DynamicIRS,
+    DynamicRangeSampler,
+    ExternalIRS,
+    RangeSampler,
+    StaticIRS,
+    WeightedDynamicIRS,
+    WeightedStaticIRS,
+    sample_ranks_without_replacement,
+    sample_without_replacement,
+)
+from .errors import (
+    CapacityError,
+    EmptyRangeError,
+    EmptyStructureError,
+    InvalidQueryError,
+    InvalidWeightError,
+    KeyNotFoundError,
+    ReproError,
+)
+from .rng import RandomSource
+from .types import Interval, QueryStats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "StaticIRS",
+    "DynamicIRS",
+    "ExternalIRS",
+    "WeightedStaticIRS",
+    "WeightedDynamicIRS",
+    "RangeSampler",
+    "DynamicRangeSampler",
+    "sample_without_replacement",
+    "sample_ranks_without_replacement",
+    "RandomSource",
+    "Interval",
+    "QueryStats",
+    "ReproError",
+    "EmptyRangeError",
+    "EmptyStructureError",
+    "InvalidQueryError",
+    "InvalidWeightError",
+    "KeyNotFoundError",
+    "CapacityError",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""Weighted-sampling substrates: static Walker/Vose alias tables and a
+dynamic weighted sampler with power-of-two grouping."""
+
+from .walker import AliasTable
+from .dynamic import DynamicWeightedSampler
+
+__all__ = ["AliasTable", "DynamicWeightedSampler"]

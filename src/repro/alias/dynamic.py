@@ -1,0 +1,153 @@
+"""A dynamic weighted sampler (insertions, deletions, weight updates).
+
+This is a simplified form of the Hagerup–Mehlhorn–Munro (1993) scheme for
+generating discrete random variables from *changing* distributions:
+
+* items are bucketed by weight scale — bucket ``j`` holds items with weight
+  in ``[2^j, 2^(j+1))`` — so within a bucket, rejection against the bucket
+  ceiling accepts with probability at least 1/2;
+* a bucket is chosen proportionally to its total weight by scanning the
+  (at most ~64 + log-range) nonempty buckets, which is ``O(log W)`` with a
+  tiny constant — the library uses it only as a substrate where that cost is
+  acceptable (examples, ablations), never inside the ``O(1)``-per-sample
+  query paths;
+* deletions use swap-with-last inside the bucket's item list, so every
+  operation is ``O(1)`` plus the bucket scan.
+
+The structure samples *exactly* proportionally to the current weights.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+from ..errors import EmptyStructureError, InvalidWeightError, KeyNotFoundError
+from ..rng import RandomSource
+
+__all__ = ["DynamicWeightedSampler"]
+
+
+class _Bucket:
+    __slots__ = ("items", "weights", "pos", "total")
+
+    def __init__(self) -> None:
+        self.items: list[Hashable] = []
+        self.weights: list[float] = []
+        self.pos: dict[Hashable, int] = {}
+        self.total = 0.0
+
+
+class DynamicWeightedSampler:
+    """Sample keys proportionally to mutable positive weights.
+
+    Supports ``insert``, ``delete``, ``update_weight`` and ``sample`` with
+    expected ``O(log W)`` cost per operation, where ``W`` is the ratio of the
+    largest to the smallest weight ever stored.
+    """
+
+    def __init__(self) -> None:
+        self._buckets: dict[int, _Bucket] = {}
+        self._scale_of: dict[Hashable, int] = {}
+        self._total = 0.0
+        self._count = 0
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, key: Hashable, weight: float) -> None:
+        """Insert ``key`` with positive finite ``weight``."""
+        if not math.isfinite(weight) or weight <= 0.0:
+            raise InvalidWeightError(f"weight must be positive: {weight!r}")
+        if key in self._scale_of:
+            raise KeyNotFoundError(f"duplicate key: {key!r}")
+        scale = math.frexp(weight)[1] - 1  # floor(log2 w)
+        bucket = self._buckets.get(scale)
+        if bucket is None:
+            bucket = self._buckets[scale] = _Bucket()
+        bucket.pos[key] = len(bucket.items)
+        bucket.items.append(key)
+        bucket.weights.append(weight)
+        bucket.total += weight
+        self._scale_of[key] = scale
+        self._total += weight
+        self._count += 1
+
+    def delete(self, key: Hashable) -> None:
+        """Remove ``key``; raises :class:`KeyNotFoundError` if absent."""
+        scale = self._scale_of.pop(key, None)
+        if scale is None:
+            raise KeyNotFoundError(f"key not present: {key!r}")
+        bucket = self._buckets[scale]
+        i = bucket.pos.pop(key)
+        weight = bucket.weights[i]
+        last = len(bucket.items) - 1
+        if i != last:
+            bucket.items[i] = bucket.items[last]
+            bucket.weights[i] = bucket.weights[last]
+            bucket.pos[bucket.items[i]] = i
+        bucket.items.pop()
+        bucket.weights.pop()
+        bucket.total -= weight
+        if not bucket.items:
+            del self._buckets[scale]
+        self._total -= weight
+        self._count -= 1
+
+    def update_weight(self, key: Hashable, weight: float) -> None:
+        """Change the weight of an existing key."""
+        self.delete(key)
+        self.insert(key, weight)
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._scale_of
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all stored weights (maintained incrementally)."""
+        return self._total
+
+    def weight_of(self, key: Hashable) -> float:
+        """Return the current weight of ``key``."""
+        scale = self._scale_of.get(key)
+        if scale is None:
+            raise KeyNotFoundError(f"key not present: {key!r}")
+        bucket = self._buckets[scale]
+        return bucket.weights[bucket.pos[key]]
+
+    def sample(self, rng: RandomSource) -> Hashable:
+        """Draw one key with probability ``weight / total_weight``."""
+        if self._count == 0:
+            raise EmptyStructureError("cannot sample from an empty sampler")
+        # Drift guard: incremental +/- on floats can accumulate error; the
+        # scan below uses bucket totals directly so error never compounds
+        # across buckets.
+        while True:
+            u = rng.random() * self._total
+            chosen: _Bucket | None = None
+            acc = 0.0
+            for bucket in self._buckets.values():
+                acc += bucket.total
+                if u < acc:
+                    chosen = bucket
+                    break
+            if chosen is None:
+                # Float slack pushed u past the last bucket; retry.
+                continue
+            # Rejection against the bucket's scale ceiling 2^(j+1): every
+            # weight in bucket j lies in [2^j, 2^(j+1)), so acceptance is at
+            # least 1/2 and the accepted item is exactly proportional to its
+            # weight within the bucket.
+            items = chosen.items
+            weights = chosen.weights
+            m = len(items)
+            while True:
+                i = rng.randrange(m)
+                w = weights[i]
+                bound = math.ldexp(1.0, math.frexp(w)[1])  # 2^(j+1) for item
+                if rng.random() * bound < w:
+                    return items[i]

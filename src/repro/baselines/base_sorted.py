@@ -1,0 +1,41 @@
+"""Shared sorted-list plumbing for the internal-memory baselines."""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Iterable
+
+from ..errors import KeyNotFoundError
+from ..rng import RandomSource
+
+__all__ = ["SortedListMixin"]
+
+
+class SortedListMixin:
+    """Count/report/update over a plain sorted list.
+
+    Provides everything except :meth:`sample`, which each baseline defines
+    with its own strategy.
+    """
+
+    def __init__(self, values: Iterable[float] = (), seed: int | None = None) -> None:
+        self._data: list[float] = sorted(values)
+        self._rng = RandomSource(seed)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def count(self, lo: float, hi: float) -> int:
+        return bisect_right(self._data, hi) - bisect_left(self._data, lo)
+
+    def report(self, lo: float, hi: float) -> list[float]:
+        return self._data[bisect_left(self._data, lo) : bisect_right(self._data, hi)]
+
+    def insert(self, value: float) -> None:
+        insort(self._data, value)
+
+    def delete(self, value: float) -> None:
+        i = bisect_left(self._data, value)
+        if i >= len(self._data) or self._data[i] != value:
+            raise KeyNotFoundError(f"value not present: {value!r}")
+        self._data.pop(i)

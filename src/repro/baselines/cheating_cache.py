@@ -1,0 +1,59 @@
+"""A deliberately *wrong* baseline: caches and replays query results.
+
+The defining requirement of independent range sampling is that the samples
+returned now are independent of every sample returned before — in
+particular, asking the same query twice must not replay the same answer.
+Classical database samplers that materialize a sample per region violate
+this.  ``CachedSampleBaseline`` reproduces that violation on purpose: the
+first time it sees an interval it draws an honest uniform pool, then serves
+every later query on the same interval from that pool *deterministically*.
+
+Each individual answer is perfectly uniform (a chi-square marginal test
+passes!); only the cross-query independence test (experiment F9) exposes
+it.  It exists as the negative control proving those tests have teeth.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.static_irs import StaticIRS
+from ..core.base import RangeSampler, validate_query
+
+__all__ = ["CachedSampleBaseline"]
+
+
+class CachedSampleBaseline(RangeSampler):
+    """Honest marginals, replayed across queries (negative control)."""
+
+    def __init__(
+        self,
+        values: Iterable[float],
+        seed: int | None = None,
+        pool_size: int = 64,
+    ) -> None:
+        self._inner = StaticIRS(values, seed=seed)
+        self._pool_size = pool_size
+        self._cache: dict[tuple[float, float], list[float]] = {}
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def count(self, lo: float, hi: float) -> int:
+        return self._inner.count(lo, hi)
+
+    def report(self, lo: float, hi: float) -> list[float]:
+        return self._inner.report(lo, hi)
+
+    def sample(self, lo: float, hi: float, t: int) -> list[float]:
+        validate_query(lo, hi, t)
+        if t == 0:
+            return []
+        key = (lo, hi)
+        pool = self._cache.get(key)
+        if pool is None:
+            pool = self._inner.sample(lo, hi, max(t, self._pool_size))
+            self._cache[key] = pool
+        while len(pool) < t:
+            pool.extend(self._inner.sample(lo, hi, t - len(pool)))
+        return pool[:t]

@@ -1,0 +1,66 @@
+"""EM per-sample probing (Olken-style): one random block read per sample.
+
+Each sample draws a uniform in-range rank and fetches its block:
+``O(log_B n + t)`` I/Os per query.  This is what any structure without
+pre-drawn sample buffers is stuck with — ``t`` fresh uniform ranks touch
+``Θ(min(t, K/B))`` distinct blocks — and it is the curve the buffered
+:class:`~repro.core.em_irs.ExternalIRS` beats by a factor ``B`` in
+experiment F6.  The name nods to Olken's classical B-tree sampling work,
+which probed index paths per sample.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..em.btree import EMBTree
+from ..em.device import BlockDevice, IOStats
+from ..em.pool import BufferPool
+from ..em.sorted_file import EMSortedFile
+from ..rng import RandomSource
+from ..core.base import RangeSampler, validate_query
+
+__all__ = ["EMPerSample"]
+
+
+class EMPerSample(RangeSampler):
+    """Uniform rank + random block fetch, once per sample."""
+
+    def __init__(
+        self,
+        values: Iterable[float],
+        block_size: int = 1024,
+        pool_capacity: int = 16,
+        seed: int | None = None,
+    ) -> None:
+        self._rng = RandomSource(seed)
+        self.device = BlockDevice(block_size)
+        self.pool = BufferPool(self.device, pool_capacity)
+        self.file = EMSortedFile(self.pool, sorted(values))
+        self.tree = EMBTree(self.file)
+        self.pool.flush()
+
+    def __len__(self) -> int:
+        return self.file.n
+
+    def io_delta(self, before: IOStats) -> IOStats:
+        """Return device I/O performed since ``before`` (a snapshot)."""
+        return self.device.stats.delta(before)
+
+    def count(self, lo: float, hi: float) -> int:
+        a, b = self.tree.rank_range(lo, hi)
+        return b - a
+
+    def report(self, lo: float, hi: float) -> list[float]:
+        a, b = self.tree.rank_range(lo, hi)
+        return list(self.file.scan(a, b))
+
+    def sample(self, lo: float, hi: float, t: int) -> list[float]:
+        validate_query(lo, hi, t)
+        a, b = self.tree.rank_range(lo, hi)
+        if self._require_nonempty(b - a, t):
+            return []
+        width = b - a
+        randbelow = self._rng.randbelow_fn(t)
+        get = self.file.get
+        return [get(a + randbelow(width)) for _ in range(t)]

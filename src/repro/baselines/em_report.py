@@ -1,0 +1,63 @@
+"""EM report-then-sample: scan the whole rank range, sample in memory.
+
+Query cost ``O(log_B n + K/B)`` I/Os — the EM analogue of
+:class:`~repro.baselines.report_sample.ReportThenSample`.  Optimal when
+``t ≳ K`` and pure waste when ``t ≪ K``; experiments F6/F7 chart both
+regimes against :class:`~repro.core.em_irs.ExternalIRS`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..em.btree import EMBTree
+from ..em.device import BlockDevice, IOStats
+from ..em.pool import BufferPool
+from ..em.sorted_file import EMSortedFile
+from ..rng import RandomSource
+from ..core.base import RangeSampler, validate_query
+
+__all__ = ["EMReportSample"]
+
+
+class EMReportSample(RangeSampler):
+    """Scan ``P ∩ q`` block by block, then sample the in-memory copy."""
+
+    def __init__(
+        self,
+        values: Iterable[float],
+        block_size: int = 1024,
+        pool_capacity: int = 16,
+        seed: int | None = None,
+    ) -> None:
+        self._rng = RandomSource(seed)
+        self.device = BlockDevice(block_size)
+        self.pool = BufferPool(self.device, pool_capacity)
+        self.file = EMSortedFile(self.pool, sorted(values))
+        self.tree = EMBTree(self.file)
+        self.pool.flush()
+
+    def __len__(self) -> int:
+        return self.file.n
+
+    def io_delta(self, before: IOStats) -> IOStats:
+        """Return device I/O performed since ``before`` (a snapshot)."""
+        return self.device.stats.delta(before)
+
+    def count(self, lo: float, hi: float) -> int:
+        a, b = self.tree.rank_range(lo, hi)
+        return b - a
+
+    def report(self, lo: float, hi: float) -> list[float]:
+        a, b = self.tree.rank_range(lo, hi)
+        return list(self.file.scan(a, b))
+
+    def sample(self, lo: float, hi: float, t: int) -> list[float]:
+        validate_query(lo, hi, t)
+        a, b = self.tree.rank_range(lo, hi)
+        if self._require_nonempty(b - a, t):
+            return []
+        pool_values = list(self.file.scan(a, b))  # the O(K/B) scan
+        randbelow = self._rng.randbelow_fn(t)
+        width = len(pool_values)
+        return [pool_values[randbelow(width)] for _ in range(t)]

@@ -1,0 +1,44 @@
+"""Textbook global rejection: sample from all of ``P``, reject out-of-range.
+
+Expected cost per accepted sample is ``n / K`` draws, so a query costs
+``O(log n + t·n/K)`` expected — excellent when the range covers most of the
+data and catastrophic for selective ranges.  Included because it is the
+zero-index strawman and it calibrates the experiments' selectivity axis.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable
+
+from .base_sorted import SortedListMixin
+from ..core.base import DynamicRangeSampler, validate_query
+
+__all__ = ["RejectionGlobalSampler"]
+
+
+class RejectionGlobalSampler(SortedListMixin, DynamicRangeSampler):
+    """Uniform index into ``P`` + rejection against the query interval."""
+
+    def __init__(self, values: Iterable[float] = (), seed: int | None = None) -> None:
+        super().__init__(values, seed)
+        #: Draws spent on rejected candidates (observability for tests).
+        self.rejections = 0
+
+    def sample(self, lo: float, hi: float, t: int) -> list[float]:
+        validate_query(lo, hi, t)
+        a = bisect_left(self._data, lo)
+        b = bisect_right(self._data, hi)
+        if self._require_nonempty(b - a, t):
+            return []
+        data = self._data
+        n = len(data)
+        randrange = self._rng.randrange
+        out: list[float] = []
+        while len(out) < t:
+            candidate = data[randrange(n)]
+            if lo <= candidate <= hi:
+                out.append(candidate)
+            else:
+                self.rejections += 1
+        return out

@@ -1,0 +1,39 @@
+"""Report-then-sample: the classical answer range sampling replaces.
+
+Query cost is ``O(log n + K + t)`` where ``K = |P ∩ q|``: the whole range is
+materialized (that is the ``K`` term) and then sampled in memory.  For small
+``t`` and fat ranges this is exactly the ``K ≫ t`` waste the paper's
+structures eliminate; for ``t ≳ K`` it is optimal, which experiment F7 shows
+as a crossover.
+
+Updates are supported for harness convenience via sorted-list insertion
+(``O(n)`` — this baseline's update cost is *not* part of any claim).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable
+
+from .base_sorted import SortedListMixin
+from ..core.base import DynamicRangeSampler, validate_query
+
+__all__ = ["ReportThenSample"]
+
+
+class ReportThenSample(SortedListMixin, DynamicRangeSampler):
+    """Materialize ``P ∩ [lo, hi]``, then sample uniformly from the copy."""
+
+    def __init__(self, values: Iterable[float] = (), seed: int | None = None) -> None:
+        super().__init__(values, seed)
+
+    def sample(self, lo: float, hi: float, t: int) -> list[float]:
+        validate_query(lo, hi, t)
+        a = bisect_left(self._data, lo)
+        b = bisect_right(self._data, hi)
+        if self._require_nonempty(b - a, t):
+            return []
+        pool = self._data[a:b]  # the O(K) materialization step
+        randbelow = self._rng.randbelow_fn(t)
+        width = len(pool)
+        return [pool[randbelow(width)] for _ in range(t)]

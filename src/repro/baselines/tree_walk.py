@@ -1,0 +1,232 @@
+"""Per-sample tree descent — the pre-2014 dynamic state of the art.
+
+A balanced search tree (a value-keyed treap) with subtree counts supports
+uniform range sampling by drawing a uniform in-range rank and walking
+root-to-leaf to select it: ``O(log n)`` per sample, hence ``O(t log n)`` per
+query, with ``O(log n)`` updates.  This is the structure whose query cost
+Hu–Qiao–Tao improve to ``O(log n + t)``; experiment F3 reproduces the gap.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator
+
+from ..errors import KeyNotFoundError
+from ..rng import RandomSource
+from ..core.base import DynamicRangeSampler, validate_query
+
+__all__ = ["TreeWalkSampler"]
+
+
+class _Node:
+    __slots__ = ("value", "priority", "left", "right", "size")
+
+    def __init__(self, value: float, priority: float) -> None:
+        self.value = value
+        self.priority = priority
+        self.left: _Node | None = None
+        self.right: _Node | None = None
+        self.size = 1
+
+
+def _size(node: _Node | None) -> int:
+    return 0 if node is None else node.size
+
+
+def _pull(node: _Node) -> _Node:
+    node.size = 1 + _size(node.left) + _size(node.right)
+    return node
+
+
+def _merge(a: _Node | None, b: _Node | None) -> _Node | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a.priority > b.priority:
+        a.right = _merge(a.right, b)
+        return _pull(a)
+    b.left = _merge(a, b.left)
+    return _pull(b)
+
+
+def _split_lt(node: _Node | None, key: float) -> tuple[_Node | None, _Node | None]:
+    """Split into (values < key, values >= key)."""
+    if node is None:
+        return None, None
+    if node.value < key:
+        left, right = _split_lt(node.right, key)
+        node.right = left
+        return _pull(node), right
+    left, right = _split_lt(node.left, key)
+    node.left = right
+    return left, _pull(node)
+
+
+def _split_le(node: _Node | None, key: float) -> tuple[_Node | None, _Node | None]:
+    """Split into (values <= key, values > key)."""
+    if node is None:
+        return None, None
+    if node.value <= key:
+        left, right = _split_le(node.right, key)
+        node.right = left
+        return _pull(node), right
+    left, right = _split_le(node.left, key)
+    node.left = right
+    return left, _pull(node)
+
+
+class TreeWalkSampler(DynamicRangeSampler):
+    """Value-keyed treap; every sample is one root-to-leaf rank selection."""
+
+    def __init__(self, values: Iterable[float] = (), seed: int | None = None) -> None:
+        self._rng = RandomSource(seed)
+        self._root: _Node | None = None
+        #: Cumulative nodes touched by :meth:`_select` — the baseline's
+        #: machine-independent work counter (≈ depth ≈ log2 n per sample).
+        self.node_visits = 0
+        data = sorted(values)
+        if data:
+            self._root = self._bulk_build(data)
+
+    def _bulk_build(self, data: list[float]) -> _Node:
+        """Build a balanced treap from sorted data in ``O(n)`` + one sort.
+
+        Midpoint recursion gives the balanced shape; the heap property is
+        restored by assigning the ``n`` random priorities in descending
+        order along a BFS of that shape (a parent always precedes its
+        children in BFS order, so it receives the larger priority).  The
+        priorities remain marginally iid uniform, so later updates keep the
+        treap's expected balance.
+        """
+        priorities = sorted((self._rng.random() for _ in data), reverse=True)
+
+        def shape(lo: int, hi: int) -> _Node | None:
+            if lo >= hi:
+                return None
+            mid = (lo + hi) // 2
+            node = _Node(data[mid], 0.0)
+            node.left = shape(lo, mid)
+            node.right = shape(mid + 1, hi)
+            node.size = hi - lo
+            return node
+
+        root = shape(0, len(data))
+        queue = deque([root])
+        index = 0
+        while queue:
+            node = queue.popleft()
+            node.priority = priorities[index]
+            index += 1
+            if node.left is not None:
+                queue.append(node.left)
+            if node.right is not None:
+                queue.append(node.right)
+        return root
+
+    # -- rank plumbing -------------------------------------------------------
+
+    def _rank_lt(self, key: float) -> int:
+        """Number of stored values strictly below ``key``."""
+        node = self._root
+        rank = 0
+        while node is not None:
+            if node.value < key:
+                rank += _size(node.left) + 1
+                node = node.right
+            else:
+                node = node.left
+        return rank
+
+    def _rank_le(self, key: float) -> int:
+        node = self._root
+        rank = 0
+        while node is not None:
+            if node.value <= key:
+                rank += _size(node.left) + 1
+                node = node.right
+            else:
+                node = node.left
+        return rank
+
+    def _select(self, rank: int) -> float:
+        """Return the value with 0-based global ``rank`` (the tree walk)."""
+        node = self._root
+        steps = 0
+        while True:
+            steps += 1
+            left = _size(node.left)
+            if rank < left:
+                node = node.left
+            elif rank == left:
+                self.node_visits += steps
+                return node.value
+            else:
+                rank -= left + 1
+                node = node.right
+
+    # -- interface -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return _size(self._root)
+
+    def count(self, lo: float, hi: float) -> int:
+        return self._rank_le(hi) - self._rank_lt(lo)
+
+    def report(self, lo: float, hi: float) -> list[float]:
+        out: list[float] = []
+
+        def walk(node: _Node | None) -> None:
+            while node is not None:
+                if node.value < lo:
+                    node = node.right
+                    continue
+                if node.value > hi:
+                    node = node.left
+                    continue
+                walk(node.left)
+                out.append(node.value)
+                node = node.right
+
+        walk(self._root)
+        return out
+
+    def sample(self, lo: float, hi: float, t: int) -> list[float]:
+        validate_query(lo, hi, t)
+        a = self._rank_lt(lo)
+        b = self._rank_le(hi)
+        if self._require_nonempty(b - a, t):
+            return []
+        width = b - a
+        randbelow = self._rng.randbelow_fn(t)
+        select = self._select
+        return [select(a + randbelow(width)) for _ in range(t)]
+
+    def insert(self, value: float) -> None:
+        left, right = _split_le(self._root, value)
+        node = _Node(value, self._rng.random())
+        self._root = _merge(_merge(left, node), right)
+
+    def delete(self, value: float) -> None:
+        left, rest = _split_lt(self._root, value)
+        match, right = _split_le(rest, value)
+        if match is None:
+            self._root = _merge(left, right)
+            raise KeyNotFoundError(f"value not present: {value!r}")
+        # Remove one occurrence: drop the root of the equal-key treap and
+        # merge its children back.
+        remainder = _merge(match.left, match.right)
+        self._root = _merge(_merge(left, remainder), right)
+
+    def values(self) -> Iterator[float]:
+        """Yield all values in sorted order."""
+        stack: list[_Node] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.value
+            node = node.right

@@ -1,0 +1,12 @@
+"""Measurement helpers shared by ``benchmarks/`` and ``EXPERIMENTS.md``."""
+
+from .tables import format_table, format_markdown_table
+from .harness import time_callable, geometric_range, Series
+
+__all__ = [
+    "format_table",
+    "format_markdown_table",
+    "time_callable",
+    "geometric_range",
+    "Series",
+]

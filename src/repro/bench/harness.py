@@ -1,0 +1,55 @@
+"""Small measurement utilities for the experiment scripts."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["time_callable", "geometric_range", "Series"]
+
+
+def time_callable(fn: Callable[[], object], repeat: int = 5) -> float:
+    """Return the *minimum* wall-clock seconds over ``repeat`` runs.
+
+    Minimum-of-repeats is the standard way to strip scheduler noise from
+    microbenchmarks; pytest-benchmark does the statistically heavier
+    version, this helper feeds the quick-look tables.
+    """
+    best = float("inf")
+    clock = time.perf_counter
+    for _ in range(repeat):
+        start = clock()
+        fn()
+        elapsed = clock() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def geometric_range(start: int, stop: int, factor: int = 2) -> list[int]:
+    """Integers ``start, start*factor, ...`` up to and including ``stop``."""
+    out = []
+    value = start
+    while value <= stop:
+        out.append(value)
+        value *= factor
+    return out
+
+
+@dataclass(slots=True)
+class Series:
+    """One labelled measurement series (a curve in a would-be figure)."""
+
+    label: str
+    xs: list[float] = field(default_factory=list)
+    ys: list[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        """Append one point."""
+        self.xs.append(x)
+        self.ys.append(y)
+
+    def ratio_to(self, other: "Series") -> list[float]:
+        """Pointwise ``other/self`` ratio — 'who wins by what factor'."""
+        return [o / s if s else float("inf") for s, o in zip(self.ys, other.ys)]

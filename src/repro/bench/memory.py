@@ -1,0 +1,36 @@
+"""Deep memory measurement for the space experiment (F5).
+
+``deep_size_bytes`` walks the object graph with ``gc.get_referents`` and
+sums ``sys.getsizeof`` over each distinct object.  It deliberately stops at
+module/type/function boundaries so a structure's measurement does not leak
+into the interpreter.  CPython object overhead means absolute numbers are
+CPython-specific; the *slope* against ``n`` is what experiment F5 checks.
+"""
+
+from __future__ import annotations
+
+import gc
+import sys
+from types import FunctionType, ModuleType
+
+__all__ = ["deep_size_bytes"]
+
+_STOP_TYPES = (type, ModuleType, FunctionType)
+
+
+def deep_size_bytes(root: object) -> int:
+    """Return the total size in bytes of ``root`` and everything it owns."""
+    seen: set[int] = set()
+    stack = [root]
+    total = 0
+    while stack:
+        obj = stack.pop()
+        if isinstance(obj, _STOP_TYPES):
+            continue
+        oid = id(obj)
+        if oid in seen:
+            continue
+        seen.add(oid)
+        total += sys.getsizeof(obj)
+        stack.extend(gc.get_referents(obj))
+    return total

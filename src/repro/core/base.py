@@ -1,0 +1,92 @@
+"""Abstract interfaces shared by every range sampler in the library.
+
+A *range sampler* stores a one-dimensional point set and answers
+``(interval, t)`` queries with ``t`` independent samples from the points
+inside the interval.  Baselines implement the same interface so the
+benchmark harness and the statistical test-bench can drive any structure
+interchangeably.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+from ..errors import EmptyRangeError, InvalidQueryError
+
+__all__ = ["RangeSampler", "DynamicRangeSampler", "validate_query"]
+
+
+def validate_query(lo: float, hi: float, t: int) -> None:
+    """Raise :class:`InvalidQueryError` for a malformed ``([lo, hi], t)``.
+
+    ``lo <= hi`` and ``t >= 0`` are required.  ``t == 0`` is legal and must
+    return an empty list even on an empty range, mirroring the convention of
+    the paper ("extract t samples", with t a nonnegative integer).
+    """
+    if lo != lo or hi != hi:  # NaN check without importing math
+        raise InvalidQueryError("interval endpoints must not be NaN")
+    if lo > hi:
+        raise InvalidQueryError(f"invalid interval: {lo!r} > {hi!r}")
+    if not isinstance(t, int) or isinstance(t, bool):
+        raise InvalidQueryError(f"sample count must be an int, got {t!r}")
+    if t < 0:
+        raise InvalidQueryError(f"sample count must be >= 0, got {t}")
+
+
+class RangeSampler(ABC):
+    """Interface for static independent range sampling structures."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Return the number of stored points."""
+
+    @abstractmethod
+    def count(self, lo: float, hi: float) -> int:
+        """Return ``|P ∩ [lo, hi]|``."""
+
+    @abstractmethod
+    def report(self, lo: float, hi: float) -> list[float]:
+        """Return every point in ``[lo, hi]`` in sorted order."""
+
+    @abstractmethod
+    def sample(self, lo: float, hi: float, t: int) -> list[float]:
+        """Return ``t`` independent uniform samples from ``P ∩ [lo, hi]``.
+
+        Raises :class:`EmptyRangeError` when the range is empty and
+        ``t > 0``; returns ``[]`` when ``t == 0``.
+        """
+
+    # -- shared conveniences -------------------------------------------------
+
+    def sample_one(self, lo: float, hi: float) -> float:
+        """Return a single independent uniform sample from the range."""
+        return self.sample(lo, hi, 1)[0]
+
+    def _require_nonempty(self, population: int, t: int) -> bool:
+        """Common guard: return True if sampling should short-circuit to []."""
+        if t == 0:
+            return True
+        if population == 0:
+            raise EmptyRangeError("no points inside the query range")
+        return False
+
+
+class DynamicRangeSampler(RangeSampler):
+    """Interface for samplers that also support insertions and deletions."""
+
+    @abstractmethod
+    def insert(self, value: float) -> None:
+        """Insert one point (duplicates allowed; multiset semantics)."""
+
+    @abstractmethod
+    def delete(self, value: float) -> None:
+        """Delete one occurrence of ``value``.
+
+        Raises :class:`~repro.errors.KeyNotFoundError` if absent.
+        """
+
+    def insert_many(self, values: Iterable[float]) -> None:
+        """Insert every value from an iterable (convenience loop)."""
+        for value in values:
+            self.insert(value)

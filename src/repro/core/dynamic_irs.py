@@ -1,0 +1,533 @@
+"""Dynamic internal-memory IRS — result R2 of the paper (reconstruction).
+
+Guarantees (matching the published bounds of Hu–Qiao–Tao, PODS 2014):
+
+* space ``O(n)``;
+* query ``O(log n + t)`` — ``O(log n)`` setup, then ``O(1)`` *expected*
+  per sample (exact uniformity, rejection-based);
+* update ``O(log n)`` amortized.
+
+Design (see DESIGN.md §2.2 for the full analysis).  Points live in sorted
+*chunks* of size ``s .. 2s`` with ``s = Θ(log n)``:
+
+* chunks form a doubly-linked list in key order;
+* an implicit treap (:class:`~repro.trees.treap.ChunkTreap`) over the chunks
+  provides boundary-chunk search and point-count aggregation in ``O(log n)``
+  — ordered by *position*, so duplicate keys are harmless;
+* a packed-memory array (:class:`~repro.trees.pma.PackedMemoryArray`) holds
+  one cell per chunk in chunk order, so the chunks spanned by a query occupy
+  a contiguous, density-bounded cell window: "uniform cell, reject gaps,
+  accept chunk ``c`` w.p. ``|c|/(2s)``, uniform element of ``c``" samples an
+  in-range point exactly uniformly in ``O(1)`` expected probes.
+
+A query splits the range into a left partial run (array slice of the first
+overlapping chunk), a middle run of whole chunks, and a right partial run,
+and draws each sample from the three parts proportionally to their counts.
+When the middle spans too few chunks for the PMA density bound to bite, the
+chunks are gathered directly (``O(log n)``, inside the setup budget) behind
+an alias table.
+
+Global rebuilds keep ``s`` in step with ``log n``: the structure is rebuilt
+whenever ``n`` drifts outside ``[n0/2, 2·n0]``, which is amortized ``O(1)``
+per update.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right, insort
+from typing import Iterable, Iterator
+
+from ..errors import InvalidQueryError, KeyNotFoundError
+from ..rng import RandomSource
+from ..trees.pma import PackedMemoryArray
+from ..trees.treap import ChunkTreap, TreapNode
+from ..types import QueryStats
+from .base import DynamicRangeSampler, validate_query
+
+__all__ = ["DynamicIRS"]
+
+_MIN_CHUNK = 8
+
+
+class _Chunk:
+    """A sorted run of points plus its directory handles."""
+
+    __slots__ = ("data", "node", "prev", "next", "pma_index")
+
+    def __init__(self, data: list[float]) -> None:
+        self.data = data
+        self.node: TreapNode | None = None
+        self.prev: _Chunk | None = None
+        self.next: _Chunk | None = None
+        self.pma_index = -1
+
+    # Payload protocol for the treap aggregates.
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    @property
+    def min_value(self) -> float:
+        return self.data[0]
+
+    @property
+    def max_value(self) -> float:
+        return self.data[-1]
+
+
+class _MiddlePlan:
+    """Query-local sampler over the middle run of whole chunks.
+
+    Two modes (chosen by :meth:`DynamicIRS._middle_plan`):
+
+    * ``cumulative`` — the chunks are gathered once and a prefix-sum table
+      maps the caller's in-range rank ``r ∈ [0, K_mid)`` straight to
+      ``(chunk, offset)`` with one C-level bisect.  Exactly uniform, zero
+      extra random draws, worst-case ``O(log)`` per sample; used whenever
+      gathering is affordable (``m = O(log n + t)`` chunks).
+    * ``pma`` — rejection over the packed-memory-array cell window: uniform
+      cell, reject gaps, accept chunk ``c`` with probability ``|c|/(2s)``
+      (the acceptance draw doubles as the element index).  Exactly uniform,
+      ``O(1)`` expected probes; used for wide middles where gathering would
+      break the ``O(log n + t)`` budget.
+    """
+
+    __slots__ = ("mode", "window_lo", "window_hi", "cap", "pma", "chunks", "cum")
+
+    def sample_rank(self, rank: int) -> float:
+        """cumulative mode: map an in-range middle rank to its value."""
+        i = bisect_right(self.cum, rank)
+        prev = self.cum[i - 1] if i else 0
+        return self.chunks[i].data[rank - prev]
+
+    def sample_draw(self, randbelow, stats: QueryStats) -> float:
+        """pma mode: draw a fresh uniform middle element by rejection.
+
+        One draw per probe: a uniform integer over ``window × cap`` encodes
+        the cell (quotient) and the acceptance/element index (remainder) at
+        once — per-element probability is ``1/(window·cap)``, exactly
+        uniform conditional on acceptance.
+        """
+        window_lo = self.window_lo
+        cap = self.cap
+        span = (self.window_hi - window_lo + 1) * cap
+        get = self.pma.get
+        while True:
+            draw = randbelow(span)
+            chunk = get(window_lo + draw // cap)
+            if chunk is None:
+                stats.rejections += 1
+                continue
+            data = chunk.data
+            idx = draw % cap
+            if idx < len(data):
+                return data[idx]
+            stats.rejections += 1
+
+
+class DynamicIRS(DynamicRangeSampler):
+    """Dynamic uniform independent range sampling (multiset of floats).
+
+    Parameters
+    ----------
+    values:
+        Initial point set.
+    seed:
+        Seed of the private random stream (samples and treap priorities).
+    chunk_scale:
+        Multiplier on the ``Θ(log n)`` chunk size — exposed for the ablation
+        experiment F10; leave at 1.0 for normal use.
+    """
+
+    def __init__(
+        self,
+        values: Iterable[float] = (),
+        seed: int | None = None,
+        chunk_scale: float = 1.0,
+    ) -> None:
+        self._rng = RandomSource(seed)
+        self._chunk_scale = chunk_scale
+        self.stats = QueryStats()
+        self._build(sorted(values))
+
+    # -- construction / rebuild ------------------------------------------------
+
+    def _build(self, data: list[float]) -> None:
+        """(Re)build every index from a sorted list of points."""
+        self._n = len(data)
+        self._n0 = max(self._n, 1)
+        raw = self._chunk_scale * max(1.0, math.log2(self._n0 + 2))
+        self._s = max(_MIN_CHUNK, int(raw))
+        self._cap = 2 * self._s
+        self._treap = ChunkTreap(self._rng.spawn())
+        self._pma = PackedMemoryArray(on_move=self._on_chunk_move)
+        self._head: _Chunk | None = None
+        self._tail: _Chunk | None = None
+        if not data:
+            return
+        s = self._s
+        pieces = [data[i : i + s] for i in range(0, len(data), s)]
+        if len(pieces) > 1 and len(pieces[-1]) < s:
+            tail = pieces.pop()
+            pieces[-1] = pieces[-1] + tail
+            if len(pieces[-1]) > self._cap:
+                merged = pieces.pop()
+                half = len(merged) // 2
+                pieces.append(merged[:half])
+                pieces.append(merged[half:])
+        prev: _Chunk | None = None
+        for piece in pieces:
+            chunk = _Chunk(piece)
+            if prev is None:
+                chunk.node = self._treap.insert_first(chunk)
+                self._pma.insert_first(chunk)
+                self._head = chunk
+            else:
+                chunk.node = self._treap.insert_after(prev.node, chunk)
+                self._pma.insert_after(prev.pma_index, chunk)
+                prev.next = chunk
+                chunk.prev = prev
+            prev = chunk
+        self._tail = prev
+
+    @staticmethod
+    def _on_chunk_move(chunk: "_Chunk", index: int) -> None:
+        chunk.pma_index = index
+
+    def _maybe_rebuild(self) -> None:
+        if self._n > 2 * self._n0 or (self._n0 > _MIN_CHUNK and 2 * self._n < self._n0):
+            self._build(list(self._iter_values()))
+
+    # -- basic accessors ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def chunk_size_bounds(self) -> tuple[int, int]:
+        """Current ``(s, 2s)`` chunk-size window (changes on rebuilds)."""
+        return self._s, self._cap
+
+    def _iter_chunks(self) -> Iterator[_Chunk]:
+        chunk = self._head
+        while chunk is not None:
+            yield chunk
+            chunk = chunk.next
+
+    def _iter_values(self) -> Iterator[float]:
+        for chunk in self._iter_chunks():
+            yield from chunk.data
+
+    def values(self) -> list[float]:
+        """Return every stored point in sorted order (``O(n)``)."""
+        return list(self._iter_values())
+
+    def __contains__(self, value: float) -> bool:
+        chunk = self._find_chunk(value)
+        if chunk is None:
+            return False
+        i = bisect_left(chunk.data, value)
+        return i < len(chunk.data) and chunk.data[i] == value
+
+    # -- updates ---------------------------------------------------------------------
+
+    def insert(self, value: float) -> None:
+        """Insert one point in ``O(log n)`` amortized time."""
+        if self._head is None:
+            self._build([value])
+            return
+        node = self._treap.first_with_max_ge(value)
+        chunk: _Chunk = node.payload if node is not None else self._tail
+        insort(chunk.data, value)
+        self._treap.refresh(chunk.node)
+        self._n += 1
+        if len(chunk.data) > self._cap:
+            self._split(chunk)
+        self._maybe_rebuild()
+
+    def delete(self, value: float) -> None:
+        """Delete one occurrence of ``value`` in ``O(log n)`` amortized time."""
+        chunk = self._find_chunk(value)
+        if chunk is not None:
+            i = bisect_left(chunk.data, value)
+            if i >= len(chunk.data) or chunk.data[i] != value:
+                chunk = None
+        if chunk is None:
+            raise KeyNotFoundError(f"value not present: {value!r}")
+        chunk.data.pop(i)
+        self._n -= 1
+        if not chunk.data:
+            self._remove_chunk(chunk)
+            return
+        self._treap.refresh(chunk.node)
+        if len(chunk.data) < self._s and (chunk.prev or chunk.next):
+            self._merge(chunk)
+        self._maybe_rebuild()
+
+    def _find_chunk(self, value: float) -> _Chunk | None:
+        """Return the unique chunk that could contain ``value``.
+
+        The first chunk (in order) whose max is ``>= value`` either contains
+        ``value`` or ``value`` is absent: every earlier chunk tops out below
+        ``value`` and every later chunk starts above it.
+        """
+        node = self._treap.first_with_max_ge(value)
+        return node.payload if node is not None else None
+
+    def _split(self, chunk: _Chunk) -> None:
+        half = len(chunk.data) // 2
+        right = _Chunk(chunk.data[half:])
+        chunk.data = chunk.data[:half]
+        right.node = self._treap.insert_after(chunk.node, right)
+        self._treap.refresh(chunk.node)
+        self._pma.insert_after(chunk.pma_index, right)
+        right.next = chunk.next
+        right.prev = chunk
+        if chunk.next is not None:
+            chunk.next.prev = right
+        else:
+            self._tail = right
+        chunk.next = right
+
+    def _remove_chunk(self, chunk: _Chunk) -> None:
+        self._treap.delete(chunk.node)
+        self._pma.delete(chunk.pma_index)
+        if chunk.prev is not None:
+            chunk.prev.next = chunk.next
+        else:
+            self._head = chunk.next
+        if chunk.next is not None:
+            chunk.next.prev = chunk.prev
+        else:
+            self._tail = chunk.prev
+        chunk.node = None
+
+    def _merge(self, chunk: _Chunk) -> None:
+        """Fold an under-full chunk into a neighbor, re-splitting if needed."""
+        neighbor = chunk.next if chunk.next is not None else chunk.prev
+        left, right = (chunk, chunk.next) if neighbor is chunk.next else (chunk.prev, chunk)
+        # Adjacent chunks are consecutive in sorted order, so concatenation
+        # preserves sortedness — no merge pass needed.
+        left.data = left.data + right.data
+        self._remove_chunk(right)
+        self._treap.refresh(left.node)
+        if len(left.data) > self._cap:
+            self._split(left)
+
+    # -- queries ------------------------------------------------------------------------
+
+    def count(self, lo: float, hi: float) -> int:
+        validate_query(lo, hi, 0)
+        plan = self._plan(lo, hi)
+        return plan[0] if plan is not None else 0
+
+    def report(self, lo: float, hi: float) -> list[float]:
+        validate_query(lo, hi, 0)
+        out: list[float] = []
+        chunk = self._find_chunk(lo)
+        while chunk is not None and chunk.data[0] <= hi:
+            data = chunk.data
+            a = bisect_left(data, lo) if data[0] < lo else 0
+            b = bisect_right(data, hi) if data[-1] > hi else len(data)
+            out.extend(data[a:b])
+            chunk = chunk.next
+        return out
+
+    def _plan(self, lo: float, hi: float):
+        """Resolve a range into ``(K, parts)`` — see :meth:`sample`.
+
+        Returns ``None`` for an empty range.  ``parts`` is a tuple
+        ``(left_chunk, left_offset, k_left, mid_first, mid_last, k_mid,
+        right_chunk, k_right)`` with the convention that the single-chunk
+        case is encoded entirely in the "left" fields.
+        """
+        treap = self._treap
+        anode = treap.first_with_max_ge(lo)
+        bnode = treap.last_with_min_le(hi)
+        if anode is None or bnode is None:
+            return None
+        a: _Chunk = anode.payload
+        b: _Chunk = bnode.payload
+        if a is b:
+            la = bisect_left(a.data, lo)
+            ra = bisect_right(a.data, hi)
+            if ra <= la:
+                return None
+            return ra - la, (a, la, ra - la, None, None, 0, None, 0)
+        rank_a = treap.rank(anode)
+        rank_b = treap.rank(bnode)
+        if rank_a > rank_b:
+            return None
+        la = bisect_left(a.data, lo)
+        k_left = len(a.data) - la
+        k_right = bisect_right(b.data, hi)
+        k_mid = (
+            treap.prefix_points(rank_b) - treap.prefix_points(rank_a + 1)
+            if rank_b - rank_a > 1
+            else 0
+        )
+        total = k_left + k_mid + k_right
+        if total == 0:
+            return None
+        return total, (a, la, k_left, a.next, b.prev, k_mid, b, k_right)
+
+    def sample(self, lo: float, hi: float, t: int) -> list[float]:
+        """Return ``t`` independent uniform samples from ``P ∩ [lo, hi]``."""
+        validate_query(lo, hi, t)
+        plan = self._plan(lo, hi)
+        if self._require_nonempty(0 if plan is None else plan[0], t):
+            return []
+        total, (a, la, k_left, mid_first, mid_last, k_mid, b, k_right) = plan
+        stats = self.stats
+        stats.queries += 1
+        stats.samples_returned += t
+        randbelow = self._rng.randbelow_fn(t)
+        out: list[float] = []
+        append = out.append
+        middle: _MiddlePlan | None = None
+        left_data = a.data
+        right_data = b.data if b is not None else None
+        k_lm = k_left + k_mid
+        for _ in range(t):
+            r = randbelow(total)
+            if r < k_left:
+                append(left_data[la + r])
+            elif r < k_lm:
+                if middle is None:
+                    middle = self._middle_plan(mid_first, mid_last, t)
+                if middle.mode == "cumulative":
+                    append(middle.sample_rank(r - k_left))
+                else:
+                    append(middle.sample_draw(randbelow, stats))
+            else:
+                append(right_data[r - k_lm])
+        return out
+
+    def _middle_plan(self, first: _Chunk, last: _Chunk, t: int) -> _MiddlePlan:
+        """Build the query-local sampler over the middle chunks.
+
+        Gathering the chunks behind a prefix-sum table costs ``O(m)`` once
+        and makes every middle sample a single C-level bisect, so it is used
+        whenever ``m`` fits the query's ``O(log n + t)`` budget — i.e. when
+        the window is narrower than a few PMA leaf segments (where the PMA
+        density bound would not bite anyway) or when ``m <= t`` (the gather
+        is amortized by the samples themselves).  Wider middles fall back to
+        ``O(1)``-expected rejection over the PMA cell window.
+        """
+        plan = _MiddlePlan()
+        window_lo = first.pma_index
+        window_hi = last.pma_index
+        narrow = 3 * (2 * self._pma.segment_size + 2)
+        if window_hi - window_lo + 1 <= max(narrow, 2 * t):
+            chunks: list[_Chunk] = []
+            chunk = first
+            while True:
+                chunks.append(chunk)
+                if chunk is last:
+                    break
+                chunk = chunk.next
+            plan.mode = "cumulative"
+            plan.chunks = chunks
+            cum: list[int] = []
+            acc = 0
+            for c in chunks:
+                acc += len(c.data)
+                cum.append(acc)
+            plan.cum = cum
+            return plan
+        plan.mode = "pma"
+        plan.window_lo = window_lo
+        plan.window_hi = window_hi
+        plan.cap = self._cap
+        plan.pma = self._pma
+        return plan
+
+    def select_in_range(self, lo: float, hi: float, ranks: list[int]) -> list[float]:
+        """Return the values at the given in-range ranks (0 = smallest).
+
+        ``ranks`` need not be sorted or distinct.  Cost is ``O(log n + t +
+        c)`` where ``c`` is the number of chunks the requested ranks touch —
+        one ordered walk resolves all of them.  This is the primitive behind
+        exact without-replacement sampling on the dynamic structure: ranks
+        identify points uniquely even when values repeat.
+        """
+        validate_query(lo, hi, 0)
+        plan = self._plan(lo, hi)
+        total = plan[0] if plan is not None else 0
+        out: list[float | None] = [None] * len(ranks)
+        order = sorted(range(len(ranks)), key=ranks.__getitem__)
+        for i in order:
+            if not 0 <= ranks[i] < total:
+                raise InvalidQueryError(
+                    f"rank {ranks[i]} outside [0, {total}) for this range"
+                )
+        if not ranks:
+            return []
+        _, (a, la, k_left, mid_first, _mid_last, k_mid, b, k_right) = plan
+        cursor = 0
+        chunk = a
+        chunk_start = 0  # in-range rank of the chunk's first in-range point
+        chunk_offset = la
+        chunk_len = k_left
+        for i in order:
+            rank = ranks[i]
+            while rank >= chunk_start + chunk_len:
+                chunk_start += chunk_len
+                chunk = chunk.next
+                if chunk is b:
+                    chunk_offset, chunk_len = 0, k_right
+                else:
+                    chunk_offset, chunk_len = 0, len(chunk.data)
+            out[i] = chunk.data[chunk_offset + (rank - chunk_start)]
+        return out  # type: ignore[return-value]
+
+    def kth_in_range(self, lo: float, hi: float, k: int) -> float:
+        """Return the ``k``-th smallest point of ``P ∩ [lo, hi]`` (0-based)."""
+        return self.select_in_range(lo, hi, [k])[0]
+
+    def sample_without_replacement(self, lo: float, hi: float, t: int) -> list[float]:
+        """Return a uniform ``t``-subset of ``P ∩ [lo, hi]`` (random order).
+
+        Exact for multisets: Floyd's algorithm draws distinct in-range
+        *ranks*, which :meth:`select_in_range` resolves in one chunk walk.
+        """
+        from .without_replacement import sample_ranks_without_replacement
+
+        validate_query(lo, hi, t)
+        total = self.count(lo, hi)
+        if self._require_nonempty(total, t):
+            return []
+        ranks = sample_ranks_without_replacement(self._rng, 0, total, t)
+        return self.select_in_range(lo, hi, ranks)
+
+    # -- validation (used by tests) -----------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert every structural invariant; ``O(n)``, tests only."""
+        assert (self._head is None) == (self._n == 0)
+        seen = 0
+        prev_chunk: _Chunk | None = None
+        prev_value = float("-inf")
+        order: list[_Chunk] = []
+        for chunk in self._iter_chunks():
+            order.append(chunk)
+            assert chunk.prev is prev_chunk, "linked list broken"
+            assert chunk.data, "empty chunk"
+            assert chunk.data == sorted(chunk.data), "chunk not sorted"
+            assert chunk.data[0] >= prev_value, "chunks out of order"
+            if self._n > self._cap:
+                assert self._s <= len(chunk.data) <= self._cap, (
+                    f"chunk size {len(chunk.data)} outside [{self._s}, {self._cap}]"
+                )
+            assert self._pma.get(chunk.pma_index) is chunk, "pma index stale"
+            assert chunk.node.payload is chunk, "treap handle stale"
+            prev_value = chunk.data[-1]
+            prev_chunk = chunk
+            seen += len(chunk.data)
+        assert seen == self._n, f"size mismatch: {seen} != {self._n}"
+        assert self._pma.items_in_order() == order, "pma order mismatch"
+        assert len(self._treap) == len(order), "treap size mismatch"
+        assert self._treap.total_points == self._n, "treap points mismatch"
+        self._treap.check_invariants()
+        self._pma.check_invariants()

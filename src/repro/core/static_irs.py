@@ -1,0 +1,117 @@
+"""Static internal-memory IRS — result R1 of the paper.
+
+A sorted array plus two binary searches turns a range-sampling query into
+uniform integer generation over a rank interval:
+
+* space ``O(n)``;
+* query ``O(log n + t)`` **worst case** — `O(log n)` for the two rank
+  searches, then exactly one uniform integer per sample;
+* exact uniformity and full independence (every draw is fresh randomness).
+
+The paper treats this as the warm-up solution; here it doubles as the
+ground-truth yardstick that every other structure is tested against.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Sequence
+
+from ..errors import InvalidQueryError
+from ..rng import RandomSource
+from .base import RangeSampler, validate_query
+
+try:  # NumPy is optional at runtime; bulk sampling uses it when present.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is installed in CI
+    _np = None
+
+__all__ = ["StaticIRS"]
+
+
+class StaticIRS(RangeSampler):
+    """Static uniform independent range sampling over a fixed point set.
+
+    Parameters
+    ----------
+    values:
+        The point set (any iterable of floats; duplicates allowed).
+    seed:
+        Seed for the sampler's private random stream.
+    """
+
+    def __init__(self, values: Iterable[float], seed: int | None = None) -> None:
+        self._data: list[float] = sorted(values)
+        self._rng = RandomSource(seed)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def values(self) -> Sequence[float]:
+        """The stored points in sorted order (read-only view by convention)."""
+        return self._data
+
+    def rank_range(self, lo: float, hi: float) -> tuple[int, int]:
+        """Return the half-open rank interval ``[a, b)`` of points in range."""
+        if lo > hi:
+            raise InvalidQueryError(f"invalid interval: {lo!r} > {hi!r}")
+        return bisect_left(self._data, lo), bisect_right(self._data, hi)
+
+    def count(self, lo: float, hi: float) -> int:
+        a, b = self.rank_range(lo, hi)
+        return b - a
+
+    def report(self, lo: float, hi: float) -> list[float]:
+        a, b = self.rank_range(lo, hi)
+        return self._data[a:b]
+
+    # -- sampling ---------------------------------------------------------------
+
+    def sample(self, lo: float, hi: float, t: int) -> list[float]:
+        validate_query(lo, hi, t)
+        a, b = self.rank_range(lo, hi)
+        if self._require_nonempty(b - a, t):
+            return []
+        data = self._data
+        width = b - a
+        randbelow = self._rng.randbelow_fn(t)
+        return [data[a + randbelow(width)] for _ in range(t)]
+
+    def sample_ranks(self, lo: float, hi: float, t: int) -> list[int]:
+        """Like :meth:`sample` but return global ranks instead of values.
+
+        Ranks identify points uniquely even under duplicate values, which the
+        without-replacement wrapper relies on.
+        """
+        validate_query(lo, hi, t)
+        a, b = self.rank_range(lo, hi)
+        if self._require_nonempty(b - a, t):
+            return []
+        width = b - a
+        randrange = self._rng.randrange
+        return [a + randrange(width) for _ in range(t)]
+
+    def sample_bulk(self, lo: float, hi: float, t: int):
+        """Vectorized :meth:`sample` returning a NumPy array.
+
+        Used by the examples that consume hundreds of thousands of samples
+        (online aggregation); semantics are identical to :meth:`sample` but
+        the randomness comes from a NumPy generator seeded off the
+        structure's stream, so draw counting is not updated per element.
+        """
+        if _np is None:  # pragma: no cover
+            return self.sample(lo, hi, t)
+        validate_query(lo, hi, t)
+        a, b = self.rank_range(lo, hi)
+        if self._require_nonempty(b - a, t):
+            return _np.empty(0, dtype=float)
+        gen = _np.random.default_rng(self._rng._rng.getrandbits(64))
+        ranks = gen.integers(a, b, size=t)
+        return _np.asarray(self._data, dtype=float)[ranks]
+
+    def value_at_rank(self, rank: int) -> float:
+        """Return the point with the given global rank (0-based)."""
+        return self._data[rank]

@@ -1,0 +1,391 @@
+"""Weighted *dynamic* IRS — extension X2 (beyond the paper).
+
+The PODS'14 paper leaves the dynamic weighted problem open; the follow-up
+line of work (Afshani–Wei and later) treats it as the natural next step.
+This structure fills that slot with the best bound simple machinery gives:
+
+* space ``O(n)``;
+* update ``O(log n)`` amortized (same chunk mechanics as
+  :class:`~repro.core.dynamic_irs.DynamicIRS`);
+* query ``O((log n)·t)`` **worst case** — each sample draws a target mass
+  and resolves it with one weighted treap descent plus one in-chunk bisect.
+  Exact proportional probabilities, no rejection, and full independence.
+
+Why not ``O(log n + t)``?  With arbitrary real weights the rejection trick
+that powers the unweighted structure loses its constant acceptance bound (a
+chunk's weight can exceed its neighbors' by any factor), and alias tables
+cannot be maintained under updates without the Hagerup–Mehlhorn–Munro
+machinery per canonical range.  ``O(log n)`` per sample matches what the
+2014-era state of the art achieved dynamically and is the honest comparison
+point; experiment T2's dynamic column tracks it.
+
+Design.  Points live in sorted chunks of ``Θ(log n)`` values with parallel
+weight arrays and a per-chunk cumulative weight table (rebuilt on chunk
+mutation, ``O(log n)`` — within the update budget).  The chunk treap
+aggregates subtree weight, so a query:
+
+1. resolves boundary runs and their weights from the cumulative tables;
+2. draws ``u`` uniform in ``[0, w(range))``;
+3. routes ``u`` to the left run, the middle (one
+   :meth:`~repro.trees.treap.ChunkTreap.select_by_prefix_weight` descent),
+   or the right run, then bisects the chunk's cumulative table.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right, insort
+from itertools import accumulate
+from typing import Iterable, Iterator
+
+from ..errors import InvalidWeightError, KeyNotFoundError
+from ..rng import RandomSource
+from ..trees.treap import ChunkTreap, TreapNode
+from ..types import QueryStats
+from .base import validate_query
+
+__all__ = ["WeightedDynamicIRS"]
+
+_MIN_CHUNK = 8
+
+
+class _WChunk:
+    """A sorted run of (value, weight) points plus directory handles."""
+
+    __slots__ = ("values", "weights", "cum", "node", "prev", "next")
+
+    def __init__(self, values: list[float], weights: list[float]) -> None:
+        self.values = values
+        self.weights = weights
+        self.cum: list[float] = []
+        self.node: TreapNode | None = None
+        self.prev: _WChunk | None = None
+        self.next: _WChunk | None = None
+        self.rebuild_cum()
+
+    def rebuild_cum(self) -> None:
+        """Recompute the cumulative weight table after any mutation."""
+        self.cum = list(accumulate(self.weights))
+
+    # Payload protocol for the treap aggregates.
+    @property
+    def size(self) -> int:
+        return len(self.values)
+
+    @property
+    def weight(self) -> float:
+        return self.cum[-1] if self.cum else 0.0
+
+    @property
+    def min_value(self) -> float:
+        return self.values[0]
+
+    @property
+    def max_value(self) -> float:
+        return self.values[-1]
+
+    def prefix(self, count: int) -> float:
+        """Weight of the first ``count`` points."""
+        return self.cum[count - 1] if count > 0 else 0.0
+
+    def locate(self, target: float) -> int:
+        """Index of the point owning cumulative mass position ``target``."""
+        i = bisect_right(self.cum, target)
+        return min(i, len(self.values) - 1)
+
+
+class WeightedDynamicIRS:
+    """Dynamic weighted independent range sampling (multiset of floats).
+
+    Points are inserted with positive finite weights; ``sample`` draws each
+    result with probability exactly proportional to weight within the query
+    range, independently of everything drawn before.
+    """
+
+    def __init__(
+        self,
+        values: Iterable[float] = (),
+        weights: Iterable[float] | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self._rng = RandomSource(seed)
+        self.stats = QueryStats()
+        values = list(values)
+        if weights is None:
+            weights = [1.0] * len(values)
+        pairs = sorted(zip(values, list(weights), strict=True), key=lambda p: p[0])
+        for _v, w in pairs:
+            self._check_weight(w)
+        self._build(pairs)
+
+    @staticmethod
+    def _check_weight(weight: float) -> None:
+        if not math.isfinite(weight) or weight <= 0.0:
+            raise InvalidWeightError(f"weight must be positive finite: {weight!r}")
+
+    # -- construction / rebuild ----------------------------------------------
+
+    def _build(self, pairs: list[tuple[float, float]]) -> None:
+        self._n = len(pairs)
+        self._n0 = max(self._n, 1)
+        self._s = max(_MIN_CHUNK, int(math.log2(self._n0 + 2)))
+        self._cap = 2 * self._s
+        self._treap = ChunkTreap(self._rng.spawn())
+        self._head: _WChunk | None = None
+        self._tail: _WChunk | None = None
+        if not pairs:
+            return
+        s = self._s
+        pieces = [pairs[i : i + s] for i in range(0, len(pairs), s)]
+        if len(pieces) > 1 and len(pieces[-1]) < s:
+            tail = pieces.pop()
+            pieces[-1] = pieces[-1] + tail
+            if len(pieces[-1]) > self._cap:
+                merged = pieces.pop()
+                half = len(merged) // 2
+                pieces.extend((merged[:half], merged[half:]))
+        prev: _WChunk | None = None
+        for piece in pieces:
+            chunk = _WChunk([p[0] for p in piece], [p[1] for p in piece])
+            if prev is None:
+                chunk.node = self._treap.insert_first(chunk)
+                self._head = chunk
+            else:
+                chunk.node = self._treap.insert_after(prev.node, chunk)
+                prev.next = chunk
+                chunk.prev = prev
+            prev = chunk
+        self._tail = prev
+
+    def _maybe_rebuild(self) -> None:
+        if self._n > 2 * self._n0 or (self._n0 > _MIN_CHUNK and 2 * self._n < self._n0):
+            self._build(list(self._iter_pairs()))
+
+    # -- accessors --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _iter_chunks(self) -> Iterator[_WChunk]:
+        chunk = self._head
+        while chunk is not None:
+            yield chunk
+            chunk = chunk.next
+
+    def _iter_pairs(self) -> Iterator[tuple[float, float]]:
+        for chunk in self._iter_chunks():
+            yield from zip(chunk.values, chunk.weights)
+
+    def items(self) -> list[tuple[float, float]]:
+        """Return all ``(value, weight)`` pairs in sorted value order."""
+        return list(self._iter_pairs())
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all stored weights."""
+        return self._treap.total_weight
+
+    # -- updates -----------------------------------------------------------------
+
+    def insert(self, value: float, weight: float = 1.0) -> None:
+        """Insert one weighted point in ``O(log n)`` amortized time."""
+        self._check_weight(weight)
+        if self._head is None:
+            self._build([(value, weight)])
+            return
+        node = self._treap.first_with_max_ge(value)
+        chunk: _WChunk = node.payload if node is not None else self._tail
+        i = bisect_left(chunk.values, value)
+        chunk.values.insert(i, value)
+        chunk.weights.insert(i, weight)
+        chunk.rebuild_cum()
+        self._treap.refresh(chunk.node)
+        self._n += 1
+        if len(chunk.values) > self._cap:
+            self._split(chunk)
+        self._maybe_rebuild()
+
+    def delete(self, value: float) -> float:
+        """Delete one occurrence of ``value``; returns its weight."""
+        node = self._treap.first_with_max_ge(value)
+        chunk: _WChunk | None = node.payload if node is not None else None
+        i = -1
+        if chunk is not None:
+            i = bisect_left(chunk.values, value)
+            if i >= len(chunk.values) or chunk.values[i] != value:
+                chunk = None
+        if chunk is None:
+            raise KeyNotFoundError(f"value not present: {value!r}")
+        chunk.values.pop(i)
+        weight = chunk.weights.pop(i)
+        self._n -= 1
+        if not chunk.values:
+            self._remove_chunk(chunk)
+            return weight
+        chunk.rebuild_cum()
+        self._treap.refresh(chunk.node)
+        if len(chunk.values) < self._s and (chunk.prev or chunk.next):
+            self._merge(chunk)
+        self._maybe_rebuild()
+        return weight
+
+    def _split(self, chunk: _WChunk) -> None:
+        half = len(chunk.values) // 2
+        right = _WChunk(chunk.values[half:], chunk.weights[half:])
+        chunk.values = chunk.values[:half]
+        chunk.weights = chunk.weights[:half]
+        chunk.rebuild_cum()
+        right.node = self._treap.insert_after(chunk.node, right)
+        self._treap.refresh(chunk.node)
+        right.next = chunk.next
+        right.prev = chunk
+        if chunk.next is not None:
+            chunk.next.prev = right
+        else:
+            self._tail = right
+        chunk.next = right
+
+    def _remove_chunk(self, chunk: _WChunk) -> None:
+        self._treap.delete(chunk.node)
+        if chunk.prev is not None:
+            chunk.prev.next = chunk.next
+        else:
+            self._head = chunk.next
+        if chunk.next is not None:
+            chunk.next.prev = chunk.prev
+        else:
+            self._tail = chunk.prev
+        chunk.node = None
+
+    def _merge(self, chunk: _WChunk) -> None:
+        neighbor = chunk.next if chunk.next is not None else chunk.prev
+        left, right = (
+            (chunk, chunk.next) if neighbor is chunk.next else (chunk.prev, chunk)
+        )
+        left.values = left.values + right.values
+        left.weights = left.weights + right.weights
+        left.rebuild_cum()
+        self._remove_chunk(right)
+        self._treap.refresh(left.node)
+        if len(left.values) > self._cap:
+            self._split(left)
+
+    # -- queries ---------------------------------------------------------------------
+
+    def _plan(self, lo: float, hi: float):
+        treap = self._treap
+        anode = treap.first_with_max_ge(lo)
+        bnode = treap.last_with_min_le(hi)
+        if anode is None or bnode is None:
+            return None
+        a: _WChunk = anode.payload
+        b: _WChunk = bnode.payload
+        if a is b:
+            la = bisect_left(a.values, lo)
+            ra = bisect_right(a.values, hi)
+            if ra <= la:
+                return None
+            w = a.prefix(ra) - a.prefix(la)
+            return ra - la, w, (a, la, ra, w, 0.0, None, None, 0, 0.0)
+        if treap.rank(anode) > treap.rank(bnode):
+            return None
+        la = bisect_left(a.values, lo)
+        rb = bisect_right(b.values, hi)
+        w_left = a.weight - a.prefix(la)
+        w_right = b.prefix(rb)
+        k_left = len(a.values) - la
+        k_mid = treap.points_between(anode, bnode)
+        w_mid = treap.weight_between(anode, bnode) if k_mid else 0.0
+        count = k_left + k_mid + rb
+        weight = w_left + w_mid + w_right
+        return count, weight, (a, la, len(a.values), w_left, w_mid, anode, bnode, rb, w_right)
+
+    def count(self, lo: float, hi: float) -> int:
+        """Return ``|P ∩ [lo, hi]|``."""
+        validate_query(lo, hi, 0)
+        plan = self._plan(lo, hi)
+        return plan[0] if plan is not None else 0
+
+    def range_weight(self, lo: float, hi: float) -> float:
+        """Return ``w(P ∩ [lo, hi])``."""
+        validate_query(lo, hi, 0)
+        plan = self._plan(lo, hi)
+        return plan[1] if plan is not None else 0.0
+
+    def report(self, lo: float, hi: float) -> list[tuple[float, float]]:
+        """Return the in-range ``(value, weight)`` pairs in sorted order."""
+        validate_query(lo, hi, 0)
+        out: list[tuple[float, float]] = []
+        node = self._treap.first_with_max_ge(lo)
+        chunk = node.payload if node is not None else None
+        while chunk is not None and chunk.values[0] <= hi:
+            a = bisect_left(chunk.values, lo)
+            b = bisect_right(chunk.values, hi)
+            out.extend(zip(chunk.values[a:b], chunk.weights[a:b]))
+            chunk = chunk.next
+        return out
+
+    def sample(self, lo: float, hi: float, t: int) -> list[float]:
+        """Return ``t`` independent weight-proportional samples."""
+        validate_query(lo, hi, t)
+        if t == 0:
+            return []
+        plan = self._plan(lo, hi)
+        if plan is None or plan[1] <= 0.0:
+            from ..errors import EmptyRangeError
+
+            raise EmptyRangeError("query range is empty or has zero weight")
+        _count, weight, (a, la, ra, w_left, w_mid, anode, bnode, rb, w_right) = plan
+        b: _WChunk = bnode.payload if bnode is not None else a
+        self.stats.queries += 1
+        self.stats.samples_returned += t
+        rng = self._rng
+        treap = self._treap
+        out: list[float] = []
+        base_left = a.prefix(la)
+        mid_base = treap.prefix_weight(treap.rank(anode) + 1) if anode is not None else 0.0
+        while len(out) < t:
+            u = rng.random() * weight
+            if u < w_left:
+                out.append(a.values[a.locate(base_left + u)])
+            elif u < w_left + w_mid:
+                # One weighted descent over the middle chunks; ``mid_base``
+                # is the weight of everything up to and including the first
+                # boundary chunk.  Float round-off at a boundary can park the
+                # descent on a boundary chunk and surface an out-of-range
+                # value — probability ~ulp — in which case we redraw, which
+                # keeps the distribution exact.
+                node, residual = treap.select_by_prefix_weight(mid_base + (u - w_left))
+                chunk: _WChunk = node.payload
+                value = chunk.values[chunk.locate(residual)]
+                if lo <= value <= hi:
+                    out.append(value)
+                else:
+                    self.stats.rejections += 1
+            else:
+                out.append(b.values[b.locate(u - w_left - w_mid)])
+        return out
+
+    # -- validation (tests) ----------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert chunk and directory invariants (``O(n)``, tests only)."""
+        seen = 0
+        total = 0.0
+        prev_value = float("-inf")
+        for chunk in self._iter_chunks():
+            assert chunk.values, "empty chunk"
+            assert chunk.values == sorted(chunk.values)
+            assert chunk.values[0] >= prev_value
+            assert len(chunk.values) == len(chunk.weights) == len(chunk.cum)
+            assert all(w > 0.0 for w in chunk.weights)
+            expect = list(accumulate(chunk.weights))
+            assert all(abs(x - y) < 1e-9 for x, y in zip(expect, chunk.cum))
+            if self._n > self._cap:
+                assert self._s <= len(chunk.values) <= self._cap
+            prev_value = chunk.values[-1]
+            seen += len(chunk.values)
+            total += chunk.weight
+        assert seen == self._n
+        assert abs(total - self.total_weight) <= 1e-6 * max(1.0, total)
+        self._treap.check_invariants()

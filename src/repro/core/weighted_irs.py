@@ -1,0 +1,191 @@
+"""Weighted static IRS — extension X1 (canonical decomposition + alias).
+
+Points carry positive weights; a query returns samples where point ``p`` is
+drawn with probability ``w(p) / w(P ∩ q)`` — exactly, with no rejection, so
+the query bound is **worst case**:
+
+* space ``O(n log n)`` — a segment tree over the sorted order where every
+  canonical node stores a Walker alias table over the weights it covers;
+* query ``O(log n + t)`` — decompose ``[x, y]`` into ``O(log n)`` canonical
+  nodes plus two boundary runs, build a query-local alias table over their
+  total weights, then two ``O(1)`` alias draws per sample.
+
+To keep the constant on space low, the tree's leaves cover *blocks* of
+``_BLOCK`` consecutive points rather than single points; the up-to-two
+boundary runs that are not block-aligned (at most ``2·_BLOCK`` points) get a
+query-local alias table, which costs ``O(1)`` amortized against the
+``O(log n)`` setup.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right
+from itertools import accumulate
+from typing import Iterable
+
+from ..alias.walker import AliasTable
+from ..errors import EmptyRangeError, InvalidWeightError
+from ..rng import RandomSource
+from .base import RangeSampler, validate_query
+
+__all__ = ["WeightedStaticIRS"]
+
+_BLOCK = 8
+
+
+class WeightedStaticIRS(RangeSampler):
+    """Static weighted independent range sampling.
+
+    Parameters
+    ----------
+    values:
+        Point coordinates (duplicates allowed).
+    weights:
+        Matching nonnegative finite weights; at least one positive weight is
+        required overall, and sampling a sub-range whose total weight is zero
+        raises :class:`~repro.errors.EmptyRangeError`.
+    seed:
+        Seed of the private random stream.
+    """
+
+    def __init__(
+        self,
+        values: Iterable[float],
+        weights: Iterable[float],
+        seed: int | None = None,
+    ) -> None:
+        pairs = sorted(zip(values, weights, strict=True), key=lambda p: p[0])
+        self._values = [p[0] for p in pairs]
+        self._weights = [p[1] for p in pairs]
+        for w in self._weights:
+            if not math.isfinite(w) or w < 0.0:
+                raise InvalidWeightError(f"invalid weight: {w!r}")
+        self._rng = RandomSource(seed)
+        self._prefix = [0.0, *accumulate(self._weights)]
+        n = len(self._values)
+        # Number of leaf blocks, padded to a power of two for heap indexing.
+        blocks = max(1, -(-n // _BLOCK))
+        size = 1
+        while size < blocks:
+            size *= 2
+        self._tree_size = size
+        self._node_alias: list[AliasTable | None] = [None] * (2 * size)
+        self._node_total = [0.0] * (2 * size)
+        self._node_start = [0] * (2 * size)
+        self._node_end = [0] * (2 * size)
+        for node in range(2 * size - 1, 0, -1):
+            if node >= size:
+                start = (node - size) * _BLOCK
+                end = min(start + _BLOCK, n)
+            else:
+                start = self._node_start[2 * node]
+                end = self._node_end[2 * node + 1]
+            start = min(start, n)
+            end = max(start, min(end, n))
+            self._node_start[node] = start
+            self._node_end[node] = end
+            if start < end:
+                # Direct summation, not prefix differences: a prefix diff can
+                # round to exactly 0.0 for a positive-weight range when a
+                # huge weight absorbs a tiny one, and "total == 0" is a
+                # semantic decision (EmptyRangeError), not a tolerance.
+                total = math.fsum(self._weights[start:end])
+                self._node_total[node] = total
+                if total > 0.0:
+                    self._node_alias[node] = AliasTable(self._weights[start:end])
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def rank_range(self, lo: float, hi: float) -> tuple[int, int]:
+        """Return the half-open rank interval of points in ``[lo, hi]``."""
+        validate_query(lo, hi, 0)
+        return bisect_left(self._values, lo), bisect_right(self._values, hi)
+
+    def count(self, lo: float, hi: float) -> int:
+        a, b = self.rank_range(lo, hi)
+        return b - a
+
+    def report(self, lo: float, hi: float) -> list[float]:
+        a, b = self.rank_range(lo, hi)
+        return self._values[a:b]
+
+    def total_weight(self, lo: float, hi: float) -> float:
+        """Return ``w(P ∩ [lo, hi])`` (prefix-sum difference)."""
+        a, b = self.rank_range(lo, hi)
+        return self._prefix[b] - self._prefix[a]
+
+    def weight_at_rank(self, rank: int) -> float:
+        """Return the weight of the point with the given global rank."""
+        return self._weights[rank]
+
+    # -- sampling ------------------------------------------------------------------
+
+    def _decompose(self, a: int, b: int):
+        """Split rank range ``[a, b)`` into parts.
+
+        Each part is ``(total_weight, alias_table, global_offset)``; parts
+        with zero weight are dropped.  At most two parts are query-local
+        boundary runs of fewer than ``2·_BLOCK`` points; the rest are
+        precomputed canonical nodes.
+        """
+        parts: list[tuple[float, AliasTable, int]] = []
+
+        def add_run(p: int, q: int) -> None:
+            if p >= q:
+                return
+            total = math.fsum(self._weights[p:q])  # see build note on fsum
+            if total > 0.0:
+                parts.append((total, AliasTable(self._weights[p:q]), p))
+
+        bl = -(-a // _BLOCK)  # first fully covered block
+        br = b // _BLOCK  # one past the last fully covered block
+        if bl >= br:
+            add_run(a, b)
+            return parts
+        add_run(a, bl * _BLOCK)
+        add_run(br * _BLOCK, b)
+        l = bl + self._tree_size
+        r = br + self._tree_size
+        while l < r:
+            if l & 1:
+                if self._node_total[l] > 0.0:
+                    parts.append(
+                        (self._node_total[l], self._node_alias[l], self._node_start[l])
+                    )
+                l += 1
+            if r & 1:
+                r -= 1
+                if self._node_total[r] > 0.0:
+                    parts.append(
+                        (self._node_total[r], self._node_alias[r], self._node_start[r])
+                    )
+            l >>= 1
+            r >>= 1
+        return parts
+
+    def sample_ranks(self, lo: float, hi: float, t: int) -> list[int]:
+        """Return ``t`` independent weighted samples as global ranks."""
+        validate_query(lo, hi, t)
+        if t == 0:
+            return []
+        a, b = self.rank_range(lo, hi)
+        if b <= a:
+            raise EmptyRangeError("no points inside the query range")
+        parts = self._decompose(a, b)
+        if not parts:
+            raise EmptyRangeError("query range has zero total weight")
+        top = AliasTable([p[0] for p in parts])
+        rng = self._rng
+        out = []
+        for _ in range(t):
+            _total, alias, offset = parts[top.sample(rng)]
+            out.append(offset + alias.sample(rng))
+        return out
+
+    def sample(self, lo: float, hi: float, t: int) -> list[float]:
+        values = self._values
+        return [values[r] for r in self.sample_ranks(lo, hi, t)]

@@ -1,0 +1,109 @@
+"""Sampling *without replacement* on top of the IRS structures.
+
+The paper's primary queries sample with replacement; the without-replacement
+variant asks for a uniformly random ``t``-subset of ``P ∩ q``.  Two exact
+strategies are provided:
+
+* **rank-based (Floyd)** — for rank-addressable structures
+  (:class:`~repro.core.static_irs.StaticIRS`): Robert Floyd's algorithm draws
+  a uniform ``t``-subset of the rank interval with exactly ``t`` primitive
+  draws and ``O(t)`` expected set operations, then a Fisher–Yates pass
+  randomizes the order.  Duplicated values are handled correctly because
+  ranks, not values, are deduplicated.
+
+* **generic** — for any :class:`~repro.core.base.RangeSampler`:
+  if ``t`` exceeds half the population, report the range and take a partial
+  Fisher–Yates prefix (``O(K)``, but then ``K < 2t``); otherwise draw with
+  replacement and reject repeats, which needs ``O(t)`` expected draws.  The
+  rejection path distinguishes points *by value*, so it requires the range to
+  contain no duplicate values and raises otherwise.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvalidQueryError
+from ..rng import RandomSource
+from .base import RangeSampler
+from .dynamic_irs import DynamicIRS
+from .static_irs import StaticIRS
+
+__all__ = ["sample_ranks_without_replacement", "sample_without_replacement"]
+
+
+def sample_ranks_without_replacement(
+    rng: RandomSource, lo_rank: int, hi_rank: int, t: int
+) -> list[int]:
+    """Return ``t`` distinct uniform ranks from ``[lo_rank, hi_rank)``.
+
+    Floyd's algorithm: iterate ``j`` over the last ``t`` positions of the
+    interval; draw ``r`` uniform in ``[lo_rank, j]``; insert ``r`` unless
+    already chosen, in which case insert ``j``.  Every ``t``-subset comes out
+    with equal probability.  The result order is randomized before returning
+    so positional statistics are exchangeable.
+    """
+    population = hi_rank - lo_rank
+    if t > population:
+        raise InvalidQueryError(
+            f"cannot draw {t} distinct samples from {population} points"
+        )
+    chosen: set[int] = set()
+    out: list[int] = []
+    for j in range(hi_rank - t, hi_rank):
+        r = rng.randint(lo_rank, j)
+        pick = r if r not in chosen else j
+        chosen.add(pick)
+        out.append(pick)
+    rng.shuffle(out)
+    return out
+
+
+def sample_without_replacement(
+    sampler: RangeSampler,
+    lo: float,
+    hi: float,
+    t: int,
+    rng: RandomSource | None = None,
+    assume_distinct: bool = False,
+) -> list[float]:
+    """Return a uniform ``t``-subset of ``P ∩ [lo, hi]`` (random order).
+
+    See the module docstring for strategy selection.  ``rng`` defaults to a
+    fresh seeded source; pass the structure's own source for reproducibility.
+    """
+    if rng is None:
+        rng = RandomSource()
+    if isinstance(sampler, StaticIRS):
+        a, b = sampler.rank_range(lo, hi)
+        ranks = sample_ranks_without_replacement(rng, a, b, t)
+        return [sampler.value_at_rank(r) for r in ranks]
+    if isinstance(sampler, DynamicIRS):
+        total = sampler.count(lo, hi)
+        if t > total:
+            raise InvalidQueryError(
+                f"cannot draw {t} distinct samples from {total} points"
+            )
+        ranks = sample_ranks_without_replacement(rng, 0, total, t)
+        return sampler.select_in_range(lo, hi, ranks)
+    population = sampler.count(lo, hi)
+    if t > population:
+        raise InvalidQueryError(
+            f"cannot draw {t} distinct samples from {population} points"
+        )
+    if t == 0:
+        return []
+    if 2 * t >= population or not assume_distinct:
+        # Partial Fisher–Yates over the reported range: exact for multisets.
+        pool = sampler.report(lo, hi)
+        for i in range(t):
+            j = rng.randint(i, len(pool) - 1)
+            pool[i], pool[j] = pool[j], pool[i]
+        return pool[:t]
+    # Rejection path: expected < 2 draws per kept sample while t <= K/2.
+    seen: set[float] = set()
+    out: list[float] = []
+    while len(out) < t:
+        for value in sampler.sample(lo, hi, t - len(out)):
+            if value not in seen:
+                seen.add(value)
+                out.append(value)
+    return out

@@ -1,0 +1,16 @@
+"""External-memory substrate: a block device that counts I/Os, an LRU
+buffer pool, a packed sorted file, and a bulk-loaded static B-tree.
+
+The external-memory model charges one unit per block transfer and nothing
+for CPU work.  Timing real file I/O from CPython would measure interpreter
+overhead, not the algorithm, so the device *simulates* a disk: blocks are
+Python lists held in a dictionary, and every logical transfer bumps a
+counter.  All EM experiments in this library report these counts.
+"""
+
+from .device import BlockDevice, IOStats
+from .pool import BufferPool
+from .sorted_file import EMSortedFile
+from .btree import EMBTree
+
+__all__ = ["BlockDevice", "IOStats", "BufferPool", "EMSortedFile", "EMBTree"]

@@ -1,0 +1,112 @@
+"""A static, bulk-loaded B-tree over an :class:`EMSortedFile`.
+
+Supports the two rank searches a range-sampling query needs —
+``rank_left(x)`` (number of values ``< x``) and ``rank_right(y)`` (number of
+values ``<= y``) — in ``⌈log_B (n/B)⌉ + 1`` block reads each.
+
+Internal nodes are themselves blocks: a node block stores a list of
+``(separator_key, child)`` pairs where ``separator_key`` is the smallest
+value under the child and ``child`` is either a data-block index (level 1)
+or another node's block id.  Because the file is static and perfectly
+packed, the rank of a data block's first value is just ``index * B``, so
+leaves need no extra storage at all.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+from .pool import BufferPool
+from .sorted_file import EMSortedFile
+
+__all__ = ["EMBTree"]
+
+
+class EMBTree:
+    """Static B-tree index for rank queries on a packed sorted file."""
+
+    def __init__(self, data: EMSortedFile, fanout: int | None = None) -> None:
+        self.data = data
+        self.pool: BufferPool = data.pool
+        device = self.pool.device
+        self.fanout = fanout if fanout is not None else device.block_size
+        if self.fanout < 2:
+            raise ValueError(f"fanout must be >= 2, got {self.fanout}")
+        self.height = 0  # number of internal levels
+        self._root: int | None = None
+        self._build()
+
+    def _build(self) -> None:
+        device = self.pool.device
+        size = self.data.block_size
+        # Level-1 entries: (first key of data block i, i).
+        entries: list[tuple[float, int]] = []
+        for i, bid in enumerate(self.data.block_ids):
+            block = self.pool.get(bid)
+            entries.append((block[0], i))
+        if not entries:
+            return
+        while len(entries) > 1:
+            self.height += 1
+            parents: list[tuple[float, int]] = []
+            for start in range(0, len(entries), self.fanout):
+                group = entries[start : start + self.fanout]
+                bid = device.allocate()
+                # A node block stores two parallel lists packed as one item
+                # pair, so it occupies a single block regardless of fanout
+                # (fanout is chosen <= block_size).
+                device.write(bid, [[key for key, _ in group], [c for _, c in group]])
+                parents.append((group[0][0], bid))
+            entries = parents
+        if self.height == 0:
+            # A single data block: no internal nodes needed.
+            self._root = None
+        else:
+            self._root = entries[0][1]
+
+    @property
+    def index_blocks(self) -> int:
+        """Number of blocks used by internal nodes."""
+        count = 0
+        level = len(self.data.block_ids)
+        while level > 1:
+            level = -(-level // self.fanout)
+            count += level
+        return count
+
+    # -- searches ---------------------------------------------------------------
+
+    def _descend(self, key: float, left: bool) -> int:
+        """Return the global rank of ``key`` (left/right bisect semantics)."""
+        n = self.data.n
+        if n == 0:
+            return 0
+        bisect = bisect_left if left else bisect_right
+        if self._root is None:
+            block = self.data.block_of(0)
+            return bisect(block, key)
+        bid = self._root
+        for _ in range(self.height):
+            keys, children = self.pool.get(bid)
+            # Child i covers keys >= keys[i]; pick the last child whose
+            # separator is <= key (< for right-bisect ties going right).
+            idx = bisect(keys, key) - 1
+            if idx < 0:
+                idx = 0
+            bid = children[idx]
+        # ``bid`` is now a data block index.
+        block_rank = bid * self.data.block_size
+        block = self.pool.get(self.data.block_ids[bid])
+        return block_rank + bisect(block, key)
+
+    def rank_left(self, key: float) -> int:
+        """Return ``|{v in file : v < key}|``."""
+        return self._descend(key, left=True)
+
+    def rank_right(self, key: float) -> int:
+        """Return ``|{v in file : v <= key}|``."""
+        return self._descend(key, left=False)
+
+    def rank_range(self, lo: float, hi: float) -> tuple[int, int]:
+        """Return the half-open rank interval of values in ``[lo, hi]``."""
+        return self.rank_left(lo), self.rank_right(hi)

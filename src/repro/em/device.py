@@ -1,0 +1,120 @@
+"""A simulated block device with exact I/O accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CapacityError
+
+__all__ = ["BlockDevice", "IOStats"]
+
+
+@dataclass(slots=True)
+class IOStats:
+    """Cumulative transfer counters for one device.
+
+    ``reads``/``writes`` count block transfers; a transfer whose block id is
+    exactly one past the previously touched id is additionally counted as
+    sequential, which lets experiments report how much of their traffic a
+    spinning disk would stream rather than seek.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    sequential_reads: int = 0
+    sequential_writes: int = 0
+    allocated: int = 0
+    freed: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total block transfers (reads + writes)."""
+        return self.reads + self.writes
+
+    def snapshot(self) -> "IOStats":
+        """Return a copy (for measuring deltas across an operation)."""
+        return IOStats(
+            self.reads,
+            self.writes,
+            self.sequential_reads,
+            self.sequential_writes,
+            self.allocated,
+            self.freed,
+        )
+
+    def delta(self, before: "IOStats") -> "IOStats":
+        """Return ``self - before`` field-wise."""
+        return IOStats(
+            self.reads - before.reads,
+            self.writes - before.writes,
+            self.sequential_reads - before.sequential_reads,
+            self.sequential_writes - before.sequential_writes,
+            self.allocated - before.allocated,
+            self.freed - before.freed,
+        )
+
+
+class BlockDevice:
+    """An in-memory "disk" of fixed-capacity blocks.
+
+    Parameters
+    ----------
+    block_size:
+        Number of *items* per block.  The EM literature's ``B``.  Writers may
+        store fewer items than ``block_size`` but never more.
+    """
+
+    def __init__(self, block_size: int) -> None:
+        if block_size < 2:
+            raise CapacityError(f"block size must be >= 2, got {block_size}")
+        self.block_size = block_size
+        self.stats = IOStats()
+        self._blocks: dict[int, list] = {}
+        self._next_id = 0
+        self._last_read = -2
+        self._last_write = -2
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def allocate(self) -> int:
+        """Reserve a new empty block and return its id (no transfer cost)."""
+        bid = self._next_id
+        self._next_id += 1
+        self._blocks[bid] = []
+        self.stats.allocated += 1
+        return bid
+
+    def free(self, bid: int) -> None:
+        """Release a block (no transfer cost)."""
+        del self._blocks[bid]
+        self.stats.freed += 1
+
+    @property
+    def blocks_in_use(self) -> int:
+        """Number of live blocks — the structure's space in the EM model."""
+        return len(self._blocks)
+
+    # -- transfers ------------------------------------------------------------
+
+    def read(self, bid: int) -> list:
+        """Transfer one block in; returns the stored item list."""
+        block = self._blocks[bid]
+        self.stats.reads += 1
+        if bid == self._last_read + 1:
+            self.stats.sequential_reads += 1
+        self._last_read = bid
+        return list(block)
+
+    def write(self, bid: int, items: list) -> None:
+        """Transfer one block out; ``items`` must fit in the block."""
+        if len(items) > self.block_size:
+            raise CapacityError(
+                f"{len(items)} items exceed block size {self.block_size}"
+            )
+        if bid not in self._blocks:
+            raise KeyError(f"block {bid} was never allocated")
+        self._blocks[bid] = list(items)
+        self.stats.writes += 1
+        if bid == self._last_write + 1:
+            self.stats.sequential_writes += 1
+        self._last_write = bid

@@ -1,0 +1,98 @@
+"""An LRU buffer pool in front of a :class:`~repro.em.device.BlockDevice`.
+
+The pool models internal memory: a block already cached costs nothing to
+touch again, which is what turns "pop B consecutive pre-drawn samples from a
+buffer block" into ``O(1/B)`` amortized I/Os in the external IRS structure.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .device import BlockDevice
+
+__all__ = ["BufferPool"]
+
+
+class BufferPool:
+    """Write-back LRU cache of device blocks.
+
+    Parameters
+    ----------
+    device:
+        Backing block device.
+    capacity:
+        Number of blocks held in memory (``M/B`` in EM terms); must be >= 1.
+    """
+
+    def __init__(self, device: BlockDevice, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"pool capacity must be >= 1, got {capacity}")
+        self.device = device
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._frames: OrderedDict[int, list] = OrderedDict()
+        self._dirty: set[int] = set()
+
+    def get(self, bid: int) -> list:
+        """Return block ``bid``'s items, reading it in on a miss.
+
+        The returned list is the cached frame itself: callers must not mutate
+        it without calling :meth:`mark_dirty`.
+        """
+        frame = self._frames.get(bid)
+        if frame is not None:
+            self.hits += 1
+            self._frames.move_to_end(bid)
+            return frame
+        self.misses += 1
+        frame = self.device.read(bid)
+        self._install(bid, frame)
+        return frame
+
+    def put(self, bid: int, items: list) -> None:
+        """Replace block ``bid``'s contents through the cache (write-back)."""
+        self._install(bid, list(items))
+        self._dirty.add(bid)
+
+    def mark_dirty(self, bid: int) -> None:
+        """Record that the cached frame for ``bid`` was mutated in place."""
+        if bid in self._frames:
+            self._dirty.add(bid)
+
+    def _install(self, bid: int, frame: list) -> None:
+        if bid in self._frames:
+            self._frames[bid] = frame
+            self._frames.move_to_end(bid)
+        else:
+            while len(self._frames) >= self.capacity:
+                old, old_frame = self._frames.popitem(last=False)
+                if old in self._dirty:
+                    self._dirty.discard(old)
+                    self.device.write(old, old_frame)
+            self._frames[bid] = frame
+
+    def invalidate(self, bid: int) -> None:
+        """Drop ``bid`` from the cache without writing it back (freed block)."""
+        self._frames.pop(bid, None)
+        self._dirty.discard(bid)
+
+    def flush(self) -> None:
+        """Write every dirty frame back to the device."""
+        for bid in sorted(self._dirty):
+            self.device.write(bid, self._frames[bid])
+        self._dirty.clear()
+
+    def clear(self, flush: bool = True) -> None:
+        """Empty the pool (optionally flushing dirty frames first)."""
+        if flush:
+            self.flush()
+        self._frames.clear()
+        self._dirty.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses served from memory."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

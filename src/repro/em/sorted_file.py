@@ -1,0 +1,75 @@
+"""A packed sorted file: ``n`` values in ``⌈n/B⌉`` consecutive blocks."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .pool import BufferPool
+
+__all__ = ["EMSortedFile"]
+
+
+class EMSortedFile:
+    """Sorted values stored ``B`` per block behind a buffer pool.
+
+    The file is immutable after construction (the paper's EM structure is
+    static).  Ranks map to blocks arithmetically: rank ``r`` lives in the
+    file's ``r // B``-th block at offset ``r % B``.
+    """
+
+    def __init__(self, pool: BufferPool, sorted_values: Iterable[float]) -> None:
+        self.pool = pool
+        device = pool.device
+        size = device.block_size
+        self.block_ids: list[int] = []
+        self.n = 0
+        batch: list[float] = []
+        previous = float("-inf")
+        for value in sorted_values:
+            if value < previous:
+                raise ValueError("EMSortedFile requires nondecreasing input")
+            previous = value
+            batch.append(value)
+            self.n += 1
+            if len(batch) == size:
+                self._flush_batch(batch)
+                batch = []
+        if batch:
+            self._flush_batch(batch)
+
+    def _flush_batch(self, batch: list[float]) -> None:
+        bid = self.pool.device.allocate()
+        self.pool.device.write(bid, batch)
+        self.block_ids.append(bid)
+
+    @property
+    def block_size(self) -> int:
+        """Items per block (``B``)."""
+        return self.pool.device.block_size
+
+    def __len__(self) -> int:
+        return self.n
+
+    def get(self, rank: int) -> float:
+        """Return the value at a global rank (one block access)."""
+        if not 0 <= rank < self.n:
+            raise IndexError(f"rank out of range: {rank}")
+        size = self.block_size
+        return self.pool.get(self.block_ids[rank // size])[rank % size]
+
+    def block_of(self, rank: int) -> list[float]:
+        """Return the whole block containing ``rank``."""
+        return self.pool.get(self.block_ids[rank // self.block_size])
+
+    def scan(self, lo_rank: int, hi_rank: int) -> Iterator[float]:
+        """Yield values with ranks in ``[lo_rank, hi_rank)`` (sequential)."""
+        lo_rank = max(lo_rank, 0)
+        hi_rank = min(hi_rank, self.n)
+        size = self.block_size
+        rank = lo_rank
+        while rank < hi_rank:
+            block = self.pool.get(self.block_ids[rank // size])
+            offset = rank % size
+            take = min(hi_rank - rank, size - offset)
+            yield from block[offset : offset + take]
+            rank += take

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "EmptyRangeError",
+    "EmptyStructureError",
+    "InvalidQueryError",
+    "InvalidWeightError",
+    "KeyNotFoundError",
+    "CapacityError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class EmptyRangeError(ReproError):
+    """Raised when a sampling query targets a range that contains no points.
+
+    Sampling from an empty population is undefined; callers that prefer an
+    empty result should call ``count`` first or use ``sample_or_empty``
+    helpers where available.
+    """
+
+
+class EmptyStructureError(ReproError):
+    """Raised when an operation requires a non-empty structure."""
+
+
+class InvalidQueryError(ReproError):
+    """Raised for malformed queries (e.g. ``x > y`` or ``t < 0``)."""
+
+
+class InvalidWeightError(ReproError):
+    """Raised for non-finite, negative, or all-zero weight assignments."""
+
+
+class KeyNotFoundError(ReproError, KeyError):
+    """Raised when deleting a point that is not present."""
+
+
+class CapacityError(ReproError):
+    """Raised when a fixed-capacity substrate (e.g. a block) overflows."""

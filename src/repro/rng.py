@@ -1,0 +1,164 @@
+"""Random-source façade used by every sampler in the library.
+
+All structures draw randomness through :class:`RandomSource` instead of the
+global ``random`` module.  This buys three things:
+
+* **reproducibility** — a structure seeded with the same integer replays the
+  same sample stream, which the statistical tests and the benchmark harness
+  rely on;
+* **accounting** — the number of primitive draws is counted, so tests can
+  assert expected-constant rejection rates empirically;
+* **substitutability** — tests can inject a scripted source to force rare
+  code paths (e.g. long rejection streaks) deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, Sequence
+
+__all__ = ["RandomSource", "ScriptedSource", "spawn"]
+
+
+class RandomSource:
+    """A seedable wrapper around :class:`random.Random` that counts draws.
+
+    Parameters
+    ----------
+    seed:
+        Seed forwarded to the underlying Mersenne-Twister generator.  ``None``
+        seeds from the OS, which is fine everywhere except tests.
+    """
+
+    __slots__ = ("_rng", "draws")
+
+    def __init__(self, seed: int | None = None) -> None:
+        self._rng = random.Random(seed)
+        #: Number of primitive draws performed so far (randrange/random each
+        #: count as one draw; bulk helpers count one draw per element).
+        self.draws = 0
+
+    # -- primitive draws ---------------------------------------------------
+
+    def randrange(self, n: int) -> int:
+        """Return a uniform integer in ``[0, n)``; ``n`` must be positive."""
+        self.draws += 1
+        return self._rng.randrange(n)
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Return a uniform integer in the inclusive range ``[lo, hi]``."""
+        self.draws += 1
+        return self._rng.randint(lo, hi)
+
+    def random(self) -> float:
+        """Return a uniform float in ``[0, 1)``."""
+        self.draws += 1
+        return self._rng.random()
+
+    def uniform(self, lo: float, hi: float) -> float:
+        """Return a uniform float in ``[lo, hi]``."""
+        self.draws += 1
+        return self._rng.uniform(lo, hi)
+
+    # -- bulk helpers ------------------------------------------------------
+
+    def randranges(self, n: int, count: int) -> list[int]:
+        """Return ``count`` iid uniform integers in ``[0, n)``."""
+        self.draws += count
+        rr = self._rng.randrange
+        return [rr(n) for _ in range(count)]
+
+    def shuffle(self, items: list) -> None:
+        """Shuffle ``items`` in place (Fisher–Yates)."""
+        self.draws += len(items)
+        self._rng.shuffle(items)
+
+    def choice_index(self, cumulative: Sequence[float]) -> int:
+        """Return an index drawn proportionally to a cumulative weight table.
+
+        ``cumulative`` must be nondecreasing with a positive final entry.
+        Used only on short tables (query-local); long-lived distributions use
+        alias tables instead.
+        """
+        total = cumulative[-1]
+        u = self.random() * total
+        lo, hi = 0, len(cumulative) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] <= u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def randbelow_fn(self, expected_draws: int = 0):
+        """Return a bound ``f(n) -> uniform int in [0, n)`` for hot loops.
+
+        The returned callable is the generator's exact-uniform integer
+        primitive with the wrapper layers peeled off; samplers use it inside
+        per-sample loops where attribute dispatch would dominate.  Draw
+        counting cannot be per-call on this path, so callers pass their
+        ``expected_draws`` up front (the counter is bookkeeping for tests,
+        not a correctness mechanism).
+        """
+        self.draws += expected_draws
+        return self._rng._randbelow
+
+    def spawn(self) -> "RandomSource":
+        """Return a new source seeded from this one (stream splitting)."""
+        return RandomSource(self._rng.getrandbits(64))
+
+
+def spawn(seed: int | None, index: int) -> RandomSource:
+    """Return the ``index``-th derived source of a root seed.
+
+    Deterministic helper for experiments that need several independent
+    streams from a single user-provided seed.
+    """
+    root = random.Random(seed)
+    for _ in range(index):
+        root.getrandbits(64)
+    return RandomSource(root.getrandbits(64))
+
+
+class ScriptedSource(RandomSource):
+    """A :class:`RandomSource` that replays a fixed script of floats.
+
+    ``randrange(n)`` consumes one scripted float ``u`` and returns
+    ``int(u * n)``; ``random()`` returns the float itself.  When the script is
+    exhausted the source falls back to the seeded generator, so tests only
+    need to script the prefix they care about.
+    """
+
+    __slots__ = ("_script",)
+
+    def __init__(self, script: Iterable[float], seed: int = 0) -> None:
+        super().__init__(seed)
+        self._script: Iterator[float] = iter(script)
+
+    def _next(self) -> float | None:
+        return next(self._script, None)
+
+    def randrange(self, n: int) -> int:
+        u = self._next()
+        if u is None:
+            return super().randrange(n)
+        self.draws += 1
+        return min(int(u * n), n - 1)
+
+    def randint(self, lo: int, hi: int) -> int:
+        return lo + self.randrange(hi - lo + 1)
+
+    def random(self) -> float:
+        u = self._next()
+        if u is None:
+            return super().random()
+        self.draws += 1
+        return u
+
+    def uniform(self, lo: float, hi: float) -> float:
+        return lo + (hi - lo) * self.random()
+
+    def randbelow_fn(self, expected_draws: int = 0):
+        """Scripted override: route hot-loop draws through the script."""
+        return self.randrange

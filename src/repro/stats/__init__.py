@@ -1,0 +1,35 @@
+"""Statistical verification toolkit used by tests and experiments F8/F9."""
+
+from .chisquare import chi_square_gof, chi_square_independence, uniformity_test
+from .ks import ks_uniform_test
+from .independence import (
+    repeated_query_test,
+    serial_correlation_test,
+    within_query_test,
+)
+from .estimators import (
+    dkw_epsilon,
+    fraction_estimate,
+    mean_estimate,
+    quantile_bounds,
+    quantile_estimate,
+    required_sample_size,
+    sum_estimate,
+)
+
+__all__ = [
+    "chi_square_gof",
+    "chi_square_independence",
+    "uniformity_test",
+    "ks_uniform_test",
+    "repeated_query_test",
+    "serial_correlation_test",
+    "within_query_test",
+    "mean_estimate",
+    "sum_estimate",
+    "fraction_estimate",
+    "quantile_estimate",
+    "quantile_bounds",
+    "dkw_epsilon",
+    "required_sample_size",
+]

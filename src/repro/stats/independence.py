@@ -1,0 +1,103 @@
+"""Independence tests — the property that gives IRS its name.
+
+Three complementary checks, all returning ``(statistic, p_value)`` where a
+*small* p-value is evidence of dependence:
+
+* :func:`repeated_query_test` — run the same query many times, keep the
+  first sample of each answer, and test the pair (answer of query ``i``,
+  answer of query ``i+1``) for independence.  A sampler that replays cached
+  results (see :class:`~repro.baselines.cheating_cache.CachedSampleBaseline`)
+  produces a wildly dependent table and fails instantly, while honest IRS
+  structures pass.
+
+* :func:`within_query_test` — one query with a large ``t``; consecutive
+  sample pairs must be independent.
+
+* :func:`serial_correlation_test` — lag-1 Pearson correlation of the sample
+  sequence with a normal-approximation p-value; a cheap, sensitive
+  complement to the contingency tests on continuous data.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from .chisquare import chi_square_independence
+
+__all__ = ["repeated_query_test", "within_query_test", "serial_correlation_test"]
+
+
+def _quantile_bins(values: Sequence[float], bins: int) -> list[float]:
+    """Return inner bin edges splitting ``values`` into equal-mass bins.
+
+    Edge semantics: ``value <= edge[i]`` falls in bin ``i``.  Edges are the
+    *last* member of each bin, so a two-valued series still yields two
+    distinct bins.
+    """
+    ordered = sorted(set(values))
+    if len(ordered) <= bins:
+        return ordered[:-1]
+    return [ordered[(i * len(ordered)) // bins - 1] for i in range(1, bins)]
+
+
+def _bin_index(edges: Sequence[float], value: float) -> int:
+    lo, hi = 0, len(edges)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if value > edges[mid]:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _pair_table(series: Sequence[float], bins: int) -> list[list[int]]:
+    edges = _quantile_bins(series, bins)
+    size = len(edges) + 1
+    table = [[0] * size for _ in range(size)]
+    for a, b in zip(series, series[1:]):
+        table[_bin_index(edges, a)][_bin_index(edges, b)] += 1
+    return table
+
+
+def repeated_query_test(
+    run_query: Callable[[], float], repeats: int = 400, bins: int = 4
+) -> tuple[float, float]:
+    """Independence of answers across repetitions of one query.
+
+    ``run_query`` must execute the query and return a single sampled value;
+    it is called ``repeats`` times.  The queried range should contain at
+    least two distinct values — a long constant series from a multi-valued
+    range is itself conclusive evidence of replay and is reported as
+    ``(inf, 0.0)``.
+    """
+    series = [run_query() for _ in range(repeats)]
+    if repeats >= 32 and len(set(series)) == 1:
+        return float("inf"), 0.0
+    return chi_square_independence(_pair_table(series, bins))
+
+
+def within_query_test(
+    samples: Sequence[float], bins: int = 4
+) -> tuple[float, float]:
+    """Independence of consecutive samples inside a single query answer."""
+    return chi_square_independence(_pair_table(samples, bins))
+
+
+def serial_correlation_test(samples: Sequence[float]) -> tuple[float, float]:
+    """Lag-1 autocorrelation with a two-sided normal p-value."""
+    n = len(samples) - 1
+    if n < 8:
+        raise ValueError("need at least 9 samples")
+    mean = sum(samples) / len(samples)
+    var = sum((x - mean) ** 2 for x in samples) / len(samples)
+    if var == 0.0:
+        return 0.0, 1.0
+    cov = sum(
+        (a - mean) * (b - mean) for a, b in zip(samples, samples[1:])
+    ) / n
+    r = cov / var
+    z = r * math.sqrt(n)
+    p = math.erfc(abs(z) / math.sqrt(2.0))
+    return r, p

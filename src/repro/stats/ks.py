@@ -1,0 +1,34 @@
+"""Kolmogorov–Smirnov test against the uniform distribution on an interval."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from scipy.special import kolmogorov as _kolmogorov
+
+__all__ = ["ks_uniform_test"]
+
+
+def ks_uniform_test(
+    samples: Sequence[float], lo: float, hi: float
+) -> tuple[float, float]:
+    """Return ``(D_n, p_value)`` for samples vs Uniform([lo, hi]).
+
+    Uses the asymptotic Kolmogorov distribution for the p-value, which is
+    accurate for the sample sizes the experiments use (thousands).  Suitable
+    for *continuous* workloads only — on discrete/duplicated data use the
+    chi-square tests instead.
+    """
+    n = len(samples)
+    if n == 0:
+        raise ValueError("need at least one sample")
+    if hi <= lo:
+        raise ValueError("degenerate interval")
+    span = hi - lo
+    ordered = sorted(samples)
+    d = 0.0
+    for i, x in enumerate(ordered):
+        cdf = min(1.0, max(0.0, (x - lo) / span))
+        d = max(d, abs(cdf - i / n), abs((i + 1) / n - cdf))
+    return d, float(_kolmogorov(d * math.sqrt(n)))

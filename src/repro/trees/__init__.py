@@ -1,0 +1,8 @@
+"""Ordered-collection substrates: an implicit treap with subtree aggregates
+(the chunk directory of the dynamic IRS structure) and a packed-memory array
+(density-bounded cell storage enabling O(1) random cell probes)."""
+
+from .treap import ChunkTreap, TreapNode
+from .pma import PackedMemoryArray
+
+__all__ = ["ChunkTreap", "TreapNode", "PackedMemoryArray"]

@@ -1,0 +1,31 @@
+"""Dataset generators, query generators and workload runners."""
+
+from .datasets import (
+    uniform_points,
+    gaussian_mixture,
+    zipf_gaps,
+    integer_grid,
+    duplicate_heavy,
+)
+from .queries import (
+    selectivity_interval,
+    selectivity_queries,
+    mixed_selectivity_queries,
+    UpdateStream,
+)
+from .runner import run_query_workload, run_mixed_workload, WorkloadResult
+
+__all__ = [
+    "uniform_points",
+    "gaussian_mixture",
+    "zipf_gaps",
+    "integer_grid",
+    "duplicate_heavy",
+    "selectivity_interval",
+    "selectivity_queries",
+    "mixed_selectivity_queries",
+    "UpdateStream",
+    "run_query_workload",
+    "run_mixed_workload",
+    "WorkloadResult",
+]

@@ -1,0 +1,76 @@
+"""One-dimensional dataset generators.
+
+Each generator returns a plain ``list[float]`` (unsorted, as a loader would
+produce) and is deterministic in its seed.  The shapes cover the regimes a
+1-D index cares about: smooth (uniform), clustered (Gaussian mixture),
+heavy-tailed gaps (Zipf), discrete (grid) and duplicate-heavy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "uniform_points",
+    "gaussian_mixture",
+    "zipf_gaps",
+    "integer_grid",
+    "duplicate_heavy",
+]
+
+
+def uniform_points(
+    n: int, lo: float = 0.0, hi: float = 1.0, seed: int = 0
+) -> list[float]:
+    """``n`` iid uniform points on ``[lo, hi]``."""
+    gen = np.random.default_rng(seed)
+    return (lo + (hi - lo) * gen.random(n)).tolist()
+
+
+def gaussian_mixture(
+    n: int, clusters: int = 8, spread: float = 0.01, seed: int = 0
+) -> list[float]:
+    """``n`` points in ``clusters`` Gaussian bumps on roughly ``[0, 1]``.
+
+    Models the clustered key distributions (e.g. timestamps around events)
+    that defeat quadtree/R-tree style samplers the paper's introduction
+    criticizes — our structures must be oblivious to it.
+    """
+    gen = np.random.default_rng(seed)
+    centers = gen.random(clusters)
+    assignment = gen.integers(0, clusters, size=n)
+    return (centers[assignment] + spread * gen.standard_normal(n)).tolist()
+
+
+def zipf_gaps(n: int, alpha: float = 2.0, seed: int = 0) -> list[float]:
+    """Points whose consecutive gaps are Zipf/Pareto distributed.
+
+    Produces long empty stretches punctuated by dense runs — the adversarial
+    coordinate distribution for structures that partition by value instead
+    of by rank.
+    """
+    gen = np.random.default_rng(seed)
+    gaps = gen.pareto(alpha, size=n) + 1e-9
+    return np.cumsum(gaps).tolist()
+
+
+def integer_grid(n: int, universe: int | None = None, seed: int = 0) -> list[float]:
+    """``n`` integer-valued points drawn from ``[0, universe)`` (ties likely)."""
+    gen = np.random.default_rng(seed)
+    if universe is None:
+        universe = 4 * n
+    return gen.integers(0, universe, size=n).astype(float).tolist()
+
+
+def duplicate_heavy(n: int, distinct: int = 64, seed: int = 0) -> list[float]:
+    """``n`` points over only ``distinct`` values with a skewed histogram.
+
+    Stress case for duplicate handling: multiplicities follow a geometric
+    decay, so a few values own most of the mass.
+    """
+    gen = np.random.default_rng(seed)
+    values = np.sort(gen.random(distinct))
+    weights = 0.5 ** np.arange(distinct)
+    weights /= weights.sum()
+    picks = gen.choice(distinct, size=n, p=weights)
+    return values[picks].tolist()

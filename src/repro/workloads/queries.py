@@ -1,0 +1,135 @@
+"""Query and update-stream generators with controlled selectivity."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Sequence
+
+__all__ = [
+    "selectivity_interval",
+    "selectivity_queries",
+    "mixed_selectivity_queries",
+    "UpdateStream",
+]
+
+
+def _edge(sorted_values: Sequence[float], index: int, side: str) -> float:
+    """A query endpoint that cleanly includes/excludes rank ``index``.
+
+    Midpoints between neighbors avoid accidentally including equal values
+    beyond the intended rank window on continuous data; on duplicated data
+    the window is simply widened to the duplicate run, which is correct
+    behavior for a closed-interval query.
+    """
+    n = len(sorted_values)
+    if side == "lo":
+        if index <= 0:
+            return sorted_values[0] - 1.0
+        return (sorted_values[index - 1] + sorted_values[index]) / 2.0
+    if index >= n - 1:
+        return sorted_values[n - 1] + 1.0
+    return (sorted_values[index] + sorted_values[index + 1]) / 2.0
+
+
+def selectivity_interval(
+    sorted_values: Sequence[float], selectivity: float, rng: random.Random
+) -> tuple[float, float]:
+    """Return an interval containing ``≈ selectivity * n`` points.
+
+    The window's rank position is uniform at random; its width is exact in
+    rank space (up to duplicate runs at the edges).
+    """
+    n = len(sorted_values)
+    if n == 0:
+        raise ValueError("empty dataset")
+    k = max(1, min(n, round(selectivity * n)))
+    start = rng.randrange(n - k + 1)
+    return (
+        _edge(sorted_values, start, "lo"),
+        _edge(sorted_values, start + k - 1, "hi"),
+    )
+
+
+def selectivity_queries(
+    sorted_values: Sequence[float],
+    selectivity: float,
+    count: int,
+    seed: int = 0,
+) -> list[tuple[float, float]]:
+    """``count`` iid intervals of one fixed selectivity."""
+    rng = random.Random(seed)
+    return [
+        selectivity_interval(sorted_values, selectivity, rng) for _ in range(count)
+    ]
+
+
+def mixed_selectivity_queries(
+    sorted_values: Sequence[float],
+    selectivities: Sequence[float],
+    count: int,
+    seed: int = 0,
+) -> list[tuple[float, float]]:
+    """``count`` intervals cycling through a palette of selectivities."""
+    rng = random.Random(seed)
+    return [
+        selectivity_interval(sorted_values, selectivities[i % len(selectivities)], rng)
+        for i in range(count)
+    ]
+
+
+class UpdateStream:
+    """A reproducible stream of insert/delete operations.
+
+    Yields ``("insert", value)`` / ``("delete", value)`` pairs.  Deletions
+    target a uniformly random *currently live* value, which the stream
+    tracks itself so any structure can replay it.  A ``hotspot`` fraction
+    concentrates inserts in a narrow value band, the adversarial update
+    pattern for chunked structures (all splits land in one region).
+    """
+
+    def __init__(
+        self,
+        initial: Sequence[float],
+        insert_fraction: float = 0.5,
+        hotspot: tuple[float, float] | None = None,
+        hotspot_fraction: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= insert_fraction <= 1.0:
+            raise ValueError("insert_fraction must be in [0, 1]")
+        self._live = list(initial)
+        self._insert_fraction = insert_fraction
+        self._hotspot = hotspot
+        self._hotspot_fraction = hotspot_fraction
+        self._rng = random.Random(seed)
+
+    @property
+    def live_count(self) -> int:
+        """Number of values currently live under the stream's bookkeeping."""
+        return len(self._live)
+
+    def _new_value(self) -> float:
+        rng = self._rng
+        if self._hotspot is not None and rng.random() < self._hotspot_fraction:
+            lo, hi = self._hotspot
+            return rng.uniform(lo, hi)
+        return rng.random()
+
+    def __iter__(self) -> Iterator[tuple[str, float]]:
+        return self
+
+    def __next__(self) -> tuple[str, float]:
+        rng = self._rng
+        if self._live and rng.random() >= self._insert_fraction:
+            i = rng.randrange(len(self._live))
+            value = self._live[i]
+            self._live[i] = self._live[-1]
+            self._live.pop()
+            return "delete", value
+        value = self._new_value()
+        self._live.append(value)
+        return "insert", value
+
+    def take(self, count: int) -> list[tuple[str, float]]:
+        """Materialize the next ``count`` operations."""
+        return [next(self) for _ in range(count)]

@@ -1,0 +1,87 @@
+"""Workload runners: apply query/update streams and collect timings."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.base import DynamicRangeSampler, RangeSampler
+
+__all__ = ["WorkloadResult", "run_query_workload", "run_mixed_workload"]
+
+
+@dataclass(slots=True)
+class WorkloadResult:
+    """Aggregate outcome of a workload run."""
+
+    operations: int = 0
+    samples: int = 0
+    elapsed_seconds: float = 0.0
+    per_op_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def mean_op_seconds(self) -> float:
+        """Mean wall-clock seconds per operation."""
+        return self.elapsed_seconds / self.operations if self.operations else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Operations per second."""
+        return self.operations / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+
+def run_query_workload(
+    sampler: RangeSampler,
+    queries: Sequence[tuple[float, float]],
+    t: int,
+    record_latencies: bool = False,
+) -> WorkloadResult:
+    """Run ``sample(lo, hi, t)`` for every query, timing the loop."""
+    result = WorkloadResult()
+    clock = time.perf_counter
+    start_all = clock()
+    for lo, hi in queries:
+        if record_latencies:
+            start = clock()
+        samples = sampler.sample(lo, hi, t)
+        if record_latencies:
+            result.per_op_seconds.append(clock() - start)
+        result.operations += 1
+        result.samples += len(samples)
+    result.elapsed_seconds = clock() - start_all
+    return result
+
+
+def run_mixed_workload(
+    sampler: DynamicRangeSampler,
+    operations: Sequence[tuple[str, float]],
+    queries: Sequence[tuple[float, float]],
+    t: int,
+    query_every: int = 10,
+) -> WorkloadResult:
+    """Interleave updates with sampling queries.
+
+    Applies ``operations`` in order; after every ``query_every`` updates,
+    runs the next query from ``queries`` (cycling).
+    """
+    result = WorkloadResult()
+    clock = time.perf_counter
+    qi = 0
+    start_all = clock()
+    for i, (op, value) in enumerate(operations):
+        if op == "insert":
+            sampler.insert(value)
+        elif op == "delete":
+            sampler.delete(value)
+        else:
+            raise ValueError(f"unknown operation: {op!r}")
+        result.operations += 1
+        if queries and query_every and (i + 1) % query_every == 0:
+            lo, hi = queries[qi % len(queries)]
+            qi += 1
+            if sampler.count(lo, hi) > 0:
+                result.samples += len(sampler.sample(lo, hi, t))
+            result.operations += 1
+    result.elapsed_seconds = clock() - start_all
+    return result

@@ -1,0 +1,42 @@
+"""Shared fixtures: canonical datasets and samplers under fixed seeds.
+
+All statistical tests in this suite are deterministic: fixed data seed,
+fixed sampler seed, generous p-value thresholds.  They are calibrated so an
+honest sampler passes with huge margin and a biased one fails by orders of
+magnitude; they are not flaky re-rolls.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import (
+    duplicate_heavy,
+    gaussian_mixture,
+    uniform_points,
+    zipf_gaps,
+)
+
+# Honest samplers must beat this; the cheating baseline must fall far below.
+P_PASS = 1e-4
+P_FAIL = 1e-6
+
+
+@pytest.fixture(scope="session")
+def uniform_data() -> list[float]:
+    return uniform_points(5000, seed=101)
+
+
+@pytest.fixture(scope="session")
+def clustered_data() -> list[float]:
+    return gaussian_mixture(5000, clusters=6, seed=202)
+
+
+@pytest.fixture(scope="session")
+def zipf_data() -> list[float]:
+    return zipf_gaps(5000, alpha=1.5, seed=303)
+
+
+@pytest.fixture(scope="session")
+def duplicated_data() -> list[float]:
+    return duplicate_heavy(5000, distinct=48, seed=404)

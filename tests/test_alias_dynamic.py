@@ -1,0 +1,111 @@
+"""Unit + statistical tests for the dynamic weighted sampler."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alias import DynamicWeightedSampler
+from repro.errors import (
+    EmptyStructureError,
+    InvalidWeightError,
+    KeyNotFoundError,
+)
+from repro.rng import RandomSource
+from repro.stats import chi_square_gof
+
+
+def make(items: dict) -> DynamicWeightedSampler:
+    sampler = DynamicWeightedSampler()
+    for key, weight in items.items():
+        sampler.insert(key, weight)
+    return sampler
+
+
+class TestMutation:
+    def test_insert_and_len(self):
+        sampler = make({"a": 1.0, "b": 2.0})
+        assert len(sampler) == 2
+        assert "a" in sampler and "c" not in sampler
+
+    def test_duplicate_insert_rejected(self):
+        sampler = make({"a": 1.0})
+        with pytest.raises(KeyNotFoundError):
+            sampler.insert("a", 2.0)
+
+    def test_invalid_weights_rejected(self):
+        sampler = DynamicWeightedSampler()
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(InvalidWeightError):
+                sampler.insert("x", bad)
+
+    def test_delete_removes(self):
+        sampler = make({"a": 1.0, "b": 2.0})
+        sampler.delete("a")
+        assert len(sampler) == 1
+        assert "a" not in sampler
+        with pytest.raises(KeyNotFoundError):
+            sampler.delete("a")
+
+    def test_update_weight(self):
+        sampler = make({"a": 1.0})
+        sampler.update_weight("a", 8.0)
+        assert sampler.weight_of("a") == 8.0
+
+    def test_total_weight_tracks(self):
+        sampler = make({"a": 1.5, "b": 2.5})
+        assert sampler.total_weight == pytest.approx(4.0)
+        sampler.delete("b")
+        assert sampler.total_weight == pytest.approx(1.5)
+
+    def test_sample_empty_raises(self):
+        with pytest.raises(EmptyStructureError):
+            DynamicWeightedSampler().sample(RandomSource(0))
+
+
+class TestDistribution:
+    def test_proportional_sampling(self):
+        weights = {i: float(i + 1) for i in range(8)}
+        sampler = make(weights)
+        rng = RandomSource(1)
+        counts = [0] * 8
+        for _ in range(36_000):
+            counts[sampler.sample(rng)] += 1
+        _stat, p = chi_square_gof(counts, [weights[i] for i in range(8)])
+        assert p > 1e-4
+
+    def test_distribution_after_updates(self):
+        sampler = make({i: 1.0 for i in range(8)})
+        for i in range(4):
+            sampler.delete(i)
+        sampler.update_weight(4, 5.0)
+        rng = RandomSource(2)
+        counts = {i: 0 for i in (4, 5, 6, 7)}
+        for _ in range(16_000):
+            counts[sampler.sample(rng)] += 1
+        _stat, p = chi_square_gof(
+            [counts[4], counts[5], counts[6], counts[7]], [5.0, 1.0, 1.0, 1.0]
+        )
+        assert p > 1e-4
+
+    def test_wide_weight_scales(self):
+        sampler = make({"tiny": 1e-9, "mid": 1.0, "huge": 1e9})
+        rng = RandomSource(3)
+        picks = [sampler.sample(rng) for _ in range(2000)]
+        assert picks.count("huge") == 2000
+
+    @given(
+        st.dictionaries(
+            st.integers(0, 30),
+            st.floats(min_value=0.01, max_value=100.0),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_weight_bookkeeping_is_exact(self, items):
+        sampler = make(items)
+        for key, weight in items.items():
+            assert sampler.weight_of(key) == weight
+        assert sampler.total_weight == pytest.approx(sum(items.values()))

@@ -1,0 +1,117 @@
+"""Unit + property tests for the Walker/Vose alias table."""
+
+from __future__ import annotations
+
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alias import AliasTable
+from repro.errors import InvalidWeightError
+from repro.rng import RandomSource
+from repro.stats import chi_square_gof
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidWeightError):
+            AliasTable([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidWeightError):
+            AliasTable([1.0, -0.5])
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(InvalidWeightError):
+            AliasTable([1.0, float("nan")])
+        with pytest.raises(InvalidWeightError):
+            AliasTable([1.0, float("inf")])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(InvalidWeightError):
+            AliasTable([0.0, 0.0])
+
+    def test_total_is_sum(self):
+        table = AliasTable([1.0, 2.0, 3.0])
+        assert table.total == pytest.approx(6.0)
+
+    def test_len(self):
+        assert len(AliasTable([1.0, 2.0])) == 2
+
+
+class TestExactMass:
+    """probability() reconstructs the table; it must match the weights."""
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ).filter(lambda ws: sum(ws) > 0)
+    )
+    @settings(max_examples=200)
+    def test_table_mass_matches_weights(self, weights):
+        table = AliasTable(weights)
+        total = sum(weights)
+        for i, w in enumerate(weights):
+            assert table.probability(i) == pytest.approx(w / total, abs=1e-9)
+
+    def test_zero_weight_item_never_sampled(self):
+        table = AliasTable([0.0, 1.0, 0.0])
+        rng = RandomSource(1)
+        assert all(table.sample(rng) == 1 for _ in range(500))
+
+
+class TestSamplingDistribution:
+    def test_single_item(self):
+        table = AliasTable([5.0])
+        rng = RandomSource(2)
+        assert table.sample(rng) == 0
+
+    def test_uniform_weights_chi_square(self):
+        table = AliasTable([1.0] * 16)
+        rng = RandomSource(3)
+        counts = [0] * 16
+        for _ in range(16_000):
+            counts[table.sample(rng)] += 1
+        _stat, p = chi_square_gof(counts, [1.0] * 16)
+        assert p > 1e-4
+
+    def test_skewed_weights_chi_square(self):
+        weights = [2.0**i for i in range(10)]
+        table = AliasTable(weights)
+        rng = RandomSource(4)
+        counts = [0] * 10
+        for _ in range(40_000):
+            counts[table.sample(rng)] += 1
+        # Merge the tiny-expectation low bins for a well-posed GOF test.
+        merged_counts = [sum(counts[:6]), *counts[6:]]
+        merged_weights = [sum(weights[:6]), *weights[6:]]
+        _stat, p = chi_square_gof(merged_counts, merged_weights)
+        assert p > 1e-4
+
+    def test_extreme_skew_is_stable(self):
+        table = AliasTable([1e-12, 1.0, 1e12])
+        rng = RandomSource(5)
+        counts = [0, 0, 0]
+        for _ in range(1000):
+            counts[table.sample(rng)] += 1
+        assert counts[2] == 1000  # mass ratio 1e12 swamps everything
+
+    def test_sample_many_matches_repeated_sample(self):
+        weights = [3.0, 1.0, 2.0]
+        table = AliasTable(weights)
+        rng_a = RandomSource(6)
+        rng_b = RandomSource(6)
+        bulk = table.sample_many(rng_a, 50)
+        singles = [table.sample(rng_b) for _ in range(50)]
+        assert bulk == singles
+
+    def test_sample_draw_cost_is_constant(self):
+        """Exactly two primitive draws per sample, regardless of size."""
+        for m in (1, 10, 1000):
+            table = AliasTable([1.0] * m)
+            rng = RandomSource(7)
+            table.sample(rng)
+            assert rng.draws == 2

@@ -1,0 +1,124 @@
+"""Correctness tests for every baseline (they gate the benchmarks)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EmptyRangeError
+from repro.baselines import (
+    CachedSampleBaseline,
+    EMPerSample,
+    EMReportSample,
+    RejectionGlobalSampler,
+    ReportThenSample,
+    TreeWalkSampler,
+)
+from repro.errors import KeyNotFoundError
+from repro.stats import uniformity_test
+
+RAM_BASELINES = [ReportThenSample, TreeWalkSampler, RejectionGlobalSampler]
+EM_BASELINES = [EMReportSample, EMPerSample]
+
+
+@pytest.mark.parametrize("cls", RAM_BASELINES)
+class TestRAMBaselines:
+    def test_count_report_match_bruteforce(self, cls, uniform_data):
+        b = cls(uniform_data, seed=1)
+        lo, hi = 0.25, 0.66
+        expected = sorted(v for v in uniform_data if lo <= v <= hi)
+        assert b.count(lo, hi) == len(expected)
+        assert b.report(lo, hi) == expected
+
+    def test_samples_in_range(self, cls, uniform_data):
+        b = cls(uniform_data, seed=2)
+        assert all(0.3 <= v <= 0.7 for v in b.sample(0.3, 0.7, 200))
+
+    def test_empty_range_raises(self, cls, uniform_data):
+        b = cls(uniform_data, seed=3)
+        with pytest.raises(EmptyRangeError):
+            b.sample(5.0, 6.0, 1)
+        assert b.sample(5.0, 6.0, 0) == []
+
+    def test_uniformity(self, cls):
+        values = [float(i) for i in range(80)]
+        b = cls(values, seed=4)
+        samples = b.sample(9.5, 69.5, 12_000)
+        population = [v for v in values if 9.5 <= v <= 69.5]
+        _stat, p = uniformity_test(samples, population)
+        assert p > 1e-4
+
+    def test_updates(self, cls):
+        b = cls([1.0, 2.0, 3.0], seed=5)
+        b.insert(2.5)
+        assert b.count(2.0, 3.0) == 3
+        b.delete(2.5)
+        assert b.count(2.0, 3.0) == 2
+        with pytest.raises(KeyNotFoundError):
+            b.delete(9.0)
+
+
+@pytest.mark.parametrize("cls", EM_BASELINES)
+class TestEMBaselines:
+    def test_correctness(self, cls):
+        values = [float(i) for i in range(3000)]
+        b = cls(values, block_size=64, seed=6)
+        assert b.count(10.0, 19.0) == 10
+        assert b.report(10.0, 12.0) == [10.0, 11.0, 12.0]
+        samples = b.sample(100.0, 2000.0, 300)
+        assert len(samples) == 300
+        assert all(100.0 <= v <= 2000.0 for v in samples)
+
+    def test_empty_range(self, cls):
+        b = cls([1.0, 2.0], block_size=4, seed=7)
+        with pytest.raises(EmptyRangeError):
+            b.sample(5.0, 6.0, 1)
+
+    def test_uniformity(self, cls):
+        values = [float(i) for i in range(500)]
+        b = cls(values, block_size=32, seed=8)
+        samples = b.sample(49.5, 449.5, 10_000)
+        _stat, p = uniformity_test(samples, [float(i) for i in range(50, 450)])
+        assert p > 1e-4
+
+
+class TestEMBaselineIOShapes:
+    def test_report_baseline_pays_k_over_b(self):
+        values = [float(i) for i in range(65_536)]
+        b = EMReportSample(values, block_size=256, pool_capacity=8, seed=9)
+        before = b.device.stats.snapshot()
+        b.sample(0.5, 60_000.5, 1)  # K = 60000, t = 1
+        delta = b.io_delta(before)
+        assert delta.reads >= 60_000 // 256  # the scan dominates
+
+    def test_per_sample_baseline_pays_t(self):
+        values = [float(i) for i in range(65_536)]
+        b = EMPerSample(values, block_size=256, pool_capacity=8, seed=10)
+        before = b.device.stats.snapshot()
+        t = 400
+        b.sample(0.5, 60_000.5, t)
+        delta = b.io_delta(before)
+        # Random probes over 234 data blocks with an 8-frame pool: nearly
+        # every probe misses.
+        assert delta.reads >= t // 2
+
+
+class TestCheatingCache:
+    def test_replays_identical_answers(self, uniform_data):
+        c = CachedSampleBaseline(uniform_data, seed=11)
+        assert c.sample(0.2, 0.6, 8) == c.sample(0.2, 0.6, 8)
+
+    def test_marginal_uniformity_still_passes(self):
+        """The cheat is invisible to marginal tests — that is the point."""
+        values = [float(i) for i in range(60)]
+        c = CachedSampleBaseline(values, seed=12)
+        # One *fresh* query per interval: marginals are honest.
+        samples = []
+        for i in range(3000):
+            lo = -0.5 + (i % 7) * 1e-9  # distinct cache keys
+            samples.extend(CachedSampleBaseline(values, seed=i).sample(lo, 59.5, 4))
+        _stat, p = uniformity_test(samples, values)
+        assert p > 1e-4
+
+    def test_count_report_delegate(self, uniform_data):
+        c = CachedSampleBaseline(uniform_data, seed=13)
+        assert c.count(0.1, 0.2) == len(c.report(0.1, 0.2))

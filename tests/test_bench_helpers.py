@@ -1,0 +1,78 @@
+"""Tests for the measurement helpers feeding the experiment harness."""
+
+from __future__ import annotations
+
+from repro.bench import Series, format_markdown_table, format_table, geometric_range, time_callable
+from repro.bench.memory import deep_size_bytes
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_float_rendering(self):
+        text = format_table(["x"], [[0.00001], [12345678.0], [1.5], [0]])
+        assert "1.000e-05" in text
+        assert "1.235e+07" in text
+        assert "1.5" in text
+
+    def test_markdown_table(self):
+        text = format_markdown_table(["a", "b"], [[1, 2]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+
+class TestHarness:
+    def test_geometric_range(self):
+        assert geometric_range(1, 16) == [1, 2, 4, 8, 16]
+        assert geometric_range(3, 30, factor=3) == [3, 9, 27]
+        assert geometric_range(5, 4) == []
+
+    def test_time_callable_returns_min(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+
+        elapsed = time_callable(fn, repeat=3)
+        assert len(calls) == 3
+        assert elapsed >= 0.0
+
+    def test_series(self):
+        a = Series("a")
+        b = Series("b")
+        for x, (ya, yb) in enumerate([(1.0, 2.0), (2.0, 8.0)]):
+            a.add(x, ya)
+            b.add(x, yb)
+        assert a.ratio_to(b) == [2.0, 4.0]
+
+
+class TestDeepSize:
+    def test_grows_with_content(self):
+        small = deep_size_bytes([1.5] * 10)
+        large = deep_size_bytes([float(i) for i in range(10_000)])
+        assert large > small
+
+    def test_shared_objects_counted_once(self):
+        shared = [1.0, 2.0, 3.0]
+        assert deep_size_bytes([shared, shared]) < 2 * deep_size_bytes([shared]) + 64
+
+    def test_handles_cycles(self):
+        a: list = []
+        a.append(a)
+        assert deep_size_bytes(a) > 0
+
+    def test_slotted_objects(self):
+        class Slotted:
+            __slots__ = ("x",)
+
+            def __init__(self):
+                self.x = [0.0] * 100
+
+        assert deep_size_bytes(Slotted()) > 100 * 8

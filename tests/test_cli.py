@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import build_structure, main, read_floats
+
+
+@pytest.fixture()
+def data_file(tmp_path):
+    path = tmp_path / "points.txt"
+    path.write_text("\n".join(str(float(i)) for i in range(100)))
+    return str(path)
+
+
+@pytest.fixture()
+def weight_file(tmp_path):
+    path = tmp_path / "weights.txt"
+    path.write_text("\n".join(str(1.0 + i % 3) for i in range(100)))
+    return str(path)
+
+
+class TestHelpers:
+    def test_read_floats(self, tmp_path):
+        path = tmp_path / "f.txt"
+        path.write_text("1.5 2\n3e2\t4")
+        assert read_floats(str(path)) == [1.5, 2.0, 300.0, 4.0]
+
+    def test_build_structure_all_names(self):
+        values = [1.0, 2.0, 3.0]
+        for name in ("static", "dynamic", "weighted", "weighted-dynamic", "external"):
+            s = build_structure(name, values, None, seed=1, block_size=4)
+            assert s.count(0.0, 5.0) == 3
+
+    def test_build_structure_unknown(self):
+        with pytest.raises(ValueError):
+            build_structure("nope", [1.0], None, None, 4)
+
+
+class TestCommands:
+    def test_count(self, capsys, data_file):
+        assert main(["count", "--data", data_file, "--lo", "10", "--hi", "19"]) == 0
+        assert capsys.readouterr().out.strip() == "10"
+
+    def test_sample(self, capsys, data_file):
+        main(
+            ["sample", "--data", data_file, "--lo", "10", "--hi", "19",
+             "-t", "5", "--seed", "3"]
+        )
+        values = [float(line) for line in capsys.readouterr().out.split()]
+        assert len(values) == 5
+        assert all(10.0 <= v <= 19.0 for v in values)
+
+    def test_sample_deterministic_with_seed(self, capsys, data_file):
+        args = ["sample", "--data", data_file, "--lo", "0", "--hi", "99",
+                "-t", "8", "--seed", "11"]
+        main(args)
+        first = capsys.readouterr().out
+        main(args)
+        assert capsys.readouterr().out == first
+
+    def test_report(self, capsys, data_file):
+        main(["report", "--data", data_file, "--lo", "97", "--hi", "200"])
+        assert capsys.readouterr().out.split() == ["97.0", "98.0", "99.0"]
+
+    def test_mean(self, capsys, data_file):
+        main(["mean", "--data", data_file, "--lo", "0", "--hi", "99",
+              "-t", "400", "--seed", "5"])
+        out = capsys.readouterr().out
+        assert "mean=" in out and "K=100" in out
+
+    def test_weighted_structure(self, capsys, data_file, weight_file):
+        main(
+            ["sample", "--data", data_file, "--weights", weight_file,
+             "--structure", "weighted", "--lo", "0", "--hi", "99",
+             "-t", "4", "--seed", "6"]
+        )
+        assert len(capsys.readouterr().out.split()) == 4
+
+    def test_external_structure(self, capsys, data_file):
+        main(
+            ["count", "--data", data_file, "--structure", "external",
+             "--block-size", "16", "--lo", "5", "--hi", "14"]
+        )
+        assert capsys.readouterr().out.strip() == "10"
+
+
+def test_module_entry_point(data_file):
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "count", "--data", data_file,
+         "--lo", "0", "--hi", "49"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 0
+    assert result.stdout.strip() == "50"

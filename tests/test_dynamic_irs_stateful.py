@@ -1,0 +1,88 @@
+"""Hypothesis stateful (model-based) test for DynamicIRS.
+
+Drives the structure with an arbitrary interleaving of inserts, deletes,
+counts, reports and samples, mirroring every operation on a plain sorted
+list.  After every step the observable behavior must match the model, and
+the structure's own invariant checker must pass at teardown.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro import DynamicIRS
+
+_VALUES = st.integers(0, 200).map(float)
+
+
+class DynamicIRSMachine(RuleBasedStateMachine):
+    @initialize(seed=st.integers(0, 2**16))
+    def setup(self, seed):
+        self.structure = DynamicIRS(seed=seed)
+        self.model: list[float] = []
+        self.steps = 0
+
+    @rule(value=_VALUES)
+    def insert(self, value):
+        self.structure.insert(value)
+        bisect.insort(self.model, value)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete_existing(self, data):
+        value = data.draw(st.sampled_from(self.model))
+        self.structure.delete(value)
+        self.model.remove(value)
+
+    @rule(lo=_VALUES, width=st.integers(0, 200))
+    def count_matches(self, lo, width):
+        hi = lo + width
+        expected = bisect.bisect_right(self.model, hi) - bisect.bisect_left(
+            self.model, lo
+        )
+        assert self.structure.count(lo, hi) == expected
+
+    @rule(lo=_VALUES, width=st.integers(0, 200))
+    def report_matches(self, lo, width):
+        hi = lo + width
+        expected = self.model[
+            bisect.bisect_left(self.model, lo) : bisect.bisect_right(self.model, hi)
+        ]
+        assert self.structure.report(lo, hi) == expected
+
+    @rule(lo=_VALUES, width=st.integers(0, 200), t=st.integers(1, 8))
+    def samples_are_in_range_members(self, lo, width, t):
+        hi = lo + width
+        a = bisect.bisect_left(self.model, lo)
+        b = bisect.bisect_right(self.model, hi)
+        if a == b:
+            return
+        members = set(self.model[a:b])
+        for sample in self.structure.sample(lo, hi, t):
+            assert sample in members
+
+    @invariant()
+    def sizes_agree(self):
+        if hasattr(self, "model"):
+            assert len(self.structure) == len(self.model)
+
+    def teardown(self):
+        if hasattr(self, "structure"):
+            self.structure.check_invariants()
+            assert self.structure.values() == self.model
+
+
+TestDynamicIRSStateful = DynamicIRSMachine.TestCase
+TestDynamicIRSStateful.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)

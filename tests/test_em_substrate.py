@@ -1,0 +1,212 @@
+"""Tests for the EM substrate: device, pool, sorted file, B-tree."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.em import BlockDevice, BufferPool, EMBTree, EMSortedFile
+from repro.errors import CapacityError
+
+
+class TestBlockDevice:
+    def test_allocate_write_read_roundtrip(self):
+        device = BlockDevice(4)
+        bid = device.allocate()
+        device.write(bid, [1, 2, 3])
+        assert device.read(bid) == [1, 2, 3]
+        assert device.stats.reads == 1 and device.stats.writes == 1
+
+    def test_block_size_enforced(self):
+        device = BlockDevice(2)
+        bid = device.allocate()
+        with pytest.raises(CapacityError):
+            device.write(bid, [1, 2, 3])
+
+    def test_min_block_size(self):
+        with pytest.raises(CapacityError):
+            BlockDevice(1)
+
+    def test_unallocated_write_rejected(self):
+        device = BlockDevice(4)
+        with pytest.raises(KeyError):
+            device.write(5, [1])
+
+    def test_free_and_space_accounting(self):
+        device = BlockDevice(4)
+        bids = [device.allocate() for _ in range(5)]
+        assert device.blocks_in_use == 5
+        device.free(bids[0])
+        assert device.blocks_in_use == 4
+        assert device.stats.freed == 1
+
+    def test_sequential_detection(self):
+        device = BlockDevice(4)
+        bids = [device.allocate() for _ in range(4)]
+        for bid in bids:
+            device.write(bid, [bid])
+        for bid in bids:
+            device.read(bid)
+        # Reads of blocks 1,2,3 follow 0,1,2 → three sequential reads.
+        assert device.stats.sequential_reads == 3
+
+    def test_snapshot_delta(self):
+        device = BlockDevice(4)
+        bid = device.allocate()
+        device.write(bid, [1])
+        before = device.stats.snapshot()
+        device.read(bid)
+        delta = device.stats.delta(before)
+        assert delta.reads == 1 and delta.writes == 0
+        assert delta.total == 1
+
+
+class TestBufferPool:
+    def _device_with_blocks(self, count):
+        device = BlockDevice(4)
+        bids = []
+        for i in range(count):
+            bid = device.allocate()
+            device.write(bid, [i])
+            bids.append(bid)
+        return device, bids
+
+    def test_hit_avoids_device_read(self):
+        device, bids = self._device_with_blocks(1)
+        pool = BufferPool(device, capacity=2)
+        pool.get(bids[0])
+        reads = device.stats.reads
+        pool.get(bids[0])
+        assert device.stats.reads == reads
+        assert pool.hits == 1 and pool.misses == 1
+
+    def test_lru_eviction_order(self):
+        device, bids = self._device_with_blocks(3)
+        pool = BufferPool(device, capacity=2)
+        pool.get(bids[0])
+        pool.get(bids[1])
+        pool.get(bids[0])  # 1 is now least recent
+        pool.get(bids[2])  # evicts 1
+        reads = device.stats.reads
+        pool.get(bids[0])  # still cached
+        assert device.stats.reads == reads
+        pool.get(bids[1])  # must re-read
+        assert device.stats.reads == reads + 1
+
+    def test_writeback_on_eviction(self):
+        device, bids = self._device_with_blocks(3)
+        pool = BufferPool(device, capacity=1)
+        pool.put(bids[0], [99])
+        assert device.read(bids[0]) == [0]  # not flushed yet
+        pool.get(bids[1])  # evicts and writes back
+        assert device.read(bids[0]) == [99]
+
+    def test_flush(self):
+        device, bids = self._device_with_blocks(1)
+        pool = BufferPool(device, capacity=4)
+        pool.put(bids[0], [42])
+        pool.flush()
+        assert device.read(bids[0]) == [42]
+
+    def test_invalidate_discards_dirty(self):
+        device, bids = self._device_with_blocks(1)
+        pool = BufferPool(device, capacity=4)
+        pool.put(bids[0], [42])
+        pool.invalidate(bids[0])
+        pool.flush()
+        assert device.read(bids[0]) == [0]
+
+    def test_capacity_validation(self):
+        device, _ = self._device_with_blocks(1)
+        with pytest.raises(ValueError):
+            BufferPool(device, capacity=0)
+
+    def test_hit_rate(self):
+        device, bids = self._device_with_blocks(1)
+        pool = BufferPool(device, capacity=2)
+        pool.get(bids[0])
+        pool.get(bids[0])
+        assert pool.hit_rate == pytest.approx(0.5)
+
+
+class TestEMSortedFile:
+    def _build(self, values, block_size=4, pool_capacity=8):
+        device = BlockDevice(block_size)
+        pool = BufferPool(device, pool_capacity)
+        return EMSortedFile(pool, values)
+
+    def test_requires_sorted_input(self):
+        with pytest.raises(ValueError):
+            self._build([2.0, 1.0])
+
+    def test_block_packing(self):
+        f = self._build([float(i) for i in range(10)], block_size=4)
+        assert len(f.block_ids) == 3
+        assert len(f) == 10
+
+    def test_get_by_rank(self):
+        values = [float(i) * 2 for i in range(25)]
+        f = self._build(values)
+        for rank in (0, 3, 4, 11, 24):
+            assert f.get(rank) == values[rank]
+        with pytest.raises(IndexError):
+            f.get(25)
+        with pytest.raises(IndexError):
+            f.get(-1)
+
+    def test_scan(self):
+        values = [float(i) for i in range(30)]
+        f = self._build(values, block_size=7)
+        assert list(f.scan(5, 23)) == values[5:23]
+        assert list(f.scan(-5, 100)) == values
+        assert list(f.scan(10, 10)) == []
+
+    def test_empty_file(self):
+        f = self._build([])
+        assert len(f) == 0
+        assert list(f.scan(0, 10)) == []
+
+
+class TestEMBTree:
+    def _tree(self, values, block_size=8):
+        device = BlockDevice(block_size)
+        pool = BufferPool(device, 64)
+        data = EMSortedFile(pool, sorted(values))
+        return EMBTree(data), device
+
+    def test_rank_queries_match_bisect(self):
+        import bisect
+
+        values = sorted(float(i % 50) for i in range(500))
+        tree, _device = self._tree(values)
+        for key in [-1.0, 0.0, 12.0, 12.5, 49.0, 100.0]:
+            assert tree.rank_left(key) == bisect.bisect_left(values, key)
+            assert tree.rank_right(key) == bisect.bisect_right(values, key)
+
+    def test_duplicates_spanning_blocks(self):
+        values = [1.0] * 20 + [2.0] * 20 + [3.0] * 20
+        tree, _device = self._tree(values, block_size=4)
+        assert tree.rank_left(2.0) == 20
+        assert tree.rank_right(2.0) == 40
+        assert tree.rank_range(2.0, 2.0) == (20, 40)
+
+    def test_io_cost_is_logarithmic(self):
+        values = [float(i) for i in range(4096)]
+        tree, device = self._tree(values, block_size=16)
+        tree.pool.clear()
+        before = device.stats.snapshot()
+        tree.rank_left(2048.0)
+        delta = device.stats.delta(before)
+        height = math.ceil(math.log(4096 / 16, 16)) + 1
+        assert delta.reads <= height + 1
+
+    def test_empty_tree(self):
+        tree, _device = self._tree([])
+        assert tree.rank_left(1.0) == 0
+        assert tree.rank_right(1.0) == 0
+
+    def test_single_block(self):
+        tree, _device = self._tree([1.0, 2.0, 3.0])
+        assert tree.height == 0
+        assert tree.rank_range(1.5, 2.5) == (1, 2)

@@ -1,0 +1,112 @@
+"""Tests for the sample-to-answer estimators (stats.estimators)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro import StaticIRS
+from repro.stats import (
+    dkw_epsilon,
+    fraction_estimate,
+    mean_estimate,
+    quantile_bounds,
+    quantile_estimate,
+    required_sample_size,
+    sum_estimate,
+)
+
+
+class TestMeanSum:
+    def test_mean_exact_on_constant(self):
+        mean, half = mean_estimate([5.0] * 100)
+        assert mean == 5.0 and half == 0.0
+
+    def test_single_sample_infinite_ci(self):
+        mean, half = mean_estimate([3.0])
+        assert mean == 3.0 and math.isinf(half)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_estimate([])
+        with pytest.raises(ValueError):
+            mean_estimate([1.0, 2.0], confidence=1.5)
+
+    def test_ci_covers_truth_at_nominal_rate(self):
+        """95% CI should contain the true mean ~95% of the time."""
+        rng = random.Random(1)
+        population = [rng.uniform(0, 10) for _ in range(5000)]
+        truth = sum(population) / len(population)
+        covered = 0
+        trials = 300
+        for i in range(trials):
+            samples = [population[rng.randrange(5000)] for _ in range(200)]
+            mean, half = mean_estimate(samples)
+            covered += abs(mean - truth) <= half
+        assert covered / trials > 0.88  # generous slack around 0.95
+
+    def test_sum_scales_mean(self):
+        mean, half = mean_estimate([2.0, 4.0])
+        total, total_half = sum_estimate([2.0, 4.0], population=10)
+        assert total == pytest.approx(10 * mean)
+        assert total_half == pytest.approx(10 * half)
+
+    def test_ci_shrinks_with_sqrt_t(self):
+        rng = random.Random(2)
+        small = mean_estimate([rng.random() for _ in range(100)])[1]
+        large = mean_estimate([rng.random() for _ in range(10_000)])[1]
+        assert large < small / 5  # ~ sqrt(100) = 10x, allow slack
+
+
+class TestFraction:
+    def test_extremes(self):
+        center, half = fraction_estimate(0, 100)
+        assert center < 0.05
+        center, half = fraction_estimate(100, 100)
+        assert center > 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fraction_estimate(1, 0)
+
+    def test_half_width_shrinks(self):
+        _c1, h1 = fraction_estimate(50, 100)
+        _c2, h2 = fraction_estimate(5000, 10_000)
+        assert h2 < h1 / 5
+
+
+class TestQuantiles:
+    def test_quantile_estimate(self):
+        samples = [float(i) for i in range(100)]
+        assert quantile_estimate(samples, 0.0) == 0.0
+        assert quantile_estimate(samples, 0.5) == 50.0
+        assert quantile_estimate(samples, 1.0) == 99.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quantile_estimate([], 0.5)
+        with pytest.raises(ValueError):
+            quantile_estimate([1.0], 1.5)
+
+    def test_dkw_epsilon_monotone(self):
+        assert dkw_epsilon(10_000) < dkw_epsilon(100)
+        assert dkw_epsilon(100, delta=0.01) > dkw_epsilon(100, delta=0.10)
+        with pytest.raises(ValueError):
+            dkw_epsilon(0)
+
+    def test_required_sample_size_roundtrip(self):
+        t = required_sample_size(0.02, 0.05)
+        assert dkw_epsilon(t, 0.05) <= 0.02
+        assert dkw_epsilon(t - 50, 0.05) > 0.02
+
+    def test_quantile_bounds_bracket_truth(self):
+        """DKW bounds from IRS samples must bracket the true quantile."""
+        values = sorted(random.Random(3).uniform(0, 100) for _ in range(20_000))
+        s = StaticIRS(values, seed=4)
+        samples = s.sample(0.0, 100.0, required_sample_size(0.02, 0.01))
+        truth = values[len(values) // 2]
+        lo, hi = quantile_bounds(samples, 0.5, delta=0.01)
+        assert lo <= truth <= hi
+        assert hi - lo < 10.0  # the band is actually informative

@@ -1,0 +1,57 @@
+"""Each example script must run end-to-end (scaled down where supported)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run(script: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run("quickstart.py")
+    assert "StaticIRS" in out
+    assert "DynamicIRS" in out
+    assert "WeightedStaticIRS" in out
+    assert "ExternalIRS" in out
+    assert "t/B amortization" in out
+
+
+def test_online_aggregation():
+    out = run("online_aggregation.py", "50000")
+    assert "exact mean amount" in out
+    assert "speedup vs scan" in out
+    assert "independent samples" in out
+
+
+def test_streaming_percentiles():
+    out = run("streaming_percentiles.py", "15000")
+    assert "p50" in out and "p95" in out and "p99" in out
+    assert ">=10ms band" in out
+
+
+def test_external_memory_demo():
+    out = run("external_memory_demo.py")
+    assert "mean block I/Os per query" in out
+    assert "ExternalIRS" in out
+    assert "sample buffers" in out
+
+
+def test_weighted_auction():
+    out = run("weighted_auction.py", "8000")
+    assert "win rate" in out
+    assert "consistent" in out
+    assert "INCONSISTENT" not in out

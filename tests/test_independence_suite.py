@@ -1,0 +1,62 @@
+"""Integration: independence across queries — the property in the title.
+
+Every honest sampler must pass the repeated-query independence test; the
+deliberately broken :class:`CachedSampleBaseline` must fail it.  This is
+experiment F9's acceptance version.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DynamicIRS, ExternalIRS, StaticIRS, WeightedStaticIRS
+from repro.baselines import CachedSampleBaseline, ReportThenSample, TreeWalkSampler
+from repro.stats import repeated_query_test, within_query_test
+
+N = 400
+DATA = [float(i) for i in range(N)]
+LO, HI = 49.5, 349.5
+
+
+HONEST = {
+    "static": lambda: StaticIRS(DATA, seed=61),
+    "dynamic": lambda: DynamicIRS(DATA, seed=62),
+    "external": lambda: ExternalIRS(DATA, block_size=32, seed=63),
+    "weighted": lambda: WeightedStaticIRS(DATA, [1.0] * N, seed=64),
+    "report": lambda: ReportThenSample(DATA, seed=65),
+    "treewalk": lambda: TreeWalkSampler(DATA, seed=66),
+}
+
+
+@pytest.mark.parametrize("name", HONEST)
+def test_honest_samplers_pass_repeated_query_test(name):
+    sampler = HONEST[name]()
+    _stat, p = repeated_query_test(
+        lambda: sampler.sample(LO, HI, 1)[0], repeats=600, bins=4
+    )
+    assert p > 1e-4, f"{name} failed cross-query independence: p={p:.2e}"
+
+
+@pytest.mark.parametrize("name", HONEST)
+def test_honest_samplers_pass_within_query_test(name):
+    sampler = HONEST[name]()
+    samples = sampler.sample(LO, HI, 4000)
+    _stat, p = within_query_test(samples, bins=4)
+    assert p > 1e-4, f"{name} failed within-query independence: p={p:.2e}"
+
+
+def test_cheating_cache_fails_repeated_query_test():
+    cheat = CachedSampleBaseline(DATA, seed=67)
+    _stat, p = repeated_query_test(
+        lambda: cheat.sample(LO, HI, 1)[0], repeats=600, bins=4
+    )
+    assert p < 1e-6, f"negative control slipped through: p={p:.2e}"
+
+
+def test_fresh_queries_differ():
+    """Two identical queries on honest samplers almost surely differ."""
+    for name, factory in HONEST.items():
+        sampler = factory()
+        a = sampler.sample(LO, HI, 32)
+        b = sampler.sample(LO, HI, 32)
+        assert a != b, f"{name} replayed a query answer"

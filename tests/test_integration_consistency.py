@@ -1,0 +1,93 @@
+"""Cross-structure consistency: every structure must agree on the data.
+
+The samplers implement wildly different machinery (sorted array, chunked
+directory, block device, segment tree) but expose the same logical multiset,
+so their counts and reports must agree exactly on arbitrary queries — and
+their samples must be members of that agreed-upon set.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DynamicIRS, ExternalIRS, StaticIRS, WeightedStaticIRS
+from repro.baselines import ReportThenSample, TreeWalkSampler
+
+
+def build_all(data):
+    return {
+        "static": StaticIRS(data, seed=1),
+        "dynamic": DynamicIRS(data, seed=2),
+        "external": ExternalIRS(data, block_size=32, seed=3),
+        "weighted": WeightedStaticIRS(data, [1.0] * len(data), seed=4),
+        "report": ReportThenSample(data, seed=5),
+        "treewalk": TreeWalkSampler(data, seed=6),
+    }
+
+
+class TestAgreement:
+    def test_counts_and_reports_agree(self, clustered_data):
+        structures = build_all(clustered_data)
+        rng = random.Random(7)
+        for _ in range(25):
+            lo = rng.uniform(-0.2, 1.2)
+            hi = lo + rng.uniform(0.0, 0.8)
+            counts = {name: s.count(lo, hi) for name, s in structures.items()}
+            assert len(set(counts.values())) == 1, counts
+            reports = {name: tuple(s.report(lo, hi)) for name, s in structures.items()}
+            assert len(set(reports.values())) == 1
+
+    def test_samples_are_members_everywhere(self, zipf_data):
+        structures = build_all(zipf_data)
+        ordered = sorted(zipf_data)
+        lo, hi = ordered[len(ordered) // 4], ordered[(3 * len(ordered)) // 4]
+        members = set(v for v in ordered if lo <= v <= hi)
+        for name, s in structures.items():
+            for v in s.sample(lo, hi, 64):
+                assert v in members, name
+
+
+@given(
+    data=st.lists(st.integers(0, 100), min_size=1, max_size=120),
+    lo=st.integers(-5, 105),
+    width=st.integers(0, 60),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_agreement(data, lo, width):
+    values = [float(v) for v in data]
+    hi = float(lo + width)
+    static = StaticIRS(values, seed=8)
+    dynamic = DynamicIRS(values, seed=9)
+    external = ExternalIRS(values, block_size=8, seed=10)
+    expected = sorted(v for v in values if lo <= v <= hi)
+    for s in (static, dynamic, external):
+        assert s.count(lo, hi) == len(expected)
+        assert s.report(lo, hi) == expected
+
+
+class TestDynamicConvergesToStatic:
+    def test_incremental_build_equals_bulk_build(self):
+        rng = random.Random(11)
+        values = [rng.uniform(0, 1) for _ in range(2000)]
+        bulk = DynamicIRS(values, seed=12)
+        incremental = DynamicIRS(seed=13)
+        for v in values:
+            incremental.insert(v)
+        assert bulk.values() == incremental.values()
+        incremental.check_invariants()
+
+    def test_teardown_and_rebuild(self):
+        rng = random.Random(14)
+        values = [rng.uniform(0, 1) for _ in range(1500)]
+        d = DynamicIRS(values, seed=15)
+        for v in values:
+            d.delete(v)
+        assert len(d) == 0
+        for v in values[:100]:
+            d.insert(v)
+        assert d.values() == sorted(values[:100])
+        d.check_invariants()

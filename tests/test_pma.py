@@ -1,0 +1,195 @@
+"""Unit + property tests for the packed-memory array."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees import PackedMemoryArray
+
+
+class Item:
+    """Tracks its own cell index through the on_move callback."""
+
+    __slots__ = ("label", "index")
+
+    def __init__(self, label: int) -> None:
+        self.label = label
+        self.index = -1
+
+    def __repr__(self) -> str:
+        return f"Item({self.label}@{self.index})"
+
+
+def on_move(item: Item, index: int) -> None:
+    item.index = index
+
+
+class TestBasics:
+    def test_empty(self):
+        pma = PackedMemoryArray(on_move)
+        assert len(pma) == 0
+        assert pma.items_in_order() == []
+        pma.check_invariants()
+
+    def test_insert_first(self):
+        pma = PackedMemoryArray(on_move)
+        item = Item(0)
+        pma.insert_first(item)
+        assert len(pma) == 1
+        assert pma.get(item.index) is item
+
+    def test_sequential_appends_preserve_order(self):
+        pma = PackedMemoryArray(on_move)
+        items = [Item(i) for i in range(100)]
+        pma.insert_first(items[0])
+        for prev, item in zip(items, items[1:]):
+            pma.insert_after(prev.index, item)
+        assert pma.items_in_order() == items
+        pma.check_invariants()
+
+    def test_front_inserts_preserve_order(self):
+        pma = PackedMemoryArray(on_move)
+        items = [Item(i) for i in range(50)]
+        for item in items:
+            pma.insert_first(item)
+        assert pma.items_in_order() == items[::-1]
+        pma.check_invariants()
+
+    def test_insert_after_gap_rejected(self):
+        pma = PackedMemoryArray(on_move)
+        item = Item(0)
+        pma.insert_first(item)
+        gap = (item.index + 1) % pma.capacity
+        if pma.get(gap) is None:
+            with pytest.raises(IndexError):
+                pma.insert_after(gap, Item(1))
+
+    def test_delete(self):
+        pma = PackedMemoryArray(on_move)
+        items = [Item(i) for i in range(20)]
+        pma.insert_first(items[0])
+        for prev, item in zip(items, items[1:]):
+            pma.insert_after(prev.index, item)
+        pma.delete(items[7].index)
+        assert pma.items_in_order() == items[:7] + items[8:]
+        with pytest.raises(IndexError):
+            pma.delete(10**9)
+
+    def test_delete_to_empty_shrinks(self):
+        pma = PackedMemoryArray(on_move)
+        items = [Item(i) for i in range(200)]
+        pma.insert_first(items[0])
+        for prev, item in zip(items, items[1:]):
+            pma.insert_after(prev.index, item)
+        grown = pma.capacity
+        assert grown > 8
+        for item in items:
+            pma.delete(item.index)
+        assert len(pma) == 0
+        assert pma.capacity == 8
+
+    def test_capacity_is_power_of_two(self):
+        pma = PackedMemoryArray(on_move)
+        items = [Item(i) for i in range(300)]
+        pma.insert_first(items[0])
+        for prev, item in zip(items, items[1:]):
+            pma.insert_after(prev.index, item)
+        cap = pma.capacity
+        assert cap & (cap - 1) == 0
+        assert cap >= 300
+
+
+class TestIndexTracking:
+    def test_on_move_keeps_indices_current(self):
+        pma = PackedMemoryArray(on_move)
+        items = [Item(i) for i in range(150)]
+        pma.insert_first(items[0])
+        for prev, item in zip(items, items[1:]):
+            pma.insert_after(prev.index, item)
+        for item in items:
+            assert pma.get(item.index) is item
+
+    def test_middle_churn_keeps_indices_current(self):
+        rng = random.Random(5)
+        pma = PackedMemoryArray(on_move)
+        anchor = Item(-1)
+        pma.insert_first(anchor)
+        live = [anchor]
+        for i in range(500):
+            if rng.random() < 0.7 or len(live) < 2:
+                item = Item(i)
+                pma.insert_after(rng.choice(live).index, item)
+                live.append(item)
+            else:
+                victim = live.pop(rng.randrange(1, len(live)))
+                pma.delete(victim.index)
+        for item in live:
+            assert pma.get(item.index) is item
+        pma.check_invariants()
+
+
+class TestDensityForSampling:
+    """The rejection sampler needs non-degenerate windows: between any two
+    items, the fraction of gap cells must be bounded."""
+
+    def test_window_density_after_heavy_deletes(self):
+        rng = random.Random(11)
+        pma = PackedMemoryArray(on_move)
+        items = [Item(i) for i in range(1024)]
+        pma.insert_first(items[0])
+        for prev, item in zip(items, items[1:]):
+            pma.insert_after(prev.index, item)
+        live = list(items)
+        # Delete 85% at random.
+        rng.shuffle(live)
+        for victim in live[: int(0.85 * len(live))]:
+            pma.delete(victim.index)
+        survivors = pma.items_in_order()
+        width = survivors[-1].index - survivors[0].index + 1
+        density = len(survivors) / width
+        assert density >= 0.15, f"window density collapsed: {density:.3f}"
+        pma.check_invariants()
+
+    def test_hotspot_inserts_keep_density(self):
+        pma = PackedMemoryArray(on_move)
+        first = Item(-1)
+        pma.insert_first(first)
+        hot = first
+        for i in range(2000):  # always insert at the same position
+            item = Item(i)
+            pma.insert_after(hot.index, item)
+            hot = item
+        ordered = pma.items_in_order()
+        width = ordered[-1].index - ordered[0].index + 1
+        assert len(ordered) / width >= 0.15
+        pma.check_invariants()
+
+
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 10**6)), max_size=150))
+@settings(max_examples=60, deadline=None)
+def test_random_ops_match_list_model(ops):
+    pma = PackedMemoryArray(on_move)
+    model: list[Item] = []
+    rng = random.Random(1234)
+    for is_insert, label in ops:
+        if is_insert or not model:
+            item = Item(label)
+            if not model:
+                pma.insert_first(item)
+                model.insert(0, item)
+            else:
+                pos = rng.randrange(len(model))
+                pma.insert_after(model[pos].index, item)
+                model.insert(pos + 1, item)
+        else:
+            pos = rng.randrange(len(model))
+            pma.delete(model[pos].index)
+            model.pop(pos)
+    assert pma.items_in_order() == model
+    for item in model:
+        assert pma.get(item.index) is item
+    pma.check_invariants()

@@ -1,0 +1,143 @@
+"""Tests for the statistics toolkit (cross-checked against SciPy)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.rng import RandomSource
+from repro.stats import (
+    chi_square_gof,
+    chi_square_independence,
+    ks_uniform_test,
+    serial_correlation_test,
+    uniformity_test,
+    within_query_test,
+)
+
+
+class TestChiSquareGOF:
+    def test_matches_scipy(self):
+        observed = [18, 22, 25, 15, 20]
+        expected = [20.0] * 5
+        stat, p = chi_square_gof(observed, expected)
+        ref = scipy_stats.chisquare(observed, expected)
+        assert stat == pytest.approx(ref.statistic)
+        assert p == pytest.approx(ref.pvalue)
+
+    def test_rescales_expected(self):
+        stat, p = chi_square_gof([10, 20, 30], [1.0, 2.0, 3.0])
+        assert stat == pytest.approx(0.0)
+        assert p == pytest.approx(1.0)
+
+    def test_zero_expected_with_mass_is_infinite(self):
+        stat, p = chi_square_gof([5, 5], [1.0, 0.0])
+        assert math.isinf(stat) and p == 0.0
+
+    def test_zero_expected_without_mass_ignored(self):
+        stat, p = chi_square_gof([10, 0, 10], [1.0, 0.0, 1.0])
+        assert stat == pytest.approx(0.0)
+
+    def test_detects_bias(self):
+        _stat, p = chi_square_gof([900, 100], [1.0, 1.0])
+        assert p < 1e-10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chi_square_gof([1], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            chi_square_gof([0, 0], [1.0, 1.0])
+
+
+class TestUniformityTest:
+    def test_respects_multiplicity(self):
+        population = [1.0, 1.0, 2.0]  # 1.0 should appear twice as often
+        rng = random.Random(3)
+        samples = [population[rng.randrange(3)] for _ in range(6000)]
+        _stat, p = uniformity_test(samples, population)
+        assert p > 1e-4
+
+    def test_flags_ignoring_multiplicity(self):
+        population = [1.0, 1.0, 2.0]
+        rng = random.Random(4)
+        samples = [random.Random(4).choice([1.0, 2.0]) for _ in range(3000)]
+        samples = [[1.0, 2.0][rng.randrange(2)] for _ in range(3000)]
+        _stat, p = uniformity_test(samples, population)
+        assert p < 1e-6
+
+    def test_sample_outside_population_rejected(self):
+        with pytest.raises(KeyError):
+            uniformity_test([9.0], [1.0, 2.0])
+
+
+class TestIndependenceTests:
+    def test_chi_square_independence_on_independent_table(self):
+        rng = random.Random(5)
+        table = [[0] * 3 for _ in range(3)]
+        for _ in range(9000):
+            table[rng.randrange(3)][rng.randrange(3)] += 1
+        _stat, p = chi_square_independence(table)
+        assert p > 1e-4
+
+    def test_chi_square_independence_detects_coupling(self):
+        table = [[1000, 10, 10], [10, 1000, 10], [10, 10, 1000]]
+        _stat, p = chi_square_independence(table)
+        assert p < 1e-10
+
+    def test_degenerate_table(self):
+        assert chi_square_independence([[5, 0], [7, 0]])[1] == 1.0
+        with pytest.raises(ValueError):
+            chi_square_independence([[0, 0]])
+
+    def test_within_query_on_iid_series(self):
+        rng = RandomSource(6)
+        series = [rng.random() for _ in range(4000)]
+        _stat, p = within_query_test(series)
+        assert p > 1e-4
+
+    def test_within_query_detects_repetition(self):
+        series = [0.1, 0.9] * 1000  # deterministic alternation
+        _stat, p = within_query_test(series, bins=2)
+        assert p < 1e-10
+
+    def test_serial_correlation_iid(self):
+        rng = RandomSource(7)
+        series = [rng.random() for _ in range(5000)]
+        r, p = serial_correlation_test(series)
+        assert abs(r) < 0.05 and p > 1e-4
+
+    def test_serial_correlation_detects_trend(self):
+        series = [math.sin(i / 10) for i in range(2000)]
+        _r, p = serial_correlation_test(series)
+        assert p < 1e-10
+
+    def test_serial_correlation_needs_samples(self):
+        with pytest.raises(ValueError):
+            serial_correlation_test([1.0, 2.0])
+
+    def test_constant_series(self):
+        r, p = serial_correlation_test([3.0] * 100)
+        assert r == 0.0 and p == 1.0
+
+
+class TestKS:
+    def test_uniform_passes(self):
+        rng = RandomSource(8)
+        samples = [rng.uniform(2.0, 5.0) for _ in range(3000)]
+        d, p = ks_uniform_test(samples, 2.0, 5.0)
+        assert p > 1e-4
+
+    def test_detects_wrong_support(self):
+        rng = RandomSource(9)
+        samples = [rng.uniform(2.0, 3.0) for _ in range(3000)]
+        _d, p = ks_uniform_test(samples, 2.0, 5.0)
+        assert p < 1e-10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ks_uniform_test([], 0.0, 1.0)
+        with pytest.raises(ValueError):
+            ks_uniform_test([0.5], 1.0, 1.0)

@@ -1,0 +1,151 @@
+"""Stress and pathological-input tests across the structures.
+
+These target the inputs most likely to break chunked/indexed designs:
+all-equal multisets (every boundary search ties), adversarial hot-spot
+updates (every split lands in one PMA region), huge value magnitudes, and
+alternating build/teardown cycles.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import DynamicIRS, ExternalIRS, StaticIRS
+from repro.stats import uniformity_test
+from repro.workloads import UpdateStream
+
+
+class TestAllEqualValues:
+    def test_static(self):
+        s = StaticIRS([7.0] * 5000, seed=1)
+        assert s.count(7.0, 7.0) == 5000
+        assert s.sample(7.0, 7.0, 10) == [7.0] * 10
+        assert s.count(6.9, 6.99) == 0
+
+    def test_dynamic_build_and_query(self):
+        d = DynamicIRS([7.0] * 5000, seed=2)
+        d.check_invariants()
+        assert d.count(7.0, 7.0) == 5000
+        assert d.sample(0.0, 10.0, 5) == [7.0] * 5
+
+    def test_dynamic_delete_through_equal_chunks(self):
+        d = DynamicIRS([7.0] * 2000, seed=3)
+        for _ in range(1500):
+            d.delete(7.0)
+        assert len(d) == 500
+        d.check_invariants()
+
+    def test_dynamic_insert_equal_everywhere(self):
+        d = DynamicIRS(seed=4)
+        for _ in range(3000):
+            d.insert(1.0)
+        d.check_invariants()
+        assert d.count(1.0, 1.0) == 3000
+
+    def test_external(self):
+        e = ExternalIRS([7.0] * 4096, block_size=64, seed=5)
+        assert e.count(7.0, 7.0) == 4096
+        assert e.sample(0.0, 10.0, 100) == [7.0] * 100
+
+
+class TestExtremeValues:
+    def test_huge_and_tiny_magnitudes(self):
+        values = [1e-300, -1e300, 0.0, 1e300, -1e-300, 42.0]
+        d = DynamicIRS(values, seed=6)
+        assert d.count(-1e301, 1e301) == 6
+        assert d.count(0.0, 1e299) == 3  # 0.0, 1e-300, 42.0
+
+    def test_negative_ranges(self):
+        s = StaticIRS([-5.0, -3.0, -1.0], seed=7)
+        assert s.report(-4.0, 0.0) == [-3.0, -1.0]
+        assert s.sample(-5.0, -3.0, 4).count(-1.0) == 0
+
+    def test_infinity_query_bounds(self):
+        d = DynamicIRS([1.0, 2.0, 3.0], seed=8)
+        assert d.count(float("-inf"), float("inf")) == 3
+        assert len(d.sample(float("-inf"), float("inf"), 5)) == 5
+
+
+class TestAdversarialChurn:
+    def test_hotspot_stream_keeps_uniformity(self):
+        d = DynamicIRS([float(i) / 1000 for i in range(1000)], seed=9)
+        stream = UpdateStream(
+            d.values(),
+            insert_fraction=0.7,
+            hotspot=(0.5, 0.5001),
+            hotspot_fraction=0.95,
+            seed=10,
+        )
+        for op, value in stream.take(4000):
+            if op == "insert":
+                d.insert(value)
+            else:
+                d.delete(value)
+        d.check_invariants()
+        population = d.report(0.4, 0.6)
+        samples = d.sample(0.4, 0.6, 15_000)
+        _stat, p = uniformity_test(samples, population)
+        assert p > 1e-4
+
+    def test_sawtooth_grow_shrink_cycles(self):
+        d = DynamicIRS(seed=11)
+        rng = random.Random(12)
+        live: list[float] = []
+        for cycle in range(4):
+            for _ in range(1200):
+                v = rng.random()
+                d.insert(v)
+                live.append(v)
+            rng.shuffle(live)
+            for _ in range(1100):
+                d.delete(live.pop())
+            d.check_invariants()
+        assert len(d) == len(live)
+        assert d.values() == sorted(live)
+
+    def test_ascending_then_descending_inserts(self):
+        d = DynamicIRS(seed=13)
+        for i in range(1500):
+            d.insert(float(i))
+        for i in range(1500, 3000):
+            d.insert(float(4500 - i))
+        d.check_invariants()
+        assert len(d) == 3000
+
+    def test_delete_always_minimum(self):
+        values = [float(i) for i in range(2000)]
+        d = DynamicIRS(values, seed=14)
+        for v in values[:1900]:
+            d.delete(v)
+        d.check_invariants()
+        assert d.values() == values[1900:]
+
+    def test_many_small_queries_after_churn(self):
+        d = DynamicIRS([random.Random(15).uniform(0, 1) for _ in range(5000)], seed=16)
+        rng = random.Random(17)
+        for _ in range(2000):
+            d.insert(rng.random())
+            d.delete(d.sample(0.0, 1.0, 1)[0])
+        for _ in range(100):
+            lo = rng.uniform(0, 0.99)
+            hi = lo + 0.01
+            k = d.count(lo, hi)
+            if k:
+                assert all(lo <= v <= hi for v in d.sample(lo, hi, 3))
+
+
+class TestQueryBoundaryGaps:
+    """Queries that fall entirely between stored values."""
+
+    def test_gap_between_chunks(self):
+        d = DynamicIRS([float(i) * 10 for i in range(500)], seed=18)
+        assert d.count(11.0, 19.0) == 0
+        with pytest.raises(Exception):
+            d.sample(11.0, 19.0, 1)
+
+    def test_before_and_after_everything(self):
+        d = DynamicIRS([10.0, 20.0], seed=19)
+        assert d.count(-5.0, 5.0) == 0
+        assert d.count(25.0, 35.0) == 0

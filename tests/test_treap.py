@@ -1,0 +1,187 @@
+"""Unit + property tests for the implicit treap (chunk directory)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng import RandomSource
+from repro.trees import ChunkTreap
+
+
+class FakeChunk:
+    """Minimal payload with the size/min/max protocol."""
+
+    __slots__ = ("data", "node")
+
+    def __init__(self, data):
+        self.data = sorted(data)
+        self.node = None
+
+    @property
+    def size(self):
+        return len(self.data)
+
+    @property
+    def min_value(self):
+        return self.data[0]
+
+    @property
+    def max_value(self):
+        return self.data[-1]
+
+    def __repr__(self):
+        return f"FakeChunk({self.data})"
+
+
+def build(payload_lists) -> tuple[ChunkTreap, list[FakeChunk]]:
+    treap = ChunkTreap(RandomSource(42))
+    chunks = []
+    node = None
+    for data in payload_lists:
+        chunk = FakeChunk(data)
+        node = (
+            treap.insert_first(chunk) if node is None else treap.insert_after(node, chunk)
+        )
+        chunk.node = node  # type: ignore[attr-defined]
+        chunks.append(chunk)
+    return treap, chunks
+
+
+class TestBasics:
+    def test_empty(self):
+        treap = ChunkTreap(RandomSource(0))
+        assert len(treap) == 0
+        assert treap.first() is None and treap.last() is None
+        assert treap.first_with_max_ge(0.0) is None
+        assert treap.last_with_min_le(0.0) is None
+
+    def test_order_preserved(self):
+        treap, chunks = build([[1, 2], [3], [4, 5, 6]])
+        assert [node.payload for node in treap] == chunks
+        assert treap.first().payload is chunks[0]
+        assert treap.last().payload is chunks[-1]
+
+    def test_total_points(self):
+        treap, _ = build([[1, 2], [3], [4, 5, 6]])
+        assert treap.total_points == 6
+
+    def test_rank_and_select_roundtrip(self):
+        treap, chunks = build([[i] for i in range(25)])
+        for i, chunk in enumerate(chunks):
+            assert treap.rank(chunk.node) == i
+            assert treap.select(i).payload is chunk
+        with pytest.raises(IndexError):
+            treap.select(25)
+
+    def test_successor_predecessor(self):
+        treap, chunks = build([[i] for i in range(10)])
+        for i in range(9):
+            assert treap.successor(chunks[i].node).payload is chunks[i + 1]
+            assert treap.predecessor(chunks[i + 1].node).payload is chunks[i]
+        assert treap.successor(chunks[-1].node) is None
+        assert treap.predecessor(chunks[0].node) is None
+
+    def test_insert_after_middle(self):
+        treap, chunks = build([[0], [10]])
+        mid = FakeChunk([5])
+        treap.insert_after(chunks[0].node, mid)
+        assert [n.payload.min_value for n in treap] == [0, 5, 10]
+        treap.check_invariants()
+
+    def test_delete(self):
+        treap, chunks = build([[i] for i in range(10)])
+        treap.delete(chunks[4].node)
+        assert [n.payload.min_value for n in treap] == [0, 1, 2, 3, 5, 6, 7, 8, 9]
+        treap.check_invariants()
+
+    def test_delete_all(self):
+        treap, chunks = build([[i] for i in range(5)])
+        order = [2, 0, 4, 1, 3]
+        for i in order:
+            treap.delete(chunks[i].node)
+            treap.check_invariants()
+        assert len(treap) == 0
+
+
+class TestAggregates:
+    def test_prefix_points(self):
+        treap, _ = build([[1] * 3, [2] * 5, [3] * 7])
+        assert treap.prefix_points(0) == 0
+        assert treap.prefix_points(1) == 3
+        assert treap.prefix_points(2) == 8
+        assert treap.prefix_points(3) == 15
+
+    def test_points_between(self):
+        treap, chunks = build([[1] * 3, [2] * 5, [3] * 7, [4] * 2])
+        assert treap.points_between(chunks[0].node, chunks[3].node) == 12
+        assert treap.points_between(chunks[0].node, chunks[1].node) == 0
+        assert treap.points_between(chunks[1].node, chunks[3].node) == 7
+
+    def test_refresh_after_payload_change(self):
+        treap, chunks = build([[1, 2], [5, 6]])
+        chunks[0].data.append(3)
+        chunks[0].data.sort()
+        treap.refresh(chunks[0].node)
+        assert treap.total_points == 5
+        treap.check_invariants()
+
+
+class TestBoundarySearch:
+    def test_first_with_max_ge(self):
+        treap, chunks = build([[1, 3], [5, 7], [9, 11]])
+        assert treap.first_with_max_ge(0).payload is chunks[0]
+        assert treap.first_with_max_ge(3).payload is chunks[0]
+        assert treap.first_with_max_ge(4).payload is chunks[1]
+        assert treap.first_with_max_ge(11).payload is chunks[2]
+        assert treap.first_with_max_ge(12) is None
+
+    def test_last_with_min_le(self):
+        treap, chunks = build([[1, 3], [5, 7], [9, 11]])
+        assert treap.last_with_min_le(0) is None
+        assert treap.last_with_min_le(1).payload is chunks[0]
+        assert treap.last_with_min_le(8).payload is chunks[1]
+        assert treap.last_with_min_le(100).payload is chunks[2]
+
+    def test_duplicate_boundaries(self):
+        """Equal keys spanning chunks: position-ordering keeps this exact."""
+        treap, chunks = build([[1, 2], [2, 2], [2, 5]])
+        assert treap.first_with_max_ge(2).payload is chunks[0]
+        assert treap.last_with_min_le(2).payload is chunks[2]
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["insert", "delete"]), st.integers(0, 1_000_000)),
+        max_size=120,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_random_operations_match_list_model(ops):
+    """Model-based: the treap's order must equal a plain list's after any
+    interleaving of position-based inserts and deletes."""
+    treap = ChunkTreap(RandomSource(7))
+    model: list[FakeChunk] = []
+    rng = random.Random(99)
+    for op, seed in ops:
+        if op == "insert" or not model:
+            chunk = FakeChunk([seed])
+            if not model:
+                node = treap.insert_first(chunk)
+                model.insert(0, chunk)
+            else:
+                pos = rng.randrange(len(model))
+                node = treap.insert_after(model[pos].node, chunk)
+                model.insert(pos + 1, chunk)
+            chunk.node = node
+        else:
+            pos = rng.randrange(len(model))
+            treap.delete(model[pos].node)
+            model.pop(pos)
+    assert [n.payload for n in treap] == model
+    treap.check_invariants()
+    if model:
+        assert treap.total_points == len(model)

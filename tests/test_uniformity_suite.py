@@ -1,0 +1,75 @@
+"""Integration: exact uniformity for every sampler on every workload shape.
+
+This is the statistical acceptance gate for the whole library — each
+(structure, dataset) pair is driven through the same goodness-of-fit check.
+Seeds are fixed; thresholds are generous (an honest sampler lands far above
+them, a biased one falls orders of magnitude below).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DynamicIRS, ExternalIRS, StaticIRS
+from repro.baselines import (
+    EMPerSample,
+    EMReportSample,
+    RejectionGlobalSampler,
+    ReportThenSample,
+    TreeWalkSampler,
+)
+from repro.stats import uniformity_test
+from repro.workloads import duplicate_heavy, gaussian_mixture, zipf_gaps
+
+DATASETS = {
+    "clustered": lambda: gaussian_mixture(400, clusters=5, seed=31),
+    "zipf": lambda: zipf_gaps(400, alpha=1.5, seed=32),
+    "duplicates": lambda: duplicate_heavy(400, distinct=25, seed=33),
+}
+
+RAM_FACTORIES = {
+    "static": lambda data: StaticIRS(data, seed=41),
+    "dynamic": lambda data: DynamicIRS(data, seed=42),
+    "report": lambda data: ReportThenSample(data, seed=43),
+    "treewalk": lambda data: TreeWalkSampler(data, seed=44),
+    "rejection": lambda data: RejectionGlobalSampler(data, seed=45),
+}
+
+EM_FACTORIES = {
+    "external": lambda data: ExternalIRS(data, block_size=32, seed=46),
+    "em-report": lambda data: EMReportSample(data, block_size=32, seed=47),
+    "em-persample": lambda data: EMPerSample(data, block_size=32, seed=48),
+}
+
+
+def _mid_range(data):
+    ordered = sorted(data)
+    n = len(ordered)
+    return ordered[n // 10], ordered[(9 * n) // 10]
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+@pytest.mark.parametrize("sampler_name", list(RAM_FACTORIES) + list(EM_FACTORIES))
+def test_uniform_over_every_workload(sampler_name, dataset_name):
+    data = DATASETS[dataset_name]()
+    factory = {**RAM_FACTORIES, **EM_FACTORIES}[sampler_name]
+    sampler = factory(data)
+    lo, hi = _mid_range(data)
+    population = [v for v in data if lo <= v <= hi]
+    samples = sampler.sample(lo, hi, 12_000)
+    assert len(samples) == 12_000
+    _stat, p = uniformity_test(samples, population)
+    assert p > 1e-4, f"{sampler_name} biased on {dataset_name}: p={p:.2e}"
+
+
+def test_dynamic_stays_uniform_under_interleaved_updates():
+    data = gaussian_mixture(600, clusters=4, seed=51)
+    d = DynamicIRS(data, seed=52)
+    for i, v in enumerate(sorted(data)[::3]):
+        d.delete(v)
+        d.insert(v + 1e-9 * (i + 1))
+    lo, hi = _mid_range(d.values())
+    population = [v for v in d.values() if lo <= v <= hi]
+    samples = d.sample(lo, hi, 12_000)
+    _stat, p = uniformity_test(samples, population)
+    assert p > 1e-4

@@ -1,0 +1,181 @@
+"""Tests for WeightedDynamicIRS (extension X2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import EmptyRangeError, InvalidQueryError, WeightedDynamicIRS
+from repro.errors import InvalidWeightError, KeyNotFoundError
+from repro.stats import chi_square_gof
+
+
+def reference_weight(pairs, lo, hi):
+    return sum(w for v, w in pairs if lo <= v <= hi)
+
+
+class TestConstruction:
+    def test_empty(self):
+        w = WeightedDynamicIRS(seed=1)
+        assert len(w) == 0
+        assert w.range_weight(0.0, 1.0) == 0.0
+        with pytest.raises(EmptyRangeError):
+            w.sample(0.0, 1.0, 1)
+
+    def test_default_unit_weights(self):
+        w = WeightedDynamicIRS([3.0, 1.0, 2.0], seed=2)
+        assert w.total_weight == pytest.approx(3.0)
+        w.check_invariants()
+
+    def test_bulk_build_sorted_pairing(self):
+        w = WeightedDynamicIRS([3.0, 1.0], [30.0, 10.0], seed=3)
+        assert w.items() == [(1.0, 10.0), (3.0, 30.0)]
+
+    def test_invalid_weight_rejected(self):
+        for bad in (0.0, -1.0, float("inf"), float("nan")):
+            with pytest.raises(InvalidWeightError):
+                WeightedDynamicIRS([1.0], [bad], seed=4)
+            with pytest.raises(InvalidWeightError):
+                WeightedDynamicIRS(seed=5).insert(1.0, bad)
+
+
+class TestUpdates:
+    def test_insert_delete_roundtrip(self):
+        w = WeightedDynamicIRS(seed=6)
+        rng = random.Random(7)
+        pairs = [(rng.uniform(0, 10), rng.uniform(0.1, 5)) for _ in range(2000)]
+        for v, wt in pairs:
+            w.insert(v, wt)
+        w.check_invariants()
+        assert len(w) == 2000
+        assert w.total_weight == pytest.approx(sum(wt for _, wt in pairs), rel=1e-9)
+        rng.shuffle(pairs)
+        for v, wt in pairs[:1500]:
+            assert w.delete(v) == pytest.approx(wt)
+        w.check_invariants()
+        assert len(w) == 500
+
+    def test_delete_missing(self):
+        w = WeightedDynamicIRS([1.0], [2.0], seed=8)
+        with pytest.raises(KeyNotFoundError):
+            w.delete(5.0)
+
+    def test_range_weight_tracks_updates(self):
+        w = WeightedDynamicIRS(seed=9)
+        w.insert(1.0, 10.0)
+        w.insert(2.0, 20.0)
+        w.insert(3.0, 30.0)
+        assert w.range_weight(1.5, 3.5) == pytest.approx(50.0)
+        w.delete(2.0)
+        assert w.range_weight(1.5, 3.5) == pytest.approx(30.0)
+
+    def test_rebuild_cycles(self):
+        w = WeightedDynamicIRS(seed=10)
+        for i in range(4000):
+            w.insert(float(i % 131), 1.0 + (i % 7))
+        for i in range(3500):
+            w.delete(float(i % 131))
+        w.check_invariants()
+        assert len(w) == 500
+
+
+class TestQueries:
+    def test_count_report_match_bruteforce(self):
+        rng = random.Random(11)
+        pairs = [(rng.uniform(0, 10), rng.uniform(0.1, 3)) for _ in range(1500)]
+        w = WeightedDynamicIRS(*zip(*pairs), seed=12)
+        for lo, hi in [(1.0, 2.5), (0.0, 10.0), (7.7, 7.9), (9.5, 20.0)]:
+            expected = sorted((v, wt) for v, wt in pairs if lo <= v <= hi)
+            assert w.count(lo, hi) == len(expected)
+            assert sorted(w.report(lo, hi)) == expected
+            assert w.range_weight(lo, hi) == pytest.approx(
+                reference_weight(pairs, lo, hi), rel=1e-9
+            )
+
+    def test_invalid_queries(self):
+        w = WeightedDynamicIRS([1.0], seed=13)
+        with pytest.raises(InvalidQueryError):
+            w.sample(2.0, 1.0, 1)
+        with pytest.raises(InvalidQueryError):
+            w.sample(0.0, 2.0, -1)
+
+    def test_samples_in_range(self):
+        rng = random.Random(14)
+        pairs = [(rng.uniform(0, 1), rng.uniform(0.1, 2)) for _ in range(3000)]
+        w = WeightedDynamicIRS(*zip(*pairs), seed=15)
+        for value in w.sample(0.2, 0.7, 500):
+            assert 0.2 <= value <= 0.7
+
+
+class TestDistribution:
+    def _check(self, values, weights, lo, hi, seed, draws=30_000):
+        w = WeightedDynamicIRS(values, weights, seed=seed)
+        samples = w.sample(lo, hi, draws)
+        in_range = [(v, wt) for v, wt in zip(values, weights) if lo <= v <= hi]
+        index = {v: i for i, (v, _wt) in enumerate(in_range)}
+        observed = [0] * len(in_range)
+        for s in samples:
+            observed[index[s]] += 1
+        _stat, p = chi_square_gof(observed, [wt for _v, wt in in_range])
+        assert p > 1e-4
+
+    def test_proportional_small(self):
+        self._check(
+            [float(i) for i in range(12)],
+            [float(i + 1) for i in range(12)],
+            1.0,
+            10.0,
+            seed=16,
+        )
+
+    def test_proportional_across_many_chunks(self):
+        n = 400
+        self._check(
+            [float(i) for i in range(n)],
+            [1.0 + (i % 5) for i in range(n)],
+            10.0,
+            390.0,
+            seed=17,
+            draws=50_000,
+        )
+
+    def test_proportional_after_updates(self):
+        n = 200
+        w = WeightedDynamicIRS(
+            [float(i) for i in range(n)], [1.0] * n, seed=18
+        )
+        for i in range(0, n, 2):
+            w.delete(float(i))
+            w.insert(float(i), 3.0)  # re-insert even values at triple weight
+        samples = w.sample(0.0, float(n), 40_000)
+        even = sum(1 for s in samples if s % 2 == 0)
+        _stat, p = chi_square_gof([even, len(samples) - even], [3.0, 1.0])
+        assert p > 1e-4
+        w.check_invariants()
+
+
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 30), st.floats(min_value=0.1, max_value=10.0)),
+        min_size=1,
+        max_size=80,
+    ),
+    lo=st.integers(0, 30),
+    width=st.integers(0, 30),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_counts_and_membership(pairs, lo, width):
+    hi = float(lo + width)
+    values = [float(v) for v, _ in pairs]
+    weights = [wt for _, wt in pairs]
+    w = WeightedDynamicIRS(values, weights, seed=19)
+    expected = sorted(v for v in values if lo <= v <= hi)
+    assert w.count(lo, hi) == len(expected)
+    if expected:
+        assert set(w.sample(lo, hi, 8)) <= set(expected)
+    else:
+        with pytest.raises(EmptyRangeError):
+            w.sample(lo, hi, 1)

@@ -1,0 +1,83 @@
+"""Hypothesis stateful test for WeightedDynamicIRS vs a list model."""
+
+from __future__ import annotations
+
+import bisect
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+import pytest
+
+from repro import WeightedDynamicIRS
+
+_VALUES = st.integers(0, 60).map(float)
+_WEIGHTS = st.floats(min_value=0.1, max_value=50.0)
+
+
+class WeightedDynamicMachine(RuleBasedStateMachine):
+    @initialize(seed=st.integers(0, 2**16))
+    def setup(self, seed):
+        self.structure = WeightedDynamicIRS(seed=seed)
+        self.model: list[tuple[float, float]] = []  # sorted (value, weight)
+
+    @rule(value=_VALUES, weight=_WEIGHTS)
+    def insert(self, value, weight):
+        self.structure.insert(value, weight)
+        bisect.insort(self.model, (value, weight))
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete_existing(self, data):
+        value = data.draw(st.sampled_from([v for v, _w in self.model]))
+        removed = self.structure.delete(value)
+        # The structure removes *one* occurrence of the value; the model must
+        # drop an occurrence with exactly that weight.
+        for i, (v, w) in enumerate(self.model):
+            if v == value and w == pytest.approx(removed):
+                self.model.pop(i)
+                break
+        else:
+            raise AssertionError("structure returned a weight not in model")
+
+    @rule(lo=_VALUES, width=st.integers(0, 60))
+    def count_and_weight_match(self, lo, width):
+        hi = lo + width
+        expected = [(v, w) for v, w in self.model if lo <= v <= hi]
+        assert self.structure.count(lo, hi) == len(expected)
+        assert self.structure.range_weight(lo, hi) == pytest.approx(
+            sum(w for _v, w in expected), abs=1e-9
+        )
+
+    @rule(lo=_VALUES, width=st.integers(0, 60), t=st.integers(1, 6))
+    def samples_are_members(self, lo, width, t):
+        hi = lo + width
+        members = {v for v, _w in self.model if lo <= v <= hi}
+        if not members:
+            return
+        for sample in self.structure.sample(lo, hi, t):
+            assert sample in members
+
+    @invariant()
+    def sizes_agree(self):
+        if hasattr(self, "model"):
+            assert len(self.structure) == len(self.model)
+
+    def teardown(self):
+        if hasattr(self, "structure"):
+            self.structure.check_invariants()
+            got = self.structure.items()
+            assert [v for v, _ in got] == [v for v, _ in self.model]
+
+
+TestWeightedDynamicStateful = WeightedDynamicMachine.TestCase
+TestWeightedDynamicStateful.settings = settings(
+    max_examples=30, stateful_step_count=50, deadline=None
+)

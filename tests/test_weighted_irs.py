@@ -1,0 +1,165 @@
+"""Tests for WeightedStaticIRS (extension X1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import EmptyRangeError, InvalidQueryError, WeightedStaticIRS
+from repro.errors import InvalidWeightError
+from repro.stats import chi_square_gof
+
+
+def brute_force_weight(pairs, lo, hi):
+    return sum(w for v, w in pairs if lo <= v <= hi)
+
+
+class TestConstruction:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedStaticIRS([1.0, 2.0], [1.0], seed=1)
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(InvalidWeightError):
+            WeightedStaticIRS([1.0], [-1.0], seed=2)
+        with pytest.raises(InvalidWeightError):
+            WeightedStaticIRS([1.0], [float("nan")], seed=3)
+
+    def test_unsorted_input_is_sorted_with_weights_attached(self):
+        w = WeightedStaticIRS([3.0, 1.0, 2.0], [30.0, 10.0, 20.0], seed=4)
+        assert w.report(0.0, 10.0) == [1.0, 2.0, 3.0]
+        assert w.total_weight(1.0, 1.0) == pytest.approx(10.0)
+        assert w.total_weight(3.0, 3.0) == pytest.approx(30.0)
+
+
+class TestQueries:
+    def test_count_report_total_weight(self):
+        rng = random.Random(5)
+        pairs = [(rng.uniform(0, 10), rng.uniform(0, 2)) for _ in range(800)]
+        w = WeightedStaticIRS(*zip(*pairs), seed=6)
+        for lo, hi in [(1.0, 2.0), (0.0, 10.0), (4.5, 4.6), (9.9, 20.0)]:
+            expected = sorted(v for v, _ in pairs if lo <= v <= hi)
+            assert w.report(lo, hi) == expected
+            assert w.count(lo, hi) == len(expected)
+            assert w.total_weight(lo, hi) == pytest.approx(
+                brute_force_weight(pairs, lo, hi)
+            )
+
+    def test_empty_range_raises(self):
+        w = WeightedStaticIRS([1.0, 2.0], [1.0, 1.0], seed=7)
+        with pytest.raises(EmptyRangeError):
+            w.sample(5.0, 6.0, 1)
+
+    def test_zero_weight_range_raises(self):
+        w = WeightedStaticIRS([1.0, 2.0, 3.0], [0.0, 0.0, 5.0], seed=8)
+        with pytest.raises(EmptyRangeError):
+            w.sample(1.0, 2.0, 1)
+
+    def test_zero_weight_points_never_sampled(self):
+        w = WeightedStaticIRS(
+            [float(i) for i in range(50)],
+            [0.0 if i % 2 else 1.0 for i in range(50)],
+            seed=9,
+        )
+        samples = w.sample(0.0, 49.0, 2000)
+        assert all(v % 2 == 0 for v in samples)
+
+    def test_t_zero(self):
+        w = WeightedStaticIRS([1.0], [1.0], seed=10)
+        assert w.sample(0.0, 2.0, 0) == []
+
+    def test_invalid_query(self):
+        w = WeightedStaticIRS([1.0], [1.0], seed=11)
+        with pytest.raises(InvalidQueryError):
+            w.sample(2.0, 1.0, 1)
+
+
+class TestDistribution:
+    def _check_proportional(self, values, weights, lo, hi, seed, draws=30_000):
+        w = WeightedStaticIRS(values, weights, seed=seed)
+        ranks = w.sample_ranks(lo, hi, draws)
+        a, b = w.rank_range(lo, hi)
+        observed = [0] * (b - a)
+        for r in ranks:
+            assert a <= r < b
+            observed[r - a] += 1
+        expected = [w.weight_at_rank(r) for r in range(a, b)]
+        # Merge bins with tiny expectation to keep the GOF test well-posed.
+        total = sum(expected)
+        min_mass = 5.0 / draws
+        merged_obs, merged_exp = [0], [0.0]
+        for obs, exp in zip(observed, expected):
+            merged_obs[-1] += obs
+            merged_exp[-1] += exp
+            if merged_exp[-1] / total >= min_mass:
+                merged_obs.append(0)
+                merged_exp.append(0.0)
+        if merged_exp[-1] == 0.0:
+            merged_obs.pop()
+            merged_exp.pop()
+        _stat, p = chi_square_gof(merged_obs, merged_exp)
+        assert p > 1e-4
+
+    def test_proportional_uniform_weights(self):
+        self._check_proportional(
+            [float(i) for i in range(64)], [1.0] * 64, 10.0, 53.0, seed=12
+        )
+
+    def test_proportional_linear_weights(self):
+        self._check_proportional(
+            [float(i) for i in range(64)],
+            [float(i + 1) for i in range(64)],
+            5.0,
+            60.0,
+            seed=13,
+        )
+
+    def test_proportional_zipf_weights(self):
+        rng = random.Random(14)
+        n = 128
+        weights = [1.0 / (1 + rng.randrange(40)) ** 1.5 for _ in range(n)]
+        self._check_proportional(
+            [float(i) for i in range(n)], weights, 3.0, 120.0, seed=15
+        )
+
+    def test_boundary_only_query_uses_local_alias(self):
+        """Ranges narrower than a leaf block skip the canonical nodes."""
+        self._check_proportional(
+            [float(i) for i in range(64)],
+            [float(i % 5 + 1) for i in range(64)],
+            20.0,
+            24.0,
+            seed=16,
+            draws=20_000,
+        )
+
+
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 40), st.floats(min_value=0.0, max_value=10.0)),
+        min_size=1,
+        max_size=60,
+    ),
+    lo=st.integers(0, 40),
+    width=st.integers(0, 40),
+)
+@settings(max_examples=120, deadline=None)
+def test_sample_support_matches_positive_weight_members(pairs, lo, width):
+    hi = lo + width
+    values = [float(v) for v, _ in pairs]
+    weights = [w for _, w in pairs]
+    sampler = WeightedStaticIRS(values, weights, seed=17)
+    in_range_weight = sum(w for v, w in pairs if lo <= v <= hi)
+    if in_range_weight <= 0.0:
+        with pytest.raises(EmptyRangeError):
+            sampler.sample(lo, hi, 1)
+        return
+    support = {float(v) for v, w in pairs if lo <= v <= hi and w > 0.0}
+    support_with_zero_twins = {
+        float(v) for v, _ in pairs if lo <= v <= hi and float(v) in support
+    }
+    samples = sampler.sample(lo, hi, 12)
+    assert set(samples) <= support_with_zero_twins

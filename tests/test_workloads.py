@@ -1,0 +1,142 @@
+"""Tests for dataset/query generators and workload runners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DynamicIRS, StaticIRS
+from repro.workloads import (
+    UpdateStream,
+    duplicate_heavy,
+    gaussian_mixture,
+    integer_grid,
+    mixed_selectivity_queries,
+    run_mixed_workload,
+    run_query_workload,
+    selectivity_interval,
+    selectivity_queries,
+    uniform_points,
+    zipf_gaps,
+)
+import random
+
+
+class TestDatasets:
+    @pytest.mark.parametrize(
+        "factory",
+        [uniform_points, gaussian_mixture, zipf_gaps, integer_grid, duplicate_heavy],
+    )
+    def test_size_and_determinism(self, factory):
+        a = factory(500, seed=1)
+        b = factory(500, seed=1)
+        c = factory(500, seed=2)
+        assert len(a) == 500
+        assert a == b
+        assert a != c
+
+    def test_uniform_bounds(self):
+        data = uniform_points(1000, lo=5.0, hi=6.0, seed=3)
+        assert all(5.0 <= v <= 6.0 for v in data)
+
+    def test_zipf_gaps_monotone(self):
+        data = zipf_gaps(1000, seed=4)
+        assert all(a < b for a, b in zip(data, data[1:]))
+
+    def test_duplicate_heavy_has_duplicates(self):
+        data = duplicate_heavy(1000, distinct=10, seed=5)
+        assert len(set(data)) <= 10
+
+    def test_integer_grid_is_integral(self):
+        data = integer_grid(200, seed=6)
+        assert all(v == int(v) for v in data)
+
+
+class TestQueries:
+    def test_selectivity_is_respected(self):
+        data = sorted(uniform_points(10_000, seed=7))
+        rng = random.Random(8)
+        for selectivity in (0.01, 0.1, 0.5):
+            lo, hi = selectivity_interval(data, selectivity, rng)
+            k = sum(1 for v in data if lo <= v <= hi)
+            assert abs(k - selectivity * len(data)) <= max(5, 0.01 * len(data))
+
+    def test_selectivity_queries_deterministic(self):
+        data = sorted(uniform_points(1000, seed=9))
+        assert selectivity_queries(data, 0.1, 5, seed=10) == selectivity_queries(
+            data, 0.1, 5, seed=10
+        )
+
+    def test_mixed_selectivities_cycle(self):
+        data = sorted(uniform_points(1000, seed=11))
+        queries = mixed_selectivity_queries(data, [0.01, 0.5], 6, seed=12)
+        assert len(queries) == 6
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            selectivity_interval([], 0.1, random.Random(0))
+
+
+class TestUpdateStream:
+    def test_insert_only(self):
+        stream = UpdateStream([], insert_fraction=1.0, seed=13)
+        ops = stream.take(100)
+        assert all(op == "insert" for op, _ in ops)
+        assert stream.live_count == 100
+
+    def test_deletes_target_live_values(self):
+        stream = UpdateStream([0.5], insert_fraction=0.5, seed=14)
+        live = {0.5}
+        for op, value in stream.take(500):
+            if op == "insert":
+                live.add(value)
+            else:
+                assert value in live
+                live.discard(value)
+
+    def test_replayable_on_structure(self):
+        stream = UpdateStream([], insert_fraction=0.6, seed=15)
+        d = DynamicIRS(seed=16)
+        for op, value in stream.take(1000):
+            if op == "insert":
+                d.insert(value)
+            else:
+                d.delete(value)
+        assert len(d) == stream.live_count
+        d.check_invariants()
+
+    def test_hotspot_concentrates_inserts(self):
+        stream = UpdateStream(
+            [], insert_fraction=1.0, hotspot=(0.4, 0.41), hotspot_fraction=0.9, seed=17
+        )
+        values = [v for _op, v in stream.take(1000)]
+        inside = sum(1 for v in values if 0.4 <= v <= 0.41)
+        assert inside > 800
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UpdateStream([], insert_fraction=1.5)
+
+
+class TestRunners:
+    def test_query_workload_counts(self):
+        data = uniform_points(2000, seed=18)
+        s = StaticIRS(data, seed=19)
+        queries = selectivity_queries(sorted(data), 0.2, 10, seed=20)
+        result = run_query_workload(s, queries, t=7, record_latencies=True)
+        assert result.operations == 10
+        assert result.samples == 70
+        assert len(result.per_op_seconds) == 10
+        assert result.throughput > 0
+
+    def test_mixed_workload_applies_everything(self):
+        d = DynamicIRS(uniform_points(500, seed=21), seed=22)
+        stream = UpdateStream(d.values(), insert_fraction=0.5, seed=23)
+        queries = [(0.1, 0.9), (0.3, 0.4)]
+        result = run_mixed_workload(d, stream.take(200), queries, t=3, query_every=20)
+        assert result.operations == 210
+        d.check_invariants()
+
+    def test_mixed_workload_rejects_unknown_ops(self):
+        d = DynamicIRS([1.0], seed=24)
+        with pytest.raises(ValueError):
+            run_mixed_workload(d, [("upsert", 1.0)], [], t=1)
