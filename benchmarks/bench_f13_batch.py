@@ -1,0 +1,105 @@
+"""F13 — the batch sampling engine (regression guard for the bulk-path bug).
+
+Two claims:
+
+* ``StaticIRS.sample_bulk`` does no ``O(n)`` work per query: with ``t``
+  fixed, per-query latency stays flat as ``n`` sweeps 10^4 → 10^6.  (The
+  seed's implementation re-materialized the full NumPy array per call, so
+  its latency grew linearly in ``n``.)
+* Routing the same queries through :class:`repro.batch.BatchQueryRunner`
+  beats the scalar ``sample`` loop on every sampler that has a vectorized
+  path (static, dynamic, weighted).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BatchQueryRunner, DynamicIRS, StaticIRS, WeightedStaticIRS
+from repro.workloads import selectivity_queries, uniform_points
+
+NS = [10_000, 100_000, 1_000_000]
+T = 256
+SELECTIVITY = 0.1
+N_RUNNER = 100_000
+
+
+@pytest.fixture(scope="module")
+def static_by_n():
+    out = {}
+    for n in NS:
+        data = uniform_points(n, seed=21)
+        queries = selectivity_queries(sorted(data), SELECTIVITY, 8, seed=22)
+        out[n] = (StaticIRS(data, seed=23), queries)
+    return out
+
+
+@pytest.fixture(scope="module")
+def rec(experiment):
+    return experiment(
+        "F13",
+        f"batch engine (t={T}): bulk latency must be flat in n; "
+        "runner vs scalar loop at n=100k; us/query",
+        ["series", "n", "us/query"],
+    )
+
+
+@pytest.mark.parametrize("n", NS)
+@pytest.mark.benchmark(group="F13 bulk latency vs n")
+def test_bulk_latency_flat_in_n(benchmark, static_by_n, rec, n):
+    sampler, queries = static_by_n[n]
+
+    def run():
+        for lo, hi in queries:
+            sampler.sample_bulk(lo, hi, T)
+
+    benchmark(run)
+    rec.row("StaticIRS.sample_bulk", n, benchmark.stats["mean"] / len(queries) * 1e6)
+
+
+@pytest.fixture(scope="module")
+def runner_setup():
+    data = uniform_points(N_RUNNER, seed=31)
+    queries = selectivity_queries(sorted(data), SELECTIVITY, 16, seed=32)
+    structures = {
+        "static": StaticIRS(data, seed=33),
+        "dynamic": DynamicIRS(data, seed=34),
+        "weighted": WeightedStaticIRS(data, [1.0] * len(data), seed=35),
+    }
+    return structures, queries
+
+
+@pytest.mark.parametrize("name", ["static", "dynamic", "weighted"])
+@pytest.mark.benchmark(group="F13 batch runner vs scalar loop")
+def test_batch_runner(benchmark, runner_setup, rec, name):
+    structures, queries = runner_setup
+    runner = BatchQueryRunner({name: structures[name]})
+    batch = [(lo, hi, T, name) for lo, hi in queries]
+
+    def run():
+        runner.run(batch)
+
+    benchmark(run)
+    rec.row(
+        f"BatchQueryRunner[{name}]",
+        N_RUNNER,
+        benchmark.stats["mean"] / len(batch) * 1e6,
+    )
+
+
+@pytest.mark.parametrize("name", ["static", "dynamic", "weighted"])
+@pytest.mark.benchmark(group="F13 batch runner vs scalar loop")
+def test_scalar_loop(benchmark, runner_setup, rec, name):
+    structures, queries = runner_setup
+    sampler = structures[name]
+
+    def run():
+        for lo, hi in queries:
+            sampler.sample(lo, hi, T)
+
+    benchmark(run)
+    rec.row(
+        f"scalar-loop[{name}]",
+        N_RUNNER,
+        benchmark.stats["mean"] / len(queries) * 1e6,
+    )

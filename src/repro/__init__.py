@@ -18,6 +18,7 @@ paper-vs-measured record.  Quick start::
     s.sample(1.0, 4.0, 3)   # three independent uniform samples from [1, 4]
 """
 
+from .batch import BatchQuery, BatchQueryRunner, BatchResult
 from .core import (
     DynamicIRS,
     DynamicRangeSampler,
@@ -44,6 +45,9 @@ from .types import Interval, QueryStats
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchQuery",
+    "BatchQueryRunner",
+    "BatchResult",
     "StaticIRS",
     "DynamicIRS",
     "ExternalIRS",

@@ -94,7 +94,29 @@ class DynamicWeightedSampler:
         self._count -= 1
 
     def update_weight(self, key: Hashable, weight: float) -> None:
-        """Change the weight of an existing key."""
+        """Change the weight of an existing key.
+
+        When the new weight stays inside the key's current power-of-two
+        bucket, the item list is left untouched and only the stored weight
+        and the running totals are adjusted — ``O(1)``, no swap-with-last
+        churn.  Crossing a bucket boundary falls back to delete + insert.
+        Validation happens up front so a bad weight never leaves the key
+        half-removed.
+        """
+        if not math.isfinite(weight) or weight <= 0.0:
+            raise InvalidWeightError(f"weight must be positive: {weight!r}")
+        scale = self._scale_of.get(key)
+        if scale is None:
+            raise KeyNotFoundError(f"key not present: {key!r}")
+        new_scale = math.frexp(weight)[1] - 1  # floor(log2 w)
+        if new_scale == scale:
+            bucket = self._buckets[scale]
+            i = bucket.pos[key]
+            old = bucket.weights[i]
+            bucket.weights[i] = weight
+            bucket.total += weight - old
+            self._total += weight - old
+            return
         self.delete(key)
         self.insert(key, weight)
 

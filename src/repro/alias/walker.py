@@ -17,6 +17,11 @@ from typing import Sequence
 from ..errors import InvalidWeightError
 from ..rng import RandomSource
 
+try:  # NumPy is optional at runtime; bulk draws use it when present.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is installed in CI
+    _np = None
+
 __all__ = ["AliasTable"]
 
 
@@ -37,7 +42,7 @@ class AliasTable:
     draw needs no division.
     """
 
-    __slots__ = ("_prob", "_alias", "total", "_m")
+    __slots__ = ("_prob", "_alias", "total", "_m", "_np_prob", "_np_alias")
 
     def __init__(self, weights: Sequence[float]) -> None:
         m = len(weights)
@@ -65,11 +70,11 @@ class AliasTable:
 
         while small and large:
             s = small.pop()
-            l = large.pop()
+            g = large.pop()
             prob[s] = scaled[s]
-            alias[s] = l
-            scaled[l] -= 1.0 - scaled[s]
-            (small if scaled[l] < 1.0 else large).append(l)
+            alias[s] = g
+            scaled[g] -= 1.0 - scaled[s]
+            (small if scaled[g] < 1.0 else large).append(g)
 
         # Leftovers are full columns (up to floating-point slack).
         for i in large:
@@ -83,6 +88,10 @@ class AliasTable:
         # weighted IRS segment tree, so unboxed arrays matter.
         self._prob = array("d", prob)
         self._alias = array("q", alias)
+        # Zero-copy NumPy views over the arrays, built on first bulk draw;
+        # the table is immutable so they never go stale.
+        self._np_prob = None
+        self._np_alias = None
 
     def __len__(self) -> int:
         return self._m
@@ -106,6 +115,21 @@ class AliasTable:
             col = randrange(m)
             out.append(col if random() < prob[col] else alias[col])
         return out
+
+    def sample_bulk(self, gen, count: int):
+        """Draw ``count`` iid indices vectorized, as a NumPy int array.
+
+        ``gen`` is a NumPy ``Generator`` (see
+        :meth:`repro.rng.RandomSource.spawn_numpy`); one ``integers`` batch
+        plus one ``random`` batch replaces ``count`` scalar draws, keeping
+        the ``O(1)``-per-draw bound with a vectorized constant.
+        """
+        if self._np_prob is None:
+            self._np_prob = _np.frombuffer(self._prob, dtype=_np.float64)
+            self._np_alias = _np.frombuffer(self._alias, dtype=_np.int64)
+        cols = gen.integers(0, self._m, size=count)
+        accept = gen.random(count) < self._np_prob[cols]
+        return _np.where(accept, cols, self._np_alias[cols])
 
     def probability(self, index: int) -> float:
         """Return the exact probability mass assigned to ``index``.

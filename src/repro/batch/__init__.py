@@ -1,0 +1,19 @@
+"""Vectorized batch execution of range-sampling queries.
+
+The samplers answer one ``(lo, hi, t)`` query at a time; heavy-traffic
+consumers (online aggregation dashboards, the F-series benchmarks) issue
+thousands.  This subpackage turns the per-structure ``sample_bulk`` fast
+paths into a uniform capability: :class:`BatchQueryRunner` accepts a whole
+batch of queries, groups them by target structure, executes each group
+through the vectorized path when the structure provides one, and reports
+aggregate :class:`~repro.types.QueryStats`.
+
+Bulk paths draw from a NumPy side stream (see
+:meth:`repro.rng.RandomSource.spawn_numpy`), so per-element draw accounting
+differs from the scalar ``sample`` path; the returned samples follow the
+same distributions.
+"""
+
+from .runner import DEFAULT_STRUCTURE, BatchQuery, BatchQueryRunner, BatchResult
+
+__all__ = ["BatchQuery", "BatchQueryRunner", "BatchResult", "DEFAULT_STRUCTURE"]

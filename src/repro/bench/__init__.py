@@ -1,7 +1,7 @@
 """Measurement helpers shared by ``benchmarks/`` and ``EXPERIMENTS.md``."""
 
 from .tables import format_table, format_markdown_table
-from .harness import time_callable, geometric_range, Series
+from .harness import time_callable, geometric_range, Series, batch_throughput
 
 __all__ = [
     "format_table",
@@ -9,4 +9,5 @@ __all__ = [
     "time_callable",
     "geometric_range",
     "Series",
+    "batch_throughput",
 ]

@@ -4,9 +4,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
-__all__ = ["time_callable", "geometric_range", "Series"]
+__all__ = ["time_callable", "geometric_range", "Series", "batch_throughput"]
 
 
 def time_callable(fn: Callable[[], object], repeat: int = 5) -> float:
@@ -35,6 +35,20 @@ def geometric_range(start: int, stop: int, factor: int = 2) -> list[int]:
         out.append(value)
         value *= factor
     return out
+
+
+def batch_throughput(runner, queries: Sequence, repeat: int = 3) -> float:
+    """Queries/second of a :class:`~repro.batch.BatchQueryRunner` batch.
+
+    Runs the whole batch ``repeat`` times and reports throughput at the
+    minimum wall-clock time (same noise-stripping convention as
+    :func:`time_callable`).  Returns 0.0 for an empty or sub-clock-resolution
+    batch, matching :attr:`~repro.batch.BatchResult.queries_per_second`.
+    """
+    if not queries:
+        return 0.0
+    best = time_callable(lambda: runner.run(queries), repeat=repeat)
+    return len(queries) / best if best > 0.0 else 0.0
 
 
 @dataclass(slots=True)

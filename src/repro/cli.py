@@ -7,11 +7,17 @@ Usage (also via ``python -m repro``)::
     repro sample  --data points.txt --weights w.txt --structure weighted ...
     repro report  --data points.txt --lo 0.2 --hi 0.8
     repro mean    --data points.txt --lo 0.2 --hi 0.8 -t 1000
+    repro batch   --data points.txt --queries q.txt -t 256
 
 ``--data`` is a text file of whitespace/newline-separated floats.  The CLI is
 stateless by design: it builds the chosen structure, answers, and exits —
 it exists for smoke tests, shell pipelines and reproducing single numbers
 from the experiment tables.
+
+``batch`` runs every query from ``--queries`` (one ``lo hi [t]`` triple per
+line; ``t`` defaults to the ``-t`` flag) through the vectorized
+:class:`~repro.batch.BatchQueryRunner`, printing one sample mean per query
+followed by a ``#``-prefixed aggregate line.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from .batch import BatchQueryRunner
 from .core import (
     DynamicIRS,
     ExternalIRS,
@@ -63,22 +70,44 @@ def build_structure(
     raise ValueError(f"unknown structure: {name}")
 
 
+def read_queries(path: str, default_t: int) -> list[tuple[float, float, int]]:
+    """Parse a batch query file: one ``lo hi [t]`` triple per line."""
+    queries: list[tuple[float, float, int]] = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            tokens = line.split("#", 1)[0].split()
+            if not tokens:
+                continue
+            if len(tokens) not in (2, 3):
+                raise ValueError(
+                    f"{path}:{lineno}: expected 'lo hi [t]', got {line.strip()!r}"
+                )
+            t = int(tokens[2]) if len(tokens) == 3 else default_t
+            queries.append((float(tokens[0]), float(tokens[1]), t))
+    return queries
+
+
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Independent range sampling (PODS 2014 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    for command in ("count", "sample", "report", "mean"):
+    for command in ("count", "sample", "report", "mean", "batch"):
         p = sub.add_parser(command)
         p.add_argument("--data", required=True, help="file of floats")
         p.add_argument("--weights", help="file of weights (weighted structures)")
-        p.add_argument("--lo", type=float, required=True)
-        p.add_argument("--hi", type=float, required=True)
         p.add_argument("--structure", choices=_STRUCTURES, default="static")
         p.add_argument("--seed", type=int, default=None)
         p.add_argument("--block-size", type=int, default=1024)
-        if command in ("sample", "mean"):
+        if command == "batch":
+            p.add_argument(
+                "--queries", required=True, help="file of 'lo hi [t]' lines"
+            )
+        else:
+            p.add_argument("--lo", type=float, required=True)
+            p.add_argument("--hi", type=float, required=True)
+        if command in ("sample", "mean", "batch"):
             p.add_argument("-t", "--samples", type=int, default=10)
     return parser
 
@@ -91,6 +120,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     structure = build_structure(
         args.structure, values, weights, args.seed, args.block_size
     )
+    if args.command == "batch":
+        queries = read_queries(args.queries, args.samples)
+        runner = BatchQueryRunner(structure)
+        result = runner.run(queries)
+        for samples in result.samples:
+            if len(samples) == 0:
+                print("nan")
+            else:
+                print(f"{sum(samples) / len(samples):.6g}")
+        stats = result.stats
+        print(
+            f"# queries={stats.queries} samples={stats.samples_returned}"
+            f" seconds={result.elapsed_seconds:.6f}"
+            f" qps={result.queries_per_second:.1f}"
+        )
+        return 0
     if args.command == "count":
         print(structure.count(args.lo, args.hi))
     elif args.command == "report":

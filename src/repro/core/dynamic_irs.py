@@ -45,6 +45,11 @@ from ..trees.treap import ChunkTreap, TreapNode
 from ..types import QueryStats
 from .base import DynamicRangeSampler, validate_query
 
+try:  # NumPy is optional at runtime; bulk sampling uses it when present.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is installed in CI
+    _np = None
+
 __all__ = ["DynamicIRS"]
 
 _MIN_CHUNK = 8
@@ -53,7 +58,7 @@ _MIN_CHUNK = 8
 class _Chunk:
     """A sorted run of points plus its directory handles."""
 
-    __slots__ = ("data", "node", "prev", "next", "pma_index")
+    __slots__ = ("data", "node", "prev", "next", "pma_index", "np_data")
 
     def __init__(self, data: list[float]) -> None:
         self.data = data
@@ -61,6 +66,16 @@ class _Chunk:
         self.prev: _Chunk | None = None
         self.next: _Chunk | None = None
         self.pma_index = -1
+        #: Lazily-built NumPy view of ``data`` for the bulk sampling path.
+        #: Any mutation of ``data`` must reset it to ``None`` (see
+        #: ``DynamicIRS._invalidate_bulk``).
+        self.np_data = None
+
+    def array(self):
+        """Return (building if stale) the NumPy view of this chunk."""
+        if self.np_data is None:
+            self.np_data = _np.asarray(self.data, dtype=float)
+        return self.np_data
 
     # Payload protocol for the treap aggregates.
     @property
@@ -149,6 +164,7 @@ class DynamicIRS(DynamicRangeSampler):
         self._rng = RandomSource(seed)
         self._chunk_scale = chunk_scale
         self.stats = QueryStats()
+        self._bulk_gen = None  # lazily-spawned NumPy side stream (sample_bulk)
         self._build(sorted(values))
 
     # -- construction / rebuild ------------------------------------------------
@@ -240,6 +256,7 @@ class DynamicIRS(DynamicRangeSampler):
         node = self._treap.first_with_max_ge(value)
         chunk: _Chunk = node.payload if node is not None else self._tail
         insort(chunk.data, value)
+        chunk.np_data = None
         self._treap.refresh(chunk.node)
         self._n += 1
         if len(chunk.data) > self._cap:
@@ -256,6 +273,7 @@ class DynamicIRS(DynamicRangeSampler):
         if chunk is None:
             raise KeyNotFoundError(f"value not present: {value!r}")
         chunk.data.pop(i)
+        chunk.np_data = None
         self._n -= 1
         if not chunk.data:
             self._remove_chunk(chunk)
@@ -279,6 +297,7 @@ class DynamicIRS(DynamicRangeSampler):
         half = len(chunk.data) // 2
         right = _Chunk(chunk.data[half:])
         chunk.data = chunk.data[:half]
+        chunk.np_data = None
         right.node = self._treap.insert_after(chunk.node, right)
         self._treap.refresh(chunk.node)
         self._pma.insert_after(chunk.pma_index, right)
@@ -310,6 +329,7 @@ class DynamicIRS(DynamicRangeSampler):
         # Adjacent chunks are consecutive in sorted order, so concatenation
         # preserves sortedness — no merge pass needed.
         left.data = left.data + right.data
+        left.np_data = None
         self._remove_chunk(right)
         self._treap.refresh(left.node)
         if len(left.data) > self._cap:
@@ -402,6 +422,106 @@ class DynamicIRS(DynamicRangeSampler):
                     append(middle.sample_draw(randbelow, stats))
             else:
                 append(right_data[r - k_lm])
+        return out
+
+    def sample_bulk(self, lo: float, hi: float, t: int):
+        """Vectorized :meth:`sample` returning a NumPy array.
+
+        Semantics match :meth:`sample` (``t`` independent uniform samples),
+        but the randomness comes from a NumPy side stream spawned once via
+        :meth:`RandomSource.spawn_numpy`, so draw accounting differs from
+        the scalar path (bulk draws are not counted per element).
+
+        The query plan's three-way split is resolved vectorized: one batch
+        of uniform ranks in ``[0, K)``, boolean masks for the left/middle/
+        right parts, and gathers against per-chunk NumPy views that are
+        cached on the chunks and invalidated by every insert, delete, split,
+        merge and rebuild.  Wide middles fall back to the same PMA rejection
+        scheme as the scalar path (batched draws, per-probe cell lookup).
+        """
+        if _np is None:  # pragma: no cover
+            return self.sample(lo, hi, t)
+        validate_query(lo, hi, t)
+        plan = self._plan(lo, hi)
+        if self._require_nonempty(0 if plan is None else plan[0], t):
+            return _np.empty(0, dtype=float)
+        total, (a, la, k_left, mid_first, mid_last, k_mid, b, k_right) = plan
+        stats = self.stats
+        stats.queries += 1
+        stats.samples_returned += t
+        if self._bulk_gen is None:
+            self._bulk_gen = self._rng.spawn_numpy()
+        gen = self._bulk_gen
+        ranks = gen.integers(0, total, size=t)
+        out = _np.empty(t, dtype=float)
+        k_lm = k_left + k_mid
+        left_mask = ranks < k_left
+        right_mask = ranks >= k_lm
+        if left_mask.any():
+            out[left_mask] = a.array()[la + ranks[left_mask]]
+        if right_mask.any():
+            out[right_mask] = b.array()[ranks[right_mask] - k_lm]
+        mid_mask = ~(left_mask | right_mask)
+        n_mid = int(mid_mask.sum())
+        if n_mid:
+            out[mid_mask] = self._middle_bulk(
+                mid_first, mid_last, ranks[mid_mask] - k_left, n_mid, gen, stats
+            )
+        return out
+
+    def _middle_bulk(
+        self,
+        first: _Chunk,
+        last: _Chunk,
+        mid_ranks,
+        count: int,
+        gen,
+        stats: QueryStats,
+    ):
+        """Resolve middle-run ranks (cumulative mode) or draw fresh middle
+        elements (pma mode) for :meth:`sample_bulk`."""
+        plan = self._middle_plan(first, last, count)
+        out = _np.empty(count, dtype=float)
+        if plan.mode == "cumulative":
+            cum = _np.asarray(plan.cum)
+            idx = _np.searchsorted(cum, mid_ranks, side="right")
+            starts = _np.concatenate(([0], cum[:-1]))
+            offsets = mid_ranks - starts[idx]
+            # Group samples by chunk via one sort, then assign contiguous
+            # slices — a boolean mask per distinct chunk would be
+            # O(chunks × samples), quadratic for wide cumulative middles.
+            order = _np.argsort(idx, kind="stable")
+            grouped_idx = idx[order]
+            grouped_off = offsets[order]
+            uniq, group_starts = _np.unique(grouped_idx, return_index=True)
+            group_ends = _np.append(group_starts[1:], count)
+            for chunk_i, g0, g1 in zip(uniq, group_starts, group_ends):
+                out[order[g0:g1]] = plan.chunks[chunk_i].array()[grouped_off[g0:g1]]
+            return out
+        # pma mode: the in-range rank of a middle sample is irrelevant (each
+        # middle hit just needs a fresh uniform middle element), so draw
+        # batches of cell/offset codes and keep the accepted ones.
+        window_lo = plan.window_lo
+        cap = plan.cap
+        span = (plan.window_hi - window_lo + 1) * cap
+        get = plan.pma.get
+        filled = 0
+        while filled < count:
+            draws = gen.integers(0, span, size=2 * (count - filled) + 8)
+            for draw in draws:
+                cell, idx = divmod(int(draw), cap)
+                chunk = get(window_lo + cell)
+                if chunk is None:
+                    stats.rejections += 1
+                    continue
+                data = chunk.data
+                if idx < len(data):
+                    out[filled] = data[idx]
+                    filled += 1
+                    if filled == count:
+                        break
+                else:
+                    stats.rejections += 1
         return out
 
     def _middle_plan(self, first: _Chunk, last: _Chunk, t: int) -> _MiddlePlan:

@@ -34,7 +34,7 @@ aggregates subtree weight, so a query:
 from __future__ import annotations
 
 import math
-from bisect import bisect_left, bisect_right, insort
+from bisect import bisect_left, bisect_right
 from itertools import accumulate
 from typing import Iterable, Iterator
 

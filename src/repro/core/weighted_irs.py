@@ -29,6 +29,11 @@ from ..errors import EmptyRangeError, InvalidWeightError
 from ..rng import RandomSource
 from .base import RangeSampler, validate_query
 
+try:  # NumPy is optional at runtime; bulk sampling uses it when present.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is installed in CI
+    _np = None
+
 __all__ = ["WeightedStaticIRS"]
 
 _BLOCK = 8
@@ -55,13 +60,27 @@ class WeightedStaticIRS(RangeSampler):
         weights: Iterable[float],
         seed: int | None = None,
     ) -> None:
-        pairs = sorted(zip(values, weights, strict=True), key=lambda p: p[0])
-        self._values = [p[0] for p in pairs]
-        self._weights = [p[1] for p in pairs]
-        for w in self._weights:
+        values = list(values)
+        weights = list(weights)
+        if len(values) != len(weights):
+            raise ValueError(
+                f"values and weights differ in length: {len(values)} != {len(weights)}"
+            )
+        # Validate *before* sorting/zipping: a NaN weight would otherwise
+        # poison the sort's key comparisons and the prefix sums before ever
+        # being reported.
+        for w in weights:
             if not math.isfinite(w) or w < 0.0:
                 raise InvalidWeightError(f"invalid weight: {w!r}")
+        pairs = sorted(zip(values, weights), key=lambda p: p[0])
+        self._values = [p[0] for p in pairs]
+        self._weights = [p[1] for p in pairs]
         self._rng = RandomSource(seed)
+        # Bulk-path state (see sample_bulk): the NumPy view of the sorted
+        # values and the vectorized side stream, both built lazily on the
+        # first bulk call so scalar-only users skip the O(n) copy.
+        self._np_values = None
+        self._bulk_gen = None
         self._prefix = [0.0, *accumulate(self._weights)]
         n = len(self._values)
         # Number of leaf blocks, padded to a power of two for heap indexing.
@@ -148,23 +167,23 @@ class WeightedStaticIRS(RangeSampler):
             return parts
         add_run(a, bl * _BLOCK)
         add_run(br * _BLOCK, b)
-        l = bl + self._tree_size
-        r = br + self._tree_size
-        while l < r:
-            if l & 1:
-                if self._node_total[l] > 0.0:
+        lt = bl + self._tree_size
+        rt = br + self._tree_size
+        while lt < rt:
+            if lt & 1:
+                if self._node_total[lt] > 0.0:
                     parts.append(
-                        (self._node_total[l], self._node_alias[l], self._node_start[l])
+                        (self._node_total[lt], self._node_alias[lt], self._node_start[lt])
                     )
-                l += 1
-            if r & 1:
-                r -= 1
-                if self._node_total[r] > 0.0:
+                lt += 1
+            if rt & 1:
+                rt -= 1
+                if self._node_total[rt] > 0.0:
                     parts.append(
-                        (self._node_total[r], self._node_alias[r], self._node_start[r])
+                        (self._node_total[rt], self._node_alias[rt], self._node_start[rt])
                     )
-            l >>= 1
-            r >>= 1
+            lt >>= 1
+            rt >>= 1
         return parts
 
     def sample_ranks(self, lo: float, hi: float, t: int) -> list[int]:
@@ -189,3 +208,47 @@ class WeightedStaticIRS(RangeSampler):
     def sample(self, lo: float, hi: float, t: int) -> list[float]:
         values = self._values
         return [values[r] for r in self.sample_ranks(lo, hi, t)]
+
+    def sample_ranks_bulk(self, lo: float, hi: float, t: int):
+        """Vectorized :meth:`sample_ranks` returning a NumPy int array.
+
+        The two-level alias scheme vectorizes cleanly: one bulk draw over
+        the query-local top table assigns every sample to a canonical part,
+        then one bulk draw per *distinct* part (``O(log n)`` of them) picks
+        the in-part indices.  Randomness comes from a NumPy side stream
+        spawned once via :meth:`RandomSource.spawn_numpy`, so draw
+        accounting differs from the scalar path.
+        """
+        if _np is None:  # pragma: no cover
+            return self.sample_ranks(lo, hi, t)
+        validate_query(lo, hi, t)
+        if t == 0:
+            return _np.empty(0, dtype=_np.int64)
+        a, b = self.rank_range(lo, hi)
+        if b <= a:
+            raise EmptyRangeError("no points inside the query range")
+        parts = self._decompose(a, b)
+        if not parts:
+            raise EmptyRangeError("query range has zero total weight")
+        if self._bulk_gen is None:
+            self._bulk_gen = self._rng.spawn_numpy()
+            self._np_values = _np.asarray(self._values, dtype=float)
+        gen = self._bulk_gen
+        top = AliasTable([p[0] for p in parts])
+        part_of = top.sample_bulk(gen, t)
+        ranks = _np.empty(t, dtype=_np.int64)
+        for i, (_total, alias, offset) in enumerate(parts):
+            sel = part_of == i
+            k = int(sel.sum())
+            if k:
+                ranks[sel] = alias.sample_bulk(gen, k) + offset
+        return ranks
+
+    def sample_bulk(self, lo: float, hi: float, t: int):
+        """Vectorized :meth:`sample` returning a NumPy float array."""
+        if _np is None:  # pragma: no cover
+            return self.sample(lo, hi, t)
+        ranks = self.sample_ranks_bulk(lo, hi, t)
+        if self._np_values is None:  # t == 0 short-circuits the lazy build
+            self._np_values = _np.asarray(self._values, dtype=float)
+        return self._np_values[ranks]

@@ -10,6 +10,13 @@ global ``random`` module.  This buys three things:
   assert expected-constant rejection rates empirically;
 * **substitutability** — tests can inject a scripted source to force rare
   code paths (e.g. long rejection streaks) deterministically.
+
+The vectorized bulk paths (``sample_bulk`` and the batch engine) draw from
+a NumPy *side stream* spawned once per structure via :meth:`RandomSource.
+spawn_numpy`, so their draw accounting differs from the scalar paths: the
+spawn costs nothing against :attr:`RandomSource.draws` and bulk draws are
+not counted per element.  Reproducibility under a fixed seed still holds —
+the side stream is seeded by a deterministic 64-bit split.
 """
 
 from __future__ import annotations
@@ -107,6 +114,25 @@ class RandomSource:
     def spawn(self) -> "RandomSource":
         """Return a new source seeded from this one (stream splitting)."""
         return RandomSource(self._rng.getrandbits(64))
+
+    def spawn_numpy(self):
+        """Return a NumPy ``Generator`` seeded from this source.
+
+        This is the public hand-off point between the scalar draw stream and
+        the vectorized bulk paths: the spawned generator is a *side stream*
+        (seeded once by a 64-bit split, like :meth:`spawn`), so bulk draws
+        are reproducible under the structure's seed but are **not** counted
+        in :attr:`draws` per element — tests that assert draw accounting
+        must use the scalar paths.
+
+        Raises :class:`RuntimeError` when NumPy is not installed; callers
+        that want a graceful fallback should check for NumPy themselves.
+        """
+        try:
+            import numpy as np
+        except ImportError as exc:  # pragma: no cover - numpy is in CI
+            raise RuntimeError("spawn_numpy() requires NumPy") from exc
+        return np.random.default_rng(self._rng.getrandbits(64))
 
 
 def spawn(seed: int | None, index: int) -> RandomSource:

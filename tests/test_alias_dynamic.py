@@ -53,6 +53,55 @@ class TestMutation:
         sampler.update_weight("a", 8.0)
         assert sampler.weight_of("a") == 8.0
 
+    def test_update_weight_same_bucket_fast_path(self):
+        # 1.0 and 1.75 share the [2^0, 2^1) bucket: the item list must stay
+        # untouched while weights and totals adjust in place.
+        sampler = make({"a": 1.0, "b": 1.25, "c": 4.0})
+        bucket = sampler._buckets[0]
+        items_before = list(bucket.items)
+        sampler.update_weight("a", 1.75)
+        assert list(bucket.items) == items_before
+        assert sampler.weight_of("a") == 1.75
+        assert bucket.total == pytest.approx(3.0)
+        assert sampler.total_weight == pytest.approx(7.0)
+
+    def test_update_weight_crossing_buckets_rebuckets(self):
+        sampler = make({"a": 1.0, "b": 1.5})
+        sampler.update_weight("a", 8.0)  # bucket 0 -> bucket 3
+        assert 0 in sampler._buckets and 3 in sampler._buckets
+        assert sampler._scale_of["a"] == 3
+        assert sampler.total_weight == pytest.approx(9.5)
+
+    def test_update_weight_missing_key(self):
+        sampler = make({"a": 1.0})
+        with pytest.raises(KeyNotFoundError):
+            sampler.update_weight("zzz", 2.0)
+
+    def test_update_weight_invalid_leaves_sampler_intact(self):
+        # Regression: the delete+insert form removed the key, then raised on
+        # the bad weight, leaving it half-deleted.
+        sampler = make({"a": 1.0, "b": 2.0})
+        for bad in (0.0, -3.0, float("nan"), float("inf")):
+            with pytest.raises(InvalidWeightError):
+                sampler.update_weight("a", bad)
+        assert "a" in sampler
+        assert sampler.weight_of("a") == 1.0
+        assert sampler.total_weight == pytest.approx(3.0)
+
+    def test_distribution_after_same_bucket_updates(self):
+        from repro.stats import chi_square_gof
+
+        sampler = make({i: 1.0 for i in range(6)})
+        targets = {i: 1.0 + i / 8.0 for i in range(6)}  # all stay in bucket 0
+        for key, weight in targets.items():
+            sampler.update_weight(key, weight)
+        rng = RandomSource(9)
+        counts = [0] * 6
+        for _ in range(30_000):
+            counts[sampler.sample(rng)] += 1
+        _stat, p = chi_square_gof(counts, [targets[i] for i in range(6)])
+        assert p > 1e-4
+
     def test_total_weight_tracks(self):
         sampler = make({"a": 1.5, "b": 2.5})
         assert sampler.total_weight == pytest.approx(4.0)

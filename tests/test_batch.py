@@ -1,0 +1,181 @@
+"""Tests for the vectorized batch sampling engine (``repro.batch``).
+
+Covers the three pillars the engine promises:
+
+* statistical correctness — chi-square uniformity of ``sample_bulk`` on all
+  three samplers (and weighted-proportional correctness on the weighted
+  one);
+* equivalence — :class:`BatchQueryRunner` returns exactly the counts the
+  per-query ``sample`` path would, aligned with input order;
+* cache discipline — the dynamic structure's bulk path sees every insert
+  and delete (no stale NumPy views).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BatchQuery,
+    BatchQueryRunner,
+    DynamicIRS,
+    StaticIRS,
+    WeightedStaticIRS,
+)
+from repro.errors import InvalidQueryError, KeyNotFoundError
+from repro.stats import chi_square_gof, uniformity_test
+
+# Same calibration as conftest.P_PASS: honest samplers clear this by orders
+# of magnitude.
+P_PASS = 1e-4
+
+SAMPLERS = ["static", "dynamic", "weighted"]
+
+
+def build(kind: str, data: list[float], seed: int):
+    if kind == "static":
+        return StaticIRS(data, seed=seed)
+    if kind == "dynamic":
+        return DynamicIRS(data, seed=seed)
+    return WeightedStaticIRS(data, [1.0] * len(data), seed=seed)
+
+
+class TestBulkUniformity:
+    @pytest.mark.parametrize("kind", SAMPLERS)
+    def test_bulk_is_uniform(self, uniform_data, kind):
+        sampler = build(kind, uniform_data, seed=71)
+        lo, hi = 0.30, 0.45
+        population = sampler.report(lo, hi)
+        samples = sampler.sample_bulk(lo, hi, 20 * len(population))
+        assert ((samples >= lo) & (samples <= hi)).all()
+        _stat, p = uniformity_test(samples.tolist(), population)
+        assert p > P_PASS
+
+    def test_dynamic_bulk_uniform_on_wide_range(self, uniform_data):
+        # Small t over a wide range forces the PMA rejection middle path.
+        sampler = DynamicIRS(uniform_data, seed=72)
+        lo, hi = 0.05, 0.95
+        collected = np.concatenate(
+            [sampler.sample_bulk(lo, hi, 8) for _ in range(2500)]
+        )
+        _stat, p = uniformity_test(collected.tolist(), sampler.report(lo, hi))
+        assert p > P_PASS
+
+    def test_weighted_bulk_is_proportional(self):
+        values = [float(i) for i in range(64)]
+        weights = [float(i % 8 + 1) for i in range(64)]
+        sampler = WeightedStaticIRS(values, weights, seed=73)
+        ranks = sampler.sample_ranks_bulk(10.0, 53.0, 40_000)
+        a, b = sampler.rank_range(10.0, 53.0)
+        assert ((ranks >= a) & (ranks < b)).all()
+        counts = np.bincount(ranks - a, minlength=b - a)
+        _stat, p = chi_square_gof(counts.tolist(), weights[a:b])
+        assert p > P_PASS
+
+    @pytest.mark.parametrize("kind", SAMPLERS)
+    def test_bulk_reproducible_with_seed(self, uniform_data, kind):
+        a = build(kind, uniform_data, seed=74)
+        b = build(kind, uniform_data, seed=74)
+        assert (a.sample_bulk(0.2, 0.8, 500) == b.sample_bulk(0.2, 0.8, 500)).all()
+
+
+class TestRunnerEquivalence:
+    def test_counts_match_per_query_sample(self, uniform_data):
+        structures = {kind: build(kind, uniform_data, seed=75) for kind in SAMPLERS}
+        scalar = {kind: build(kind, uniform_data, seed=76) for kind in SAMPLERS}
+        queries = [
+            BatchQuery(0.1, 0.6, 37, "static"),
+            BatchQuery(0.3, 0.9, 11, "dynamic"),
+            BatchQuery(0.2, 0.4, 5, "weighted"),
+            BatchQuery(0.5, 0.7, 0, "static"),
+            BatchQuery(0.0, 1.0, 23, "dynamic"),
+        ]
+        result = BatchQueryRunner(structures).run(queries)
+        assert len(result.samples) == len(queries)
+        for q, samples in zip(queries, result.samples):
+            assert len(samples) == len(scalar[q.structure].sample(q.lo, q.hi, q.t))
+            assert all(q.lo <= v <= q.hi for v in samples)
+        assert result.stats.queries == len(queries)
+        assert result.stats.samples_returned == sum(q.t for q in queries)
+        assert result.stats.extra == {
+            "queries:static": 2,
+            "queries:dynamic": 2,
+            "queries:weighted": 1,
+        }
+
+    def test_tuple_queries_and_default_structure(self, uniform_data):
+        runner = BatchQueryRunner(StaticIRS(uniform_data, seed=77))
+        result = runner.run([(0.1, 0.9, 10), (0.2, 0.8, 20, "default")])
+        assert [len(s) for s in result.samples] == [10, 20]
+
+    def test_scalar_fallback_without_sample_bulk(self, uniform_data):
+        from repro.baselines import ReportThenSample
+
+        runner = BatchQueryRunner(ReportThenSample(uniform_data, seed=78))
+        result = runner.run([(0.2, 0.6, 15)])
+        assert len(result.samples[0]) == 15
+
+    def test_unknown_structure_rejected(self, uniform_data):
+        runner = BatchQueryRunner(StaticIRS(uniform_data, seed=79))
+        with pytest.raises(KeyNotFoundError):
+            runner.run([BatchQuery(0.1, 0.2, 1, "nope")])
+
+    def test_unknown_structure_fails_before_any_execution(self, uniform_data):
+        sampler = DynamicIRS(uniform_data, seed=79)
+        runner = BatchQueryRunner({"dynamic": sampler})
+        with pytest.raises(KeyNotFoundError):
+            runner.run([BatchQuery(0.1, 0.9, 10, "dynamic"),
+                        BatchQuery(0.1, 0.2, 1, "typo")])
+        assert sampler.stats.queries == 0  # atomic: nothing ran
+
+    def test_malformed_query_rejected(self, uniform_data):
+        runner = BatchQueryRunner(StaticIRS(uniform_data, seed=80))
+        with pytest.raises(InvalidQueryError):
+            runner.run([(0.1, 0.2)])
+        with pytest.raises(InvalidQueryError):
+            runner.run([("0.1", "nope", 5)])
+
+    def test_weighted_bulk_t_zero(self, uniform_data):
+        sampler = WeightedStaticIRS(uniform_data, [1.0] * len(uniform_data), seed=80)
+        assert len(sampler.sample_bulk(0.1, 0.9, 0)) == 0
+
+    def test_empty_runner_rejected(self):
+        with pytest.raises(ValueError):
+            BatchQueryRunner({})
+
+    def test_run_means(self, uniform_data):
+        runner = BatchQueryRunner(StaticIRS(uniform_data, seed=81))
+        means = runner.run_means([(0.4, 0.6, 2000), (0.1, 0.2, 0)])
+        assert means[0] == pytest.approx(0.5, abs=0.05)
+        assert np.isnan(means[1])
+
+
+class TestDynamicInvalidation:
+    def test_bulk_sees_inserts(self):
+        sampler = DynamicIRS([float(i) for i in range(200)], seed=82)
+        before = sampler.sample_bulk(50.0, 60.0, 500)
+        assert not (before == 55.5).any()
+        for _ in range(40):
+            sampler.insert(55.5)
+        after = sampler.sample_bulk(50.0, 60.0, 2000)
+        # 40 of ~51 in-range points are the new value; it must show up.
+        assert (after == 55.5).sum() > 0
+
+    def test_bulk_sees_deletes(self):
+        sampler = DynamicIRS([float(i) for i in range(200)], seed=83)
+        sampler.sample_bulk(0.0, 199.0, 100)  # warm the chunk caches
+        for v in range(100, 200):
+            sampler.delete(float(v))
+        remaining = sampler.sample_bulk(0.0, 199.0, 2000)
+        assert (remaining < 100.0).all()
+        sampler.check_invariants()
+
+    def test_bulk_sees_rebuild(self):
+        sampler = DynamicIRS([float(i) for i in range(64)], seed=84)
+        sampler.sample_bulk(0.0, 63.0, 50)
+        for i in range(64, 512):  # trigger n > 2·n0 rebuilds
+            sampler.insert(float(i))
+        samples = sampler.sample_bulk(0.0, 511.0, 4000)
+        assert (samples >= 256.0).any()
+        sampler.check_invariants()

@@ -88,6 +88,36 @@ class TestCommands:
         )
         assert capsys.readouterr().out.strip() == "10"
 
+    def test_batch(self, capsys, data_file, tmp_path):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("10 19 100\n0 99\n# a comment line\n\n40 49 50\n")
+        assert main(
+            ["batch", "--data", data_file, "--queries", str(queries),
+             "-t", "20", "--seed", "3"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 4  # three query means + one aggregate line
+        assert 10.0 <= float(lines[0]) <= 19.0
+        assert 0.0 <= float(lines[1]) <= 99.0
+        assert 40.0 <= float(lines[2]) <= 49.0
+        assert lines[3].startswith("# queries=3 samples=170 ")
+
+    def test_batch_dynamic_structure(self, capsys, data_file, tmp_path):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("5 95 64\n")
+        assert main(
+            ["batch", "--data", data_file, "--queries", str(queries),
+             "--structure", "dynamic", "--seed", "5"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert 5.0 <= float(lines[0]) <= 95.0
+
+    def test_batch_malformed_query_file(self, data_file, tmp_path):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("1 2 3 4 5\n")
+        with pytest.raises(ValueError):
+            main(["batch", "--data", data_file, "--queries", str(queries)])
+
 
 def test_module_entry_point(data_file):
     result = subprocess.run(

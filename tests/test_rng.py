@@ -47,6 +47,27 @@ class TestRandomSource:
         a2 = RandomSource(5).spawn()
         assert [a1.random() for _ in range(5)] == [a2.random() for _ in range(5)]
 
+    def test_spawn_numpy_is_deterministic_side_stream(self):
+        a = RandomSource(5).spawn_numpy()
+        b = RandomSource(5).spawn_numpy()
+        assert a.integers(0, 1000, size=8).tolist() == b.integers(
+            0, 1000, size=8
+        ).tolist()
+
+    def test_spawn_numpy_does_not_count_draws(self):
+        rng = RandomSource(5)
+        gen = rng.spawn_numpy()
+        gen.integers(0, 10, size=100)
+        assert rng.draws == 0
+
+    def test_spawn_numpy_advances_parent_stream(self):
+        rng = RandomSource(5)
+        first = rng.spawn_numpy()
+        second = rng.spawn_numpy()
+        assert first.integers(0, 10**9, size=4).tolist() != second.integers(
+            0, 10**9, size=4
+        ).tolist()
+
     def test_spawn_helper_indexing(self):
         s0 = spawn(9, 0)
         s1 = spawn(9, 1)

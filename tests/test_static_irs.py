@@ -95,6 +95,29 @@ class TestDistribution:
         assert len(arr) == 1000
         assert ((arr >= 0.2) & (arr <= 0.4)).all()
 
+    def test_sample_bulk_reuses_cached_view(self, uniform_data):
+        # Regression: the seed re-materialized an O(n) NumPy copy per call.
+        # The view is built lazily on the first bulk call (scalar-only users
+        # never pay for it), then must be reused verbatim.
+        s = StaticIRS(uniform_data, seed=12)
+        assert s._np_data is None
+        s.sample_bulk(0.2, 0.4, 10)
+        view = s._np_data
+        assert view is not None
+        s.sample_bulk(0.5, 0.9, 10)
+        assert s._np_data is view
+
+    def test_sample_bulk_is_fresh_per_call(self, uniform_data):
+        s = StaticIRS(uniform_data, seed=12)
+        a = s.sample_bulk(0.1, 0.9, 200)
+        b = s.sample_bulk(0.1, 0.9, 200)
+        assert not (a == b).all()
+
+    def test_sample_bulk_reproducible_with_seed(self, uniform_data):
+        a = StaticIRS(uniform_data, seed=13)
+        b = StaticIRS(uniform_data, seed=13)
+        assert (a.sample_bulk(0.1, 0.9, 50) == b.sample_bulk(0.1, 0.9, 50)).all()
+
     def test_reproducible_with_seed(self, uniform_data):
         a = StaticIRS(uniform_data, seed=13)
         b = StaticIRS(uniform_data, seed=13)

@@ -27,6 +27,21 @@ class TestConstruction:
             WeightedStaticIRS([1.0], [-1.0], seed=2)
         with pytest.raises(InvalidWeightError):
             WeightedStaticIRS([1.0], [float("nan")], seed=3)
+        with pytest.raises(InvalidWeightError):
+            WeightedStaticIRS([1.0], [float("inf")], seed=3)
+
+    def test_invalid_weight_reported_before_prefix_sums(self):
+        # Regression: validation used to run after sorting/zipping, so a NaN
+        # weight poisoned the prefix sums before being reported.  It must be
+        # caught first, whatever position it occupies.
+        values = [float(i) for i in range(6)]
+        for bad_at in (0, 3, 5):
+            weights = [1.0] * 6
+            weights[bad_at] = float("nan")
+            with pytest.raises(InvalidWeightError):
+                WeightedStaticIRS(values, weights, seed=4)
+        with pytest.raises(InvalidWeightError):
+            WeightedStaticIRS(values, [1.0, 2.0, -0.5, 1.0, 1.0, 1.0], seed=4)
 
     def test_unsorted_input_is_sorted_with_weights_attached(self):
         w = WeightedStaticIRS([3.0, 1.0, 2.0], [30.0, 10.0, 20.0], seed=4)
