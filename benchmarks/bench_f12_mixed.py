@@ -5,16 +5,22 @@ updates.  Sweeping the update fraction shows DynamicIRS dominating
 TreeWalkSampler at query-heavy mixes (O(1) vs O(log n) per sample) while
 staying competitive at update-heavy mixes; the sorted-array baseline decays
 as updates take over (O(n) memmove per update).
+
+The "bulk stream" series routes the identical interleaved stream through
+:meth:`repro.batch.BatchQueryRunner.run_mixed`, which coalesces update
+runs into ``insert_bulk``/``delete_bulk`` calls and answers queries with
+``sample_bulk`` — the mixed read/write fast path of the batch engine.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro import DynamicIRS
+from repro import BatchQueryRunner, DynamicIRS
 from repro.baselines import ReportThenSample, TreeWalkSampler
 from repro.workloads import (
     UpdateStream,
+    as_mixed_ops,
     run_mixed_workload,
     selectivity_queries,
     uniform_points,
@@ -62,3 +68,21 @@ def test_mixed(benchmark, data, rec, name, fraction):
 
     result = benchmark.pedantic(run, setup=fresh, rounds=2, iterations=1)
     rec.row(name, fraction, result.throughput)
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+@pytest.mark.benchmark(group="F12 mixed workload")
+def test_mixed_bulk_stream(benchmark, data, rec, fraction):
+    queries = selectivity_queries(sorted(data), 0.2, 16, seed=125)
+
+    def fresh():
+        structure = DynamicIRS(data, seed=122)
+        stream = UpdateStream(data, insert_fraction=fraction, seed=126).take(OPS)
+        ops = as_mixed_ops(stream, queries, t=T, query_every=5)
+        return (BatchQueryRunner(structure), ops), {}
+
+    def run(runner, ops):
+        return runner.run_mixed(ops)
+
+    result = benchmark.pedantic(run, setup=fresh, rounds=2, iterations=1)
+    rec.row("DynamicIRS (bulk stream)", fraction, result.ops_per_second)

@@ -4,9 +4,18 @@ A balanced insert/delete stream applied to structures preloaded at several
 sizes.  Expected shape: DynamicIRS and TreeWalkSampler grow ~logarithmically
 (DynamicIRS carries chunk-maintenance constants); the sorted-array baseline
 grows linearly (memmove).
+
+The F4b experiment measures the *bulk-update engine*: one
+``insert_bulk``/``delete_bulk`` call per 10^4-element batch against the
+scalar per-element loop, in ops/sec.  (For the trajectory record: the PR-1
+pointer-directory scalar path ran at ~22.5 µs/insert and ~52 µs/delete at
+n=10^6 on the reference machine; the array-directory rewrite brought the
+scalar loop itself to ~5 µs, and the bulk engine multiplies that again.)
 """
 
 from __future__ import annotations
+
+import random
 
 import pytest
 
@@ -16,6 +25,9 @@ from repro.workloads import UpdateStream, uniform_points
 
 NS = [10_000, 100_000, 400_000]
 OPS = 2_000
+
+BULK_NS = [100_000, 1_000_000]
+BATCH = 10_000
 
 
 @pytest.fixture(scope="module")
@@ -77,3 +89,87 @@ def test_sorted_array(benchmark, rec, n):
 
     benchmark.pedantic(lambda s: _apply(s, ops), setup=fresh, rounds=3, iterations=1)
     rec.row("sorted array (insort)", n, benchmark.stats["mean"] / OPS * 1e6)
+
+
+# -- F4b: the bulk-update engine vs the scalar loop -------------------------
+
+
+@pytest.fixture(scope="module")
+def rec_bulk(experiment):
+    return experiment(
+        "F4b",
+        f"bulk-update engine (batch={BATCH:,}): one bulk call vs the scalar "
+        "loop; ops/sec",
+        ["path", "n", "ops/sec"],
+    )
+
+
+@pytest.fixture(scope="module")
+def bulk_data():
+    out = {}
+    for n in BULK_NS:
+        data = uniform_points(n, seed=141)
+        batch = uniform_points(BATCH, seed=142)
+        dels = random.Random(143).sample(data, BATCH)
+        out[n] = (data, batch, dels)
+    return out
+
+
+@pytest.mark.parametrize("n", BULK_NS)
+@pytest.mark.benchmark(group="F4b bulk updates")
+def test_insert_scalar_loop(benchmark, rec_bulk, bulk_data, n):
+    data, batch, _dels = bulk_data[n]
+
+    def fresh():
+        return (DynamicIRS(data, seed=144),), {}
+
+    def run(d):
+        for v in batch:
+            d.insert(v)
+
+    benchmark.pedantic(run, setup=fresh, rounds=3, iterations=1)
+    rec_bulk.row("insert scalar loop", n, BATCH / benchmark.stats["mean"])
+
+
+@pytest.mark.parametrize("n", BULK_NS)
+@pytest.mark.benchmark(group="F4b bulk updates")
+def test_insert_bulk(benchmark, rec_bulk, bulk_data, n):
+    data, batch, _dels = bulk_data[n]
+
+    def fresh():
+        return (DynamicIRS(data, seed=145),), {}
+
+    benchmark.pedantic(
+        lambda d: d.insert_bulk(batch), setup=fresh, rounds=3, iterations=1
+    )
+    rec_bulk.row("insert_bulk", n, BATCH / benchmark.stats["mean"])
+
+
+@pytest.mark.parametrize("n", BULK_NS)
+@pytest.mark.benchmark(group="F4b bulk updates")
+def test_delete_scalar_loop(benchmark, rec_bulk, bulk_data, n):
+    data, _batch, dels = bulk_data[n]
+
+    def fresh():
+        return (DynamicIRS(data, seed=146),), {}
+
+    def run(d):
+        for v in dels:
+            d.delete(v)
+
+    benchmark.pedantic(run, setup=fresh, rounds=3, iterations=1)
+    rec_bulk.row("delete scalar loop", n, BATCH / benchmark.stats["mean"])
+
+
+@pytest.mark.parametrize("n", BULK_NS)
+@pytest.mark.benchmark(group="F4b bulk updates")
+def test_delete_bulk(benchmark, rec_bulk, bulk_data, n):
+    data, _batch, dels = bulk_data[n]
+
+    def fresh():
+        return (DynamicIRS(data, seed=147),), {}
+
+    benchmark.pedantic(
+        lambda d: d.delete_bulk(dels), setup=fresh, rounds=3, iterations=1
+    )
+    rec_bulk.row("delete_bulk", n, BATCH / benchmark.stats["mean"])

@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""CI bench-smoke: fail loudly if the bulk update/read engine regresses.
+
+Tiny-n, seconds-long sanity gate (not a benchmark): asserts that
+
+* ``DynamicIRS.insert_bulk`` / ``delete_bulk`` beat the scalar loops,
+* ``WeightedDynamicIRS.insert_bulk`` beats its scalar loop,
+* every sampler exposes ``sample_bulk`` and returns in-range samples,
+* the mixed-stream runner executes a coalesced read/write stream.
+
+Run:  PYTHONPATH=src python benchmarks/bench_smoke.py
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+from repro import (
+    BatchQueryRunner,
+    DynamicIRS,
+    ExternalIRS,
+    StaticIRS,
+    WeightedDynamicIRS,
+    WeightedStaticIRS,
+)
+from repro.bench import update_throughput
+from repro.workloads import UpdateStream, as_mixed_ops, uniform_points
+
+N = 20_000
+BATCH = 4_000
+#: The bulk path must be at least this much faster than the scalar loop;
+#: real ratios are 4-25x, the slack absorbs CI scheduler noise.
+MARGIN = 1.3
+
+failures: list[str] = []
+
+
+def check(label: str, ok: bool, detail: str = "") -> None:
+    status = "ok" if ok else "FAIL"
+    print(f"[{status}] {label}" + (f"  ({detail})" if detail else ""))
+    if not ok:
+        failures.append(label)
+
+
+def main() -> int:
+    data = uniform_points(N, seed=11)
+    batch = uniform_points(BATCH, seed=12)
+    dels = random.Random(13).sample(data, BATCH)
+
+    # -- dynamic bulk vs scalar (updates/sec, fresh structure per run) ---------
+    def scalar_insert(d):
+        for v in batch:
+            d.insert(v)
+
+    scalar = update_throughput(
+        lambda: DynamicIRS(data, seed=14), scalar_insert, BATCH
+    )
+    bulk = update_throughput(
+        lambda: DynamicIRS(data, seed=14), lambda d: d.insert_bulk(batch), BATCH
+    )
+    check(
+        "DynamicIRS.insert_bulk beats scalar loop",
+        bulk > scalar * MARGIN,
+        f"bulk {bulk:,.0f}/s vs scalar {scalar:,.0f}/s",
+    )
+
+    def scalar_delete(d):
+        for v in dels:
+            d.delete(v)
+
+    scalar = update_throughput(
+        lambda: DynamicIRS(data, seed=15), scalar_delete, BATCH
+    )
+    bulk = update_throughput(
+        lambda: DynamicIRS(data, seed=15), lambda d: d.delete_bulk(dels), BATCH
+    )
+    check(
+        "DynamicIRS.delete_bulk beats scalar loop",
+        bulk > scalar * MARGIN,
+        f"bulk {bulk:,.0f}/s vs scalar {scalar:,.0f}/s",
+    )
+
+    # correctness cross-check while we are here
+    d_bulk = DynamicIRS(data, seed=16)
+    d_bulk.insert_bulk(batch)
+    d_bulk.delete_bulk(dels)
+    d_ref = DynamicIRS(data, seed=16)
+    for v in batch:
+        d_ref.insert(v)
+    for v in dels:
+        d_ref.delete(v)
+    d_bulk.check_invariants()
+    check("bulk == scalar element-for-element", d_bulk.values() == d_ref.values())
+
+    # -- weighted bulk vs scalar -----------------------------------------------
+    weights = [1.0 + (i % 7) for i in range(N)]
+    wbatch = [1.0 + (i % 5) for i in range(BATCH)]
+
+    def w_scalar(w):
+        for v, wt in zip(batch, wbatch):
+            w.insert(v, wt)
+
+    scalar = update_throughput(
+        lambda: WeightedDynamicIRS(data, weights, seed=17), w_scalar, BATCH
+    )
+    bulk = update_throughput(
+        lambda: WeightedDynamicIRS(data, weights, seed=17),
+        lambda w: w.insert_bulk(batch, wbatch),
+        BATCH,
+    )
+    check(
+        "WeightedDynamicIRS.insert_bulk beats scalar loop",
+        bulk > scalar * MARGIN,
+        f"bulk {bulk:,.0f}/s vs scalar {scalar:,.0f}/s",
+    )
+
+    # -- sample_bulk on every sampler ------------------------------------------
+    samplers = {
+        "StaticIRS": StaticIRS(data, seed=21),
+        "DynamicIRS": DynamicIRS(data, seed=22),
+        "WeightedStaticIRS": WeightedStaticIRS(data, weights, seed=23),
+        "WeightedDynamicIRS": WeightedDynamicIRS(data, weights, seed=24),
+        "ExternalIRS": ExternalIRS(data, block_size=256, seed=25),
+    }
+    lo, hi = 0.2, 0.7
+    for name, sampler in samplers.items():
+        samples = sampler.sample_bulk(lo, hi, 512)
+        ok = len(samples) == 512 and all(lo <= v <= hi for v in samples)
+        check(f"{name}.sample_bulk in-range", ok)
+
+    # -- mixed stream through the batch engine ---------------------------------
+    runner = BatchQueryRunner(DynamicIRS(data, seed=26))
+    stream = UpdateStream(data, insert_fraction=0.5, seed=27).take(2_000)
+    ops = as_mixed_ops(stream, [(0.1, 0.9)], t=64, query_every=50)
+    result = runner.run_mixed(ops)
+    check(
+        "run_mixed coalesces updates",
+        result.stats.extra["bulk_update_calls"] < result.stats.extra["updates"],
+        f"{result.stats.extra['updates']} updates in "
+        f"{result.stats.extra['bulk_update_calls']} bulk calls",
+    )
+
+    print()
+    if failures:
+        print(f"bench-smoke FAILED: {len(failures)} check(s): {failures}")
+        return 1
+    print("bench-smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

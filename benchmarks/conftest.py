@@ -12,7 +12,7 @@ from collections import OrderedDict
 
 import pytest
 
-from repro.bench import format_table
+from repro.bench import dump_experiment_json, format_table
 
 _TABLES: "OrderedDict[str, dict]" = OrderedDict()
 
@@ -37,12 +37,28 @@ def experiment():
     return ExperimentRecorder
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        default=None,
+        metavar="DIR",
+        help="write each experiment table to DIR/BENCH_<id>.json "
+        "(the recorded perf trajectory)",
+    )
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     if not _TABLES:
         return
     out = terminalreporter
     out.write_sep("=", "experiment series (paper-shape reproduction)")
+    json_dir = config.getoption("--bench-json")
     for exp_id, table in _TABLES.items():
         out.write_line("")
         out.write_line(f"[{exp_id}] {table['title']}")
         out.write_line(format_table(table["headers"], table["rows"]))
+        if json_dir:
+            path = dump_experiment_json(
+                json_dir, exp_id, table["title"], table["headers"], table["rows"]
+            )
+            out.write_line(f"(written to {path})")

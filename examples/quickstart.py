@@ -35,6 +35,29 @@ def main() -> None:
     dynamic.delete(dynamic.sample(100.0, 200.0, 1)[0])
     print("after 1 insert + 1 delete, count:", dynamic.count(100.0, 200.0))
     print("3 samples:", [round(v, 2) for v in dynamic.sample(100.0, 200.0, 3)])
+    # Whole batches go through the vectorized bulk-update engine: one sort,
+    # one splice per touched chunk, one deferred directory repair.
+    dynamic.insert_bulk([150.0 + i * 0.001 for i in range(1000)])
+    dynamic.delete_bulk([150.0 + i * 0.001 for i in range(0, 1000, 2)])
+    print("after bulk insert+delete, count:", dynamic.count(100.0, 200.0))
+
+    # -- mixed read/write streams through the batch engine ------------------
+    from repro import BatchQueryRunner
+
+    runner = BatchQueryRunner(dynamic)
+    stream = (
+        [("insert", 170.0 + i * 0.01) for i in range(200)]
+        + [("sample", 100.0, 200.0, 256)]
+        + [("delete", 170.0 + i * 0.01) for i in range(0, 200, 2)]
+        + [("sample", 100.0, 200.0, 256)]
+    )
+    mixed = runner.run_mixed(stream)
+    print(
+        f"mixed stream: {mixed.operations} ops "
+        f"({mixed.stats.extra['updates']} updates coalesced into "
+        f"{mixed.stats.extra['bulk_update_calls']} bulk calls), "
+        f"{mixed.ops_per_second:,.0f} ops/sec"
+    )
 
     # -- weighted: sampling proportional to weights -------------------------
     values = [float(i) for i in range(10)]

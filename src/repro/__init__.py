@@ -10,15 +10,20 @@ A full reproduction of the paper's structures plus the substrates they need:
 * :class:`WeightedStaticIRS` — weighted extension (exact proportional
   sampling, worst-case query).
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record.  Quick start::
+See DESIGN.md for the system inventory and the analysis record.  Quick
+start::
 
-    from repro import StaticIRS
-    s = StaticIRS([3.0, 1.0, 4.0, 1.0, 5.0], seed=42)
-    s.sample(1.0, 4.0, 3)   # three independent uniform samples from [1, 4]
+    from repro import DynamicIRS
+    d = DynamicIRS([3.0, 1.0, 4.0, 1.0, 5.0], seed=42)
+    d.sample(1.0, 4.0, 3)   # three independent uniform samples from [1, 4]
+    d.insert_bulk([2.5, 0.5, 3.5])   # one sort + one directory repair
+    d.sample_bulk(0.0, 4.0, 1000)    # vectorized draws (NumPy array)
+
+Batches of queries — and mixed update/query streams — run through
+:class:`repro.batch.BatchQueryRunner` (``run`` / ``run_mixed``).
 """
 
-from .batch import BatchQuery, BatchQueryRunner, BatchResult
+from .batch import BatchOp, BatchQuery, BatchQueryRunner, BatchResult, MixedResult
 from .core import (
     DynamicIRS,
     DynamicRangeSampler,
@@ -42,12 +47,14 @@ from .errors import (
 from .rng import RandomSource
 from .types import Interval, QueryStats
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BatchOp",
     "BatchQuery",
     "BatchQueryRunner",
     "BatchResult",
+    "MixedResult",
     "StaticIRS",
     "DynamicIRS",
     "ExternalIRS",

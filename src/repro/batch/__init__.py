@@ -12,8 +12,29 @@ Bulk paths draw from a NumPy side stream (see
 :meth:`repro.rng.RandomSource.spawn_numpy`), so per-element draw accounting
 differs from the scalar ``sample`` path; the returned samples follow the
 same distributions.
+
+Mixed read/write streams go through :meth:`BatchQueryRunner.run_mixed`: a
+sequence of :class:`BatchOp` (``insert``/``delete``/``sample``) executed in
+submission order, with runs of same-kind updates coalesced into the
+structures' ``insert_bulk``/``delete_bulk`` fast paths between queries —
+the online-aggregation traffic shape (bursts of updates punctuated by
+sampling queries) hits the vectorized path on both sides.
 """
 
-from .runner import DEFAULT_STRUCTURE, BatchQuery, BatchQueryRunner, BatchResult
+from .runner import (
+    DEFAULT_STRUCTURE,
+    BatchOp,
+    BatchQuery,
+    BatchQueryRunner,
+    BatchResult,
+    MixedResult,
+)
 
-__all__ = ["BatchQuery", "BatchQueryRunner", "BatchResult", "DEFAULT_STRUCTURE"]
+__all__ = [
+    "BatchOp",
+    "BatchQuery",
+    "BatchQueryRunner",
+    "BatchResult",
+    "MixedResult",
+    "DEFAULT_STRUCTURE",
+]

@@ -28,7 +28,14 @@ try:  # NumPy is optional at runtime; scalar fallbacks return lists.
 except ImportError:  # pragma: no cover - numpy is installed in CI
     _np = None
 
-__all__ = ["BatchQuery", "BatchResult", "BatchQueryRunner", "DEFAULT_STRUCTURE"]
+__all__ = [
+    "BatchQuery",
+    "BatchOp",
+    "BatchResult",
+    "MixedResult",
+    "BatchQueryRunner",
+    "DEFAULT_STRUCTURE",
+]
 
 DEFAULT_STRUCTURE = "default"
 
@@ -41,6 +48,70 @@ class BatchQuery:
     hi: float
     t: int
     structure: str = DEFAULT_STRUCTURE
+
+
+@dataclass(frozen=True, slots=True)
+class BatchOp:
+    """One operation inside a mixed read/write stream.
+
+    ``kind`` is ``"insert"``, ``"delete"`` or ``"sample"``; use the
+    constructors below rather than filling fields positionally.
+    """
+
+    kind: str
+    value: float = 0.0
+    weight: float | None = None
+    lo: float = 0.0
+    hi: float = 0.0
+    t: int = 0
+    structure: str = DEFAULT_STRUCTURE
+
+    @classmethod
+    def insert(
+        cls, value: float, weight: float | None = None, structure: str = DEFAULT_STRUCTURE
+    ) -> "BatchOp":
+        """An insertion (``weight`` only meaningful on weighted samplers)."""
+        return cls("insert", value=float(value), weight=weight, structure=structure)
+
+    @classmethod
+    def delete(cls, value: float, structure: str = DEFAULT_STRUCTURE) -> "BatchOp":
+        """A deletion of one occurrence of ``value``."""
+        return cls("delete", value=float(value), structure=structure)
+
+    @classmethod
+    def sample(
+        cls, lo: float, hi: float, t: int, structure: str = DEFAULT_STRUCTURE
+    ) -> "BatchOp":
+        """A range-sampling query."""
+        return cls("sample", lo=float(lo), hi=float(hi), t=int(t), structure=structure)
+
+
+@dataclass(slots=True)
+class MixedResult:
+    """Outcome of one :meth:`BatchQueryRunner.run_mixed` call.
+
+    ``samples[i]`` aligns with the ``i``-th input op: the samples of a
+    ``sample`` op, ``None`` for updates.  ``stats.extra`` records
+    ``"updates"`` (total update ops) and ``"bulk_update_calls"`` (how many
+    coalesced bulk calls served them) alongside the per-structure
+    ``"queries:<name>"`` counters.
+    """
+
+    samples: list = field(default_factory=list)
+    stats: QueryStats = field(default_factory=QueryStats)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def operations(self) -> int:
+        """Total operations executed (updates + queries)."""
+        return self.stats.queries + self.stats.extra.get("updates", 0)
+
+    @property
+    def ops_per_second(self) -> float:
+        """Stream throughput (0.0 when the stream was empty or instant)."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.operations / self.elapsed_seconds
 
 
 @dataclass(slots=True)
@@ -84,6 +155,54 @@ def _normalize(query) -> BatchQuery:
         pass
     raise InvalidQueryError(
         f"expected BatchQuery or (lo, hi, t[, structure]) tuple, got {query!r}"
+    )
+
+
+def _accepts_weights(sampler) -> bool:
+    """True if the sampler's insert path takes a weight argument.
+
+    Checked upfront by :meth:`BatchQueryRunner.run_mixed` so a weighted
+    insert op against an unweighted structure fails as a typed error
+    before any op executes, instead of a mid-stream ``TypeError``.
+    """
+    import inspect
+
+    bulk = getattr(sampler, "insert_bulk", None)
+    if bulk is not None:  # flush prefers the bulk path, so its signature rules
+        method, param = bulk, "weights"
+    else:
+        method, param = getattr(sampler, "insert", None), "weight"
+    if method is None:
+        return False
+    try:
+        return param in inspect.signature(method).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtin callables
+        return False
+
+
+def _normalize_op(op) -> BatchOp:
+    if isinstance(op, BatchOp):
+        if op.kind not in ("insert", "delete", "sample"):
+            raise InvalidQueryError(f"unknown op kind: {op.kind!r}")
+        return op
+    try:
+        kind = op[0]
+        if kind == "insert" and len(op) in (2, 3):
+            structure = op[2] if len(op) == 3 else DEFAULT_STRUCTURE
+            return BatchOp.insert(float(op[1]), structure=str(structure))
+        if kind == "delete" and len(op) in (2, 3):
+            structure = op[2] if len(op) == 3 else DEFAULT_STRUCTURE
+            return BatchOp.delete(float(op[1]), structure=str(structure))
+        if kind == "sample" and len(op) in (4, 5):
+            structure = op[4] if len(op) == 5 else DEFAULT_STRUCTURE
+            return BatchOp.sample(
+                float(op[1]), float(op[2]), int(op[3]), structure=str(structure)
+            )
+    except (TypeError, ValueError, IndexError):
+        pass
+    raise InvalidQueryError(
+        "expected BatchOp, ('insert'|'delete', value[, structure]) or "
+        f"('sample', lo, hi, t[, structure]), got {op!r}"
     )
 
 
@@ -147,6 +266,121 @@ class BatchQueryRunner:
             key = f"queries:{name}"
             stats.extra[key] = stats.extra.get(key, 0) + len(indices)
         result.elapsed_seconds = clock() - start
+        return result
+
+    def run_mixed(self, ops: Sequence[BatchOp | tuple]) -> MixedResult:
+        """Execute a mixed insert/delete/sample stream in submission order.
+
+        Runs of consecutive same-kind updates to the same structure are
+        coalesced into one ``insert_bulk``/``delete_bulk`` call (falling
+        back to the scalar loop on structures without a bulk path), flushed
+        whenever the run breaks — a different update kind, a query against
+        that structure, or the end of the stream.  Coalescing preserves the
+        stream's semantics exactly: no update is reordered across an update
+        of the other kind or across a query that could observe it.
+
+        A failed bulk delete (absent value) raises after the updates that
+        preceded its run were applied; the failing bulk call itself is
+        atomic on structures with a bulk path.
+        """
+        stream = [_normalize_op(op) for op in ops]
+        result = MixedResult(samples=[None] * len(stream))
+        stats = result.stats
+        weight_ok: dict[str, bool] = {}  # signature inspection, once per structure
+        for op in stream:
+            if op.structure not in self._structures:
+                raise KeyNotFoundError(f"unknown structure: {op.structure!r}")
+            if op.kind != "sample":
+                sampler = self._structures[op.structure]
+                if (
+                    getattr(sampler, op.kind, None) is None
+                    and getattr(sampler, op.kind + "_bulk", None) is None
+                ):
+                    raise InvalidQueryError(
+                        f"structure {op.structure!r} does not support {op.kind}"
+                    )
+                if op.kind == "insert" and op.weight is not None:
+                    ok = weight_ok.get(op.structure)
+                    if ok is None:
+                        ok = weight_ok[op.structure] = _accepts_weights(sampler)
+                    if not ok:
+                        raise InvalidQueryError(
+                            f"structure {op.structure!r} does not accept "
+                            "weighted inserts"
+                        )
+        # Per-structure pending update run: (kind, values, weights | None).
+        pending: dict[str, tuple[str, list, list | None]] = {}
+        bulk_calls = 0
+        updates = 0
+
+        def flush(name: str) -> None:
+            nonlocal bulk_calls
+            run = pending.pop(name, None)
+            if run is None:
+                return
+            kind, values, weights = run
+            sampler = self._structures[name]
+            if kind == "insert":
+                bulk = getattr(sampler, "insert_bulk", None)
+                if bulk is not None:
+                    bulk_calls += 1
+                    if weights is not None:
+                        bulk(values, weights)
+                    else:
+                        bulk(values)
+                elif weights is not None:
+                    for value, weight in zip(values, weights):
+                        sampler.insert(value, weight)
+                else:
+                    for value in values:
+                        sampler.insert(value)
+            else:
+                bulk = getattr(sampler, "delete_bulk", None)
+                if bulk is not None:
+                    bulk_calls += 1
+                    bulk(values)
+                else:
+                    for value in values:
+                        sampler.delete(value)
+
+        clock = time.perf_counter
+        start = clock()
+        for i, op in enumerate(stream):
+            name = op.structure
+            if op.kind == "sample":
+                flush(name)
+                sampler = self._structures[name]
+                bulk = getattr(sampler, "sample_bulk", None)
+                if bulk is not None:
+                    samples = bulk(op.lo, op.hi, op.t)
+                else:
+                    samples = sampler.sample(op.lo, op.hi, op.t)
+                result.samples[i] = samples
+                stats.queries += 1
+                stats.samples_returned += len(samples)
+                key = f"queries:{name}"
+                stats.extra[key] = stats.extra.get(key, 0) + 1
+                continue
+            updates += 1
+            run = pending.get(name)
+            if run is not None and run[0] != op.kind:
+                flush(name)
+                run = None
+            if run is None:
+                needs_weights = op.kind == "insert" and op.weight is not None
+                run = (op.kind, [], [] if needs_weights else None)
+                pending[name] = run
+            run[1].append(op.value)
+            if run[2] is not None:
+                run[2].append(1.0 if op.weight is None else op.weight)
+            elif op.kind == "insert" and op.weight is not None:
+                # A weighted insert joined an unweighted run: backfill.
+                pending[name] = (run[0], run[1], [1.0] * (len(run[1]) - 1) + [op.weight])
+        for name in list(pending):
+            flush(name)
+        result.elapsed_seconds = clock() - start
+        stats.extra["updates"] = updates
+        stats.extra["bulk_update_calls"] = bulk_calls
         return result
 
     def run_means(self, queries: Sequence[BatchQuery | tuple]) -> list[float]:

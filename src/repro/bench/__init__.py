@@ -1,7 +1,15 @@
 """Measurement helpers shared by ``benchmarks/`` and ``EXPERIMENTS.md``."""
 
 from .tables import format_table, format_markdown_table
-from .harness import time_callable, geometric_range, Series, batch_throughput
+from .harness import (
+    Series,
+    batch_throughput,
+    dump_experiment_json,
+    geometric_range,
+    mixed_throughput,
+    time_callable,
+    update_throughput,
+)
 
 __all__ = [
     "format_table",
@@ -10,4 +18,7 @@ __all__ = [
     "geometric_range",
     "Series",
     "batch_throughput",
+    "update_throughput",
+    "mixed_throughput",
+    "dump_experiment_json",
 ]

@@ -2,11 +2,21 @@
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
-__all__ = ["time_callable", "geometric_range", "Series", "batch_throughput"]
+__all__ = [
+    "time_callable",
+    "geometric_range",
+    "Series",
+    "batch_throughput",
+    "update_throughput",
+    "mixed_throughput",
+    "dump_experiment_json",
+]
 
 
 def time_callable(fn: Callable[[], object], repeat: int = 5) -> float:
@@ -49,6 +59,72 @@ def batch_throughput(runner, queries: Sequence, repeat: int = 3) -> float:
         return 0.0
     best = time_callable(lambda: runner.run(queries), repeat=repeat)
     return len(queries) / best if best > 0.0 else 0.0
+
+
+def update_throughput(
+    make_structure: Callable[[], object],
+    apply_updates: Callable[[object], object],
+    count: int,
+    repeat: int = 3,
+) -> float:
+    """Updates/second of an update workload, minimum over ``repeat`` runs.
+
+    ``make_structure`` builds a fresh structure per run (untimed) and
+    ``apply_updates`` applies the whole update stream to it (timed); the
+    fresh build keeps repeated runs from measuring a drifted structure.
+    """
+    best = float("inf")
+    clock = time.perf_counter
+    for _ in range(repeat):
+        structure = make_structure()
+        start = clock()
+        apply_updates(structure)
+        elapsed = clock() - start
+        if elapsed < best:
+            best = elapsed
+    return count / best if best > 0.0 else 0.0
+
+
+def mixed_throughput(runner, ops: Sequence, repeat: int = 3) -> float:
+    """Ops/second of a :meth:`BatchQueryRunner.run_mixed` stream.
+
+    The stream must be replayable (balanced inserts/deletes), since it is
+    executed ``repeat`` times against the same runner.
+    """
+    if not ops:
+        return 0.0
+    best = time_callable(lambda: runner.run_mixed(ops), repeat=repeat)
+    return len(ops) / best if best > 0.0 else 0.0
+
+
+def dump_experiment_json(
+    directory: str,
+    exp_id: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    extra: Mapping | None = None,
+) -> str:
+    """Write one experiment's table to ``<directory>/BENCH_<exp_id>.json``.
+
+    The JSON artifact records the perf trajectory across PRs: experiment
+    id, title, column headers, measurement rows, and an optional ``extra``
+    mapping (e.g. derived speedup ratios).  Returns the written path.
+    """
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{exp_id}.json")
+    payload = {
+        "experiment": exp_id,
+        "title": title,
+        "headers": list(headers),
+        "rows": [list(row) for row in rows],
+    }
+    if extra:
+        payload["extra"] = dict(extra)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
 
 
 @dataclass(slots=True)

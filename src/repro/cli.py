@@ -17,7 +17,10 @@ from the experiment tables.
 ``batch`` runs every query from ``--queries`` (one ``lo hi [t]`` triple per
 line; ``t`` defaults to the ``-t`` flag) through the vectorized
 :class:`~repro.batch.BatchQueryRunner`, printing one sample mean per query
-followed by a ``#``-prefixed aggregate line.
+followed by a ``#``-prefixed aggregate line.  With ``--ops`` instead of
+``--queries`` it executes a mixed read/write stream (lines ``insert V``,
+``delete V``, ``sample LO HI [T]``) in order, coalescing update runs into
+the bulk fast paths and printing one mean per ``sample`` line.
 """
 
 from __future__ import annotations
@@ -70,6 +73,28 @@ def build_structure(
     raise ValueError(f"unknown structure: {name}")
 
 
+def read_ops(path: str, default_t: int) -> list[tuple]:
+    """Parse a mixed-stream file: ``insert V`` / ``delete V`` / ``sample LO HI [T]``."""
+    ops: list[tuple] = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            tokens = line.split("#", 1)[0].split()
+            if not tokens:
+                continue
+            kind = tokens[0]
+            if kind in ("insert", "delete") and len(tokens) == 2:
+                ops.append((kind, float(tokens[1])))
+            elif kind == "sample" and len(tokens) in (3, 4):
+                t = int(tokens[3]) if len(tokens) == 4 else default_t
+                ops.append(("sample", float(tokens[1]), float(tokens[2]), t))
+            else:
+                raise ValueError(
+                    f"{path}:{lineno}: expected 'insert V', 'delete V' or "
+                    f"'sample LO HI [T]', got {line.strip()!r}"
+                )
+    return ops
+
+
 def read_queries(path: str, default_t: int) -> list[tuple[float, float, int]]:
     """Parse a batch query file: one ``lo hi [t]`` triple per line."""
     queries: list[tuple[float, float, int]] = []
@@ -101,8 +126,11 @@ def _parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=None)
         p.add_argument("--block-size", type=int, default=1024)
         if command == "batch":
-            p.add_argument(
-                "--queries", required=True, help="file of 'lo hi [t]' lines"
+            group = p.add_mutually_exclusive_group(required=True)
+            group.add_argument("--queries", help="file of 'lo hi [t]' lines")
+            group.add_argument(
+                "--ops",
+                help="file of 'insert V' / 'delete V' / 'sample LO HI [T]' lines",
             )
         else:
             p.add_argument("--lo", type=float, required=True)
@@ -121,8 +149,28 @@ def main(argv: Sequence[str] | None = None) -> int:
         args.structure, values, weights, args.seed, args.block_size
     )
     if args.command == "batch":
-        queries = read_queries(args.queries, args.samples)
         runner = BatchQueryRunner(structure)
+        if args.ops:
+            ops = read_ops(args.ops, args.samples)
+            mixed = runner.run_mixed(ops)
+            for samples in mixed.samples:
+                if samples is None:
+                    continue
+                if len(samples) == 0:
+                    print("nan")
+                else:
+                    print(f"{sum(samples) / len(samples):.6g}")
+            stats = mixed.stats
+            print(
+                f"# ops={mixed.operations} queries={stats.queries}"
+                f" updates={stats.extra.get('updates', 0)}"
+                f" bulk_calls={stats.extra.get('bulk_update_calls', 0)}"
+                f" samples={stats.samples_returned}"
+                f" seconds={mixed.elapsed_seconds:.6f}"
+                f" ops_per_sec={mixed.ops_per_second:.1f}"
+            )
+            return 0
+        queries = read_queries(args.queries, args.samples)
         result = runner.run(queries)
         for samples in result.samples:
             if len(samples) == 0:

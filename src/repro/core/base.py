@@ -87,6 +87,30 @@ class DynamicRangeSampler(RangeSampler):
         """
 
     def insert_many(self, values: Iterable[float]) -> None:
-        """Insert every value from an iterable (convenience loop)."""
+        """Insert every value from an iterable.
+
+        Delegates to the structure's vectorized ``insert_bulk`` when one is
+        available (one sort + one deferred directory repair for the whole
+        batch); the per-element loop remains only as the fallback for
+        structures without a bulk path.
+        """
+        bulk = getattr(self, "insert_bulk", None)
+        if bulk is not None:
+            bulk(values)
+            return
         for value in values:
             self.insert(value)
+
+    def delete_many(self, values: Iterable[float]) -> None:
+        """Delete one occurrence per value from an iterable.
+
+        Delegates to ``delete_bulk`` when available — note the bulk path is
+        atomic (a missing value raises *before* any mutation), whereas the
+        fallback loop mutates up to the failing element.
+        """
+        bulk = getattr(self, "delete_bulk", None)
+        if bulk is not None:
+            bulk(values)
+            return
+        for value in values:
+            self.delete(value)

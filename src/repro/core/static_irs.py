@@ -41,7 +41,23 @@ class StaticIRS(RangeSampler):
     """
 
     def __init__(self, values: Iterable[float], seed: int | None = None) -> None:
-        self._data: list[float] = sorted(values)
+        self._init_from_sorted(sorted(values), seed)
+
+    @classmethod
+    def from_sorted(
+        cls, values: Iterable[float], seed: int | None = None
+    ) -> "StaticIRS":
+        """O(n) fast constructor over already-sorted input (skips the sort).
+
+        The input is verified nondecreasing in ``O(n)`` (one vectorized
+        pass under NumPy); :class:`ValueError` is raised otherwise.
+        """
+        self = cls.__new__(cls)
+        self._init_from_sorted(_checked_sorted_list(values), seed)
+        return self
+
+    def _init_from_sorted(self, data: list[float], seed: int | None) -> None:
+        self._data = data
         self._rng = RandomSource(seed)
         # Bulk-path state, built lazily on the first sample_bulk call: the
         # NumPy view of the (immutable) point set and the vectorized side
@@ -130,3 +146,19 @@ class StaticIRS(RangeSampler):
     def value_at_rank(self, rank: int) -> float:
         """Return the point with the given global rank (0-based)."""
         return self._data[rank]
+
+
+def _checked_sorted_list(values: Iterable[float]) -> list[float]:
+    """Materialize ``values`` as a list of floats, verifying sortedness."""
+    if _np is not None:
+        if isinstance(values, _np.ndarray):
+            arr = values.astype(float, copy=False)
+        else:
+            arr = _np.asarray(list(values), dtype=float)
+        if arr.size > 1 and bool((arr[1:] < arr[:-1]).any()):
+            raise ValueError("from_sorted requires nondecreasing input")
+        return arr.tolist()
+    data = [float(v) for v in values]  # pragma: no cover - numpy is in CI
+    if any(a > b for a, b in zip(data, data[1:])):  # pragma: no cover
+        raise ValueError("from_sorted requires nondecreasing input")
+    return data  # pragma: no cover

@@ -36,6 +36,7 @@ from __future__ import annotations
 import math
 from bisect import bisect_left, bisect_right
 from itertools import accumulate
+from operator import itemgetter
 from typing import Iterable, Iterator
 
 from ..errors import InvalidWeightError, KeyNotFoundError
@@ -43,6 +44,11 @@ from ..rng import RandomSource
 from ..trees.treap import ChunkTreap, TreapNode
 from ..types import QueryStats
 from .base import validate_query
+
+try:  # NumPy is optional at runtime; the vectorized paths use it when present.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is installed in CI
+    _np = None
 
 __all__ = ["WeightedDynamicIRS"]
 
@@ -52,7 +58,7 @@ _MIN_CHUNK = 8
 class _WChunk:
     """A sorted run of (value, weight) points plus directory handles."""
 
-    __slots__ = ("values", "weights", "cum", "node", "prev", "next")
+    __slots__ = ("values", "weights", "cum", "node", "prev", "next", "np_values", "np_cum")
 
     def __init__(self, values: list[float], weights: list[float]) -> None:
         self.values = values
@@ -66,6 +72,15 @@ class _WChunk:
     def rebuild_cum(self) -> None:
         """Recompute the cumulative weight table after any mutation."""
         self.cum = list(accumulate(self.weights))
+        self.np_values = None
+        self.np_cum = None
+
+    def np_arrays(self):
+        """Return cached NumPy views ``(values, cum)`` for the bulk path."""
+        if self.np_values is None:
+            self.np_values = _np.asarray(self.values, dtype=float)
+            self.np_cum = _np.asarray(self.cum, dtype=float)
+        return self.np_values, self.np_cum
 
     # Payload protocol for the treap aggregates.
     @property
@@ -108,15 +123,46 @@ class WeightedDynamicIRS:
         weights: Iterable[float] | None = None,
         seed: int | None = None,
     ) -> None:
+        self._init_common(seed)
+        pairs = sorted(self._checked_pairs(values, weights), key=itemgetter(0))
+        self._build(pairs)
+
+    @classmethod
+    def from_sorted(
+        cls,
+        values: Iterable[float],
+        weights: Iterable[float] | None = None,
+        seed: int | None = None,
+    ) -> "WeightedDynamicIRS":
+        """O(n) fast constructor over value-sorted input (skips the sort).
+
+        ``values`` must be nondecreasing (verified in ``O(n)``, raising
+        :class:`ValueError` otherwise); ``weights`` aligns with it.
+        """
+        self = cls.__new__(cls)
+        self._init_common(seed)
+        pairs = self._checked_pairs(values, weights)
+        if any(a[0] > b[0] for a, b in zip(pairs, pairs[1:])):
+            raise ValueError("from_sorted requires nondecreasing values")
+        self._build(pairs)
+        return self
+
+    def _init_common(self, seed: int | None) -> None:
         self._rng = RandomSource(seed)
         self.stats = QueryStats()
+        self._bulk_gen = None  # lazily-spawned NumPy side stream (sample_bulk)
+
+    @classmethod
+    def _checked_pairs(
+        cls, values: Iterable[float], weights: Iterable[float] | None
+    ) -> list[tuple[float, float]]:
         values = list(values)
         if weights is None:
             weights = [1.0] * len(values)
-        pairs = sorted(zip(values, list(weights), strict=True), key=lambda p: p[0])
+        pairs = list(zip(values, list(weights), strict=True))
         for _v, w in pairs:
-            self._check_weight(w)
-        self._build(pairs)
+            cls._check_weight(w)
+        return pairs
 
     @staticmethod
     def _check_weight(weight: float) -> None:
@@ -144,17 +190,29 @@ class WeightedDynamicIRS:
                 merged = pieces.pop()
                 half = len(merged) // 2
                 pieces.extend((merged[:half], merged[half:]))
+        self._link_chunks(
+            [_WChunk([p[0] for p in piece], [p[1] for p in piece]) for piece in pieces]
+        )
+
+    def _link_chunks(self, chunks: list[_WChunk]) -> None:
+        """Install ``chunks`` as the structure's ordered chunk sequence.
+
+        One :meth:`~repro.trees.treap.ChunkTreap.bulk_build` pass replaces
+        the treap (``O(m)`` instead of ``m`` ``insert_after`` + ``refresh``
+        round trips) and the linked list is rewired; shared by ``_build``
+        (hence the ``from_sorted`` fast constructor) and the bulk-update
+        repair step.
+        """
+        nodes = self._treap.bulk_build(chunks)
         prev: _WChunk | None = None
-        for piece in pieces:
-            chunk = _WChunk([p[0] for p in piece], [p[1] for p in piece])
-            if prev is None:
-                chunk.node = self._treap.insert_first(chunk)
-                self._head = chunk
-            else:
-                chunk.node = self._treap.insert_after(prev.node, chunk)
+        for chunk, node in zip(chunks, nodes):
+            chunk.node = node
+            chunk.prev = prev
+            chunk.next = None
+            if prev is not None:
                 prev.next = chunk
-                chunk.prev = prev
             prev = chunk
+        self._head = chunks[0] if chunks else None
         self._tail = prev
 
     def _maybe_rebuild(self) -> None:
@@ -270,6 +328,192 @@ class WeightedDynamicIRS:
         if len(left.values) > self._cap:
             self._split(left)
 
+    # -- bulk updates -------------------------------------------------------------
+
+    def insert_bulk(
+        self, values: Iterable[float], weights: Iterable[float] | None = None
+    ) -> None:
+        """Insert a weighted batch with one deferred directory repair.
+
+        The batch is sorted once; each target chunk absorbs its whole
+        segment with one splice (Timsort galloping over the two sorted
+        runs) and one cumulative-table rebuild.  Over-full chunks are then
+        re-split and the chunk treap is rebuilt with a single
+        :meth:`~repro.trees.treap.ChunkTreap.bulk_build` pass instead of
+        per-element descent + refresh round trips.
+        """
+        pairs = sorted(self._checked_pairs(values, weights), key=itemgetter(0))
+        m = len(pairs)
+        if m == 0:
+            return
+        if self._head is None:
+            self._build(pairs)
+            return
+        if self._n + m > 2 * self._n0:
+            merged = list(self._iter_pairs())
+            merged.extend(pairs)
+            merged.sort(key=itemgetter(0))
+            self._build(merged)
+            return
+        svals = [p[0] for p in pairs]
+        node = self._treap.first_with_max_ge(svals[0])
+        chunk: _WChunk = node.payload if node is not None else self._tail
+        i = 0
+        cap = self._cap
+        oversized = False
+        touched: list[_WChunk] = []
+        while i < m:
+            while chunk.next is not None and chunk.values[-1] < svals[i]:
+                chunk = chunk.next
+            j = m if chunk.next is None else bisect_right(svals, chunk.values[-1], i)
+            merged = list(zip(chunk.values, chunk.weights))
+            merged.extend(pairs[i:j])
+            merged.sort(key=itemgetter(0))
+            chunk.values = [p[0] for p in merged]
+            chunk.weights = [p[1] for p in merged]
+            chunk.rebuild_cum()
+            touched.append(chunk)
+            if len(chunk.values) > cap:
+                oversized = True
+            i = j
+        self._n += m
+        if oversized:
+            self._repair_bulk()
+        else:
+            for chunk in touched:
+                self._treap.refresh(chunk.node)
+        self._maybe_rebuild()
+
+    def delete_bulk(self, values: Iterable[float]) -> list[float]:
+        """Delete one occurrence per batch value; returns their weights.
+
+        The returned list aligns with the input order (for equal values with
+        distinct weights the pairing between requested duplicates and
+        removed occurrences is arbitrary, as with a scalar delete loop).
+        Atomic: if any value is absent the structure is left untouched and
+        :class:`~repro.errors.KeyNotFoundError` is raised.
+        """
+        values = [float(v) for v in values]
+        m = len(values)
+        if m == 0:
+            return []
+        order = sorted(range(m), key=values.__getitem__)
+        targets = [(values[k], k) for k in order]
+        tvals = [t[0] for t in targets]
+        node = self._treap.first_with_max_ge(targets[0][0])
+        if node is None:
+            raise KeyNotFoundError(f"value not present: {targets[0][0]!r}")
+        chunk: _WChunk = node.payload
+        # Plan phase: nothing is mutated until every target is matched.
+        plan: dict[int, tuple[_WChunk, list[float], list[float]]] = {}
+        matched: list[tuple[int, float]] = []
+        pending: list[tuple[float, int]] = []
+        i = 0
+        while i < m or pending:
+            if chunk is None:
+                missing = pending[0][0] if pending else targets[i][0]
+                raise KeyNotFoundError(f"value not present: {missing!r}")
+            if not pending and chunk.next is not None and chunk.values[-1] < targets[i][0]:
+                chunk = chunk.next
+                continue
+            j = m if chunk.next is None else bisect_right(tvals, chunk.values[-1], i)
+            cand = pending + targets[i:j]
+            i = j
+            # The walk only ever moves forward, so each chunk is planned at
+            # most once and its pristine arrays are always the source.
+            kept_v, kept_w, pending, hits = _subtract_pairs(
+                chunk.values, chunk.weights, cand
+            )
+            plan[id(chunk)] = (chunk, kept_v, kept_w)
+            matched.extend(hits)
+            if pending:
+                nxt = chunk.next
+                if nxt is None or nxt.values[0] > pending[0][0]:
+                    raise KeyNotFoundError(f"value not present: {pending[0][0]!r}")
+            chunk = chunk.next
+        # Commit phase.
+        violation = False
+        s = self._s
+        for chunk, kept_v, kept_w in plan.values():
+            chunk.values = kept_v
+            chunk.weights = kept_w
+            chunk.rebuild_cum()
+            if len(kept_v) < s:
+                violation = True
+        self._n -= m
+        if violation:
+            self._repair_bulk()
+        else:
+            for chunk, _v, _w in plan.values():
+                self._treap.refresh(chunk.node)
+        self._maybe_rebuild()
+        out: list[float] = [0.0] * m
+        for out_idx, weight in matched:
+            out[out_idx] = weight
+        return out
+
+    def _split_pairs(
+        self, values: list[float], weights: list[float]
+    ) -> list[tuple[list[float], list[float]]]:
+        """Cut an over-full run into balanced pieces within ``[s, 2s]``."""
+        k = -(-len(values) // self._cap)
+        base, extra = divmod(len(values), k)
+        pieces = []
+        at = 0
+        for idx in range(k):
+            size = base + 1 if idx < extra else base
+            pieces.append((values[at : at + size], weights[at : at + size]))
+            at += size
+        return pieces
+
+    def _repair_bulk(self) -> None:
+        """Restore chunk-size invariants and rebuild the whole directory.
+
+        One sweep drops empty chunks, folds under-full chunks into their
+        successors and re-splits over-full results; then a single
+        :meth:`~repro.trees.treap.ChunkTreap.bulk_build` replaces the treap
+        and the linked list is rewired — ``O(n/s)`` total instead of one
+        ``O(log n)`` structural update per violating chunk.
+        """
+        s, cap = self._s, self._cap
+        out: list[_WChunk] = []
+        pending: tuple[list[float], list[float]] | None = None
+
+        def emit(chunk: _WChunk) -> None:
+            if len(chunk.values) > cap:
+                pieces = self._split_pairs(chunk.values, chunk.weights)
+                chunk.values, chunk.weights = pieces[0]
+                chunk.rebuild_cum()
+                out.append(chunk)
+                out.extend(_WChunk(v, w) for v, w in pieces[1:])
+            else:
+                out.append(chunk)
+
+        chunk = self._head
+        while chunk is not None:
+            nxt = chunk.next
+            if chunk.values:
+                if pending is not None:
+                    chunk.values = pending[0] + chunk.values
+                    chunk.weights = pending[1] + chunk.weights
+                    chunk.rebuild_cum()
+                    pending = None
+                if len(chunk.values) < s:
+                    pending = (chunk.values, chunk.weights)
+                else:
+                    emit(chunk)
+            chunk = nxt
+        if pending is not None:
+            if out:
+                tail = out.pop()
+                tail.values = tail.values + pending[0]
+                tail.weights = tail.weights + pending[1]
+                tail.rebuild_cum()
+                emit(tail)
+            else:
+                out.append(_WChunk(pending[0], pending[1]))
+        self._link_chunks(out)
+
     # -- queries ---------------------------------------------------------------------
 
     def _plan(self, lo: float, hi: float):
@@ -366,6 +610,111 @@ class WeightedDynamicIRS:
                 out.append(b.values[b.locate(u - w_left - w_mid)])
         return out
 
+    def sample_bulk(self, lo: float, hi: float, t: int):
+        """Vectorized :meth:`sample` returning a NumPy array.
+
+        Semantics match :meth:`sample` (``t`` independent weight-
+        proportional samples), with randomness from a NumPy side stream
+        spawned once via :meth:`RandomSource.spawn_numpy` (draw accounting
+        differs from the scalar path by design).  The three-way mass split
+        is resolved vectorized: one batch of uniform mass positions, then
+        per-chunk cumulative-weight ``searchsorted`` gathers against NumPy
+        views cached on the chunks.  Narrow middles gather their chunks'
+        weights behind one prefix table; wide middles fall back to the
+        scalar treap descent per middle sample, keeping the worst case at
+        ``O(t log n)`` like :meth:`sample`.
+        """
+        if _np is None:  # pragma: no cover - numpy is installed in CI
+            return self.sample(lo, hi, t)
+        validate_query(lo, hi, t)
+        if t == 0:
+            return _np.empty(0, dtype=float)
+        plan = self._plan(lo, hi)
+        if plan is None or plan[1] <= 0.0:
+            from ..errors import EmptyRangeError
+
+            raise EmptyRangeError("query range is empty or has zero weight")
+        _count, weight, (a, la, ra, w_left, w_mid, anode, bnode, rb, w_right) = plan
+        b: _WChunk = bnode.payload if bnode is not None else a
+        stats = self.stats
+        stats.queries += 1
+        stats.samples_returned += t
+        if self._bulk_gen is None:
+            self._bulk_gen = self._rng.spawn_numpy()
+        gen = self._bulk_gen
+        u = gen.random(t) * weight
+        out = _np.empty(t, dtype=float)
+        left_mask = u < w_left
+        mid_mask = (~left_mask) & (u < w_left + w_mid)
+        right_mask = ~(left_mask | mid_mask)
+        if left_mask.any():
+            vals, cum = a.np_arrays()
+            base_left = a.prefix(la)
+            idx = _np.searchsorted(cum, base_left + u[left_mask], side="right")
+            out[left_mask] = vals[_np.minimum(idx, len(a.values) - 1)]
+        if right_mask.any():
+            vals, cum = b.np_arrays()
+            residual = u[right_mask] - (w_left + w_mid)
+            idx = _np.searchsorted(cum, residual, side="right")
+            out[right_mask] = vals[_np.minimum(idx, len(b.values) - 1)]
+        n_mid = int(mid_mask.sum())
+        if n_mid:
+            out[mid_mask] = self._middle_bulk(
+                anode, bnode, u[mid_mask] - w_left, n_mid, w_mid, lo, hi, gen
+            )
+        return out
+
+    def _middle_bulk(self, anode, bnode, residuals, count: int, w_mid, lo, hi, gen):
+        """Resolve middle-mass positions for :meth:`sample_bulk`."""
+        treap = self._treap
+        width = treap.nodes_between(anode, bnode)
+        out = _np.empty(count, dtype=float)
+        if width > max(64, 4 * count):
+            # Wide middle, few samples: one weighted treap descent each,
+            # exactly as the scalar path (including the redraw on the
+            # ~ulp-probability boundary round-off case, re-drawn uniformly
+            # over the middle mass).
+            mid_base = treap.prefix_weight(treap.rank(anode) + 1)
+            filled = 0
+            pending = residuals.tolist()
+            while pending:
+                residual = pending.pop()
+                node, inner = treap.select_by_prefix_weight(mid_base + residual)
+                chunk: _WChunk = node.payload
+                value = chunk.values[chunk.locate(inner)]
+                if lo <= value <= hi:
+                    out[filled] = value
+                    filled += 1
+                else:
+                    self.stats.rejections += 1
+                    pending.append(float(gen.random()) * w_mid)
+            return out
+        # Narrow middle: gather the chunks once, route every sample with one
+        # vectorized searchsorted over the per-chunk weight prefix, then one
+        # grouped searchsorted inside each distinct chunk.
+        chunks: list[_WChunk] = []
+        chunk: _WChunk = anode.payload.next
+        last: _WChunk = bnode.payload
+        while chunk is not last:
+            chunks.append(chunk)
+            chunk = chunk.next
+        chunk_w = _np.asarray([c.weight for c in chunks], dtype=float)
+        cum_w = _np.cumsum(chunk_w)
+        ci = _np.searchsorted(cum_w, residuals, side="right")
+        ci = _np.minimum(ci, len(chunks) - 1)
+        inner = residuals - (cum_w[ci] - chunk_w[ci])
+        order = _np.argsort(ci, kind="stable")
+        grouped_ci = ci[order]
+        grouped_inner = inner[order]
+        uniq, group_starts = _np.unique(grouped_ci, return_index=True)
+        group_ends = _np.append(group_starts[1:], count)
+        for chunk_i, g0, g1 in zip(uniq, group_starts, group_ends):
+            c = chunks[chunk_i]
+            vals, cum = c.np_arrays()
+            idx = _np.searchsorted(cum, grouped_inner[g0:g1], side="right")
+            out[order[g0:g1]] = vals[_np.minimum(idx, len(c.values) - 1)]
+        return out
+
     # -- validation (tests) ----------------------------------------------------------
 
     def check_invariants(self) -> None:
@@ -389,3 +738,35 @@ class WeightedDynamicIRS:
         assert seen == self._n
         assert abs(total - self.total_weight) <= 1e-6 * max(1.0, total)
         self._treap.check_invariants()
+
+
+def _subtract_pairs(
+    values: list[float],
+    weights: list[float],
+    targets: list[tuple[float, int]],
+) -> tuple[list[float], list[float], list[tuple[float, int]], list[tuple[int, float]]]:
+    """Remove one occurrence per target value from a sorted weighted run.
+
+    ``targets`` is sorted ``(value, out_index)`` pairs.  Returns ``(kept
+    values, kept weights, unmatched targets, matches)`` where ``matches``
+    holds ``(out_index, removed weight)``.  One C-level bisect per target
+    with slice assembly between hits.
+    """
+    kept_v: list[float] = []
+    kept_w: list[float] = []
+    unmatched: list[tuple[float, int]] = []
+    matches: list[tuple[int, float]] = []
+    at = 0
+    size = len(values)
+    for tv, ti in targets:
+        i = bisect_left(values, tv, at)
+        if i < size and values[i] == tv:
+            kept_v.extend(values[at:i])
+            kept_w.extend(weights[at:i])
+            matches.append((ti, weights[i]))
+            at = i + 1
+        else:
+            unmatched.append((tv, ti))
+    kept_v.extend(values[at:])
+    kept_w.extend(weights[at:])
+    return kept_v, kept_w, unmatched, matches

@@ -17,8 +17,15 @@ is back within threshold, spreading items evenly; if the root itself is out
 of range the array is resized.
 
 Items are arbitrary objects.  Whenever an item's cell index changes, the
-``on_move(item, index)`` callback fires, so owners (IRS chunks) can track
-their own position in ``O(1)``.
+``on_move(item, index)`` callback fires, so owners can track their own
+position in ``O(1)``.
+
+Status: since the array-directory rewrite of :class:`~repro.core.
+dynamic_irs.DynamicIRS` (DESIGN.md §5), no core sampler uses the PMA — it
+remains as a standalone, tested substrate (benchmarked by
+``bench_m1_substrates``) for directory designs that need stable
+density-bounded cell addressing, with :meth:`PackedMemoryArray.bulk_load`
+as its one-shot construction primitive.
 """
 
 from __future__ import annotations
@@ -147,6 +154,24 @@ class PackedMemoryArray:
         self._spread(items, 0, len(self._cells))
 
     # -- mutation -----------------------------------------------------------------
+
+    def bulk_load(self, items: list[Any]) -> None:
+        """Replace the whole array with ``items`` in one even spread.
+
+        ``O(m)`` plus one allocation: capacity is sized so the root density
+        lands in ``(TAU_ROOT/2, TAU_ROOT]`` and every item is placed exactly
+        once (firing ``on_move`` once each).  This is the bulk counterpart
+        of ``m`` ``insert_after`` calls, skipping all intermediate
+        rebalances.
+        """
+        m = len(items)
+        capacity = _MIN_CAPACITY
+        while capacity * TAU_ROOT < m:
+            capacity *= 2
+        self._cells = [None] * capacity
+        self._n = m
+        self._recompute_geometry()
+        self._spread(items, 0, capacity)
 
     def insert_first(self, item: Any) -> None:
         """Insert ``item`` before everything currently stored."""

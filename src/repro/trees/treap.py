@@ -274,6 +274,48 @@ class ChunkTreap:
         """
         self._refresh_to_root(node)
 
+    def bulk_build(self, payloads: list) -> list[TreapNode]:
+        """Replace the whole tree with one built over ``payloads`` in order.
+
+        ``O(m)``: fresh priorities are drawn per node, the heap shape is
+        assembled with the classic stack-based Cartesian-tree construction
+        (in-order position = list order, max-priority on top), and the
+        aggregates are pulled once bottom-up.  Returns the new nodes in
+        order so callers can re-point their payload handles.  This is the
+        primitive behind the bulk-update repair step and the sorted-build
+        fast constructors: one call replaces ``m`` ``insert_after`` +
+        ``refresh`` round trips.
+        """
+        random = self._rng.random
+        nodes = [TreapNode(p, random()) for p in payloads]
+        stack: list[TreapNode] = []
+        for node in nodes:
+            last: TreapNode | None = None
+            while stack and stack[-1].priority < node.priority:
+                last = stack.pop()
+            if last is not None:
+                node.left = last
+                last.parent = node
+            if stack:
+                stack[-1].right = node
+                node.parent = stack[-1]
+            stack.append(node)
+        self._root = stack[0] if stack else None
+        # Pull aggregates children-first: reversed pre-order visits every
+        # node after both of its children.
+        order: list[TreapNode] = []
+        walk = [self._root] if self._root is not None else []
+        while walk:
+            node = walk.pop()
+            order.append(node)
+            if node.left is not None:
+                walk.append(node.left)
+            if node.right is not None:
+                walk.append(node.right)
+        for node in reversed(order):
+            node._pull()
+        return nodes
+
     # -- order statistics ---------------------------------------------------
 
     def rank(self, node: TreapNode) -> int:

@@ -13,7 +13,12 @@ from .queries import (
     mixed_selectivity_queries,
     UpdateStream,
 )
-from .runner import run_query_workload, run_mixed_workload, WorkloadResult
+from .runner import (
+    run_query_workload,
+    run_mixed_workload,
+    as_mixed_ops,
+    WorkloadResult,
+)
 
 __all__ = [
     "uniform_points",
@@ -27,5 +32,6 @@ __all__ = [
     "UpdateStream",
     "run_query_workload",
     "run_mixed_workload",
+    "as_mixed_ops",
     "WorkloadResult",
 ]

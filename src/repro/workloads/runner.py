@@ -8,7 +8,12 @@ from typing import Sequence
 
 from ..core.base import DynamicRangeSampler, RangeSampler
 
-__all__ = ["WorkloadResult", "run_query_workload", "run_mixed_workload"]
+__all__ = [
+    "WorkloadResult",
+    "run_query_workload",
+    "run_mixed_workload",
+    "as_mixed_ops",
+]
 
 
 @dataclass(slots=True)
@@ -51,6 +56,30 @@ def run_query_workload(
         result.samples += len(samples)
     result.elapsed_seconds = clock() - start_all
     return result
+
+
+def as_mixed_ops(
+    operations: Sequence[tuple[str, float]],
+    queries: Sequence[tuple[float, float]],
+    t: int,
+    query_every: int = 10,
+) -> list[tuple]:
+    """Interleave an update stream with sampling ops for the batch engine.
+
+    Produces the op-tuple stream :meth:`repro.batch.BatchQueryRunner.
+    run_mixed` accepts, with the same interleaving convention as
+    :func:`run_mixed_workload`: after every ``query_every`` updates the next
+    query from ``queries`` (cycling) is issued as a ``sample`` op.
+    """
+    ops: list[tuple] = []
+    qi = 0
+    for i, (op, value) in enumerate(operations):
+        ops.append((op, value))
+        if queries and query_every and (i + 1) % query_every == 0:
+            lo, hi = queries[qi % len(queries)]
+            qi += 1
+            ops.append(("sample", lo, hi, t))
+    return ops
 
 
 def run_mixed_workload(

@@ -17,10 +17,12 @@ import numpy as np
 import pytest
 
 from repro import (
+    BatchOp,
     BatchQuery,
     BatchQueryRunner,
     DynamicIRS,
     StaticIRS,
+    WeightedDynamicIRS,
     WeightedStaticIRS,
 )
 from repro.errors import InvalidQueryError, KeyNotFoundError
@@ -149,6 +151,99 @@ class TestRunnerEquivalence:
         means = runner.run_means([(0.4, 0.6, 2000), (0.1, 0.2, 0)])
         assert means[0] == pytest.approx(0.5, abs=0.05)
         assert np.isnan(means[1])
+
+
+class TestRunMixed:
+    def test_stream_matches_scalar_replay(self):
+        data = [float(i) for i in range(500)]
+        runner = BatchQueryRunner(DynamicIRS(data, seed=91))
+        reference = DynamicIRS(data, seed=91)
+        ops = (
+            [("insert", 1000.0 + i) for i in range(40)]
+            + [("sample", 0.0, 2000.0, 32)]
+            + [("delete", float(i)) for i in range(25)]
+            + [("insert", -5.0), ("delete", 1000.0), ("sample", -10.0, 2000.0, 16)]
+        )
+        result = runner.run_mixed(ops)
+        for op in ops:
+            if op[0] == "insert":
+                reference.insert(op[1])
+            elif op[0] == "delete":
+                reference.delete(op[1])
+        structure = runner.structures["default"]
+        assert structure.values() == reference.values()
+        structure.check_invariants()
+        # samples align with op positions; updates yield None
+        assert [s is not None for s in result.samples].count(True) == 2
+        assert len(result.samples[40]) == 32
+        assert len(result.samples[-1]) == 16
+        assert result.stats.queries == 2
+        assert result.stats.extra["updates"] == 67
+        # three coalesced runs of same-kind updates
+        assert result.stats.extra["bulk_update_calls"] == 4
+        assert result.operations == 69
+
+    def test_kind_switch_preserves_order(self):
+        # insert v, delete v, insert v must net to one occurrence — a
+        # naive "all inserts then all deletes" coalescing would differ
+        # for the error case below.
+        runner = BatchQueryRunner(DynamicIRS([1.0], seed=92))
+        runner.run_mixed([("insert", 2.0), ("delete", 2.0), ("insert", 2.0)])
+        assert runner.structures["default"].values() == [1.0, 2.0]
+        # deleting a value that is only inserted later in the stream fails
+        runner2 = BatchQueryRunner(DynamicIRS([1.0], seed=93))
+        with pytest.raises(KeyNotFoundError):
+            runner2.run_mixed([("delete", 5.0), ("insert", 5.0)])
+
+    def test_batchop_constructors_and_weighted(self):
+        w = WeightedDynamicIRS([1.0, 2.0], [1.0, 1.0], seed=94)
+        runner = BatchQueryRunner({"w": w})
+        result = runner.run_mixed(
+            [
+                BatchOp.insert(3.0, weight=2.5, structure="w"),
+                BatchOp.insert(4.0, structure="w"),
+                BatchOp.sample(0.0, 10.0, 8, structure="w"),
+                BatchOp.delete(1.0, structure="w"),
+            ]
+        )
+        assert sorted(w.items()) == [(2.0, 1.0), (3.0, 2.5), (4.0, 1.0)]
+        assert len(result.samples[2]) == 8
+        assert result.stats.extra["queries:w"] == 1
+
+    def test_scalar_fallback_structures(self, uniform_data):
+        from repro.baselines import TreeWalkSampler
+
+        sampler = TreeWalkSampler(uniform_data, seed=95)
+        runner = BatchQueryRunner(sampler)
+        result = runner.run_mixed(
+            [("insert", 2.5), ("insert", 3.5), ("sample", 0.0, 4.0, 5)]
+        )
+        assert len(result.samples[2]) == 5
+        assert result.stats.extra["bulk_update_calls"] == 0
+
+    def test_update_on_readonly_structure_rejected(self, uniform_data):
+        runner = BatchQueryRunner(StaticIRS(uniform_data, seed=96))
+        with pytest.raises(InvalidQueryError):
+            runner.run_mixed([("insert", 1.0)])
+
+    def test_weighted_insert_on_unweighted_structure_rejected(self, uniform_data):
+        sampler = DynamicIRS(uniform_data, seed=96)
+        runner = BatchQueryRunner(sampler)
+        before = len(sampler)
+        with pytest.raises(InvalidQueryError):
+            # Validation fires upfront: the preceding plain insert must not
+            # have been applied when the weighted op is rejected.
+            runner.run_mixed([("insert", 1.0), BatchOp.insert(2.0, weight=3.0)])
+        assert len(sampler) == before
+
+    def test_unknown_structure_and_malformed_op(self, uniform_data):
+        runner = BatchQueryRunner(StaticIRS(uniform_data, seed=97))
+        with pytest.raises(KeyNotFoundError):
+            runner.run_mixed([("insert", 1.0, "nope")])
+        with pytest.raises(InvalidQueryError):
+            runner.run_mixed([("frobnicate", 1.0)])
+        with pytest.raises(InvalidQueryError):
+            runner.run_mixed([("sample", 1.0)])
 
 
 class TestDynamicInvalidation:

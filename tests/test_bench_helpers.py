@@ -2,7 +2,18 @@
 
 from __future__ import annotations
 
-from repro.bench import Series, format_markdown_table, format_table, geometric_range, time_callable
+import json
+
+from repro.bench import (
+    Series,
+    dump_experiment_json,
+    format_markdown_table,
+    format_table,
+    geometric_range,
+    mixed_throughput,
+    time_callable,
+    update_throughput,
+)
 from repro.bench.memory import deep_size_bytes
 
 
@@ -51,6 +62,48 @@ class TestHarness:
             a.add(x, ya)
             b.add(x, yb)
         assert a.ratio_to(b) == [2.0, 4.0]
+
+    def test_update_throughput_fresh_structure_per_run(self):
+        built = []
+
+        def make():
+            built.append(object())
+            return len(built)
+
+        applied = []
+        rate = update_throughput(make, applied.append, count=10, repeat=3)
+        assert len(built) == 3  # one untimed build per repeat
+        assert applied == [1, 2, 3]  # each run sees its own structure
+        assert rate > 0.0
+
+    def test_mixed_throughput(self):
+        from repro import BatchQueryRunner, DynamicIRS
+
+        runner = BatchQueryRunner(DynamicIRS([float(i) for i in range(100)], seed=1))
+        # Replayable stream: what it inserts it also deletes.
+        ops = (
+            [("insert", 200.0 + i) for i in range(10)]
+            + [("sample", 0.0, 300.0, 8)]
+            + [("delete", 200.0 + i) for i in range(10)]
+        )
+        assert mixed_throughput(runner, ops, repeat=2) > 0.0
+        assert mixed_throughput(runner, [], repeat=2) == 0.0
+
+    def test_dump_experiment_json(self, tmp_path):
+        path = dump_experiment_json(
+            str(tmp_path / "artifacts"),
+            "F99",
+            "demo experiment",
+            ["series", "n", "ops/sec"],
+            [["bulk", 1000, 1.5e6], ["scalar", 1000, 3.0e5]],
+            extra={"speedup": 5.0},
+        )
+        assert path.endswith("BENCH_F99.json")
+        payload = json.loads(open(path).read())
+        assert payload["experiment"] == "F99"
+        assert payload["headers"] == ["series", "n", "ops/sec"]
+        assert payload["rows"][0] == ["bulk", 1000, 1.5e6]
+        assert payload["extra"] == {"speedup": 5.0}
 
 
 class TestDeepSize:

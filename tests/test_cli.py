@@ -118,6 +118,37 @@ class TestCommands:
         with pytest.raises(ValueError):
             main(["batch", "--data", data_file, "--queries", str(queries)])
 
+    def test_batch_ops_stream(self, capsys, data_file, tmp_path):
+        ops = tmp_path / "ops.txt"
+        ops.write_text(
+            "insert 100.5\ninsert 101.5\nsample 100 102 50\n"
+            "delete 100.5\n# comment\nsample 100 102\n"
+        )
+        assert main(
+            ["batch", "--data", data_file, "--structure", "dynamic",
+             "--ops", str(ops), "-t", "10", "--seed", "7"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3  # two query means + one aggregate line
+        assert 100.0 <= float(lines[0]) <= 102.0
+        assert float(lines[1]) == 101.5  # only 101.5 remains in [100, 102]
+        assert lines[2].startswith("# ops=5 queries=2 updates=3 bulk_calls=")
+        assert "samples=60" in lines[2]
+
+    def test_batch_ops_malformed_file(self, data_file, tmp_path):
+        ops = tmp_path / "ops.txt"
+        ops.write_text("upsert 1.0\n")
+        with pytest.raises(ValueError):
+            main(["batch", "--data", data_file, "--structure", "dynamic",
+                  "--ops", str(ops)])
+
+    def test_batch_queries_and_ops_exclusive(self, data_file, tmp_path):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("1 2\n")
+        with pytest.raises(SystemExit):
+            main(["batch", "--data", data_file, "--queries", str(queries),
+                  "--ops", str(queries)])
+
 
 def test_module_entry_point(data_file):
     result = subprocess.run(

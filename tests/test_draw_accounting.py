@@ -68,18 +68,21 @@ class TestExternalBudget:
 class TestScriptedPaths:
     """Force specific rejection branches deterministically."""
 
-    def test_dynamic_pma_gap_then_accept(self):
+    def test_dynamic_rejection_probe_then_accept(self):
         d = DynamicIRS([float(i) for i in range(60_000)], seed=6)
         plan = d._plan(10.5, 59_000.5)
         assert plan is not None
-        _total, (_a, _la, k_left, mid_first, mid_last, k_mid, _b, _k_r) = plan
-        middle = d._middle_plan(mid_first, mid_last, 1)
-        assert middle.mode == "pma"
-        # Script: first probe lands on a gap-heavy region repeatedly, then
-        # the fallback RNG takes over and terminates the loop.
+        _total, a, _la, _k_left, k_mid, b, _k_r = plan
+        assert k_mid > 0
+        middle = d._middle_plan(a + 1, b - 1, 1)
+        assert middle.mode == "rejection"
+        # Script: the first probes land on slots past the chunk fill and are
+        # rejected, then the fallback RNG takes over and terminates the loop.
         rng = ScriptedSource([0.999999] * 3, seed=7)
         value = middle.sample_draw(rng.randbelow_fn(), d.stats)
-        assert mid_first.min_value <= value <= mid_last.max_value
+        mid_lo = d._chunks[a + 1].data[0]
+        mid_hi = d._chunks[b - 1].data[-1]
+        assert mid_lo <= value <= mid_hi
 
     def test_static_scripted_is_deterministic(self):
         s = StaticIRS([float(i) for i in range(100)], seed=8)

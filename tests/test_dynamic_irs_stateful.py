@@ -44,6 +44,31 @@ class DynamicIRSMachine(RuleBasedStateMachine):
         self.structure.delete(value)
         self.model.remove(value)
 
+    @rule(batch=st.lists(_VALUES, max_size=40))
+    def insert_bulk(self, batch):
+        self.structure.insert_bulk(batch)
+        for value in batch:
+            bisect.insort(self.model, value)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete_bulk_existing(self, data):
+        # Draw a multiset-consistent batch of currently live values.
+        batch = data.draw(
+            st.lists(st.sampled_from(self.model), min_size=1, max_size=20)
+        )
+        from collections import Counter
+
+        available = Counter(self.model)
+        take = []
+        for value in batch:
+            if available[value] > 0:
+                available[value] -= 1
+                take.append(value)
+        self.structure.delete_bulk(take)
+        for value in take:
+            self.model.remove(value)
+
     @rule(lo=_VALUES, width=st.integers(0, 200))
     def count_matches(self, lo, width):
         hi = lo + width

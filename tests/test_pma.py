@@ -42,6 +42,37 @@ class TestBasics:
         assert len(pma) == 1
         assert pma.get(item.index) is item
 
+    @pytest.mark.parametrize("count", [0, 1, 7, 64, 500])
+    def test_bulk_load(self, count):
+        pma = PackedMemoryArray(on_move)
+        items = [Item(i) for i in range(count)]
+        pma.bulk_load(items)
+        assert len(pma) == count
+        assert pma.items_in_order() == items
+        for item in items:
+            assert pma.get(item.index) is item  # on_move fired exactly once
+        if count:
+            # Root density lands in the sweet spot: above half the target
+            # (one doubling) and at most the root threshold.
+            density = count / pma.capacity
+            assert 0.3 <= density <= 0.6 or pma.capacity == 8
+        pma.check_invariants()
+
+    def test_bulk_load_replaces_and_supports_updates(self):
+        pma = PackedMemoryArray(on_move)
+        first = [Item(i) for i in range(40)]
+        pma.bulk_load(first)
+        second = [Item(100 + i) for i in range(200)]
+        pma.bulk_load(second)
+        assert pma.items_in_order() == second
+        # The loaded array must behave like any other PMA under churn.
+        extra = Item(999)
+        pma.insert_after(second[0].index, extra)
+        assert pma.items_in_order()[1] is extra
+        pma.delete(second[5].index)
+        assert len(pma) == 200
+        pma.check_invariants()
+
     def test_sequential_appends_preserve_order(self):
         pma = PackedMemoryArray(on_move)
         items = [Item(i) for i in range(100)]

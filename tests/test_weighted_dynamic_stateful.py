@@ -47,6 +47,38 @@ class WeightedDynamicMachine(RuleBasedStateMachine):
         else:
             raise AssertionError("structure returned a weight not in model")
 
+    @rule(batch=st.lists(st.tuples(_VALUES, _WEIGHTS), max_size=25))
+    def insert_bulk(self, batch):
+        self.structure.insert_bulk([v for v, _w in batch], [w for _v, w in batch])
+        for value, weight in batch:
+            bisect.insort(self.model, (value, weight))
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete_bulk_existing(self, data):
+        batch = data.draw(
+            st.lists(
+                st.sampled_from([v for v, _w in self.model]), min_size=1, max_size=12
+            )
+        )
+        from collections import Counter
+
+        available = Counter(v for v, _w in self.model)
+        take = []
+        for value in batch:
+            if available[value] > 0:
+                available[value] -= 1
+                take.append(value)
+        removed = self.structure.delete_bulk(take)
+        assert len(removed) == len(take)
+        for value, weight in zip(take, removed):
+            for i, (v, w) in enumerate(self.model):
+                if v == value and w == pytest.approx(weight):
+                    self.model.pop(i)
+                    break
+            else:
+                raise AssertionError("bulk delete returned a weight not in model")
+
     @rule(lo=_VALUES, width=st.integers(0, 60))
     def count_and_weight_match(self, lo, width):
         hi = lo + width
