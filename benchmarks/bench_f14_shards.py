@@ -1,0 +1,68 @@
+"""F14 — shard-scaling: throughput vs shard count vs execution backend.
+
+The claim under test: the sharded engine multiplies the per-structure
+bulk-sampling wins by the available cores — wide-range ``sample_bulk``
+throughput at ``n = 10^6`` should scale with ``P`` on the parallel
+backends while ``serial`` stays flat (the scatter-gather plan itself is
+cheap), and the partition must not tax the ``P = 1`` case.
+
+Each measurement drives one batch of wide-range queries through
+``sample_bulk_many`` (the path :class:`~repro.batch.BatchQueryRunner`
+uses), so worker dispatch is amortized the way production traffic would.
+Single-core hosts still produce the full table — the parallel rows then
+document the backend overhead rather than the speedup; the recorded
+``cpus`` column keeps the artifact honest.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import ShardedIRS
+from repro.bench import time_callable
+from repro.workloads import uniform_points
+
+N = 1_000_000
+QUERIES = 32
+T = 65_536  # wide-range bulk draws per query
+SHARD_COUNTS = [1, 2, 4]
+BACKENDS = ["serial", "threads", "processes"]
+_CPUS = os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return sorted(uniform_points(N, seed=141))
+
+
+@pytest.fixture(scope="module")
+def query_batch():
+    # Wide ranges: every query spans ~80% of the key space, so every
+    # shard participates in every scatter.
+    return [(0.05 + 0.001 * i, 0.85 + 0.001 * i, T) for i in range(QUERIES)]
+
+
+@pytest.fixture(scope="module")
+def rec(experiment):
+    return experiment(
+        "F14",
+        f"shard scaling (n={N}, {QUERIES} wide queries x t={T}): "
+        "Msamples/s by shard count and backend",
+        ["backend", "shards", "cpus", "Msamples/s"],
+    )
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.benchmark(group="F14 shard scaling")
+def test_shard_scaling(dataset, query_batch, rec, backend, shards):
+    with ShardedIRS.from_sorted(
+        dataset, num_shards=shards, seed=142, shard_kind="static",
+        backend=backend, max_workers=shards,
+    ) as sampler:
+        sampler.sample_bulk_many(query_batch)  # warm pools and snapshots
+        best = time_callable(lambda: sampler.sample_bulk_many(query_batch), repeat=3)
+    rate = QUERIES * T / best / 1e6
+    rec.row(backend, shards, _CPUS, round(rate, 2))

@@ -21,6 +21,15 @@ start::
 
 Batches of queries — and mixed update/query streams — run through
 :class:`repro.batch.BatchQueryRunner` (``run`` / ``run_mixed``).
+
+For horizontal scale, :class:`ShardedIRS` range-partitions the key space
+across ``P`` shards (each any sampler above) behind the same API, with
+scatter-gather sampling on pluggable serial/threads/processes backends::
+
+    from repro import ShardedIRS
+    s = ShardedIRS(values, num_shards=4, seed=42, backend="processes")
+    s.sample_bulk(0.0, 1.0, 10_000)   # exact, parallel, reproducible
+    s.close()
 """
 
 from .batch import BatchOp, BatchQuery, BatchQueryRunner, BatchResult, MixedResult
@@ -45,9 +54,10 @@ from .errors import (
     ReproError,
 )
 from .rng import RandomSource
+from .shard import ShardedIRS
 from .types import Interval, QueryStats
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BatchOp",
@@ -60,6 +70,7 @@ __all__ = [
     "ExternalIRS",
     "WeightedStaticIRS",
     "WeightedDynamicIRS",
+    "ShardedIRS",
     "RangeSampler",
     "DynamicRangeSampler",
     "sample_without_replacement",

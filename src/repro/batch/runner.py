@@ -233,40 +233,100 @@ class BatchQueryRunner:
         """The registered structures (read-only view by convention)."""
         return self._structures
 
+    def _group(self, batch: Sequence[BatchQuery]) -> dict[str, list[int]]:
+        """Group query indices per structure, preserving submission order.
+
+        Every structure name is resolved before anything executes so an
+        unknown name fails atomically — no group runs (mutating sampler
+        RNG state and stats) only for the batch to abort midway.
+        """
+        groups: dict[str, list[int]] = {}
+        for i, q in enumerate(batch):
+            groups.setdefault(q.structure, []).append(i)
+        for name in groups:
+            if name not in self._structures:
+                raise KeyNotFoundError(f"unknown structure: {name!r}")
+        return groups
+
     def run(self, queries: Sequence[BatchQuery | tuple]) -> BatchResult:
         """Execute the batch and return order-aligned samples plus stats."""
         batch = [_normalize(q) for q in queries]
         result = BatchResult(samples=[None] * len(batch))
         stats = result.stats
-        # Group query indices per structure, preserving submission order
-        # within each group.
-        groups: dict[str, list[int]] = {}
-        for i, q in enumerate(batch):
-            groups.setdefault(q.structure, []).append(i)
-        # Resolve every structure before executing anything so an unknown
-        # name fails atomically — no group runs (mutating sampler RNG state
-        # and stats) only for the batch to abort midway.
-        for name in groups:
-            if name not in self._structures:
-                raise KeyNotFoundError(f"unknown structure: {name!r}")
+        groups = self._group(batch)
         clock = time.perf_counter
         start = clock()
         for name, indices in groups.items():
             sampler = self._structures[name]
-            bulk = getattr(sampler, "sample_bulk", None)
-            for i in indices:
-                q = batch[i]
-                if bulk is not None:
-                    samples = bulk(q.lo, q.hi, q.t)
-                else:
-                    samples = sampler.sample(q.lo, q.hi, q.t)
-                result.samples[i] = samples
-                stats.samples_returned += len(samples)
+            many = getattr(sampler, "sample_bulk_many", None)
+            if many is not None:
+                # Scatter-gather structures take the whole group in one
+                # call, so worker dispatch is amortized across the batch.
+                group_results = many(
+                    [(batch[i].lo, batch[i].hi, batch[i].t) for i in indices]
+                )
+                for i, samples in zip(indices, group_results):
+                    result.samples[i] = samples
+                    stats.samples_returned += len(samples)
+            else:
+                bulk = getattr(sampler, "sample_bulk", None)
+                for i in indices:
+                    q = batch[i]
+                    if bulk is not None:
+                        samples = bulk(q.lo, q.hi, q.t)
+                    else:
+                        samples = sampler.sample(q.lo, q.hi, q.t)
+                    result.samples[i] = samples
+                    stats.samples_returned += len(samples)
             stats.queries += len(indices)
             key = f"queries:{name}"
             stats.extra[key] = stats.extra.get(key, 0) + len(indices)
         result.elapsed_seconds = clock() - start
         return result
+
+    def run_counts(self, queries: Sequence) -> list[int]:
+        """Resolve many count-only queries through the vectorized probes.
+
+        ``queries`` are ``(lo, hi[, structure])`` tuples (or
+        :class:`BatchQuery` instances whose ``t`` is ignored).  Structures
+        exposing ``peek_counts`` answer their whole group with one
+        vectorized multi-range probe; the rest fall back to per-query
+        ``count``.  Results align with the input order.
+        """
+        batch: list[BatchQuery] = []
+        for query in queries:
+            if isinstance(query, BatchQuery):
+                batch.append(query)
+            else:
+                try:
+                    if len(query) == 2:
+                        lo, hi = query
+                        batch.append(BatchQuery(float(lo), float(hi), 0))
+                        continue
+                    if len(query) == 3 and isinstance(query[2], str):
+                        lo, hi, structure = query
+                        batch.append(BatchQuery(float(lo), float(hi), 0, structure))
+                        continue
+                    batch.append(_normalize(query))
+                    continue
+                except (TypeError, ValueError, InvalidQueryError):
+                    pass
+                raise InvalidQueryError(
+                    f"expected (lo, hi[, structure]) or BatchQuery, got {query!r}"
+                )
+        groups = self._group(batch)
+        out: list[int] = [0] * len(batch)
+        for name, indices in groups.items():
+            sampler = self._structures[name]
+            peek = getattr(sampler, "peek_counts", None)
+            if peek is not None:
+                counts = peek([(batch[i].lo, batch[i].hi) for i in indices])
+                for i, k in zip(indices, counts):
+                    out[i] = int(k)
+            else:
+                for i in indices:
+                    out[i] = sampler.count(batch[i].lo, batch[i].hi)
+        return out
 
     def run_mixed(self, ops: Sequence[BatchOp | tuple]) -> MixedResult:
         """Execute a mixed insert/delete/sample stream in submission order.

@@ -21,6 +21,12 @@ followed by a ``#``-prefixed aggregate line.  With ``--ops`` instead of
 ``--queries`` it executes a mixed read/write stream (lines ``insert V``,
 ``delete V``, ``sample LO HI [T]``) in order, coalescing update runs into
 the bulk fast paths and printing one mean per ``sample`` line.
+
+``--shards N`` range-partitions the data into an N-shard
+:class:`~repro.shard.ShardedIRS` whose shards are the requested
+``--structure`` kind; ``--backend {serial,threads,processes}`` picks the
+scatter-gather execution backend (results are identical across backends
+under a fixed ``--seed``).
 """
 
 from __future__ import annotations
@@ -56,8 +62,27 @@ def build_structure(
     weights: Sequence[float] | None,
     seed: int | None,
     block_size: int,
+    shards: int = 1,
+    backend: str = "serial",
 ):
-    """Construct the requested sampler over the data."""
+    """Construct the requested sampler over the data.
+
+    With ``shards > 1`` the points are range-partitioned into a
+    :class:`~repro.shard.ShardedIRS` whose shards are the requested
+    structure kind, executing on the requested backend.
+    """
+    if shards > 1:
+        from .shard import ShardedIRS
+
+        return ShardedIRS(
+            values,
+            num_shards=shards,
+            weights=weights if name in ("weighted", "weighted-dynamic") else None,
+            seed=seed,
+            shard_kind=name,
+            backend=backend,
+            block_size=block_size,
+        )
     if name == "static":
         return StaticIRS(values, seed=seed)
     if name == "dynamic":
@@ -125,6 +150,18 @@ def _parser() -> argparse.ArgumentParser:
         p.add_argument("--structure", choices=_STRUCTURES, default="static")
         p.add_argument("--seed", type=int, default=None)
         p.add_argument("--block-size", type=int, default=1024)
+        p.add_argument(
+            "--shards",
+            type=int,
+            default=1,
+            help="range-partition into N shards (ShardedIRS facade)",
+        )
+        p.add_argument(
+            "--backend",
+            choices=("serial", "threads", "processes"),
+            default="serial",
+            help="shard execution backend (only meaningful with --shards > 1)",
+        )
         if command == "batch":
             group = p.add_mutually_exclusive_group(required=True)
             group.add_argument("--queries", help="file of 'lo hi [t]' lines")
@@ -146,8 +183,24 @@ def main(argv: Sequence[str] | None = None) -> int:
     values = read_floats(args.data)
     weights = read_floats(args.weights) if args.weights else None
     structure = build_structure(
-        args.structure, values, weights, args.seed, args.block_size
+        args.structure,
+        values,
+        weights,
+        args.seed,
+        args.block_size,
+        shards=args.shards,
+        backend=args.backend,
     )
+    try:
+        return _dispatch(args, structure)
+    finally:
+        close = getattr(structure, "close", None)
+        if close is not None:
+            close()
+
+
+def _dispatch(args, structure) -> int:
+    """Execute the parsed command against the built structure."""
     if args.command == "batch":
         runner = BatchQueryRunner(structure)
         if args.ops:

@@ -14,7 +14,28 @@ from typing import Iterable
 
 from ..errors import EmptyRangeError, InvalidQueryError
 
-__all__ = ["RangeSampler", "DynamicRangeSampler", "validate_query"]
+__all__ = [
+    "RangeSampler",
+    "DynamicRangeSampler",
+    "validate_query",
+    "coerce_query_bounds",
+]
+
+
+def coerce_query_bounds(queries):
+    """Return validated ``(los, his)`` arrays for a multi-range probe.
+
+    Shared prelude of every ``peek_counts`` implementation: ``queries`` is
+    a sequence of ``(lo, hi)`` pairs, coerced to two float arrays with the
+    same NaN / ``lo <= hi`` rules as :func:`validate_query`.
+    """
+    import numpy as np
+
+    bounds = np.asarray(queries, dtype=float).reshape(-1, 2)
+    los, his = bounds[:, 0], bounds[:, 1]
+    if np.isnan(los).any() or np.isnan(his).any() or (los > his).any():
+        raise InvalidQueryError("peek_counts requires lo <= hi, non-NaN")
+    return los, his
 
 
 def validate_query(lo: float, hi: float, t: int) -> None:

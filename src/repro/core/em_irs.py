@@ -192,6 +192,18 @@ class ExternalIRS(RangeSampler):
         a, b = self.tree.rank_range(lo, hi)
         return list(self.file.scan(a, b))
 
+    def export_sorted(self):
+        """Return every stored point as a sorted array (shard-engine hook).
+
+        One full sequential scan of the file — ``O(n/B)`` I/Os, charged to
+        the device stats like any other scan.  The shard engine calls this
+        once per snapshot, not per query.
+        """
+        values = list(self.file.scan(0, self.file.n))
+        if _np is None:  # pragma: no cover
+            return values
+        return _np.asarray(values, dtype=float)
+
     @property
     def buffer_blocks(self) -> int:
         """Blocks currently held by sample buffers (space accounting)."""

@@ -19,7 +19,7 @@ from typing import Iterable, Sequence
 
 from ..errors import InvalidQueryError
 from ..rng import RandomSource
-from .base import RangeSampler, validate_query
+from .base import RangeSampler, coerce_query_bounds, validate_query
 
 try:  # NumPy is optional at runtime; bulk sampling uses it when present.
     import numpy as _np
@@ -88,6 +88,40 @@ class StaticIRS(RangeSampler):
         a, b = self.rank_range(lo, hi)
         return b - a
 
+    def peek_counts(self, queries):
+        """Vectorized multi-range count: one ``searchsorted`` per bound set.
+
+        ``queries`` is a sequence of ``(lo, hi)`` pairs; the result is a
+        NumPy ``int64`` array of ``|P ∩ [lo, hi]|`` aligned with the input.
+        This is the count-probe primitive the shard planner batches across
+        shards, and what :meth:`repro.batch.BatchQueryRunner.run_counts`
+        uses for count-only workloads — ``O(q log n)`` total with the two
+        binary-search passes done in C.
+        """
+        if _np is None:  # pragma: no cover - numpy is installed in CI
+            return [self.count(lo, hi) for lo, hi in queries]
+        los, his = coerce_query_bounds(queries)
+        arr = self._export_array()
+        return _np.searchsorted(arr, his, side="right") - _np.searchsorted(
+            arr, los, side="left"
+        )
+
+    def _export_array(self):
+        """Return (building and caching if needed) the NumPy value view."""
+        if self._np_data is None:
+            self._np_data = _np.asarray(self._data, dtype=float)
+        return self._np_data
+
+    def export_sorted(self):
+        """Return the sorted points as a NumPy array (shard-engine hook).
+
+        The returned array is the structure's own cached view — callers
+        must treat it as read-only.
+        """
+        if _np is None:  # pragma: no cover
+            return list(self._data)
+        return self._export_array()
+
     def report(self, lo: float, hi: float) -> list[float]:
         a, b = self.rank_range(lo, hi)
         return self._data[a:b]
@@ -139,9 +173,8 @@ class StaticIRS(RangeSampler):
             return _np.empty(0, dtype=float)
         if self._bulk_gen is None:
             self._bulk_gen = self._rng.spawn_numpy()
-            self._np_data = _np.asarray(self._data, dtype=float)
         ranks = self._bulk_gen.integers(a, b, size=t)
-        return self._np_data[ranks]
+        return self._export_array()[ranks]
 
     def value_at_rank(self, rank: int) -> float:
         """Return the point with the given global rank (0-based)."""

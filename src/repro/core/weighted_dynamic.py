@@ -238,6 +238,24 @@ class WeightedDynamicIRS:
         """Return all ``(value, weight)`` pairs in sorted value order."""
         return list(self._iter_pairs())
 
+    def export_sorted_pairs(self):
+        """Return ``(values, weights)`` sorted by value (shard-engine hook).
+
+        ``O(n)`` — one concatenation of the per-chunk lists into two fresh
+        NumPy arrays, which the caller owns.
+        """
+        values: list[float] = []
+        weights: list[float] = []
+        for chunk in self._iter_chunks():
+            values.extend(chunk.values)
+            weights.extend(chunk.weights)
+        if _np is None:  # pragma: no cover
+            return values, weights
+        return (
+            _np.asarray(values, dtype=float),
+            _np.asarray(weights, dtype=float),
+        )
+
     @property
     def total_weight(self) -> float:
         """Sum of all stored weights."""

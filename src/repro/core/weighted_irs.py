@@ -137,6 +137,28 @@ class WeightedStaticIRS(RangeSampler):
         a, b = self.rank_range(lo, hi)
         return self._prefix[b] - self._prefix[a]
 
+    def range_weight(self, lo: float, hi: float) -> float:
+        """Alias of :meth:`total_weight` under the dynamic sampler's name.
+
+        The shard planner probes in-range weight mass through one method
+        name regardless of whether a shard is static or dynamic.
+        """
+        return self.total_weight(lo, hi)
+
+    def export_sorted(self):
+        """Return the sorted points as a NumPy array (shard-engine hook)."""
+        if _np is None:  # pragma: no cover
+            return list(self._values)
+        if self._np_values is None:
+            self._np_values = _np.asarray(self._values, dtype=float)
+        return self._np_values
+
+    def export_sorted_pairs(self):
+        """Return ``(values, weights)`` sorted by value (shard-engine hook)."""
+        if _np is None:  # pragma: no cover
+            return list(self._values), list(self._weights)
+        return self.export_sorted(), _np.asarray(self._weights, dtype=float)
+
     def weight_at_rank(self, rank: int) -> float:
         """Return the weight of the point with the given global rank."""
         return self._weights[rank]

@@ -4,14 +4,20 @@ The paper's primary queries sample with replacement; the without-replacement
 variant asks for a uniformly random ``t``-subset of ``P ∩ q``.  Two exact
 strategies are provided:
 
-* **rank-based (Floyd)** — for rank-addressable structures
-  (:class:`~repro.core.static_irs.StaticIRS`): Robert Floyd's algorithm draws
-  a uniform ``t``-subset of the rank interval with exactly ``t`` primitive
-  draws and ``O(t)`` expected set operations, then a Fisher–Yates pass
-  randomizes the order.  Duplicated values are handled correctly because
-  ranks, not values, are deduplicated.
+* **rank-based (Floyd)** — for any *rank-addressable* structure: Robert
+  Floyd's algorithm draws a uniform ``t``-subset of the rank interval with
+  exactly ``t`` primitive draws and ``O(t)`` expected set operations, then a
+  Fisher–Yates pass randomizes the order.  Duplicated values are handled
+  correctly because ranks, not values, are deduplicated.  Dispatch is by
+  capability, not by type: a structure exposing ``rank_range`` +
+  ``value_at_rank`` (:class:`~repro.core.static_irs.StaticIRS`) resolves
+  global ranks directly, and one exposing ``count`` + ``select_in_range``
+  (:class:`~repro.core.dynamic_irs.DynamicIRS`, whose array directory is
+  rank-addressable, and :class:`~repro.shard.ShardedIRS`, which routes
+  in-range ranks across its shards) resolves in-range ranks — so the
+  generic path's no-duplicates restriction does not apply to any of them.
 
-* **generic** — for any :class:`~repro.core.base.RangeSampler`:
+* **generic** — for any other :class:`~repro.core.base.RangeSampler`:
   if ``t`` exceeds half the population, report the range and take a partial
   Fisher–Yates prefix (``O(K)``, but then ``K < 2t``); otherwise draw with
   replacement and reject repeats, which needs ``O(t)`` expected draws.  The
@@ -24,8 +30,6 @@ from __future__ import annotations
 from ..errors import InvalidQueryError
 from ..rng import RandomSource
 from .base import RangeSampler
-from .dynamic_irs import DynamicIRS
-from .static_irs import StaticIRS
 
 __all__ = ["sample_ranks_without_replacement", "sample_without_replacement"]
 
@@ -72,11 +76,11 @@ def sample_without_replacement(
     """
     if rng is None:
         rng = RandomSource()
-    if isinstance(sampler, StaticIRS):
+    if hasattr(sampler, "rank_range") and hasattr(sampler, "value_at_rank"):
         a, b = sampler.rank_range(lo, hi)
         ranks = sample_ranks_without_replacement(rng, a, b, t)
         return [sampler.value_at_rank(r) for r in ranks]
-    if isinstance(sampler, DynamicIRS):
+    if hasattr(sampler, "select_in_range"):
         total = sampler.count(lo, hi)
         if t > total:
             raise InvalidQueryError(

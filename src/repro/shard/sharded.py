@@ -1,0 +1,1003 @@
+"""``ShardedIRS`` — scatter-gather independent range sampling over shards.
+
+The facade range-partitions the key space across ``P`` shards (each shard
+any existing sampler — static, dynamic, weighted, external) and implements
+the full sampler API, so it drops into :class:`~repro.batch.
+BatchQueryRunner`, the CLI and the benchmarks unchanged.  The design
+splits each operation into a cheap *plan* on the facade and embarrassingly
+parallel per-shard work:
+
+**Reads.**  ``sample_bulk`` first probes every shard's in-range count (or
+in-range weight mass) against per-shard *snapshots* — sorted NumPy arrays
+refreshed lazily after updates — with one vectorized ``searchsorted`` per
+shard.  ``t`` is then split across shards with a single multinomial draw
+(probabilities ``k_i / K``), the per-shard draws scatter to an execution
+backend, and the gathered block is permuted once.  This is *exactly* the
+distribution of ``t`` i.i.d. uniform (resp. weight-proportional) draws
+from ``P ∩ [lo, hi]``: conditioning i.i.d. category counts on the shards
+gives precisely a multinomial split, uniformity within a shard is the
+shard kernel's contract, and the final permutation restores positional
+exchangeability.  ``count``/``report`` delegate to the shards and
+concatenate (shards are disjoint and key-ordered).
+
+**Writes.**  Updates route by the partition bounds — one vectorized
+``searchsorted`` for a bulk batch — and land on the shard structures'
+own (bulk) update paths.  A rebalancer splits oversized shards and merges
+small neighbors whenever the largest shard exceeds ``rebalance_factor ×``
+the mean, so skewed insert streams cannot concentrate the working set.
+
+**Execution** is pluggable (see :mod:`repro.shard.executors`): ``serial``,
+``threads``, or ``processes`` over shared-memory snapshots.  Every task
+seeds its own generator from :func:`repro.rng.derive_seed`, so results
+are identical across backends and worker schedules under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from bisect import bisect_right
+from itertools import count as _counter
+from typing import Iterable, Sequence
+
+from ..core.base import DynamicRangeSampler, validate_query
+from ..core.dynamic_irs import DynamicIRS
+from ..core.em_irs import ExternalIRS
+from ..core.static_irs import StaticIRS
+from ..core.weighted_dynamic import WeightedDynamicIRS
+from ..core.weighted_irs import WeightedStaticIRS
+from ..errors import EmptyRangeError, InvalidQueryError, KeyNotFoundError
+from ..rng import RandomSource, derive_seed
+from ..types import QueryStats
+from .executors import draw_from_snapshot, make_backend
+from .partition import cut_bounds, route_values, run_aligned_cuts
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is installed in CI
+    _np = None
+
+__all__ = ["ShardedIRS", "SHARD_KINDS"]
+
+SHARD_KINDS = ("static", "dynamic", "weighted", "weighted-dynamic", "external")
+_WEIGHTED_KINDS = ("weighted", "weighted-dynamic")
+
+#: Scalar updates between rebalance-skew checks (bulk ops always check).
+_REBALANCE_EVERY = 256
+
+_uid = _counter()
+
+
+class _Snapshot:
+    """One shard's read-side view: sorted values (+ weight prefix).
+
+    ``values`` is the shard's sorted point array; ``cumw`` is ``None`` for
+    uniform shards or the inclusive weight prefix of length ``n + 1`` with
+    ``cumw[0] == 0``.  When the processes backend is active the arrays are
+    additionally *published* to named shared-memory segments so workers
+    can attach them by name.
+    """
+
+    __slots__ = ("values", "cumw", "shm_values", "shm_cumw")
+
+    def __init__(self, values, cumw=None) -> None:
+        self.values = values
+        self.cumw = cumw
+        self.shm_values = None
+        self.shm_cumw = None
+
+
+def _unlink_segments(registry: dict) -> None:
+    """Best-effort cleanup of the shared-memory segments in ``registry``."""
+    for shm in list(registry.values()):
+        try:
+            shm.close()
+            shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - already gone
+            pass
+    registry.clear()
+
+
+class ShardedIRS(DynamicRangeSampler):
+    """Range-partitioned scatter-gather IRS over ``P`` shards.
+
+    Parameters
+    ----------
+    values:
+        Initial point set (any iterable of floats; duplicates allowed).
+    num_shards:
+        Target shard count ``P``.  Heavy duplication can force fewer
+        shards (cuts never split a run of equal values); rebalancing may
+        temporarily run more.
+    weights:
+        Optional per-point weights; requires a weighted ``shard_kind``.
+    seed:
+        Root seed.  Everything — shard-internal streams, the multinomial
+        splits, every per-task generator — derives from it, so a fixed
+        seed reproduces results exactly on any backend.
+    shard_kind:
+        One of :data:`SHARD_KINDS`, or a callable
+        ``(sorted_values, weights_or_None, seed) -> sampler`` building a
+        custom shard.
+    backend:
+        ``"serial"`` (default), ``"threads"``, ``"processes"``, or a
+        backend instance (see :mod:`repro.shard.executors`).
+    max_workers:
+        Worker cap for the parallel backends.
+    rebalance_factor:
+        Skew bound: a shard larger than ``factor ×`` the mean size
+        triggers a rebalance (split + merge pass).  Must be > 1.
+    block_size:
+        Block size forwarded to ``external`` shards.
+    """
+
+    def __init__(
+        self,
+        values: Iterable[float] = (),
+        num_shards: int = 4,
+        *,
+        weights: Iterable[float] | None = None,
+        seed: int | None = None,
+        shard_kind="dynamic",
+        backend="serial",
+        max_workers: int | None = None,
+        rebalance_factor: float = 2.0,
+        block_size: int = 1024,
+    ) -> None:
+        if _np is None:  # pragma: no cover - numpy is installed in CI
+            raise RuntimeError("ShardedIRS requires NumPy")
+        values = _np.asarray(list(values), dtype=float)
+        if weights is None:
+            order = _np.argsort(values, kind="stable")
+            sorted_weights = None
+        else:
+            weights = _np.asarray(list(weights), dtype=float)
+            if len(weights) != len(values):
+                raise ValueError(
+                    f"values and weights differ in length: "
+                    f"{len(values)} != {len(weights)}"
+                )
+            order = _np.argsort(values, kind="stable")
+            sorted_weights = weights[order]
+        self._init_common(
+            num_shards, seed, shard_kind, backend, max_workers,
+            rebalance_factor, block_size,
+        )
+        self._build_partitions(values[order], sorted_weights)
+
+    @classmethod
+    def from_sorted(
+        cls,
+        values,
+        num_shards: int = 4,
+        *,
+        weights=None,
+        seed: int | None = None,
+        shard_kind="dynamic",
+        backend="serial",
+        max_workers: int | None = None,
+        rebalance_factor: float = 2.0,
+        block_size: int = 1024,
+    ) -> "ShardedIRS":
+        """O(n) constructor over already-sorted input (skips the sort)."""
+        values = _np.asarray(
+            values if isinstance(values, _np.ndarray) else list(values), dtype=float
+        )
+        if values.size > 1 and bool((values[1:] < values[:-1]).any()):
+            raise ValueError("from_sorted requires nondecreasing input")
+        if weights is not None:
+            weights = _np.asarray(list(weights), dtype=float)
+            if len(weights) != len(values):
+                raise ValueError(
+                    f"values and weights differ in length: "
+                    f"{len(values)} != {len(weights)}"
+                )
+        self = cls.__new__(cls)
+        self._init_common(
+            num_shards, seed, shard_kind, backend, max_workers,
+            rebalance_factor, block_size,
+        )
+        self._build_partitions(values, weights)
+        return self
+
+    def _init_common(
+        self, num_shards, seed, shard_kind, backend, max_workers,
+        rebalance_factor, block_size,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if not rebalance_factor > 1.0:
+            raise ValueError("rebalance_factor must be > 1")
+        if isinstance(shard_kind, str) and shard_kind not in SHARD_KINDS:
+            raise ValueError(
+                f"unknown shard_kind {shard_kind!r}; expected one of {SHARD_KINDS}"
+            )
+        self._target_shards = num_shards
+        self._shard_kind = shard_kind
+        self._block_size = block_size
+        self._weighted = (
+            shard_kind in _WEIGHTED_KINDS if isinstance(shard_kind, str) else None
+        )
+        self._rebalance_factor = float(rebalance_factor)
+        self._rng = RandomSource(seed)
+        self._entropy = self._rng._rng.getrandbits(64)
+        self._stuck_largest: int | None = None  # rebalance damping marker
+        self._gen = None  # lazily-spawned NumPy side stream (split + permute)
+        self._ticket = 0  # per-query counter: the seed path of scatter tasks
+        self._shard_ticket = 0  # per-shard-build counter (fresh shard seeds)
+        self._update_clock = 0
+        self.stats = QueryStats()
+        self._backend = make_backend(backend, max_workers)
+        self._uid = f"{os.getpid():x}-{next(_uid):x}"
+        self._shm_ticket = 0
+        self._segments: dict[str, object] = {}
+        self._finalizer = weakref.finalize(self, _unlink_segments, self._segments)
+
+    # -- construction ------------------------------------------------------------
+
+    def _next_shard_seed(self) -> int:
+        self._shard_ticket += 1
+        return derive_seed(self._entropy, -1, self._shard_ticket)
+
+    def _make_shard(self, values, weights):
+        """Build one shard over a sorted slice (``from_sorted`` reuse)."""
+        seed = self._next_shard_seed()
+        kind = self._shard_kind
+        if callable(kind):
+            return kind(values, weights, seed)
+        if kind == "static":
+            return StaticIRS.from_sorted(values, seed=seed)
+        if kind == "dynamic":
+            return DynamicIRS.from_sorted(values, seed=seed)
+        if kind == "external":
+            return ExternalIRS.from_sorted(
+                values.tolist(), block_size=self._block_size, seed=seed
+            )
+        if kind == "weighted":
+            # WeightedStaticIRS has no from_sorted (its canonical tree build
+            # dominates anyway); the constructor's sort of sorted input is
+            # Timsort-linear.
+            return WeightedStaticIRS(values, weights, seed=seed)
+        if kind == "weighted-dynamic":
+            return WeightedDynamicIRS.from_sorted(values, weights, seed=seed)
+        raise ValueError(f"unknown shard_kind {kind!r}")  # pragma: no cover
+
+    def _build_partitions(self, values, weights) -> None:
+        """Cut sorted input into run-aligned slices and build the shards."""
+        if self._weighted is False and weights is not None:
+            raise InvalidQueryError(
+                f"shard_kind {self._shard_kind!r} does not accept weights"
+            )
+        if self._weighted is True and weights is None:
+            # Weighted kinds without explicit weights default to unit mass,
+            # matching the flat constructors' CLI convention.
+            weights = _np.ones(len(values), dtype=float)
+        cuts = run_aligned_cuts(values, self._target_shards)
+        self._bounds: list[float] = cut_bounds(values, cuts)
+        edges = [0, *cuts, len(values)]
+        self._shards = []
+        self._snaps: list[_Snapshot | None] = []
+        self._dirty: list[bool] = []
+        for lo_edge, hi_edge in zip(edges, edges[1:]):
+            piece = values[lo_edge:hi_edge]
+            wpiece = weights[lo_edge:hi_edge] if weights is not None else None
+            shard = self._make_shard(piece, wpiece)
+            if self._weighted is None:
+                self._weighted = hasattr(shard, "export_sorted_pairs")
+            self._shards.append(shard)
+            if self._weighted and wpiece is None:
+                # A weighted custom factory built without explicit weights
+                # (implicit 1.0s or factory-internal weights): defer to the
+                # shard's own export for the snapshot.
+                self._snaps.append(None)
+                self._dirty.append(True)
+            else:
+                self._snaps.append(self._snapshot_from_arrays(piece, wpiece))
+                self._dirty.append(False)
+        self._bounds_arr = _np.asarray(self._bounds, dtype=float)
+        self._n = int(len(values))
+        self._updatable = all(hasattr(s, "insert") for s in self._shards)
+        # The weighted facade varies its update signature with the shard
+        # kind so BatchQueryRunner's upfront weighted-insert check sees the
+        # truth through ``inspect.signature``.
+        if self._weighted:
+            self.insert = self._insert_weighted
+            self.insert_bulk = self._insert_bulk_weighted
+        else:
+            self.insert = self._insert_plain
+            self.insert_bulk = self._insert_bulk_plain
+
+    def _snapshot_from_arrays(self, values, weights) -> _Snapshot:
+        cumw = None
+        if self._weighted and len(values):
+            cumw = _np.concatenate(
+                ([0.0], _np.cumsum(_np.asarray(weights, dtype=float)))
+            )
+        return _Snapshot(_np.asarray(values, dtype=float), cumw)
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def num_shards(self) -> int:
+        """Current shard count (rebalancing may move it around the target)."""
+        return len(self._shards)
+
+    @property
+    def backend_name(self) -> str:
+        return getattr(self._backend, "name", type(self._backend).__name__)
+
+    @property
+    def shards(self) -> Sequence:
+        """The shard structures, in key order (read-only by convention)."""
+        return tuple(self._shards)
+
+    @property
+    def bounds(self) -> tuple[float, ...]:
+        """The partition cut values (read-only)."""
+        return tuple(self._bounds)
+
+    def values(self) -> list[float]:
+        """Return every stored point in sorted order (``O(n)``)."""
+        out: list[float] = []
+        for i in range(len(self._shards)):
+            out.extend(self._shard_values(i).tolist())
+        return out
+
+    def close(self) -> None:
+        """Release the backend's workers and every shared-memory segment."""
+        self._backend.close()
+        for snap in self._snaps:
+            if snap is not None:
+                snap.shm_values = None
+                snap.shm_cumw = None
+        _unlink_segments(self._segments)
+
+    def __enter__(self) -> "ShardedIRS":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def _shard_values(self, i: int):
+        """The shard's sorted value array, via a fresh-enough snapshot."""
+        return self._refresh(i).values
+
+    def _export_shard(self, i: int) -> tuple:
+        shard = self._shards[i]
+        if self._weighted:
+            values, weights = shard.export_sorted_pairs()
+            return _np.asarray(values, dtype=float), _np.asarray(weights, dtype=float)
+        exported = shard.export_sorted()
+        return _np.asarray(exported, dtype=float), None
+
+    def _refresh(self, i: int) -> _Snapshot:
+        """Re-export a stale snapshot; publish it if the backend needs shm."""
+        snap = self._snaps[i]
+        if snap is None or self._dirty[i]:
+            self._retire_segments(snap)
+            values, weights = self._export_shard(i)
+            snap = self._snapshot_from_arrays(values, weights)
+            self._snaps[i] = snap
+            self._dirty[i] = False
+        if (
+            getattr(self._backend, "uses_shared_memory", False)
+            and snap.shm_values is None
+            and len(snap.values)
+        ):
+            snap.shm_values = self._publish(snap.values)
+            if snap.cumw is not None:
+                snap.shm_cumw = self._publish(snap.cumw)
+        return snap
+
+    def _publish(self, array):
+        """Copy an array into a fresh named shared-memory segment."""
+        from multiprocessing import shared_memory
+
+        self._shm_ticket += 1
+        name = f"rshard-{self._uid}-{self._shm_ticket:x}"
+        shm = shared_memory.SharedMemory(name=name, create=True, size=array.nbytes)
+        view = _np.ndarray(array.shape, dtype=_np.float64, buffer=shm.buf)
+        view[:] = array
+        del view
+        self._segments[name] = shm
+        return shm
+
+    def _retire_segments(self, snap: _Snapshot | None) -> None:
+        for shm in (snap.shm_values, snap.shm_cumw) if snap is not None else ():
+            if shm is not None:
+                self._segments.pop(shm.name, None)
+                try:
+                    shm.close()
+                    shm.unlink()
+                except (FileNotFoundError, OSError):  # pragma: no cover
+                    pass
+
+    def _mark_dirty(self, i: int) -> None:
+        self._dirty[i] = True
+
+    # -- routing -----------------------------------------------------------------
+
+    def _route_one(self, value: float) -> int:
+        return int(_np.searchsorted(self._bounds_arr, value, side="right"))
+
+    def _window(self, lo: float, hi: float) -> range:
+        """Indices of the shards whose key interval intersects ``[lo, hi]``."""
+        return range(self._route_one(lo), self._route_one(hi) + 1)
+
+    # -- counting / reporting ----------------------------------------------------
+
+    def count(self, lo: float, hi: float) -> int:
+        validate_query(lo, hi, 0)
+        return sum(self._shards[i].count(lo, hi) for i in self._window(lo, hi))
+
+    def peek_counts(self, queries):
+        """Vectorized multi-range count, summed across shards.
+
+        Delegates to each shard's own :meth:`peek_counts` when available
+        (out-of-range shards contribute zeros, so no window filtering is
+        needed); shards without the probe fall back to per-query counts.
+        """
+        queries = list(queries)
+        total = _np.zeros(len(queries), dtype=_np.int64)
+        for shard in self._shards:
+            peek = getattr(shard, "peek_counts", None)
+            if peek is not None:
+                total += _np.asarray(peek(queries), dtype=_np.int64)
+            else:
+                for j, (lo, hi) in enumerate(queries):
+                    total[j] += shard.count(lo, hi)
+        return total
+
+    def report(self, lo: float, hi: float) -> list:
+        validate_query(lo, hi, 0)
+        out: list = []
+        for i in self._window(lo, hi):
+            out.extend(self._shards[i].report(lo, hi))
+        return out
+
+    def range_weight(self, lo: float, hi: float) -> float:
+        """Return ``w(P ∩ [lo, hi])`` (weighted shard kinds only)."""
+        if not self._weighted:
+            raise InvalidQueryError("range_weight requires weighted shards")
+        validate_query(lo, hi, 0)
+        return sum(
+            self._shards[i].range_weight(lo, hi) for i in self._window(lo, hi)
+        )
+
+    # -- sampling ----------------------------------------------------------------
+
+    def sample(self, lo: float, hi: float, t: int) -> list[float]:
+        """Return ``t`` independent samples (scalar path, shard delegation).
+
+        Each sample picks a shard with probability proportional to its
+        in-range count (weighted kinds: in-range mass) from the facade's
+        scalar stream; the picks are then grouped so each shard answers
+        its whole quota with one scalar ``sample`` call (one query plan
+        per shard instead of one per draw).  Placing shard ``s``'s ``j``-th
+        draw at the position of the ``j``-th pick of ``s`` reproduces the
+        i.i.d. law exactly — conditional on the picks, the draws are
+        independent and each has its shard's conditional distribution.
+        """
+        validate_query(lo, hi, t)
+        window = list(self._window(lo, hi))
+        counts = [self._shards[i].count(lo, hi) for i in window]
+        if self._require_nonempty(sum(counts), t):
+            return []
+        if self._weighted:
+            masses = [self._shards[i].range_weight(lo, hi) for i in window]
+            if sum(masses) <= 0.0:
+                raise EmptyRangeError("query range has zero total weight")
+            cum_src = masses
+        else:
+            cum_src = counts
+        cum: list[float] = []
+        acc = 0.0
+        for value in cum_src:
+            acc += value
+            cum.append(acc)
+        rng = self._rng
+        picks = [rng.choice_index(cum) for _ in range(t)]
+        quota: dict[int, int] = {}
+        for pick in picks:
+            quota[pick] = quota.get(pick, 0) + 1
+        drawn = {
+            pick: iter(self._shards[window[pick]].sample(lo, hi, k))
+            for pick, k in quota.items()
+        }
+        out = [next(drawn[pick]) for pick in picks]
+        self.stats.queries += 1
+        self.stats.samples_returned += t
+        return out
+
+    def sample_bulk(self, lo: float, hi: float, t: int):
+        """Vectorized scatter-gather :meth:`sample` (NumPy array result)."""
+        return self.sample_bulk_many([(lo, hi, t)])[0]
+
+    def sample_bulk_many(self, queries: Sequence[tuple]) -> list:
+        """Execute many ``(lo, hi, t)`` queries in one scatter round.
+
+        All per-shard tasks from all queries go to the backend together,
+        so a batch amortizes worker dispatch across every query it
+        contains.  Results align with the input order; the per-query
+        sample distribution is identical to calling :meth:`sample_bulk`
+        per query.
+        """
+        queries = [(float(lo), float(hi), int(ti)) for lo, hi, ti in queries]
+        for lo, hi, ti in queries:
+            validate_query(lo, hi, ti)
+        if self._gen is None:
+            self._gen = self._rng.spawn_numpy()
+        gen = self._gen
+        snaps = [self._refresh(i) for i in range(len(self._shards))]
+        n_shards = len(snaps)
+        n_queries = len(queries)
+        if n_queries == 0:
+            return []
+        los = _np.asarray([q[0] for q in queries])
+        his = _np.asarray([q[1] for q in queries])
+        counts = _np.zeros((n_shards, n_queries), dtype=_np.int64)
+        masses = _np.zeros((n_shards, n_queries), dtype=float) if self._weighted else None
+        for s, snap in enumerate(snaps):
+            v = snap.values
+            if not len(v):
+                continue
+            a = _np.searchsorted(v, los, side="left")
+            b = _np.searchsorted(v, his, side="right")
+            counts[s] = b - a
+            if masses is not None:
+                masses[s] = snap.cumw[b] - snap.cumw[a]
+        totals = counts.sum(axis=0)
+        shares = masses if masses is not None else counts
+        # Plan phase: one multinomial split per query, drawn in query order
+        # from the facade's side stream (backend-independent by design).
+        out_offsets: list[int] = []
+        tasks_per_query = [0] * n_queries
+        tasks_meta: list[tuple[int, int, int, int, int]] = []  # (s, q, t, seed, off)
+        at = 0
+        for q, (lo, hi, ti) in enumerate(queries):
+            out_offsets.append(at)
+            if ti == 0:
+                continue
+            if totals[q] == 0:
+                raise EmptyRangeError("no points inside the query range")
+            share = shares[:, q]
+            total_share = share.sum()
+            if total_share <= 0.0:
+                raise EmptyRangeError("query range has zero total weight")
+            self._ticket += 1
+            ticket = self._ticket
+            split = gen.multinomial(ti, share / total_share)
+            off = at
+            for s in range(n_shards):
+                ts = int(split[s])
+                if ts:
+                    seed = derive_seed(self._entropy, ticket, s)
+                    tasks_meta.append((s, q, ts, seed, off))
+                    tasks_per_query[q] += 1
+                    off += ts
+            at += ti
+        total_samples = at
+        out = self._scatter(snaps, queries, tasks_meta, total_samples)
+        results: list = []
+        for q, (_lo, _hi, ti) in enumerate(queries):
+            block = out[out_offsets[q] : out_offsets[q] + ti]
+            if tasks_per_query[q] > 1:
+                # One permutation restores positional i.i.d.-ness over the
+                # shard-ordered gather; drawn from the facade stream, so it
+                # is the same on every backend.  A single-shard query is
+                # already i.i.d. and skips it (the skip depends only on the
+                # split, so backend-independence is preserved).
+                block = block[gen.permutation(ti)]
+            results.append(block)
+        self.stats.queries += n_queries
+        self.stats.samples_returned += total_samples
+        self.stats.extra["scatter_tasks"] = (
+            self.stats.extra.get("scatter_tasks", 0) + len(tasks_meta)
+        )
+        return results
+
+    def _scatter(self, snaps, queries, tasks_meta, total_samples):
+        """Run the planned tasks on the backend; return the gathered block."""
+        if getattr(self._backend, "uses_shared_memory", False) and tasks_meta:
+            from multiprocessing import shared_memory
+
+            self._shm_ticket += 1
+            out_name = f"rshard-{self._uid}-out-{self._shm_ticket:x}"
+            out_shm = shared_memory.SharedMemory(
+                name=out_name, create=True, size=max(8, total_samples * 8)
+            )
+            try:
+                tasks = []
+                for s, q, ts, seed, off in tasks_meta:
+                    snap = snaps[s]
+                    lo, hi, _ = queries[q]
+                    tasks.append(
+                        (
+                            snap.shm_values.name,
+                            len(snap.values),
+                            snap.shm_cumw.name if snap.shm_cumw is not None else None,
+                            lo, hi, ts, seed,
+                            out_name, total_samples, off,
+                        )
+                    )
+                self._backend.run(None, tasks)
+                view = _np.ndarray(
+                    (total_samples,), dtype=_np.float64, buffer=out_shm.buf
+                )
+                out = view.copy()
+                del view
+            finally:
+                out_shm.close()
+                out_shm.unlink()
+            return out
+        out = _np.empty(total_samples, dtype=float)
+
+        def run_local(task):
+            s, q, ts, seed, off = task
+            snap = snaps[s]
+            lo, hi, _ = queries[q]
+            out[off : off + ts] = draw_from_snapshot(
+                snap.values, snap.cumw, lo, hi, ts, seed
+            )
+
+        self._backend.run(run_local, tasks_meta)
+        return out
+
+    # -- rank addressing (without-replacement support) ---------------------------
+
+    def select_in_range(self, lo: float, hi: float, ranks: list[int]) -> list[float]:
+        """Return the values at the given in-range ranks (0 = smallest).
+
+        The facade's in-range rank space is the concatenation of the
+        shards' in-range rank spaces in key order; each shard resolves its
+        ranks with its own rank machinery in one call.
+        """
+        validate_query(lo, hi, 0)
+        window = list(self._window(lo, hi))
+        counts = [self._shards[i].count(lo, hi) for i in window]
+        total = sum(counts)
+        for rank in ranks:
+            if not 0 <= rank < total:
+                raise InvalidQueryError(
+                    f"rank {rank} outside [0, {total}) for this range"
+                )
+        starts: list[int] = []
+        acc = 0
+        for k in counts:
+            starts.append(acc)
+            acc += k
+        grouped: dict[int, list[int]] = {}
+        positions: dict[int, list[int]] = {}
+        for pos, rank in enumerate(ranks):
+            w = bisect_right(starts, rank) - 1
+            grouped.setdefault(w, []).append(rank - starts[w])
+            positions.setdefault(w, []).append(pos)
+        out: list[float | None] = [None] * len(ranks)
+        for w, local_ranks in grouped.items():
+            shard = self._shards[window[w]]
+            resolver = getattr(shard, "select_in_range", None)
+            if resolver is not None:
+                resolved = resolver(lo, hi, local_ranks)
+            elif hasattr(shard, "rank_range") and hasattr(shard, "value_at_rank"):
+                a, _b = shard.rank_range(lo, hi)
+                resolved = [shard.value_at_rank(a + r) for r in local_ranks]
+            else:
+                pool = shard.report(lo, hi)
+                resolved = [pool[r] for r in local_ranks]
+            for pos, value in zip(positions[w], resolved):
+                out[pos] = value
+        return out  # type: ignore[return-value]
+
+    def sample_without_replacement(self, lo: float, hi: float, t: int) -> list[float]:
+        """Return a uniform ``t``-subset of ``P ∩ [lo, hi]`` (random order).
+
+        Floyd's algorithm over the facade's in-range rank space; exact for
+        multisets because ranks, not values, are deduplicated.
+        """
+        from ..core.without_replacement import sample_ranks_without_replacement
+
+        validate_query(lo, hi, t)
+        total = self.count(lo, hi)
+        if self._require_nonempty(total, t):
+            return []
+        if t > total:
+            raise InvalidQueryError(
+                f"cannot draw {t} distinct samples from {total} points"
+            )
+        ranks = sample_ranks_without_replacement(self._rng, 0, total, t)
+        return self.select_in_range(lo, hi, ranks)
+
+    # -- updates -----------------------------------------------------------------
+
+    def _require_updatable(self) -> None:
+        if not self._updatable:
+            raise TypeError(
+                f"shard kind {self._shard_kind!r} is static and does not "
+                "support updates"
+            )
+
+    def insert(self, value: float) -> None:  # pragma: no cover - rebound
+        """Insert one point (bound per instance in ``_build_partitions``)."""
+        raise NotImplementedError
+
+    def insert_bulk(self, values) -> None:  # pragma: no cover - rebound
+        """Bulk insert (bound per instance in ``_build_partitions``)."""
+        raise NotImplementedError
+
+    def _insert_plain(self, value: float) -> None:
+        self._require_updatable()
+        i = self._route_one(value)
+        self._shards[i].insert(float(value))
+        self._after_update(i, 1)
+
+    def _insert_weighted(self, value: float, weight: float = 1.0) -> None:
+        self._require_updatable()
+        i = self._route_one(value)
+        self._shards[i].insert(float(value), weight)
+        self._after_update(i, 1)
+
+    def _insert_bulk_plain(self, values) -> None:
+        self._require_updatable()
+        batch = _np.sort(_np.asarray(list(values), dtype=float))
+        if not batch.size:
+            return
+        for i, g0, g1 in self._route_groups(batch):
+            shard = self._shards[i]
+            bulk = getattr(shard, "insert_bulk", None)
+            if bulk is not None:
+                bulk(batch[g0:g1])
+            else:  # pragma: no cover - all dynamic shards have bulk paths
+                for value in batch[g0:g1]:
+                    shard.insert(float(value))
+            self._mark_dirty(i)
+        self._n += int(batch.size)
+        self._maybe_rebalance()
+
+    def _insert_bulk_weighted(self, values, weights=None) -> None:
+        self._require_updatable()
+        batch = _np.asarray(list(values), dtype=float)
+        if weights is None:
+            wbatch = _np.ones(batch.size, dtype=float)
+        else:
+            wbatch = _np.asarray(list(weights), dtype=float)
+            if wbatch.size != batch.size:
+                raise ValueError(
+                    f"values and weights differ in length: "
+                    f"{batch.size} != {wbatch.size}"
+                )
+        if not batch.size:
+            return
+        order = _np.argsort(batch, kind="stable")
+        batch, wbatch = batch[order], wbatch[order]
+        for i, g0, g1 in self._route_groups(batch):
+            self._shards[i].insert_bulk(batch[g0:g1], wbatch[g0:g1])
+            self._mark_dirty(i)
+        self._n += int(batch.size)
+        self._maybe_rebalance()
+
+    def delete(self, value: float):
+        """Delete one occurrence of ``value`` (routed by the partition)."""
+        self._require_updatable()
+        i = self._route_one(value)
+        result = self._shards[i].delete(float(value))
+        self._after_update(i, -1)
+        return result
+
+    def delete_bulk(self, values) -> None:
+        """Delete one occurrence per value, atomically across shards.
+
+        Routing groups the sorted batch per shard; each shard's own
+        ``delete_bulk`` is atomic, and a failure on a later shard rolls
+        back the groups already applied (re-inserting with their original
+        weights on weighted shards), so the facade keeps the all-or-
+        nothing contract of the single-structure bulk path.
+        """
+        self._require_updatable()
+        batch = _np.sort(_np.asarray(list(values), dtype=float))
+        if not batch.size:
+            return
+        applied: list[tuple[int, object, object]] = []
+        try:
+            for i, g0, g1 in self._route_groups(batch):
+                shard = self._shards[i]
+                segment = batch[g0:g1]
+                removed_weights = shard.delete_bulk(segment)
+                applied.append((i, segment, removed_weights))
+        except KeyNotFoundError:
+            for i, segment, removed_weights in applied:
+                if self._weighted:
+                    self._shards[i].insert_bulk(segment, removed_weights)
+                else:
+                    self._shards[i].insert_bulk(segment)
+                self._mark_dirty(i)
+            raise
+        for i, _segment, _w in applied:
+            self._mark_dirty(i)
+        self._n -= int(batch.size)
+        self._maybe_rebalance()
+
+    def _route_groups(self, sorted_batch):
+        """Yield ``(shard, start, end)`` segments of a sorted batch."""
+        pos = route_values(self._bounds_arr, sorted_batch)
+        uniq, starts = _np.unique(pos, return_index=True)
+        ends = _np.append(starts[1:], sorted_batch.size)
+        for i, g0, g1 in zip(uniq.tolist(), starts.tolist(), ends.tolist()):
+            yield i, g0, g1
+
+    def _after_update(self, i: int, delta: int) -> None:
+        self._mark_dirty(i)
+        self._n += delta
+        self._update_clock += 1
+        if self._update_clock >= _REBALANCE_EVERY:
+            self._update_clock = 0
+            self._maybe_rebalance()
+
+    # -- rebalancing -------------------------------------------------------------
+
+    def _maybe_rebalance(self) -> None:
+        target = max(1, self._target_shards)
+        if self._n < 16 * target:
+            return
+        # The trigger uses the same target mean as the split threshold in
+        # _rebalance, so the two cannot permanently disagree.
+        mean = self._n / target
+        largest = max(len(s) for s in self._shards)
+        if largest <= self._rebalance_factor * mean:
+            self._stuck_largest = None
+            return
+        if self._stuck_largest is not None and largest <= 1.25 * self._stuck_largest:
+            # The last rebalance could not reduce this skew (an oversized
+            # shard that is one giant run cannot be split); retrying on
+            # every update would make each batch O(n).  Retry only after
+            # the offender grows another 25%.
+            return
+        self._rebalance()
+        largest = max((len(s) for s in self._shards), default=0)
+        mean = self._n / target
+        self._stuck_largest = (
+            largest if largest > self._rebalance_factor * mean else None
+        )
+
+    def _rebalance(self) -> None:
+        """Split oversized shards, then fold small neighbors back to ``P``.
+
+        Cost is ``O(touched shards)``: only shards that are split, merged
+        away, or emptied are exported and rebuilt — untouched shards keep
+        their structure, their snapshot, and (processes backend) their
+        shared-memory segments.  An oversized shard is cut into mean-sized
+        run-aligned pieces rebuilt via the shard factory; afterwards the
+        smallest adjacent pairs are merged while that keeps them under the
+        skew bound and the shard count is above target.  Bounds are
+        re-derived from the first element of each shard, which run
+        alignment keeps strictly above its left neighbor's maximum.
+        """
+        mean = max(1, self._n // max(1, self._target_shards))
+        # A piece is ``[size, original_index | None, values, weights]``;
+        # kept shards stay unmaterialized (values is None) unless a merge
+        # actually needs their arrays.
+        pieces: list[list] = []
+        consumed: set[int] = set()  # original indices whose snapshot retires
+
+        def materialize(piece: list) -> list:
+            if piece[2] is None:
+                original = piece[1]
+                consumed.add(original)
+                # Export from the shard itself (not the snapshot's cumsum):
+                # a weight rebuilt as a prefix difference carries ulp drift.
+                piece[2], piece[3] = self._export_shard(original)
+                piece[1] = None
+            return piece
+
+        for i in range(len(self._shards)):
+            size = len(self._shards[i])
+            if size == 0:
+                # Shards emptied by deletes vanish here (their key interval
+                # folds into a neighbor's).
+                consumed.add(i)
+                continue
+            if size > self._rebalance_factor * mean:
+                consumed.add(i)
+                values, weights = self._export_shard(i)
+                cuts = run_aligned_cuts(values, -(-size // mean))
+                edges = [0, *cuts, size]
+                for lo_edge, hi_edge in zip(edges, edges[1:]):
+                    pieces.append(
+                        [
+                            hi_edge - lo_edge,
+                            None,
+                            values[lo_edge:hi_edge],
+                            weights[lo_edge:hi_edge] if weights is not None else None,
+                        ]
+                    )
+            else:
+                pieces.append([size, i, None, None])
+        if not pieces:  # everything deleted: keep one empty shard
+            pieces = [
+                [
+                    0,
+                    None,
+                    _np.empty(0, dtype=float),
+                    _np.empty(0, dtype=float) if self._weighted else None,
+                ]
+            ]
+        # Merge pass: fold the smallest adjacent pair while above target
+        # and the merged shard stays within the skew bound.
+        while len(pieces) > self._target_shards:
+            best, best_size = -1, None
+            for j in range(len(pieces) - 1):
+                size = pieces[j][0] + pieces[j + 1][0]
+                if best_size is None or size < best_size:
+                    best, best_size = j, size
+            if best_size > self._rebalance_factor * mean:
+                # Merging the cheapest pair would itself violate the skew
+                # bound: accept running above the target count instead.
+                break
+            left = materialize(pieces[best])
+            right = materialize(pieces[best + 1])
+            merged = [
+                best_size,
+                None,
+                _np.concatenate([left[2], right[2]]),
+                _np.concatenate([left[3], right[3]])
+                if left[3] is not None
+                else None,
+            ]
+            pieces[best : best + 2] = [merged]
+        shards = []
+        snaps: list[_Snapshot | None] = []
+        dirty: list[bool] = []
+        bounds: list[float] = []
+        for j, (_size, original, values, weights) in enumerate(pieces):
+            if original is not None:
+                shards.append(self._shards[original])
+                # Refreshing (only if stale) both preserves a clean
+                # snapshot's shared-memory segments and yields the shard's
+                # min for the bound.
+                snap = self._refresh(original)
+                snaps.append(snap)
+                dirty.append(False)
+                if j > 0:
+                    bounds.append(float(snap.values[0]))
+            else:
+                shards.append(self._make_shard(values, weights))
+                snaps.append(self._snapshot_from_arrays(values, weights))
+                dirty.append(False)
+                if j > 0:
+                    bounds.append(float(values[0]))
+        for i in consumed:
+            self._retire_segments(self._snaps[i])
+        self._shards = shards
+        self._snaps = snaps
+        self._dirty = dirty
+        self._bounds = bounds
+        self._bounds_arr = _np.asarray(bounds, dtype=float)
+        self.stats.extra["rebalances"] = self.stats.extra.get("rebalances", 0) + 1
+
+    # -- validation (used by tests) ----------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert the partition/routing/snapshot invariants; tests only."""
+        assert len(self._shards) == len(self._snaps) == len(self._dirty)
+        assert list(self._bounds) == sorted(self._bounds)
+        assert len(self._bounds) == len(self._shards) - 1 or not self._shards
+        total = 0
+        prev_max = float("-inf")
+        for i in range(len(self._shards)):
+            values = self._export_shard(i)[0]
+            total += len(values)
+            if len(values):
+                assert list(values) == sorted(values), "shard not sorted"
+                assert values[0] > prev_max, "shards overlap"
+                routed = route_values(self._bounds_arr, values)
+                assert routed.min() == routed.max() == i, "routing invariant broken"
+                prev_max = values[-1]
+            if not self._dirty[i] and self._snaps[i] is not None:
+                assert _np.array_equal(self._snaps[i].values, values), (
+                    "clean snapshot is stale"
+                )
+        assert total == self._n, f"size mismatch: {total} != {self._n}"

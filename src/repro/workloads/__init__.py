@@ -6,6 +6,7 @@ from .datasets import (
     zipf_gaps,
     integer_grid,
     duplicate_heavy,
+    hotspot_points,
 )
 from .queries import (
     selectivity_interval,
@@ -26,6 +27,7 @@ __all__ = [
     "zipf_gaps",
     "integer_grid",
     "duplicate_heavy",
+    "hotspot_points",
     "selectivity_interval",
     "selectivity_queries",
     "mixed_selectivity_queries",

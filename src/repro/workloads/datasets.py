@@ -16,7 +16,31 @@ __all__ = [
     "zipf_gaps",
     "integer_grid",
     "duplicate_heavy",
+    "hotspot_points",
 ]
+
+
+def hotspot_points(
+    n: int,
+    hot_lo: float = 0.45,
+    hot_hi: float = 0.47,
+    hot_fraction: float = 0.9,
+    seed: int = 0,
+) -> list[float]:
+    """``n`` points with ``hot_fraction`` of them crammed into a hot band.
+
+    The skewed-key scenario for horizontal partitioning: an equal-count
+    range partition built before the hotspot appears concentrates nearly
+    all subsequent traffic (and all insert growth) on one shard, so this
+    is the canonical workload for exercising a shard rebalancer.
+    """
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError("hot_fraction must be in [0, 1]")
+    gen = np.random.default_rng(seed)
+    hot = gen.random(n) < hot_fraction
+    out = gen.random(n)  # cold points: uniform on [0, 1]
+    out[hot] = hot_lo + (hot_hi - hot_lo) * gen.random(int(hot.sum()))
+    return out.tolist()
 
 
 def uniform_points(

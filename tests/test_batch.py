@@ -274,3 +274,68 @@ class TestDynamicInvalidation:
         samples = sampler.sample_bulk(0.0, 511.0, 4000)
         assert (samples >= 256.0).any()
         sampler.check_invariants()
+
+
+class TestPeekCountsAndRunCounts:
+    """The vectorized count-only path (`peek_counts` + `run_counts`)."""
+
+    RANGES = [(10.0, 90.0), (49.5, 49.5), (49.0, 49.0), (-5.0, -1.0),
+              (0.0, 199.0), (198.5, 300.0)]
+
+    def test_static_peek_counts_matches_count(self):
+        data = [float(i % 100) for i in range(200)]  # duplicates included
+        sampler = StaticIRS(data, seed=91)
+        got = sampler.peek_counts(self.RANGES)
+        assert list(got) == [sampler.count(lo, hi) for lo, hi in self.RANGES]
+
+    def test_dynamic_peek_counts_matches_count(self):
+        data = [float(i % 100) for i in range(200)]
+        sampler = DynamicIRS(data, seed=92)
+        got = sampler.peek_counts(self.RANGES)
+        assert list(got) == [sampler.count(lo, hi) for lo, hi in self.RANGES]
+
+    def test_dynamic_peek_counts_after_updates(self):
+        sampler = DynamicIRS([float(i) for i in range(300)], seed=93)
+        sampler.count(0.0, 299.0)  # build the prefix cache
+        for v in (300.5, 301.5, 302.5):
+            sampler.insert(v)  # pending deltas ride on the cached prefix
+        sampler.delete(10.0)
+        got = sampler.peek_counts([(0.0, 400.0), (299.5, 400.0), (5.0, 15.0)])
+        assert list(got) == [302, 3, 10]
+
+    def test_peek_counts_rejects_bad_bounds(self):
+        sampler = StaticIRS([1.0, 2.0], seed=94)
+        with pytest.raises(InvalidQueryError):
+            sampler.peek_counts([(2.0, 1.0)])
+        dynamic = DynamicIRS([1.0, 2.0], seed=95)
+        with pytest.raises(InvalidQueryError):
+            dynamic.peek_counts([(float("nan"), 1.0)])
+
+    def test_run_counts_grouped_and_aligned(self, uniform_data):
+        runner = BatchQueryRunner(
+            {
+                "static": StaticIRS(uniform_data, seed=96),
+                "dynamic": DynamicIRS(uniform_data, seed=97),
+                "weighted": WeightedStaticIRS(
+                    uniform_data, [1.0] * len(uniform_data), seed=98
+                ),  # no peek_counts: exercises the fallback
+            }
+        )
+        queries = [
+            (0.1, 0.9, "static"),
+            (0.1, 0.9, "dynamic"),
+            (0.1, 0.9, "weighted"),
+            BatchQuery(0.2, 0.4, 0, "static"),
+            (0.3, 0.5, "dynamic"),
+        ]
+        counts = runner.run_counts(queries)
+        assert counts[0] == counts[1] == counts[2]
+        assert counts[3] == runner.structures["static"].count(0.2, 0.4)
+        assert counts[4] == runner.structures["dynamic"].count(0.3, 0.5)
+
+    def test_run_counts_errors(self, uniform_data):
+        runner = BatchQueryRunner(StaticIRS(uniform_data, seed=99))
+        with pytest.raises(KeyNotFoundError):
+            runner.run_counts([(0.1, 0.9, "nope")])
+        with pytest.raises(InvalidQueryError):
+            runner.run_counts(["garbage"])

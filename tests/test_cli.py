@@ -160,3 +160,44 @@ def test_module_entry_point(data_file):
     )
     assert result.returncode == 0
     assert result.stdout.strip() == "50"
+
+
+class TestShardedCLI:
+    """The --shards / --backend flags build a ShardedIRS facade."""
+
+    @pytest.mark.parametrize("backend", ["serial", "threads"])
+    def test_count_and_sample_sharded(self, capsys, data_file, backend):
+        assert main(["count", "--data", data_file, "--lo", "10", "--hi", "19",
+                     "--shards", "3", "--backend", backend]) == 0
+        assert capsys.readouterr().out.strip() == "10"
+        assert main(["sample", "--data", data_file, "--lo", "10", "--hi", "19",
+                     "-t", "5", "--seed", "7", "--structure", "dynamic",
+                     "--shards", "3", "--backend", backend]) == 0
+        values = [float(line) for line in capsys.readouterr().out.split()]
+        assert len(values) == 5
+        assert all(10.0 <= v <= 19.0 for v in values)
+
+    def test_batch_sharded_matches_flat_counts(self, capsys, data_file, tmp_path):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("10 19 64\n0 99 32\n")
+        assert main(["batch", "--data", data_file, "--queries", str(queries),
+                     "--shards", "4", "--structure", "dynamic", "--seed", "3"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert len(out) == 3 and out[-1].startswith("# queries=2 samples=96")
+
+    def test_weighted_sharded_defaults_unit_weights(self, capsys, data_file):
+        # No --weights file: the sharded weighted facade must default to
+        # unit masses exactly like the flat constructor path.
+        assert main(["mean", "--data", data_file, "--lo", "0", "--hi", "99",
+                     "-t", "50", "--structure", "weighted", "--shards", "4",
+                     "--seed", "1"]) == 0
+        assert "K=100" in capsys.readouterr().out
+
+    def test_build_structure_sharded_kinds(self):
+        values = [float(i) for i in range(64)]
+        for name in ("static", "dynamic", "weighted", "weighted-dynamic",
+                     "external"):
+            s = build_structure(name, values, None, seed=1, block_size=8,
+                                shards=4)
+            assert s.count(0.0, 100.0) == 64
+            s.close()

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import DynamicIRS, ExternalIRS, StaticIRS, WeightedStaticIRS
+from repro import DynamicIRS, ExternalIRS, ShardedIRS, StaticIRS, WeightedStaticIRS
 from repro.baselines import CachedSampleBaseline, ReportThenSample, TreeWalkSampler
 from repro.stats import repeated_query_test, within_query_test
 
@@ -23,6 +23,7 @@ HONEST = {
     "dynamic": lambda: DynamicIRS(DATA, seed=62),
     "external": lambda: ExternalIRS(DATA, block_size=32, seed=63),
     "weighted": lambda: WeightedStaticIRS(DATA, [1.0] * N, seed=64),
+    "sharded": lambda: ShardedIRS(DATA, num_shards=4, seed=67),
     "report": lambda: ReportThenSample(DATA, seed=65),
     "treewalk": lambda: TreeWalkSampler(DATA, seed=66),
 }

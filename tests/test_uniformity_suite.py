@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import DynamicIRS, ExternalIRS, StaticIRS
+from repro import DynamicIRS, ExternalIRS, ShardedIRS, StaticIRS
 from repro.baselines import (
     EMPerSample,
     EMReportSample,
@@ -30,6 +30,7 @@ DATASETS = {
 RAM_FACTORIES = {
     "static": lambda data: StaticIRS(data, seed=41),
     "dynamic": lambda data: DynamicIRS(data, seed=42),
+    "sharded": lambda data: ShardedIRS(data, num_shards=4, seed=49),
     "report": lambda data: ReportThenSample(data, seed=43),
     "treewalk": lambda data: TreeWalkSampler(data, seed=44),
     "rejection": lambda data: RejectionGlobalSampler(data, seed=45),
