@@ -1,0 +1,127 @@
+"""F15 — serving: coalesced vs naive one-request-per-call throughput.
+
+The claim under test: the serving layer's request coalescing turns many
+small concurrent requests into the few large calls the batch engine is
+fast at, so end-to-end TCP serving throughput at high client concurrency
+beats naive one-request-per-call serving — the acceptance bar is ≥ 2× at
+64 concurrent clients.
+
+Both modes run the *same* server; "naive" is ``window=0, max_batch=1``
+(every request forms its own batch and executes alone), "coalesced" is a
+1 ms window with a 256-request budget.  Clients are closed-loop (one
+request in flight each), driven by the load-generator harness in
+:func:`repro.bench.serve_throughput`; server and clients share one event
+loop and one CPU, so the recorded ``cpus`` column keeps the artifact
+honest about what was measured.
+
+Workloads:
+
+* ``read/static`` — sample ``t=16`` against a ``StaticIRS``; coalesced
+  batches ride the cross-request vectorized ``sample_bulk_many`` path.
+* ``read/sharded`` — the same reads against a 4-shard ``ShardedIRS``;
+  a coalesced batch is one scatter round instead of 64.
+* ``aggregate/dynamic`` — online-aggregation mix against a
+  ``DynamicIRS``: 40% sample, 40% count, 20% insert/delete; coalescing
+  turns update runs into bulk calls and count runs into one
+  ``peek_counts`` probe.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import DynamicIRS, ShardedIRS, StaticIRS
+from repro.bench import serve_throughput
+from repro.serve import ReproServer
+from repro.workloads import uniform_points
+
+N = 100_000
+CLIENTS = 64
+REQUESTS_PER_CLIENT = 25
+T = 16
+WINDOW = 0.001
+MAX_BATCH = 256
+_CPUS = os.cpu_count() or 1
+
+MODES = [("naive", 0.0, 1), ("coalesced", WINDOW, MAX_BATCH)]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return sorted(uniform_points(N, seed=151))
+
+
+def _read_payloads(rng):
+    payloads = []
+    for _ in range(CLIENTS):
+        requests = []
+        for _ in range(REQUESTS_PER_CLIENT):
+            lo = rng.uniform(0.0, 0.5)
+            requests.append(
+                {"op": "sample", "lo": lo, "hi": lo + rng.uniform(0.2, 0.5), "t": T}
+            )
+        payloads.append(requests)
+    return payloads
+
+
+def _aggregate_payloads(rng):
+    """40% sample / 40% count / 20% updates, deletes paired to inserts."""
+    payloads = []
+    for _ in range(CLIENTS):
+        requests, owed = [], []
+        for i in range(REQUESTS_PER_CLIENT):
+            slot = i % 10
+            if slot < 4:
+                lo = rng.uniform(0.0, 0.5)
+                requests.append({"op": "sample", "lo": lo, "hi": lo + 0.4, "t": T})
+            elif slot < 8:
+                lo = rng.uniform(0.0, 0.5)
+                requests.append({"op": "count", "lo": lo, "hi": lo + 0.3})
+            elif slot == 8:
+                value = rng.uniform(0.0, 1.0)
+                owed.append(value)
+                requests.append({"op": "insert", "value": value})
+            else:
+                requests.append({"op": "delete", "value": owed.pop(0)})
+        payloads.append(requests)
+    return payloads
+
+
+@pytest.fixture(scope="module")
+def rec(experiment):
+    return experiment(
+        "F15",
+        f"serving throughput (n={N}, {CLIENTS} closed-loop clients x "
+        f"{REQUESTS_PER_CLIENT} requests, t={T}): coalesced vs naive",
+        ["workload", "mode", "clients", "cpus", "req/s", "coalesce"],
+    )
+
+
+@pytest.mark.parametrize("mode,window,max_batch", MODES, ids=[m[0] for m in MODES])
+@pytest.mark.parametrize(
+    "workload", ["read/static", "read/sharded", "aggregate/dynamic"]
+)
+def test_f15_serving(dataset, rec, workload, mode, window, max_batch):
+    import random
+
+    rng = random.Random(1509)
+    if workload == "read/static":
+        payloads = _read_payloads(rng)
+        make_structure = lambda: StaticIRS(dataset, seed=3)  # noqa: E731
+    elif workload == "read/sharded":
+        payloads = _read_payloads(rng)
+        make_structure = lambda: ShardedIRS(dataset, num_shards=4, seed=3)  # noqa: E731
+    else:
+        payloads = _aggregate_payloads(rng)
+        make_structure = lambda: DynamicIRS(dataset, seed=3)  # noqa: E731
+
+    def make_server():
+        return ReproServer(
+            make_structure(), seed=7, window=window, max_batch=max_batch
+        )
+
+    rps, coalesce = serve_throughput(make_server, payloads, repeat=3)
+    rec.row(workload, mode, CLIENTS, _CPUS, round(rps, 1), round(coalesce, 1))
+    assert rps > 0.0

@@ -30,6 +30,11 @@ scatter-gather sampling on pluggable serial/threads/processes backends::
     s = ShardedIRS(values, num_shards=4, seed=42, backend="processes")
     s.sample_bulk(0.0, 1.0, 10_000)   # exact, parallel, reproducible
     s.close()
+
+And :mod:`repro.serve` puts an asyncio front end on any of them —
+newline-delimited JSON over TCP with request coalescing, typed errors,
+backpressure, and replies that are byte-identical under a fixed root
+seed (see README.md and docs/ for the guided tour).
 """
 
 from .batch import BatchOp, BatchQuery, BatchQueryRunner, BatchResult, MixedResult
@@ -54,10 +59,11 @@ from .errors import (
     ReproError,
 )
 from .rng import RandomSource
+from .serve import ReproServer, ServeClient, TCPServeClient
 from .shard import ShardedIRS
 from .types import Interval, QueryStats
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BatchOp",

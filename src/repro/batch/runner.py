@@ -11,6 +11,16 @@ Design notes
 * Structures without a ``sample_bulk`` method degrade gracefully to their
   scalar ``sample`` loop — every :class:`~repro.core.base.RangeSampler` is
   batchable, just not always vectorized.
+* Queries and ops may carry a per-query ``seed``: the runner then routes
+  them through the samplers' seed-addressable paths
+  (``sample_bulk(seed=...)`` / ``sample_bulk_many(seeds=...)``), making
+  each result a pure function of its seed and the structure contents —
+  independent of batch composition.  This is what the serving layer's
+  reproducibility guarantee stands on.
+* :meth:`BatchQueryRunner.run_mixed` executes ordered read/write streams;
+  its ``coalesce_reads`` and ``capture_errors`` options (both default
+  off, preserving historical semantics exactly) are documented on the
+  method and in DESIGN.md §3/§7.
 """
 
 from __future__ import annotations
@@ -20,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from ..core.base import RangeSampler
-from ..errors import InvalidQueryError, KeyNotFoundError
+from ..errors import InvalidQueryError, KeyNotFoundError, ReproError
 from ..types import QueryStats
 
 try:  # NumPy is optional at runtime; scalar fallbacks return lists.
@@ -42,20 +52,28 @@ DEFAULT_STRUCTURE = "default"
 
 @dataclass(frozen=True, slots=True)
 class BatchQuery:
-    """One range-sampling request inside a batch."""
+    """One range-sampling request inside a batch.
+
+    ``seed`` (optional) pins the query's randomness: the runner then draws
+    through a fresh generator from :func:`repro.rng.generator`, so the
+    query's samples depend only on the seed and the structure contents —
+    not on how the batch was composed.  Unseeded queries draw from the
+    structure's own bulk side stream as before.
+    """
 
     lo: float
     hi: float
     t: int
     structure: str = DEFAULT_STRUCTURE
+    seed: int | None = None
 
 
 @dataclass(frozen=True, slots=True)
 class BatchOp:
     """One operation inside a mixed read/write stream.
 
-    ``kind`` is ``"insert"``, ``"delete"`` or ``"sample"``; use the
-    constructors below rather than filling fields positionally.
+    ``kind`` is ``"insert"``, ``"delete"``, ``"sample"`` or ``"count"``;
+    use the constructors below rather than filling fields positionally.
     """
 
     kind: str
@@ -65,25 +83,41 @@ class BatchOp:
     hi: float = 0.0
     t: int = 0
     structure: str = DEFAULT_STRUCTURE
+    seed: int | None = None
 
     @classmethod
     def insert(
         cls, value: float, weight: float | None = None, structure: str = DEFAULT_STRUCTURE
     ) -> "BatchOp":
-        """An insertion (``weight`` only meaningful on weighted samplers)."""
+        """Return an insertion op (``weight`` only on weighted samplers)."""
         return cls("insert", value=float(value), weight=weight, structure=structure)
 
     @classmethod
     def delete(cls, value: float, structure: str = DEFAULT_STRUCTURE) -> "BatchOp":
-        """A deletion of one occurrence of ``value``."""
+        """Return an op deleting one occurrence of ``value``."""
         return cls("delete", value=float(value), structure=structure)
 
     @classmethod
     def sample(
-        cls, lo: float, hi: float, t: int, structure: str = DEFAULT_STRUCTURE
+        cls,
+        lo: float,
+        hi: float,
+        t: int,
+        structure: str = DEFAULT_STRUCTURE,
+        seed: int | None = None,
     ) -> "BatchOp":
-        """A range-sampling query."""
-        return cls("sample", lo=float(lo), hi=float(hi), t=int(t), structure=structure)
+        """Return a range-sampling op (``seed`` pins its randomness)."""
+        return cls(
+            "sample", lo=float(lo), hi=float(hi), t=int(t), structure=structure,
+            seed=seed,
+        )
+
+    @classmethod
+    def count(
+        cls, lo: float, hi: float, structure: str = DEFAULT_STRUCTURE
+    ) -> "BatchOp":
+        """Return a range-count op (result is ``|P ∩ [lo, hi]|``)."""
+        return cls("count", lo=float(lo), hi=float(hi), structure=structure)
 
 
 @dataclass(slots=True)
@@ -91,15 +125,22 @@ class MixedResult:
     """Outcome of one :meth:`BatchQueryRunner.run_mixed` call.
 
     ``samples[i]`` aligns with the ``i``-th input op: the samples of a
-    ``sample`` op, ``None`` for updates.  ``stats.extra`` records
-    ``"updates"`` (total update ops) and ``"bulk_update_calls"`` (how many
-    coalesced bulk calls served them) alongside the per-structure
-    ``"queries:<name>"`` counters.
+    ``sample`` op, the integer result of a ``count`` op, ``None`` for
+    updates.  ``stats.extra`` records ``"updates"`` (total update ops),
+    ``"bulk_update_calls"`` (how many coalesced bulk calls served them)
+    and, with read coalescing on, ``"read_bulk_calls"`` — alongside the
+    per-structure ``"queries:<name>"`` counters.
+
+    ``errors`` is ``None`` unless the stream ran with
+    ``capture_errors=True``; it then aligns with the ops — ``None`` for an
+    op that succeeded, the raised :class:`~repro.errors.ReproError` for
+    one that failed.
     """
 
     samples: list = field(default_factory=list)
     stats: QueryStats = field(default_factory=QueryStats)
     elapsed_seconds: float = 0.0
+    errors: list | None = None
 
     @property
     def operations(self) -> int:
@@ -181,8 +222,9 @@ def _accepts_weights(sampler) -> bool:
 
 
 def _normalize_op(op) -> BatchOp:
+    """Coerce a :class:`BatchOp` or shorthand tuple to a validated op."""
     if isinstance(op, BatchOp):
-        if op.kind not in ("insert", "delete", "sample"):
+        if op.kind not in ("insert", "delete", "sample", "count"):
             raise InvalidQueryError(f"unknown op kind: {op.kind!r}")
         return op
     try:
@@ -198,12 +240,56 @@ def _normalize_op(op) -> BatchOp:
             return BatchOp.sample(
                 float(op[1]), float(op[2]), int(op[3]), structure=str(structure)
             )
+        if kind == "count" and len(op) in (3, 4):
+            structure = op[3] if len(op) == 4 else DEFAULT_STRUCTURE
+            return BatchOp.count(float(op[1]), float(op[2]), structure=str(structure))
     except (TypeError, ValueError, IndexError):
         pass
     raise InvalidQueryError(
-        "expected BatchOp, ('insert'|'delete', value[, structure]) or "
-        f"('sample', lo, hi, t[, structure]), got {op!r}"
+        "expected BatchOp, ('insert'|'delete', value[, structure]), "
+        "('sample', lo, hi, t[, structure]) or ('count', lo, hi[, structure]), "
+        f"got {op!r}"
     )
+
+
+def _exec_sample(sampler, bulk, lo: float, hi: float, t: int, seed: int | None):
+    """Run one sampling query, honoring an optional per-query seed.
+
+    Seeded queries require a ``sample_bulk`` that accepts ``seed`` (every
+    sampler in this library does); a structure without one fails as a
+    typed :class:`~repro.errors.InvalidQueryError`.
+    """
+    if seed is None:
+        if bulk is not None:
+            return bulk(lo, hi, t)
+        return sampler.sample(lo, hi, t)
+    if bulk is None:
+        raise InvalidQueryError(
+            f"{type(sampler).__name__} has no sample_bulk; seeded queries "
+            "need one"
+        )
+    try:
+        return bulk(lo, hi, t, seed=seed)
+    except TypeError as exc:
+        if "seed" not in str(exc):
+            raise
+        raise InvalidQueryError(
+            f"{type(sampler).__name__}.sample_bulk does not accept a "
+            "per-query seed; seeded queries need seed= support"
+        ) from exc
+
+
+def _call_many(sampler, many, group: list, seeds: list):
+    """Call ``sample_bulk_many`` with per-query seeds, typed on failure."""
+    try:
+        return many(group, seeds=seeds)
+    except TypeError as exc:
+        if "seeds" not in str(exc):
+            raise
+        raise InvalidQueryError(
+            f"{type(sampler).__name__}.sample_bulk_many does not accept "
+            "per-query seeds; seeded queries need seeds= support"
+        ) from exc
 
 
 class BatchQueryRunner:
@@ -262,9 +348,12 @@ class BatchQueryRunner:
             if many is not None:
                 # Scatter-gather structures take the whole group in one
                 # call, so worker dispatch is amortized across the batch.
-                group_results = many(
-                    [(batch[i].lo, batch[i].hi, batch[i].t) for i in indices]
-                )
+                group = [(batch[i].lo, batch[i].hi, batch[i].t) for i in indices]
+                if any(batch[i].seed is not None for i in indices):
+                    seeds = [batch[i].seed for i in indices]
+                    group_results = _call_many(sampler, many, group, seeds)
+                else:
+                    group_results = many(group)
                 for i, samples in zip(indices, group_results):
                     result.samples[i] = samples
                     stats.samples_returned += len(samples)
@@ -272,10 +361,7 @@ class BatchQueryRunner:
                 bulk = getattr(sampler, "sample_bulk", None)
                 for i in indices:
                     q = batch[i]
-                    if bulk is not None:
-                        samples = bulk(q.lo, q.hi, q.t)
-                    else:
-                        samples = sampler.sample(q.lo, q.hi, q.t)
+                    samples = _exec_sample(sampler, bulk, q.lo, q.hi, q.t, q.seed)
                     result.samples[i] = samples
                     stats.samples_returned += len(samples)
             stats.queries += len(indices)
@@ -328,119 +414,259 @@ class BatchQueryRunner:
                     out[i] = sampler.count(batch[i].lo, batch[i].hi)
         return out
 
-    def run_mixed(self, ops: Sequence[BatchOp | tuple]) -> MixedResult:
-        """Execute a mixed insert/delete/sample stream in submission order.
+    def run_mixed(
+        self,
+        ops: Sequence[BatchOp | tuple],
+        *,
+        capture_errors: bool = False,
+        coalesce_reads: bool = False,
+    ) -> MixedResult:
+        """Execute a mixed insert/delete/sample/count stream in order.
 
         Runs of consecutive same-kind updates to the same structure are
         coalesced into one ``insert_bulk``/``delete_bulk`` call (falling
         back to the scalar loop on structures without a bulk path), flushed
-        whenever the run breaks — a different update kind, a query against
-        that structure, or the end of the stream.  Coalescing preserves the
+        whenever the run breaks — a different op kind against that
+        structure, or the end of the stream.  Coalescing preserves the
         stream's semantics exactly: no update is reordered across an update
         of the other kind or across a query that could observe it.
 
-        A failed bulk delete (absent value) raises after the updates that
-        preceded its run were applied; the failing bulk call itself is
-        atomic on structures with a bulk path.
+        With ``coalesce_reads=True``, runs of consecutive ``sample`` (and
+        ``count``) ops against the same structure are likewise coalesced —
+        into one ``sample_bulk_many`` scatter round (resp. one
+        ``peek_counts`` probe) on structures that expose them.  Reads never
+        cross a write to their structure in either direction, so every
+        query observes exactly the updates that preceded it.  Seeded
+        sample ops (:attr:`BatchOp.seed`) stay reproducible no matter how
+        the runs form; with the default ``coalesce_reads=False``, reads
+        execute immediately, exactly as earlier releases did.
+
+        With ``capture_errors=True``, a failing op no longer aborts the
+        stream: its :class:`~repro.errors.ReproError` lands in
+        :attr:`MixedResult.errors` at the op's index (the bulk update paths
+        validate before mutating, so a failed run is replayed scalar-wise
+        to attribute the failure to the exact ops that caused it).  With
+        the default ``False``, a failed bulk delete (absent value) raises
+        after the updates that preceded its run were applied; the failing
+        bulk call itself is atomic on structures with a bulk path.
         """
         stream = [_normalize_op(op) for op in ops]
         result = MixedResult(samples=[None] * len(stream))
+        if capture_errors:
+            result.errors = [None] * len(stream)
         stats = result.stats
         weight_ok: dict[str, bool] = {}  # signature inspection, once per structure
-        for op in stream:
-            if op.structure not in self._structures:
-                raise KeyNotFoundError(f"unknown structure: {op.structure!r}")
-            if op.kind != "sample":
-                sampler = self._structures[op.structure]
-                if (
-                    getattr(sampler, op.kind, None) is None
-                    and getattr(sampler, op.kind + "_bulk", None) is None
-                ):
-                    raise InvalidQueryError(
-                        f"structure {op.structure!r} does not support {op.kind}"
-                    )
-                if op.kind == "insert" and op.weight is not None:
-                    ok = weight_ok.get(op.structure)
-                    if ok is None:
-                        ok = weight_ok[op.structure] = _accepts_weights(sampler)
-                    if not ok:
+        for i, op in enumerate(stream):
+            try:
+                if op.structure not in self._structures:
+                    raise KeyNotFoundError(f"unknown structure: {op.structure!r}")
+                if op.kind in ("insert", "delete"):
+                    sampler = self._structures[op.structure]
+                    if (
+                        getattr(sampler, op.kind, None) is None
+                        and getattr(sampler, op.kind + "_bulk", None) is None
+                    ):
                         raise InvalidQueryError(
-                            f"structure {op.structure!r} does not accept "
-                            "weighted inserts"
+                            f"structure {op.structure!r} does not support {op.kind}"
                         )
-        # Per-structure pending update run: (kind, values, weights | None).
-        pending: dict[str, tuple[str, list, list | None]] = {}
+                    if op.kind == "insert" and op.weight is not None:
+                        ok = weight_ok.get(op.structure)
+                        if ok is None:
+                            ok = weight_ok[op.structure] = _accepts_weights(sampler)
+                        if not ok:
+                            raise InvalidQueryError(
+                                f"structure {op.structure!r} does not accept "
+                                "weighted inserts"
+                            )
+            except ReproError as exc:
+                # Upfront violations fail the whole stream atomically —
+                # except in capture mode, where they become this op's typed
+                # error and the op is skipped (its batch-mates still run).
+                if not capture_errors:
+                    raise
+                result.errors[i] = exc
+        # Per-structure pending run.  Updates: (kind, values, weights | None,
+        # indices); coalesced reads: (kind, indices).
+        pending: dict[str, tuple] = {}
         bulk_calls = 0
+        read_bulk_calls = 0
         updates = 0
+        count_ops = 0
+
+        def record_samples(name: str, i: int, samples) -> None:
+            result.samples[i] = samples
+            stats.queries += 1
+            stats.samples_returned += len(samples)
+            key = f"queries:{name}"
+            stats.extra[key] = stats.extra.get(key, 0) + 1
+
+        def scalar_updates(sampler, kind, values, weights, indices) -> None:
+            for j, value in enumerate(values):
+                try:
+                    if kind == "delete":
+                        sampler.delete(value)
+                    elif weights is not None:
+                        sampler.insert(value, weights[j])
+                    else:
+                        sampler.insert(value)
+                except ReproError as exc:
+                    if not capture_errors:
+                        raise
+                    result.errors[indices[j]] = exc
+
+        def flush_update(name, sampler, kind, values, weights, indices) -> None:
+            nonlocal bulk_calls
+            bulk = getattr(sampler, kind + "_bulk", None)
+            if bulk is not None:
+                bulk_calls += 1
+                args = (values,) if weights is None else (values, weights)
+                if not capture_errors:
+                    bulk(*args)
+                    return
+                try:
+                    bulk(*args)
+                    return
+                except ReproError:
+                    # The bulk paths validate before mutating, so nothing
+                    # was applied; replay scalar-wise to attribute the
+                    # failure to the exact offending ops.
+                    pass
+            scalar_updates(sampler, kind, values, weights, indices)
+
+        def flush_samples(name, sampler, indices) -> None:
+            nonlocal read_bulk_calls
+            many = getattr(sampler, "sample_bulk_many", None)
+            if many is not None:
+                group = [(stream[i].lo, stream[i].hi, stream[i].t) for i in indices]
+                seeds = [stream[i].seed for i in indices]
+                try:
+                    if any(s is not None for s in seeds):
+                        group_results = _call_many(sampler, many, group, seeds)
+                    else:
+                        group_results = many(group)
+                except ReproError:
+                    if not capture_errors:
+                        raise
+                else:
+                    read_bulk_calls += 1
+                    for i, samples in zip(indices, group_results):
+                        record_samples(name, i, samples)
+                    return
+                # Fall through: replay per op so errors attach per request.
+                # Seeded ops re-derive their generators from their seeds, so
+                # the replay returns exactly what a lone call would have.
+            bulk = getattr(sampler, "sample_bulk", None)
+            for i in indices:
+                op = stream[i]
+                try:
+                    samples = _exec_sample(sampler, bulk, op.lo, op.hi, op.t, op.seed)
+                except ReproError as exc:
+                    if not capture_errors:
+                        raise
+                    result.errors[i] = exc
+                else:
+                    record_samples(name, i, samples)
+
+        def flush_counts(name, sampler, indices) -> None:
+            nonlocal read_bulk_calls
+            peek = getattr(sampler, "peek_counts", None)
+            if peek is not None:
+                try:
+                    counts = peek([(stream[i].lo, stream[i].hi) for i in indices])
+                except ReproError:
+                    if not capture_errors:
+                        raise
+                else:
+                    read_bulk_calls += 1
+                    for i, k in zip(indices, counts):
+                        result.samples[i] = int(k)
+                    return
+            for i in indices:
+                op = stream[i]
+                try:
+                    result.samples[i] = sampler.count(op.lo, op.hi)
+                except ReproError as exc:
+                    if not capture_errors:
+                        raise
+                    result.errors[i] = exc
 
         def flush(name: str) -> None:
-            nonlocal bulk_calls
             run = pending.pop(name, None)
             if run is None:
                 return
-            kind, values, weights = run
             sampler = self._structures[name]
-            if kind == "insert":
-                bulk = getattr(sampler, "insert_bulk", None)
-                if bulk is not None:
-                    bulk_calls += 1
-                    if weights is not None:
-                        bulk(values, weights)
-                    else:
-                        bulk(values)
-                elif weights is not None:
-                    for value, weight in zip(values, weights):
-                        sampler.insert(value, weight)
-                else:
-                    for value in values:
-                        sampler.insert(value)
+            kind = run[0]
+            if kind in ("insert", "delete"):
+                flush_update(name, sampler, kind, run[1], run[2], run[3])
+            elif kind == "sample":
+                flush_samples(name, sampler, run[1])
             else:
-                bulk = getattr(sampler, "delete_bulk", None)
-                if bulk is not None:
-                    bulk_calls += 1
-                    bulk(values)
-                else:
-                    for value in values:
-                        sampler.delete(value)
+                flush_counts(name, sampler, run[1])
 
         clock = time.perf_counter
         start = clock()
         for i, op in enumerate(stream):
+            if capture_errors and result.errors[i] is not None:
+                continue  # refused upfront; its batch-mates still run
             name = op.structure
-            if op.kind == "sample":
+            run = pending.get(name)
+            if op.kind in ("sample", "count"):
+                if op.kind == "count":
+                    count_ops += 1
+                if coalesce_reads:
+                    if run is not None and run[0] != op.kind:
+                        flush(name)
+                        run = None
+                    if run is None:
+                        pending[name] = run = (op.kind, [])
+                    run[1].append(i)
+                    continue
                 flush(name)
                 sampler = self._structures[name]
+                if op.kind == "count":
+                    try:
+                        result.samples[i] = sampler.count(op.lo, op.hi)
+                    except ReproError as exc:
+                        if not capture_errors:
+                            raise
+                        result.errors[i] = exc
+                    continue
                 bulk = getattr(sampler, "sample_bulk", None)
-                if bulk is not None:
-                    samples = bulk(op.lo, op.hi, op.t)
+                try:
+                    samples = _exec_sample(sampler, bulk, op.lo, op.hi, op.t, op.seed)
+                except ReproError as exc:
+                    if not capture_errors:
+                        raise
+                    result.errors[i] = exc
                 else:
-                    samples = sampler.sample(op.lo, op.hi, op.t)
-                result.samples[i] = samples
-                stats.queries += 1
-                stats.samples_returned += len(samples)
-                key = f"queries:{name}"
-                stats.extra[key] = stats.extra.get(key, 0) + 1
+                    record_samples(name, i, samples)
                 continue
             updates += 1
-            run = pending.get(name)
             if run is not None and run[0] != op.kind:
                 flush(name)
                 run = None
             if run is None:
                 needs_weights = op.kind == "insert" and op.weight is not None
-                run = (op.kind, [], [] if needs_weights else None)
+                run = (op.kind, [], [] if needs_weights else None, [])
                 pending[name] = run
             run[1].append(op.value)
+            run[3].append(i)
             if run[2] is not None:
                 run[2].append(1.0 if op.weight is None else op.weight)
             elif op.kind == "insert" and op.weight is not None:
                 # A weighted insert joined an unweighted run: backfill.
-                pending[name] = (run[0], run[1], [1.0] * (len(run[1]) - 1) + [op.weight])
+                pending[name] = (
+                    run[0], run[1], [1.0] * (len(run[1]) - 1) + [op.weight], run[3]
+                )
         for name in list(pending):
             flush(name)
         result.elapsed_seconds = clock() - start
         stats.extra["updates"] = updates
         stats.extra["bulk_update_calls"] = bulk_calls
+        if count_ops:
+            stats.extra["counts"] = count_ops
+        if coalesce_reads:
+            stats.extra["read_bulk_calls"] = read_bulk_calls
         return result
 
     def run_means(self, queries: Sequence[BatchQuery | tuple]) -> list[float]:

@@ -7,6 +7,7 @@ from .harness import (
     dump_experiment_json,
     geometric_range,
     mixed_throughput,
+    serve_throughput,
     time_callable,
     update_throughput,
 )
@@ -20,5 +21,6 @@ __all__ = [
     "batch_throughput",
     "update_throughput",
     "mixed_throughput",
+    "serve_throughput",
     "dump_experiment_json",
 ]

@@ -15,6 +15,7 @@ __all__ = [
     "batch_throughput",
     "update_throughput",
     "mixed_throughput",
+    "serve_throughput",
     "dump_experiment_json",
 ]
 
@@ -95,6 +96,72 @@ def mixed_throughput(runner, ops: Sequence, repeat: int = 3) -> float:
         return 0.0
     best = time_callable(lambda: runner.run_mixed(ops), repeat=repeat)
     return len(ops) / best if best > 0.0 else 0.0
+
+
+def serve_throughput(
+    make_server, client_payloads: Sequence[Sequence[Mapping]], repeat: int = 3
+) -> tuple[float, float]:
+    """Closed-loop TCP serving throughput; returns ``(req/s, coalesce)``.
+
+    ``make_server`` builds a fresh un-started
+    :class:`~repro.serve.ReproServer` per run; ``client_payloads`` holds
+    one request-payload list per concurrent client.  Each client opens its
+    own TCP connection to an ephemeral port and issues its payloads
+    closed-loop (one in flight, like an interactive caller), so the
+    offered concurrency equals the client count.  The drivers act like a
+    load generator, not an application client: frames are pre-encoded
+    once and replies are awaited but not parsed, so the (shared-CPU)
+    measurement spends its cycles in the server under test.  Throughput
+    is total requests over the minimum wall-clock of ``repeat`` runs; the
+    coalesce factor reported alongside comes from the fastest run.
+    """
+    import asyncio
+
+    from ..serve.protocol import encode
+
+    total = sum(len(payloads) for payloads in client_payloads)
+    if total == 0:
+        return 0.0, 0.0
+    frame_lists = [
+        [encode({**payload, "id": i}) for i, payload in enumerate(payloads)]
+        for payloads in client_payloads
+    ]
+
+    async def once() -> tuple[float, float]:
+        server = make_server()
+        await server.start_tcp(port=0)
+        connections = [
+            await asyncio.open_connection("127.0.0.1", server.port)
+            for _ in frame_lists
+        ]
+
+        async def drive(reader, writer, frames) -> None:
+            for frame in frames:
+                writer.write(frame)
+                await writer.drain()
+                await reader.readline()  # the reply to the frame in flight
+
+        clock = time.perf_counter
+        start = clock()
+        await asyncio.gather(
+            *(
+                drive(reader, writer, frames)
+                for (reader, writer), frames in zip(connections, frame_lists)
+            )
+        )
+        elapsed = clock() - start
+        factor = server.stats.coalesce_factor
+        for _reader, writer in connections:
+            writer.close()
+        await server.aclose()
+        return elapsed, factor
+
+    best, best_factor = float("inf"), 0.0
+    for _ in range(repeat):
+        elapsed, factor = asyncio.run(once())
+        if elapsed < best:
+            best, best_factor = elapsed, factor
+    return (total / best if best > 0.0 else 0.0), best_factor
 
 
 def dump_experiment_json(

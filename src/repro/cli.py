@@ -27,6 +27,13 @@ the bulk fast paths and printing one mean per ``sample`` line.
 ``--structure`` kind; ``--backend {serial,threads,processes}`` picks the
 scatter-gather execution backend (results are identical across backends
 under a fixed ``--seed``).
+
+``serve`` is the one stateful command: it builds the structure once and
+serves newline-delimited JSON requests against it — over TCP
+(``--port``; runs until interrupted) or from a ``--requests`` file
+(offline: one response line per request line, then a ``#``-prefixed
+stats line, then exit).  ``--window-ms``/``--max-batch`` tune request
+coalescing; ``--window-ms 0`` serves one request per call.
 """
 
 from __future__ import annotations
@@ -143,7 +150,7 @@ def _parser() -> argparse.ArgumentParser:
         description="Independent range sampling (PODS 2014 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    for command in ("count", "sample", "report", "mean", "batch"):
+    for command in ("count", "sample", "report", "mean", "batch", "serve"):
         p = sub.add_parser(command)
         p.add_argument("--data", required=True, help="file of floats")
         p.add_argument("--weights", help="file of weights (weighted structures)")
@@ -168,6 +175,26 @@ def _parser() -> argparse.ArgumentParser:
             group.add_argument(
                 "--ops",
                 help="file of 'insert V' / 'delete V' / 'sample LO HI [T]' lines",
+            )
+        elif command == "serve":
+            p.add_argument("--host", default="127.0.0.1")
+            p.add_argument(
+                "--port",
+                type=int,
+                default=7579,
+                help="TCP port (0 binds an ephemeral port)",
+            )
+            p.add_argument(
+                "--window-ms",
+                type=float,
+                default=2.0,
+                help="request coalescing window in milliseconds (0 disables)",
+            )
+            p.add_argument("--max-batch", type=int, default=256)
+            p.add_argument(
+                "--requests",
+                help="offline mode: file of JSON request lines to answer, "
+                "then exit (no TCP listener)",
             )
         else:
             p.add_argument("--lo", type=float, required=True)
@@ -199,8 +226,62 @@ def main(argv: Sequence[str] | None = None) -> int:
             close()
 
 
+def _serve(args, structure) -> int:
+    """Run the ``serve`` subcommand (offline file mode or TCP mode)."""
+    import asyncio
+    import json
+
+    from .serve import ReproServer, ServeClient
+
+    window = max(0.0, args.window_ms) / 1e3
+
+    async def offline() -> int:
+        with open(args.requests) as handle:
+            lines = [line.strip() for line in handle if line.strip()]
+        async with ReproServer(
+            structure,
+            seed=args.seed,
+            window=window,
+            max_batch=args.max_batch,
+            # Offline mode submits the whole file at once; the admission
+            # queue must hold it all or long files would draw spurious
+            # 'overloaded' errors in a deterministic replay mode.
+            max_pending=max(1, len(lines)),
+        ) as server:
+            client = ServeClient(server)
+            futures = [server.submit(line.encode()) for line in lines]
+            for response in await asyncio.gather(*futures):
+                print(json.dumps(response, separators=(",", ":")))
+            stats = await client.server_stats()
+            print(
+                f"# requests={stats['admitted']} batches={stats['batches']}"
+                f" coalesce_factor={stats['coalesce_factor']}"
+                f" errors={stats['replies_error']}"
+            )
+        return 0
+
+    async def tcp() -> int:
+        server = ReproServer(
+            structure, seed=args.seed, window=window, max_batch=args.max_batch
+        )
+        await server.start_tcp(args.host, args.port)
+        print(f"serving on {args.host}:{server.port}", flush=True)
+        try:
+            await asyncio.Event().wait()  # until interrupted
+        finally:
+            await server.aclose()
+        return 0
+
+    try:
+        return asyncio.run(offline() if args.requests else tcp())
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        return 0
+
+
 def _dispatch(args, structure) -> int:
     """Execute the parsed command against the built structure."""
+    if args.command == "serve":
+        return _serve(args, structure)
     if args.command == "batch":
         runner = BatchQueryRunner(structure)
         if args.ops:

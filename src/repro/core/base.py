@@ -56,7 +56,25 @@ def validate_query(lo: float, hi: float, t: int) -> None:
 
 
 class RangeSampler(ABC):
-    """Interface for static independent range sampling structures."""
+    """Interface for static independent range sampling structures.
+
+    The four abstract methods below are the required protocol.  The
+    engines above this layer additionally duck-type three *optional*
+    capabilities, all with library-wide meaning:
+
+    * ``sample_bulk(lo, hi, t, *, seed=None)`` — vectorized ``sample``
+      returning a NumPy array; an explicit ``seed`` must make the draws
+      a pure function of the seed and the stored points (see
+      :func:`repro.rng.generator`).
+    * ``sample_bulk_many(queries, *, seeds=None)`` — answer many
+      ``(lo, hi, t)`` queries in one call (one scatter round / one
+      vectorized pass), results aligned with the input.
+    * ``peek_counts(queries)`` — vectorized multi-range count probe.
+
+    :class:`~repro.batch.BatchQueryRunner` and the serving layer use
+    whichever of these a structure exposes and fall back to the scalar
+    protocol otherwise.
+    """
 
     @abstractmethod
     def __len__(self) -> int:

@@ -54,6 +54,7 @@ from typing import Iterable, Iterator
 
 from ..errors import InvalidQueryError, KeyNotFoundError
 from ..rng import RandomSource
+from ..rng import generator as _generator
 from ..types import QueryStats
 from .base import DynamicRangeSampler, coerce_query_bounds, validate_query
 from .static_irs import _checked_sorted_list
@@ -892,13 +893,16 @@ class DynamicIRS(DynamicRangeSampler):
                 append(right_data[r - k_lm])
         return out
 
-    def sample_bulk(self, lo: float, hi: float, t: int):
+    def sample_bulk(self, lo: float, hi: float, t: int, *, seed=None):
         """Vectorized :meth:`sample` returning a NumPy array.
 
         Semantics match :meth:`sample` (``t`` independent uniform samples),
         but the randomness comes from a NumPy side stream spawned once via
         :meth:`RandomSource.spawn_numpy`, so draw accounting differs from
-        the scalar path (bulk draws are not counted per element).
+        the scalar path (bulk draws are not counted per element).  An
+        explicit ``seed`` draws from :func:`repro.rng.generator` instead,
+        decoupling this call's result from the structure's stream position
+        (seed-addressable sampling, the serving layer's contract).
 
         The query plan's three-way split is resolved vectorized: one batch
         of uniform ranks in ``[0, K)``, boolean masks for the left/middle/
@@ -918,9 +922,12 @@ class DynamicIRS(DynamicRangeSampler):
         stats = self.stats
         stats.queries += 1
         stats.samples_returned += t
-        if self._bulk_gen is None:
-            self._bulk_gen = self._rng.spawn_numpy()
-        gen = self._bulk_gen
+        if seed is not None:
+            gen = _generator(seed)
+        else:
+            if self._bulk_gen is None:
+                self._bulk_gen = self._rng.spawn_numpy()
+            gen = self._bulk_gen
         ranks = gen.integers(0, total, size=t)
         out = _np.empty(t, dtype=float)
         k_lm = k_left + k_mid

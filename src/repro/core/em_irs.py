@@ -36,6 +36,7 @@ from ..em.device import BlockDevice, IOStats
 from ..em.pool import BufferPool
 from ..em.sorted_file import EMSortedFile
 from ..rng import RandomSource
+from ..rng import generator as _generator
 from ..types import QueryStats
 from .base import RangeSampler, validate_query
 
@@ -247,13 +248,15 @@ class ExternalIRS(RangeSampler):
                 self.stats.rejections += 1
         return out
 
-    def sample_bulk(self, lo: float, hi: float, t: int):
+    def sample_bulk(self, lo: float, hi: float, t: int, *, seed=None):
         """Vectorized :meth:`sample` returning a NumPy array.
 
         Semantics match :meth:`sample` (``t`` iid uniform in-range values),
         with randomness from a NumPy side stream spawned once via
         :meth:`RandomSource.spawn_numpy` (draw accounting differs from the
-        scalar path by design).  Instead of consuming the per-piece sample
+        scalar path by design); an explicit ``seed`` overrides the side
+        stream (seed-addressable draws).  Instead of consuming the
+        per-piece sample
         buffers, the bulk path draws all ``t`` ranks at once, groups them
         by data block, and resolves each touched block with exactly one
         pool access and one vectorized gather — ``O(min(t, K/B))`` block
@@ -268,9 +271,13 @@ class ExternalIRS(RangeSampler):
             return _np.empty(0, dtype=float)
         self.stats.queries += 1
         self.stats.samples_returned += t
-        if self._bulk_gen is None:
-            self._bulk_gen = self._rng.spawn_numpy()
-        ranks = self._bulk_gen.integers(a, b, size=t)
+        if seed is not None:
+            gen = _generator(seed)
+        else:
+            if self._bulk_gen is None:
+                self._bulk_gen = self._rng.spawn_numpy()
+            gen = self._bulk_gen
+        ranks = gen.integers(a, b, size=t)
         size = self.file.block_size
         blocks = ranks // size
         order = _np.argsort(blocks, kind="stable")

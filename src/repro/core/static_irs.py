@@ -17,8 +17,8 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import Iterable, Sequence
 
-from ..errors import InvalidQueryError
-from ..rng import RandomSource
+from ..errors import EmptyRangeError, InvalidQueryError
+from ..rng import RandomSource, seeded_ranks
 from .base import RangeSampler, coerce_query_bounds, validate_query
 
 try:  # NumPy is optional at runtime; bulk sampling uses it when present.
@@ -152,14 +152,19 @@ class StaticIRS(RangeSampler):
         randrange = self._rng.randrange
         return [a + randrange(width) for _ in range(t)]
 
-    def sample_bulk(self, lo: float, hi: float, t: int):
+    def sample_bulk(self, lo: float, hi: float, t: int, *, seed=None):
         """Vectorized :meth:`sample` returning a NumPy array.
 
         This is the path heavy-traffic consumers (online aggregation, the
         batch engine) use; semantics are identical to :meth:`sample` but
         the randomness comes from a NumPy side stream spawned once via
         :meth:`RandomSource.spawn_numpy`, so draw accounting differs from
-        the scalar path: bulk draws are not counted per element.
+        the scalar path: bulk draws are not counted per element.  An
+        explicit ``seed`` makes the call *seed-addressable* instead: the
+        draws are a pure function of the seed and the stored points
+        (counter-based, see :func:`repro.rng.seeded_ranks`), identical no
+        matter what ran before — the serving layer's reproducibility
+        contract.
 
         Cost is ``O(log n + t)`` per call — two bisects plus one vectorized
         gather against a NumPy view built on the first bulk call and cached
@@ -171,10 +176,72 @@ class StaticIRS(RangeSampler):
         a, b = self.rank_range(lo, hi)
         if self._require_nonempty(b - a, t):
             return _np.empty(0, dtype=float)
-        if self._bulk_gen is None:
-            self._bulk_gen = self._rng.spawn_numpy()
-        ranks = self._bulk_gen.integers(a, b, size=t)
+        if seed is not None:
+            ranks = seeded_ranks([seed], [a], [b - a], [t])
+        else:
+            if self._bulk_gen is None:
+                self._bulk_gen = self._rng.spawn_numpy()
+            ranks = self._bulk_gen.integers(a, b, size=t)
         return self._export_array()[ranks]
+
+    def sample_bulk_many(self, queries, *, seeds=None) -> list:
+        """Answer many ``(lo, hi, t)`` queries in one vectorized pass.
+
+        The whole batch resolves with two ``searchsorted`` calls over all
+        bounds; seeded queries (``seeds[i] is not None``) then draw *all*
+        their ranks together through the counter-based
+        :func:`repro.rng.seeded_ranks` — per-query cost is a few array
+        slots, not a generator and a call.  This is what lets the serving
+        layer amortize a coalesced batch of small sample requests into
+        near-flat bulk work.  Unseeded queries delegate to
+        :meth:`sample_bulk` one by one, preserving the side stream's
+        draw-for-draw behavior.
+
+        Results align with the input order; per-query distribution — and,
+        for seeded queries, the exact draws — are identical to calling
+        :meth:`sample_bulk` per query.
+        """
+        queries = [(float(lo), float(hi), int(t)) for lo, hi, t in queries]
+        if seeds is None:
+            seeds = [None] * len(queries)
+        elif len(seeds) != len(queries):
+            raise InvalidQueryError("seeds must align with queries")
+        if _np is None:  # pragma: no cover
+            return [self.sample(lo, hi, t) for lo, hi, t in queries]
+        for lo, hi, t in queries:
+            validate_query(lo, hi, t)
+        if not queries:
+            return []
+        arr = self._export_array()
+        los = _np.asarray([q[0] for q in queries])
+        his = _np.asarray([q[1] for q in queries])
+        starts = _np.searchsorted(arr, los, side="left")
+        ends = _np.searchsorted(arr, his, side="right")
+        results: list = [None] * len(queries)
+        seeded: list[int] = []
+        for i, (lo, hi, t) in enumerate(queries):
+            if t == 0:
+                results[i] = _np.empty(0, dtype=float)
+            elif ends[i] <= starts[i]:
+                raise EmptyRangeError("no points inside the query range")
+            elif seeds[i] is None:
+                results[i] = self.sample_bulk(lo, hi, t)
+            else:
+                seeded.append(i)
+        if seeded:
+            counts = [queries[i][2] for i in seeded]
+            ranks = seeded_ranks(
+                [seeds[i] for i in seeded],
+                starts[seeded],
+                ends[seeded] - starts[seeded],
+                counts,
+            )
+            gathered = arr[ranks]
+            at = 0
+            for i, t in zip(seeded, counts):
+                results[i] = gathered[at : at + t]
+                at += t
+        return results
 
     def value_at_rank(self, rank: int) -> float:
         """Return the point with the given global rank (0-based)."""

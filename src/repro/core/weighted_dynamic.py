@@ -41,6 +41,7 @@ from typing import Iterable, Iterator
 
 from ..errors import InvalidWeightError, KeyNotFoundError
 from ..rng import RandomSource
+from ..rng import generator as _generator
 from ..trees.treap import ChunkTreap, TreapNode
 from ..types import QueryStats
 from .base import validate_query
@@ -628,13 +629,15 @@ class WeightedDynamicIRS:
                 out.append(b.values[b.locate(u - w_left - w_mid)])
         return out
 
-    def sample_bulk(self, lo: float, hi: float, t: int):
+    def sample_bulk(self, lo: float, hi: float, t: int, *, seed=None):
         """Vectorized :meth:`sample` returning a NumPy array.
 
         Semantics match :meth:`sample` (``t`` independent weight-
         proportional samples), with randomness from a NumPy side stream
         spawned once via :meth:`RandomSource.spawn_numpy` (draw accounting
-        differs from the scalar path by design).  The three-way mass split
+        differs from the scalar path by design); an explicit ``seed``
+        overrides the side stream (seed-addressable draws).  The
+        three-way mass split
         is resolved vectorized: one batch of uniform mass positions, then
         per-chunk cumulative-weight ``searchsorted`` gathers against NumPy
         views cached on the chunks.  Narrow middles gather their chunks'
@@ -657,9 +660,12 @@ class WeightedDynamicIRS:
         stats = self.stats
         stats.queries += 1
         stats.samples_returned += t
-        if self._bulk_gen is None:
-            self._bulk_gen = self._rng.spawn_numpy()
-        gen = self._bulk_gen
+        if seed is not None:
+            gen = _generator(seed)
+        else:
+            if self._bulk_gen is None:
+                self._bulk_gen = self._rng.spawn_numpy()
+            gen = self._bulk_gen
         u = gen.random(t) * weight
         out = _np.empty(t, dtype=float)
         left_mask = u < w_left

@@ -27,6 +27,7 @@ from typing import Iterable
 from ..alias.walker import AliasTable
 from ..errors import EmptyRangeError, InvalidWeightError
 from ..rng import RandomSource
+from ..rng import generator as _generator
 from .base import RangeSampler, validate_query
 
 try:  # NumPy is optional at runtime; bulk sampling uses it when present.
@@ -231,7 +232,7 @@ class WeightedStaticIRS(RangeSampler):
         values = self._values
         return [values[r] for r in self.sample_ranks(lo, hi, t)]
 
-    def sample_ranks_bulk(self, lo: float, hi: float, t: int):
+    def sample_ranks_bulk(self, lo: float, hi: float, t: int, *, seed=None):
         """Vectorized :meth:`sample_ranks` returning a NumPy int array.
 
         The two-level alias scheme vectorizes cleanly: one bulk draw over
@@ -239,7 +240,8 @@ class WeightedStaticIRS(RangeSampler):
         then one bulk draw per *distinct* part (``O(log n)`` of them) picks
         the in-part indices.  Randomness comes from a NumPy side stream
         spawned once via :meth:`RandomSource.spawn_numpy`, so draw
-        accounting differs from the scalar path.
+        accounting differs from the scalar path; an explicit ``seed``
+        overrides the side stream (seed-addressable draws).
         """
         if _np is None:  # pragma: no cover
             return self.sample_ranks(lo, hi, t)
@@ -255,7 +257,7 @@ class WeightedStaticIRS(RangeSampler):
         if self._bulk_gen is None:
             self._bulk_gen = self._rng.spawn_numpy()
             self._np_values = _np.asarray(self._values, dtype=float)
-        gen = self._bulk_gen
+        gen = self._bulk_gen if seed is None else _generator(seed)
         top = AliasTable([p[0] for p in parts])
         part_of = top.sample_bulk(gen, t)
         ranks = _np.empty(t, dtype=_np.int64)
@@ -266,11 +268,11 @@ class WeightedStaticIRS(RangeSampler):
                 ranks[sel] = alias.sample_bulk(gen, k) + offset
         return ranks
 
-    def sample_bulk(self, lo: float, hi: float, t: int):
+    def sample_bulk(self, lo: float, hi: float, t: int, *, seed=None):
         """Vectorized :meth:`sample` returning a NumPy float array."""
         if _np is None:  # pragma: no cover
             return self.sample(lo, hi, t)
-        ranks = self.sample_ranks_bulk(lo, hi, t)
+        ranks = self.sample_ranks_bulk(lo, hi, t, seed=seed)
         if self._np_values is None:  # t == 0 short-circuits the lazy build
             self._np_values = _np.asarray(self._values, dtype=float)
         return self._np_values[ranks]

@@ -1,0 +1,45 @@
+"""``repro.serve`` — the async serving layer with request coalescing.
+
+The layer turns many small concurrent client requests into the few large
+calls the batch engine is fast at:
+
+* :class:`ReproServer` — asyncio server (newline-delimited JSON over TCP
+  plus an in-process door) that admits typed requests, coalesces them
+  under a window/size budget, executes batches in admission order through
+  :class:`~repro.batch.BatchQueryRunner`, and scatters replies back;
+* :class:`ServeClient` / :class:`TCPServeClient` — the in-process and TCP
+  clients, one shared convenience surface;
+* :class:`ServerStats` — the metrics snapshot (throughput, latency
+  percentiles, coalesce factor) behind the ``stats`` op;
+* :class:`ServeError` — the client-side typed-error exception.
+
+Quick start (in process)::
+
+    import asyncio
+    from repro import StaticIRS
+    from repro.serve import ReproServer, ServeClient
+
+    async def main():
+        async with ReproServer(StaticIRS([1.0, 2.0, 3.0]), seed=7) as server:
+            client = ServeClient(server)
+            return await client.sample(1.0, 3.0, 2)
+
+    asyncio.run(main())
+
+See ``docs/architecture.md`` for the pipeline and consistency model, and
+``docs/api.md`` for the wire protocol reference.
+"""
+
+from .client import ServeClient, TCPServeClient
+from .protocol import RequestError, ServeError
+from .server import ReproServer
+from .stats import ServerStats
+
+__all__ = [
+    "ReproServer",
+    "ServeClient",
+    "TCPServeClient",
+    "ServerStats",
+    "ServeError",
+    "RequestError",
+]

@@ -1,0 +1,208 @@
+"""Clients for the serving layer: in-process and TCP, one shared surface.
+
+:class:`ServeClient` talks to a :class:`~repro.serve.ReproServer` living
+on the same event loop — no sockets, no serialization — which makes it the
+right tool for tests, examples and embedded use.  :class:`TCPServeClient`
+speaks the real newline-delimited JSON wire protocol; both expose the same
+typed convenience methods (``sample``, ``count``, ``insert``, ...), so
+code written against one runs against the other.
+
+Both clients pipeline: :meth:`_ClientAPI.pipeline` submits many requests
+before awaiting any reply, which is what lets the server coalesce them
+into shared batches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+
+from .protocol import ServeError, decode, encode
+
+__all__ = ["ServeClient", "TCPServeClient"]
+
+
+class _ClientAPI:
+    """Shared convenience surface over ``request`` (transport-agnostic)."""
+
+    async def request(self, payload: dict) -> dict:
+        """Send one raw request dict; return the raw response envelope."""
+        raise NotImplementedError
+
+    async def pipeline(self, payloads) -> list[dict]:
+        """Submit every request before awaiting; return aligned responses.
+
+        This is the bulk door: the server can only coalesce requests that
+        are in flight together, and awaiting each reply before sending the
+        next (as :meth:`request` callers do) serializes them.
+        """
+        return list(await asyncio.gather(*[self.request(p) for p in payloads]))
+
+    def _unwrap(self, response: dict):
+        if response.get("ok"):
+            return response.get("result")
+        error = response.get("error") or {}
+        raise ServeError(
+            error.get("type", "internal"), error.get("message", "unknown error")
+        )
+
+    async def sample(
+        self,
+        lo: float,
+        hi: float,
+        t: int,
+        *,
+        structure: str = "default",
+        seed: int | None = None,
+    ) -> list[float]:
+        """Return ``t`` independent samples from ``P ∩ [lo, hi]``.
+
+        ``seed`` pins the request's randomness; without it the server
+        derives one from its root seed and the request serial.
+        """
+        payload = {"op": "sample", "lo": lo, "hi": hi, "t": t, "structure": structure}
+        if seed is not None:
+            payload["seed"] = seed
+        return self._unwrap(await self.request(payload))
+
+    async def count(self, lo: float, hi: float, *, structure: str = "default") -> int:
+        """Return ``|P ∩ [lo, hi]|``."""
+        payload = {"op": "count", "lo": lo, "hi": hi, "structure": structure}
+        return self._unwrap(await self.request(payload))
+
+    async def insert(
+        self,
+        value: float,
+        *,
+        weight: float | None = None,
+        structure: str = "default",
+    ) -> int:
+        """Insert one point (``weight`` only on weighted structures)."""
+        payload = {"op": "insert", "value": value, "structure": structure}
+        if weight is not None:
+            payload["weight"] = weight
+        return self._unwrap(await self.request(payload))
+
+    async def delete(self, value: float, *, structure: str = "default") -> int:
+        """Delete one occurrence of ``value``."""
+        payload = {"op": "delete", "value": value, "structure": structure}
+        return self._unwrap(await self.request(payload))
+
+    async def insert_bulk(
+        self,
+        values,
+        *,
+        weights=None,
+        structure: str = "default",
+    ) -> int:
+        """Insert many points in one request; returns how many."""
+        payload = {"op": "insert_bulk", "values": list(values), "structure": structure}
+        if weights is not None:
+            payload["weights"] = list(weights)
+        return self._unwrap(await self.request(payload))
+
+    async def delete_bulk(self, values, *, structure: str = "default") -> int:
+        """Delete one occurrence per value in one request; returns how many."""
+        payload = {"op": "delete_bulk", "values": list(values), "structure": structure}
+        return self._unwrap(await self.request(payload))
+
+    async def server_stats(self) -> dict:
+        """Return the server's metrics snapshot (the ``stats`` op)."""
+        return self._unwrap(await self.request({"op": "stats"}))
+
+    async def ping(self) -> str:
+        """Round-trip a ``ping`` (returns ``"pong"``)."""
+        return self._unwrap(await self.request({"op": "ping"}))
+
+
+class ServeClient(_ClientAPI):
+    """In-process client bound to a started :class:`~repro.serve.ReproServer`.
+
+    Requests go straight into the server's admission pipeline on the
+    current event loop, so everything about serving — coalescing,
+    backpressure, typed errors, per-request seeds — behaves exactly as it
+    does over TCP, minus the wire.
+    """
+
+    def __init__(self, server) -> None:
+        self._server = server
+        self._ids = itertools.count(1)
+
+    async def request(self, payload: dict) -> dict:
+        """Submit one request dict and await its response envelope."""
+        if "id" not in payload:
+            payload = {**payload, "id": next(self._ids)}
+        return await self._server.submit(payload)
+
+
+class TCPServeClient(_ClientAPI):
+    """TCP client speaking the newline-delimited JSON protocol.
+
+    Use :meth:`connect`; requests may be pipelined freely — a background
+    reader task matches responses to callers by ``id``.
+    """
+
+    def __init__(self, reader, writer) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._pending: dict[object, asyncio.Future] = {}
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = 0, *, limit: int = 1 << 20
+    ) -> "TCPServeClient":
+        """Open a connection and return a ready client."""
+        reader, writer = await asyncio.open_connection(host, port, limit=limit)
+        return cls(reader, writer)
+
+    async def request(self, payload: dict) -> dict:
+        """Send one request over the wire and await its matched response."""
+        if "id" not in payload:
+            payload = {**payload, "id": next(self._ids)}
+        request_id = payload["id"]
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write(encode(payload))
+        await self._writer.drain()
+        return await future
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                response = decode(line)
+                future = self._pending.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (ConnectionResetError, asyncio.CancelledError):
+            pass
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ServeError("disconnected", "connection closed by server")
+                    )
+            self._pending.clear()
+
+    async def aclose(self) -> None:
+        """Close the connection and fail any unanswered requests."""
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, OSError):  # pragma: no cover
+            pass
+
+    async def __aenter__(self) -> "TCPServeClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()

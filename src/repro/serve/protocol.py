@@ -1,0 +1,166 @@
+"""Wire protocol of the serving layer: newline-delimited JSON messages.
+
+Every request and every response is one JSON object on one line (UTF-8,
+``\\n``-terminated).  Requests carry an ``op`` plus op-specific fields and
+an optional ``id`` that the server echoes back verbatim, so clients may
+pipeline requests and match replies out of order.  Responses are either
+
+``{"id": ..., "ok": true, "result": ...}``
+    the op's result — a list of floats for ``sample``, an integer for
+    ``count`` and the update ops, a dict for ``stats``; or
+
+``{"id": ..., "ok": false, "error": {"type": ..., "message": ...}}``
+    a *typed* error: ``type`` is a stable machine-readable code (one of
+    :data:`ERROR_TYPES` values plus the admission codes ``bad_request``,
+    ``unknown_op``, ``unknown_structure``, ``too_large``, ``overloaded``
+    and ``shutting_down``), ``message`` is human-readable detail.
+
+The module is transport-agnostic: the TCP server and the in-process
+client both speak dicts shaped by these helpers.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from ..errors import (
+    CapacityError,
+    EmptyRangeError,
+    EmptyStructureError,
+    InvalidQueryError,
+    InvalidWeightError,
+    KeyNotFoundError,
+    ReproError,
+)
+
+__all__ = [
+    "ERROR_TYPES",
+    "RequestError",
+    "ServeError",
+    "encode",
+    "decode",
+    "error_code",
+    "error_response",
+    "ok_response",
+]
+
+#: Library exception -> stable wire error code (most specific class wins).
+ERROR_TYPES: list[tuple[type, str]] = [
+    (EmptyRangeError, "empty_range"),
+    (EmptyStructureError, "empty_structure"),
+    (InvalidWeightError, "invalid_weight"),
+    (KeyNotFoundError, "key_not_found"),
+    (InvalidQueryError, "invalid_query"),
+    (CapacityError, "capacity"),
+    (ReproError, "error"),
+]
+
+
+class RequestError(ReproError):
+    """A request rejected at admission, carrying its wire error code.
+
+    Raised (and caught) inside the server for malformed payloads,
+    unknown ops/structures, oversized requests and backpressure refusals;
+    the ``code`` attribute becomes the response's ``error.type``.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ServeError(ReproError):
+    """Client-side surface of a typed error reply.
+
+    The convenience client methods (``sample``, ``count``, ...) raise this
+    when the server answers ``ok: false``; ``code`` holds the wire error
+    type so callers can branch without string-matching messages.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.detail = message
+
+
+def error_code(exc: BaseException) -> str:
+    """Return the wire error code for an exception (``internal`` if alien)."""
+    if isinstance(exc, RequestError):
+        return exc.code
+    for klass, code in ERROR_TYPES:
+        if isinstance(exc, klass):
+            return code
+    return "internal"
+
+
+def ok_response(request_id, result) -> dict:
+    """Build a success response envelope."""
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id, exc: BaseException) -> dict:
+    """Build a typed error response envelope from an exception."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": error_code(exc), "message": str(exc)},
+    }
+
+
+def encode(message: dict) -> bytes:
+    """Serialize one message to its wire form (compact JSON + newline).
+
+    Non-finite floats are rejected rather than silently emitting invalid
+    JSON (``NaN`` is not JSON); results never legitimately contain them.
+    """
+    return (
+        json.dumps(message, separators=(",", ":"), allow_nan=False) + "\n"
+    ).encode("utf-8")
+
+
+def decode(line: bytes | str) -> dict:
+    """Parse one wire line into a request dict.
+
+    Raises :class:`RequestError` (code ``bad_request``) when the line is
+    not valid JSON or not a JSON object, so the server can answer with a
+    typed error instead of dropping the connection.
+    """
+    try:
+        message = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise RequestError("bad_request", f"invalid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise RequestError("bad_request", "request must be a JSON object")
+    return message
+
+
+def require_number(message: dict, field: str, *, finite: bool = False) -> float:
+    """Extract a numeric field as a float.
+
+    ``NaN`` and non-numeric types are rejected with a typed
+    :class:`RequestError`; booleans are not numbers on this wire.  Query
+    bounds may be infinite (a full-range query is legitimate), but fields
+    that become *stored values* must pass ``finite=True`` — an infinity
+    accepted into a structure would later poison the JSON encoding of
+    every sample reply that draws it.
+    """
+    value = message.get(field)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise RequestError("bad_request", f"field {field!r} must be a number")
+    value = float(value)
+    if math.isnan(value):
+        raise RequestError("bad_request", f"field {field!r} must not be NaN")
+    if finite and math.isinf(value):
+        raise RequestError("bad_request", f"field {field!r} must be finite")
+    return value
+
+
+def require_int(message: dict, field: str, minimum: int = 0) -> int:
+    """Extract a non-negative (by default) integer field."""
+    value = message.get(field)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise RequestError("bad_request", f"field {field!r} must be an integer")
+    if value < minimum:
+        raise RequestError("bad_request", f"field {field!r} must be >= {minimum}")
+    return value

@@ -1,0 +1,534 @@
+"""The asyncio serving front end: admission, coalescing, ordered execution.
+
+:class:`ReproServer` turns many small concurrent requests into the few
+large calls the batch engine is fast at.  The pipeline has three stages,
+all on one event loop:
+
+1. **Admission** (:meth:`ReproServer.submit`): the request is validated
+   and typed *before* it can occupy queue space — malformed payloads,
+   unknown ops/structures and oversized requests are answered immediately
+   with typed errors, and a full admission queue answers ``overloaded``
+   (backpressure) instead of buffering without bound.  Each admitted
+   ``sample`` request gets a seed — client-provided, or derived as
+   ``derive_seed(root_entropy, serial)`` — so its reply depends only on
+   the seed and the data, never on how requests happen to share batches.
+2. **Coalescing** (the batcher task): admitted requests are grouped into
+   a batch until the *window* elapses, the batch holds ``max_batch``
+   requests, or the sample budget is spent.  ``window=0`` or
+   ``max_batch=1`` degenerates to naive one-request-per-call serving
+   (the benchmark baseline).
+3. **Execution** (the executor task): batches run strictly in admission
+   order through :meth:`repro.batch.BatchQueryRunner.run_mixed` with
+   ``coalesce_reads=True`` (read runs become single scatter/probe calls,
+   update runs become single bulk calls) and ``capture_errors=True``
+   (one bad request cannot fail its batch-mates).  Reads therefore
+   observe exactly the writes admitted before them — a per-structure
+   FIFO consistency model — and responses scatter back to each request's
+   future as the batch completes.
+
+The server is single-loop and not thread-safe by design: samplers are
+plain mutable Python objects, and one ordered executor is what makes the
+write order well-defined.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import suppress
+
+from ..batch import BatchOp, BatchQueryRunner
+from ..rng import RandomSource, derive_seed
+from . import protocol
+from .protocol import RequestError
+from .stats import ServerStats
+
+__all__ = ["ReproServer"]
+
+_UPDATE_OPS = ("insert", "delete", "insert_bulk", "delete_bulk")
+
+
+class _Pending:
+    """One admitted request waiting for its batch to execute."""
+
+    __slots__ = ("request_id", "kind", "ops", "cost", "future", "admitted_at")
+
+    def __init__(self, request_id, kind, ops, cost, future, admitted_at) -> None:
+        self.request_id = request_id
+        self.kind = kind
+        self.ops = ops
+        self.cost = cost
+        self.future = future
+        self.admitted_at = admitted_at
+
+
+class ReproServer:
+    """Async IRS server with request coalescing over a set of structures.
+
+    Parameters
+    ----------
+    structures:
+        A single sampler or a mapping ``name -> sampler`` — anything
+        :class:`~repro.batch.BatchQueryRunner` accepts, including
+        :class:`~repro.shard.ShardedIRS`.
+    seed:
+        Root seed.  Per-request sample seeds derive from it, so a fixed
+        seed and a fixed request sequence reproduce every reply
+        byte-identically — independent of the coalescing configuration.
+    window:
+        Coalescing window in seconds: how long a forming batch waits for
+        company after its first request arrives.  ``0.0`` disables
+        coalescing (every request executes alone).
+    max_batch:
+        Maximum requests per batch.
+    max_batch_samples:
+        Sample budget per batch; a batch stops growing once the summed
+        ``t`` (or bulk-update size) of its requests reaches this.  A
+        single oversized request still executes — alone.
+    max_t:
+        Admission cap on one request's ``t`` / bulk size; larger requests
+        are refused with a ``too_large`` typed error.
+    max_pending:
+        Admission queue bound; submissions beyond it are refused with an
+        ``overloaded`` typed error (backpressure, never unbounded memory).
+    max_inflight:
+        How many formed batches may await execution (pipeline depth).
+    max_line:
+        TCP line-length limit in bytes (newline-delimited JSON frames).
+    """
+
+    def __init__(
+        self,
+        structures,
+        *,
+        seed: int | None = None,
+        window: float = 0.002,
+        max_batch: int = 256,
+        max_batch_samples: int = 1 << 20,
+        max_t: int = 1 << 20,
+        max_pending: int = 4096,
+        max_inflight: int = 8,
+        max_line: int = 1 << 20,
+    ) -> None:
+        if window < 0.0:
+            raise ValueError("window must be >= 0")
+        if max_batch < 1 or max_pending < 1 or max_inflight < 1:
+            raise ValueError("max_batch, max_pending and max_inflight must be >= 1")
+        self._runner = BatchQueryRunner(structures)
+        self._entropy = RandomSource(seed)._rng.getrandbits(64)
+        self._serial = 0
+        self._window = float(window)
+        self._max_batch = int(max_batch)
+        self._max_batch_samples = int(max_batch_samples)
+        self._max_t = int(max_t)
+        self._max_pending = int(max_pending)
+        self._max_inflight = int(max_inflight)
+        self._max_line = int(max_line)
+        self.stats = ServerStats()
+        self._admit_q: asyncio.Queue | None = None
+        self._exec_q: asyncio.Queue | None = None
+        self._forming: list = []  # the batcher's in-progress batch
+        self._tasks: list[asyncio.Task] = []
+        self._tcp: asyncio.base_events.Server | None = None
+        self._connections: set = set()
+        self._closing = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def structures(self):
+        """The served structures (name -> sampler mapping)."""
+        return self._runner.structures
+
+    async def start(self) -> "ReproServer":
+        """Start the batcher/executor pipeline (idempotent)."""
+        if self._admit_q is None:
+            self._admit_q = asyncio.Queue(self._max_pending)
+            self._exec_q = asyncio.Queue(self._max_inflight)
+            self._tasks = [
+                asyncio.create_task(self._batch_loop(), name="repro-serve-batcher"),
+                asyncio.create_task(self._exec_loop(), name="repro-serve-executor"),
+            ]
+        return self
+
+    async def start_tcp(self, host: str = "127.0.0.1", port: int = 0) -> "ReproServer":
+        """Start the pipeline and listen for TCP clients on ``host:port``.
+
+        ``port=0`` binds an ephemeral port; read it back from
+        :attr:`port` (handy for tests and benchmarks).
+        """
+        await self.start()
+        self._tcp = await asyncio.start_server(
+            self._handle_connection, host, port, limit=self._max_line
+        )
+        return self
+
+    @property
+    def port(self) -> int | None:
+        """The bound TCP port (``None`` before :meth:`start_tcp`)."""
+        if self._tcp is None or not self._tcp.sockets:
+            return None
+        return self._tcp.sockets[0].getsockname()[1]
+
+    async def aclose(self) -> None:
+        """Stop accepting, cancel the pipeline, fail leftover requests.
+
+        Requests still queued when the server closes are answered with a
+        typed ``shutting_down`` error rather than left hanging.
+        """
+        self._closing = True
+        if self._tcp is not None:
+            self._tcp.close()
+            await self._tcp.wait_closed()
+        for writer in list(self._connections):
+            writer.close()
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            with suppress(asyncio.CancelledError):
+                await task
+        shutdown = RequestError("shutting_down", "server is shutting down")
+        leftovers: list = list(self._forming)
+        self._forming = []
+        for queue in (self._admit_q, self._exec_q):
+            while queue is not None and not queue.empty():
+                item = queue.get_nowait()
+                leftovers.extend(item if isinstance(item, list) else [item])
+        for pending in leftovers:
+            if not pending.future.done():
+                pending.future.set_result(
+                    protocol.error_response(pending.request_id, shutdown)
+                )
+
+    async def __aenter__(self) -> "ReproServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(self, request) -> "asyncio.Future[dict]":
+        """Admit one request (dict or wire line); resolve to its response.
+
+        Never raises for a bad request — every failure mode becomes a
+        typed error *response* on the returned future, which is what a
+        network client would see.  Must be called on the server's loop.
+        """
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        request_id = request.get("id") if isinstance(request, dict) else None
+        try:
+            if self._admit_q is None or self._closing:
+                raise RequestError("shutting_down", "server is not accepting requests")
+            message = request if isinstance(request, dict) else protocol.decode(request)
+            request_id = message.get("id")
+            pending = self._admit(message, future, loop)
+        except RequestError as exc:
+            self.stats.observe_rejected()
+            future.set_result(protocol.error_response(request_id, exc))
+            return future
+        if pending is None:  # immediate op (ping/stats/empty bulk)
+            return future
+        try:
+            self._admit_q.put_nowait(pending)
+        except asyncio.QueueFull:
+            self.stats.observe_rejected()
+            future.set_result(
+                protocol.error_response(
+                    pending.request_id,
+                    RequestError(
+                        "overloaded",
+                        f"admission queue full ({self._max_pending} pending)",
+                    ),
+                )
+            )
+            return future
+        self.stats.observe_admitted(pending.kind)
+        return future
+
+    def _admit(self, message: dict, future, loop) -> _Pending | None:
+        """Validate one request; return its pending record or resolve now."""
+        op = message.get("op")
+        request_id = message.get("id")
+        structure = message.get("structure", "default")
+        if op == "ping":
+            future.set_result(protocol.ok_response(request_id, "pong"))
+            return None
+        if op == "stats":
+            future.set_result(protocol.ok_response(request_id, self.stats.snapshot()))
+            return None
+        if op not in ("sample", "count") and op not in _UPDATE_OPS:
+            raise RequestError("unknown_op", f"unknown op: {op!r}")
+        if not isinstance(structure, str) or structure not in self._runner.structures:
+            raise RequestError("unknown_structure", f"unknown structure: {structure!r}")
+        if op == "sample":
+            lo = protocol.require_number(message, "lo")
+            hi = protocol.require_number(message, "hi")
+            if lo > hi:
+                raise RequestError("invalid_query", f"invalid interval: {lo!r} > {hi!r}")
+            t = protocol.require_int(message, "t")
+            if t > self._max_t:
+                raise RequestError("too_large", f"t={t} exceeds max_t={self._max_t}")
+            seed = message.get("seed")
+            if seed is not None and (isinstance(seed, bool) or not isinstance(seed, int)):
+                raise RequestError("bad_request", "field 'seed' must be an integer")
+            if seed is None:
+                self._serial += 1
+                seed = derive_seed(self._entropy, self._serial)
+            else:
+                # Fold into the 64-bit seed domain up front so an exotic
+                # client seed can never blow up mid-batch.
+                seed &= (1 << 64) - 1
+            ops = [BatchOp.sample(lo, hi, t, structure, seed=seed)]
+            kind, cost = "sample", max(1, t)
+        elif op == "count":
+            lo = protocol.require_number(message, "lo")
+            hi = protocol.require_number(message, "hi")
+            if lo > hi:
+                raise RequestError("invalid_query", f"invalid interval: {lo!r} > {hi!r}")
+            ops = [BatchOp.count(lo, hi, structure)]
+            kind, cost = "count", 1
+        elif op in ("insert", "delete"):
+            value = protocol.require_number(message, "value", finite=True)
+            if op == "insert":
+                weight = message.get("weight")
+                if weight is not None:
+                    weight = protocol.require_number(
+                        {"weight": weight}, "weight", finite=True
+                    )
+                ops = [BatchOp.insert(value, weight, structure)]
+            else:
+                ops = [BatchOp.delete(value, structure)]
+            kind, cost = "update", 1
+        else:  # insert_bulk / delete_bulk
+            values = message.get("values")
+            if not isinstance(values, list):
+                raise RequestError("bad_request", "field 'values' must be a list")
+            if len(values) > self._max_t:
+                raise RequestError(
+                    "too_large",
+                    f"{len(values)} values exceed max_t={self._max_t}",
+                )
+            floats = [
+                protocol.require_number({"values": v}, "values", finite=True)
+                for v in values
+            ]
+            if op == "insert_bulk":
+                weights = message.get("weights")
+                if weights is not None:
+                    if not isinstance(weights, list) or len(weights) != len(floats):
+                        raise RequestError(
+                            "bad_request", "field 'weights' must align with 'values'"
+                        )
+                    weights = [
+                        protocol.require_number({"weights": w}, "weights", finite=True)
+                        for w in weights
+                    ]
+                    ops = [
+                        BatchOp.insert(v, w, structure)
+                        for v, w in zip(floats, weights)
+                    ]
+                else:
+                    ops = [BatchOp.insert(v, structure=structure) for v in floats]
+            else:
+                ops = [BatchOp.delete(v, structure) for v in floats]
+            if not ops:
+                future.set_result(protocol.ok_response(request_id, 0))
+                return None
+            kind, cost = "update", len(ops)
+        return _Pending(request_id, kind, ops, cost, future, loop.time())
+
+    # -- the coalescing pipeline -------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        """Group admitted requests into batches under window/size budgets.
+
+        The loop blocks only when idle: one ``get`` for the batch's first
+        request, one ``sleep(window)`` to let company arrive, then a
+        non-blocking drain up to the budgets.  Whatever the drain leaves
+        behind seeds the next batch immediately, so a saturated server
+        forms back-to-back batches and the window only ever delays the
+        *first* request of an idle period.  Per-request batcher cost is a
+        ``get_nowait`` — there is no timer or task per request.
+        """
+        queue = self._admit_q
+        while True:
+            batch = self._forming = [await queue.get()]
+            budget = batch[0].cost
+            if (
+                self._window > 0.0
+                and budget < self._max_batch_samples
+                # A full batch already waiting makes the window pointless —
+                # sleeping would only add latency under saturation.
+                and queue.qsize() + 1 < self._max_batch
+            ):
+                await asyncio.sleep(self._window)
+            while len(batch) < self._max_batch and budget < self._max_batch_samples:
+                try:
+                    nxt = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                batch.append(nxt)
+                budget += nxt.cost
+            await self._exec_q.put(batch)
+            self._forming = []
+
+    async def _exec_loop(self) -> None:
+        """Execute batches strictly in formation (= admission) order."""
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = await self._exec_q.get()
+            self._execute(batch, loop)
+            # One cooperative yield per batch keeps the loop responsive to
+            # readers/writers even under a steady stream of full batches.
+            await asyncio.sleep(0)
+
+    def _execute(self, batch: list, loop) -> None:
+        """Run one batch through the mixed runner and scatter the replies."""
+        ops: list[BatchOp] = []
+        spans: list[tuple[_Pending, int, int]] = []
+        for pending in batch:
+            spans.append((pending, len(ops), len(pending.ops)))
+            ops.extend(pending.ops)
+        self.stats.observe_batch(len(batch))
+        try:
+            mixed = self._runner.run_mixed(
+                ops, capture_errors=True, coalesce_reads=True
+            )
+        except Exception as exc:  # defensive: keep the server alive
+            failure = RequestError("internal", f"batch execution failed: {exc}")
+            for pending, _start, _n in spans:
+                self._reply(
+                    pending,
+                    protocol.error_response(pending.request_id, failure),
+                    ok=False,
+                    loop=loop,
+                )
+            return
+        for pending, start, n in spans:
+            error = None
+            error_at = -1
+            if mixed.errors is not None:
+                for j in range(start, start + n):
+                    if mixed.errors[j] is not None:
+                        error = mixed.errors[j]
+                        error_at = j - start
+                        break
+            if error is not None:
+                response = protocol.error_response(pending.request_id, error)
+                if n > 1:
+                    # Bulk requests are not atomic across their values (the
+                    # runner applies what it can and attributes failures
+                    # per value) — the reply must say what committed, or a
+                    # client would retry ops that already happened.
+                    span_errors = mixed.errors[start : start + n]
+                    response["error"]["op_index"] = error_at
+                    response["error"]["applied"] = sum(
+                        1 for e in span_errors if e is None
+                    )
+                self._reply(pending, response, ok=False, loop=loop)
+                continue
+            samples = 0
+            if pending.kind == "sample":
+                block = mixed.samples[start]
+                # ndarray.tolist() yields builtin floats at C speed; the
+                # comprehension is the list-result (scalar path) fallback.
+                if hasattr(block, "tolist"):
+                    result = block.tolist()
+                else:
+                    result = [float(x) for x in block]
+                samples = len(result)
+            elif pending.kind == "count":
+                result = int(mixed.samples[start])
+            else:
+                result = n
+            response = protocol.ok_response(pending.request_id, result)
+            self._reply(pending, response, ok=True, loop=loop, samples=samples)
+
+    def _reply(self, pending: _Pending, response, *, ok, loop, samples=0) -> None:
+        self.stats.observe_reply(ok, loop.time() - pending.admitted_at, samples)
+        if pending.future.done():  # pragma: no cover - cancellation race
+            self.stats.observe_dropped()
+            return
+        pending.future.set_result(response)
+
+    # -- TCP transport -----------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        """Serve one TCP client: read frames, submit, stream replies back.
+
+        Replies are relayed through a per-connection queue and written in
+        opportunistic groups (one syscall for however many replies are
+        ready), which is where serving-side coalescing pays on the wire.
+        A client that disconnects mid-batch only loses its own replies —
+        they are counted as dropped and the server keeps going.
+        """
+        out_q: asyncio.Queue = asyncio.Queue()
+        writer_task = asyncio.create_task(self._write_loop(writer, out_q))
+        self._connections.add(writer)
+
+        def relay(done: asyncio.Future) -> None:
+            if writer_task.done():
+                self.stats.observe_dropped()
+                return
+            response = done.result()
+            try:
+                frame = protocol.encode(response)
+            except (TypeError, ValueError) as exc:
+                # A reply that cannot be serialized (e.g. a non-finite
+                # float that slipped past admission) must still answer —
+                # an unresolvable request id is a hung client.
+                frame = protocol.encode(
+                    protocol.error_response(
+                        response.get("id"),
+                        RequestError("internal", f"unencodable reply: {exc}"),
+                    )
+                )
+            out_q.put_nowait(frame)
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, ValueError):
+                    # ValueError: frame longer than max_line.  There is no
+                    # way to resync a newline-delimited stream after an
+                    # overlong frame, so the connection ends.
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                self.submit(line).add_done_callback(relay)
+        except asyncio.CancelledError:
+            pass  # shutdown: fall through to the cleanup below
+        finally:
+            self._connections.discard(writer)
+            out_q.put_nowait(None)  # drain, then stop the writer
+            with suppress(Exception, asyncio.CancelledError):
+                await writer_task
+            writer.close()
+            with suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def _write_loop(self, writer, out_q: asyncio.Queue) -> None:
+        """Drain the reply queue, grouping ready replies into one write."""
+        while True:
+            chunk = await out_q.get()
+            if chunk is None:
+                return
+            parts = [chunk]
+            stop = False
+            while True:
+                try:
+                    nxt = out_q.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if nxt is None:
+                    stop = True
+                    break
+                parts.append(nxt)
+            writer.write(b"".join(parts))
+            await writer.drain()
+            if stop:
+                return

@@ -1,0 +1,112 @@
+"""Server-side metrics: throughput, latency percentiles, coalesce factor."""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+__all__ = ["ServerStats"]
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of a pre-sorted non-empty list."""
+    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+class ServerStats:
+    """Counters and latency reservoir for one :class:`~repro.serve.ReproServer`.
+
+    The coalescing story of the server is visible here: ``batches`` counts
+    executed coalesced batches, ``batched_requests`` the requests they
+    carried, and their ratio — the *coalesce factor* — says how many
+    requests each execution round amortized.  Latencies are admission-to-
+    reply wall times of the most recent ``window`` replies (a bounded
+    reservoir, so a long-running server reports recent behavior, not its
+    whole life).
+    """
+
+    def __init__(self, window: int = 4096) -> None:
+        self.started = time.perf_counter()
+        self.admitted = 0
+        self.rejected = 0
+        self.replies_ok = 0
+        self.replies_error = 0
+        self.dropped_replies = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.sample_requests = 0
+        self.count_requests = 0
+        self.update_requests = 0
+        self.samples_returned = 0
+        self.latencies: deque[float] = deque(maxlen=window)
+
+    # -- recording ---------------------------------------------------------
+
+    def observe_admitted(self, kind: str) -> None:
+        """Record one admitted request by op kind."""
+        self.admitted += 1
+        if kind == "sample":
+            self.sample_requests += 1
+        elif kind == "count":
+            self.count_requests += 1
+        else:
+            self.update_requests += 1
+
+    def observe_rejected(self) -> None:
+        """Record one request refused at admission (backpressure etc.)."""
+        self.rejected += 1
+
+    def observe_batch(self, requests: int) -> None:
+        """Record one executed batch carrying ``requests`` requests."""
+        self.batches += 1
+        self.batched_requests += requests
+
+    def observe_reply(self, ok: bool, latency: float, samples: int = 0) -> None:
+        """Record one reply and its admission-to-reply latency (seconds)."""
+        if ok:
+            self.replies_ok += 1
+        else:
+            self.replies_error += 1
+        self.samples_returned += samples
+        self.latencies.append(latency)
+
+    def observe_dropped(self) -> None:
+        """Record a reply that could not be delivered (client went away)."""
+        self.dropped_replies += 1
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def coalesce_factor(self) -> float:
+        """Mean requests per executed batch (1.0 means no coalescing won)."""
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+    def snapshot(self) -> dict:
+        """Return a JSON-safe metrics snapshot (the ``stats`` op's reply)."""
+        uptime = time.perf_counter() - self.started
+        replies = self.replies_ok + self.replies_error
+        lat = sorted(self.latencies)
+        out = {
+            "uptime_seconds": round(uptime, 6),
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "replies_ok": self.replies_ok,
+            "replies_error": self.replies_error,
+            "dropped_replies": self.dropped_replies,
+            "sample_requests": self.sample_requests,
+            "count_requests": self.count_requests,
+            "update_requests": self.update_requests,
+            "samples_returned": self.samples_returned,
+            "batches": self.batches,
+            "coalesce_factor": round(self.coalesce_factor, 3),
+            "requests_per_second": round(replies / uptime, 3) if uptime > 0 else 0.0,
+        }
+        if lat:
+            out["latency_ms"] = {
+                "p50": round(1e3 * _percentile(lat, 0.50), 3),
+                "p90": round(1e3 * _percentile(lat, 0.90), 3),
+                "p99": round(1e3 * _percentile(lat, 0.99), 3),
+                "max": round(1e3 * lat[-1], 3),
+            }
+        return out

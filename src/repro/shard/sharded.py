@@ -48,6 +48,7 @@ from ..core.weighted_dynamic import WeightedDynamicIRS
 from ..core.weighted_irs import WeightedStaticIRS
 from ..errors import EmptyRangeError, InvalidQueryError, KeyNotFoundError
 from ..rng import RandomSource, derive_seed
+from ..rng import generator as rng_generator
 from ..types import QueryStats
 from .executors import draw_from_snapshot, make_backend
 from .partition import cut_bounds, route_values, run_aligned_cuts
@@ -327,6 +328,7 @@ class ShardedIRS(DynamicRangeSampler):
 
     @property
     def backend_name(self) -> str:
+        """Name of the active execution backend (serial/threads/processes)."""
         return getattr(self._backend, "name", type(self._backend).__name__)
 
     @property
@@ -432,6 +434,7 @@ class ShardedIRS(DynamicRangeSampler):
     # -- counting / reporting ----------------------------------------------------
 
     def count(self, lo: float, hi: float) -> int:
+        """Return ``|P ∩ [lo, hi]|``, summed over the overlapping shards."""
         validate_query(lo, hi, 0)
         return sum(self._shards[i].count(lo, hi) for i in self._window(lo, hi))
 
@@ -454,6 +457,7 @@ class ShardedIRS(DynamicRangeSampler):
         return total
 
     def report(self, lo: float, hi: float) -> list:
+        """Return every in-range point in sorted order (shards are ordered)."""
         validate_query(lo, hi, 0)
         out: list = []
         for i in self._window(lo, hi):
@@ -514,11 +518,16 @@ class ShardedIRS(DynamicRangeSampler):
         self.stats.samples_returned += t
         return out
 
-    def sample_bulk(self, lo: float, hi: float, t: int):
-        """Vectorized scatter-gather :meth:`sample` (NumPy array result)."""
-        return self.sample_bulk_many([(lo, hi, t)])[0]
+    def sample_bulk(self, lo: float, hi: float, t: int, *, seed=None):
+        """Vectorized scatter-gather :meth:`sample` (NumPy array result).
 
-    def sample_bulk_many(self, queries: Sequence[tuple]) -> list:
+        An explicit ``seed`` makes the query's randomness (split, task
+        seeds, permutation) a pure function of it — see
+        :meth:`sample_bulk_many`.
+        """
+        return self.sample_bulk_many([(lo, hi, t)], seeds=[seed])[0]
+
+    def sample_bulk_many(self, queries: Sequence[tuple], *, seeds=None) -> list:
         """Execute many ``(lo, hi, t)`` queries in one scatter round.
 
         All per-shard tasks from all queries go to the backend together,
@@ -526,10 +535,23 @@ class ShardedIRS(DynamicRangeSampler):
         contains.  Results align with the input order; the per-query
         sample distribution is identical to calling :meth:`sample_bulk`
         per query.
+
+        ``seeds`` (optional) aligns an integer seed — or ``None`` — with
+        each query.  A seeded query draws its multinomial split and gather
+        permutation from :func:`repro.rng.generator` of its seed and
+        derives its per-shard task seeds from one 63-bit draw of that
+        stream, so its samples depend only on the seed and the shard
+        contents — not on the facade's query ticket or on which other
+        queries share the scatter round.  The serving layer uses this for
+        per-request reproducibility.
         """
         queries = [(float(lo), float(hi), int(ti)) for lo, hi, ti in queries]
         for lo, hi, ti in queries:
             validate_query(lo, hi, ti)
+        if seeds is None:
+            seeds = [None] * len(queries)
+        elif len(seeds) != len(queries):
+            raise InvalidQueryError("seeds must align with queries")
         if self._gen is None:
             self._gen = self._rng.spawn_numpy()
         gen = self._gen
@@ -556,6 +578,7 @@ class ShardedIRS(DynamicRangeSampler):
         # Plan phase: one multinomial split per query, drawn in query order
         # from the facade's side stream (backend-independent by design).
         out_offsets: list[int] = []
+        qgens: list = [None] * n_queries  # per-query seeded generators
         tasks_per_query = [0] * n_queries
         tasks_meta: list[tuple[int, int, int, int, int]] = []  # (s, q, t, seed, off)
         at = 0
@@ -569,14 +592,27 @@ class ShardedIRS(DynamicRangeSampler):
             total_share = share.sum()
             if total_share <= 0.0:
                 raise EmptyRangeError("query range has zero total weight")
-            self._ticket += 1
-            ticket = self._ticket
-            split = gen.multinomial(ti, share / total_share)
+            if seeds[q] is None:
+                qgens[q] = None
+                # Facade stream: task seeds come from the entropy + a
+                # monotone per-query ticket (backend-independent).
+                self._ticket += 1
+                entropy, ticket = self._entropy, self._ticket
+                split = gen.multinomial(ti, share / total_share)
+            else:
+                # Per-query seed: one 63-bit draw of the seed's stream
+                # replaces the (entropy, ticket) pair, so the query's task
+                # seeds — and with them its samples — depend only on the
+                # seed and the shard contents.
+                qgen = qgens[q] = rng_generator(seeds[q])
+                entropy = int(qgen.integers(1 << 63))
+                ticket = 0
+                split = qgen.multinomial(ti, share / total_share)
             off = at
             for s in range(n_shards):
                 ts = int(split[s])
                 if ts:
-                    seed = derive_seed(self._entropy, ticket, s)
+                    seed = derive_seed(entropy, ticket, s)
                     tasks_meta.append((s, q, ts, seed, off))
                     tasks_per_query[q] += 1
                     off += ts
@@ -588,11 +624,13 @@ class ShardedIRS(DynamicRangeSampler):
             block = out[out_offsets[q] : out_offsets[q] + ti]
             if tasks_per_query[q] > 1:
                 # One permutation restores positional i.i.d.-ness over the
-                # shard-ordered gather; drawn from the facade stream, so it
-                # is the same on every backend.  A single-shard query is
-                # already i.i.d. and skips it (the skip depends only on the
-                # split, so backend-independence is preserved).
-                block = block[gen.permutation(ti)]
+                # shard-ordered gather; drawn from the facade stream (or
+                # the query's own generator), so it is the same on every
+                # backend.  A single-shard query is already i.i.d. and
+                # skips it (the skip depends only on the split, so
+                # backend-independence is preserved).
+                pgen = qgens[q] if qgens[q] is not None else gen
+                block = block[pgen.permutation(ti)]
             results.append(block)
         self.stats.queries += n_queries
         self.stats.samples_returned += total_samples

@@ -55,3 +55,11 @@ def test_weighted_auction():
     assert "win rate" in out
     assert "consistent" in out
     assert "INCONSISTENT" not in out
+
+
+def test_serving_demo():
+    out = run("serving_demo.py", "15000")
+    assert "32 concurrent mean estimates" in out
+    assert "seeded request replays byte-identically: True" in out
+    assert "typed error: empty_range" in out
+    assert "coalesce factor" in out
