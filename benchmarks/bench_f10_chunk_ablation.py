@@ -1,10 +1,13 @@
 """F10 — ablation: the dynamic structure's chunk-size constant.
 
-Chunk size is ``chunk_scale · log2 n``.  Small chunks mean more directory
-(treap/PMA) churn per update and larger middle windows per query; large
-chunks mean more in-chunk shifting per update.  The ablation sweeps the
-scale to show the design's operating point is flat — i.e. the structure is
-robust to the constant, which is what an O-bound promises.
+Chunk size is ``chunk_scale · log2 n``.  Small chunks mean more chunks —
+more array-directory rows to shift per structural change and larger middle
+windows per query; large chunks mean more in-chunk shifting per update.
+The ablation sweeps the scale to show the design's operating point is flat
+— i.e. the structure is robust to the constant, which is what an O-bound
+promises.  (The retired pointer-machine directory substrates this design
+replaced are benchmarked explicitly in ``bench_m1_substrates`` from their
+``repro.baselines`` homes.)
 """
 
 from __future__ import annotations

@@ -5,6 +5,11 @@ Tiny-n, seconds-long sanity gate (not a benchmark): asserts that
 
 * ``DynamicIRS.insert_bulk`` / ``delete_bulk`` beat the scalar loops,
 * ``WeightedDynamicIRS.insert_bulk`` beats its scalar loop,
+* ``WeightedDynamicIRS.sample_bulk`` beats scalar sampling, and both the
+  bulk sampling and the bulk update paths stay at or above the frozen
+  PR-4 treap-backed baselines committed in ``BENCH_F16.json`` —
+  compared as weighted/unweighted throughput *ratios* so host speed
+  cancels out,
 * every sampler exposes ``sample_bulk`` and returns in-range samples,
 * the mixed-stream runner executes a coalesced read/write stream,
 * the sharded engine agrees with a flat structure and (on multi-core
@@ -118,6 +123,71 @@ def main() -> int:
         "WeightedDynamicIRS.insert_bulk beats scalar loop",
         bulk > scalar * MARGIN,
         f"bulk {bulk:,.0f}/s vs scalar {scalar:,.0f}/s",
+    )
+
+    # -- weighted-dynamic: bulk sampling vs scalar and vs the treap baseline ---
+    # BENCH_F16.json freezes the PR-4 treap-backed WeightedDynamicIRS numbers
+    # next to the unweighted DynamicIRS numbers from the same reference run.
+    # Comparing raw throughput against frozen numbers would fail any
+    # sufficiently slower host with no real regression, so the gates compare
+    # *ratios*: weighted throughput as a fraction of unweighted throughput,
+    # measured here on this host, must be at least the treap design's
+    # fraction from the frozen run — host speed cancels, a revert to the
+    # treap design (or an equivalent slowdown of the weighted paths alone)
+    # still fails.
+    import json
+
+    f16_path = os.path.join(os.path.dirname(__file__), "..", "BENCH_F16.json")
+    with open(f16_path) as handle:
+        f16_rows = json.load(handle)["rows"]
+    treap_baseline = {
+        row[0]: float(row[3])
+        for row in f16_rows
+        if row[1] == "WeightedDynamicIRS" and row[3] != ""
+    }
+    reference = {
+        row[0]: float(row[2]) for row in f16_rows if row[1] == "DynamicIRS"
+    }
+    wd = WeightedDynamicIRS(data, weights, seed=28)
+    d_ref = DynamicIRS(data, seed=28)
+    lo, hi = 0.1, 0.9
+    t_bulk, t_scalar = 16_384, 2_048
+    wd.sample_bulk(lo, hi, 512)  # warm the flat table + per-chunk views
+    d_ref.sample_bulk(lo, hi, 512)
+    bulk_sps = t_bulk / time_callable(lambda: wd.sample_bulk(lo, hi, t_bulk), repeat=3)
+    scalar_sps = t_scalar / time_callable(lambda: wd.sample(lo, hi, t_scalar), repeat=3)
+    uw_sps = t_bulk / time_callable(lambda: d_ref.sample_bulk(lo, hi, t_bulk), repeat=3)
+    check(
+        "WeightedDynamicIRS.sample_bulk beats scalar sampling",
+        bulk_sps > scalar_sps * MARGIN,
+        f"bulk {bulk_sps:,.0f}/s vs scalar {scalar_sps:,.0f}/s",
+    )
+    treap_frac = treap_baseline["sample_bulk wide"] / reference["sample_bulk wide"]
+    check(
+        "weighted bulk sampling >= PR-4 treap baseline (host-normalized)",
+        bulk_sps / uw_sps >= treap_frac,
+        f"{bulk_sps / uw_sps:.2f}x of unweighted vs treap's frozen "
+        f"{treap_frac:.2f}x",
+    )
+
+    def wd_update_throughput(apply):
+        return update_throughput(
+            lambda: WeightedDynamicIRS(data, weights, seed=29), apply, BATCH
+        )
+
+    ins_ups = wd_update_throughput(lambda w: w.insert_bulk(batch, wbatch))
+    del_ups = wd_update_throughput(lambda w: w.delete_bulk(dels))
+    uw_ups = update_throughput(
+        lambda: DynamicIRS(data, seed=29), lambda d: d.insert_bulk(batch), BATCH
+    )
+    treap_ins_frac = treap_baseline["insert_bulk"] / reference["insert_bulk"]
+    treap_del_frac = treap_baseline["delete_bulk"] / reference["insert_bulk"]
+    check(
+        "weighted bulk updates >= PR-4 treap baseline (host-normalized)",
+        ins_ups / uw_ups >= treap_ins_frac and del_ups / uw_ups >= treap_del_frac,
+        f"insert {ins_ups / uw_ups:.3f}x vs treap {treap_ins_frac:.3f}x, "
+        f"delete {del_ups / uw_ups:.3f}x vs treap {treap_del_frac:.3f}x "
+        "(of unweighted insert_bulk)",
     )
 
     # -- sample_bulk on every sampler ------------------------------------------

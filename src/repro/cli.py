@@ -19,8 +19,9 @@ line; ``t`` defaults to the ``-t`` flag) through the vectorized
 :class:`~repro.batch.BatchQueryRunner`, printing one sample mean per query
 followed by a ``#``-prefixed aggregate line.  With ``--ops`` instead of
 ``--queries`` it executes a mixed read/write stream (lines ``insert V``,
-``delete V``, ``sample LO HI [T]``) in order, coalescing update runs into
-the bulk fast paths and printing one mean per ``sample`` line.
+``insert V W`` for weighted structures, ``delete V``, ``sample LO HI
+[T]``) in order, coalescing update runs into the bulk fast paths and
+printing one mean per ``sample`` line.
 
 ``--shards N`` range-partitions the data into an N-shard
 :class:`~repro.shard.ShardedIRS` whose shards are the requested
@@ -105,9 +106,18 @@ def build_structure(
     raise ValueError(f"unknown structure: {name}")
 
 
-def read_ops(path: str, default_t: int) -> list[tuple]:
-    """Parse a mixed-stream file: ``insert V`` / ``delete V`` / ``sample LO HI [T]``."""
-    ops: list[tuple] = []
+def read_ops(path: str, default_t: int) -> list:
+    """Parse a mixed-stream file of update/query lines.
+
+    Accepted lines: ``insert V`` (unit weight), ``insert V W`` (weighted
+    structures), ``delete V`` and ``sample LO HI [T]``.  Weighted inserts
+    become :class:`~repro.batch.BatchOp` instances so the batch engine
+    routes the weight through the structure's weighted bulk path — and
+    rejects it upfront as a typed error on unweighted structures.
+    """
+    from .batch import BatchOp
+
+    ops: list = []
     with open(path) as handle:
         for lineno, line in enumerate(handle, start=1):
             tokens = line.split("#", 1)[0].split()
@@ -116,12 +126,14 @@ def read_ops(path: str, default_t: int) -> list[tuple]:
             kind = tokens[0]
             if kind in ("insert", "delete") and len(tokens) == 2:
                 ops.append((kind, float(tokens[1])))
+            elif kind == "insert" and len(tokens) == 3:
+                ops.append(BatchOp.insert(float(tokens[1]), float(tokens[2])))
             elif kind == "sample" and len(tokens) in (3, 4):
                 t = int(tokens[3]) if len(tokens) == 4 else default_t
                 ops.append(("sample", float(tokens[1]), float(tokens[2]), t))
             else:
                 raise ValueError(
-                    f"{path}:{lineno}: expected 'insert V', 'delete V' or "
+                    f"{path}:{lineno}: expected 'insert V [W]', 'delete V' or "
                     f"'sample LO HI [T]', got {line.strip()!r}"
                 )
     return ops

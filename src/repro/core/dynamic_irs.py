@@ -9,8 +9,9 @@ Guarantees (matching the published bounds of Hu–Qiao–Tao, PODS 2014):
 
 Design (see DESIGN.md §2.2 for the full analysis).  Points live in sorted
 *chunks* of size ``s .. 2s`` with ``s = Θ(log n)``.  The chunk directory is
-**array-backed**: the chunks sit in a plain Python list in key order, and
-three parallel arrays (``maxes``, ``mins``, ``counts``) describe them:
+the shared **array-backed engine** of :mod:`repro.core.directory`
+(DESIGN.md §8): chunks sit in a plain Python list in key order and three
+parallel arrays (``maxes``, ``mins``, ``counts``) describe them —
 
 * boundary chunks of a query are found with one C-level ``searchsorted``
   per endpoint (the ``maxes`` array is nondecreasing, so "first chunk whose
@@ -38,18 +39,23 @@ scalar update cost is ``O(log n)`` search work plus amortized
 ``O(n/log² n)`` array-move work.  That is asymptotically weaker than the
 paper's pointer-machine ``O(log n)`` amortized bound, and measured
 strictly faster at every ``n`` up to ``10⁶`` because the moved cells cost
-~0.1 ns each where a treap-node repair costs ~1 µs.
+~0.1 ns each where a pointer-node repair costs ~1 µs.
 
 Global rebuilds keep ``s`` in step with ``log n``: the structure is rebuilt
 whenever ``n`` drifts outside ``[n0/2, 2·n0]``, which is amortized ``O(1)``
 per update.
+
+This class is deliberately a *thin policy* over the shared directory:
+everything uniform-specific (the rank plan, the rejection middle sampler,
+rank selection) lives here; everything geometric (routing, prefix caches,
+split/merge/borrow, bulk splice repair) lives in the engine that
+:class:`~repro.core.weighted_dynamic.WeightedDynamicIRS` shares.
 """
 
 from __future__ import annotations
 
 import math
 from bisect import bisect_left, bisect_right, insort
-from itertools import accumulate
 from typing import Iterable, Iterator
 
 from ..errors import InvalidQueryError, KeyNotFoundError
@@ -57,6 +63,8 @@ from ..rng import RandomSource
 from ..rng import generator as _generator
 from ..types import QueryStats
 from .base import DynamicRangeSampler, coerce_query_bounds, validate_query
+from .directory import Chunk as _Chunk
+from .directory import ChunkDirectory
 from .static_irs import _checked_sorted_list
 
 try:  # NumPy is optional at runtime; the vectorized paths use it when present.
@@ -73,34 +81,6 @@ _NARROW = 24
 #: Batches at or below this size take the scalar update loop — the
 #: vectorized prelude's fixed cost only amortizes above it.
 _BULK_CUTOFF = 16
-#: Scalar count changes ride on the cached prefix as per-chunk deltas up
-#: to this many entries; beyond it the cache is dropped and the next
-#: reader re-runs the cumsum.  Keeps update→query alternation at O(log n)
-#: instead of one O(n/s) rebuild per transition.
-_PENDING_CAP = 64
-
-
-class _Chunk:
-    """A sorted run of points.
-
-    Directory information (key extent, size, position) lives in the owning
-    structure's parallel arrays, not on the chunk, so bulk repairs can touch
-    it with vectorized array ops.
-    """
-
-    __slots__ = ("data", "np_data")
-
-    def __init__(self, data: list[float]) -> None:
-        self.data = data
-        #: Lazily-built NumPy view of ``data`` for the bulk sampling path.
-        #: Any mutation of ``data`` must reset it to ``None``.
-        self.np_data = None
-
-    def array(self):
-        """Return (building if stale) the NumPy view of this chunk."""
-        if self.np_data is None:
-            self.np_data = _np.asarray(self.data, dtype=float)
-        return self.np_data
 
 
 class _MiddlePlan:
@@ -196,6 +176,7 @@ class DynamicIRS(DynamicRangeSampler):
         self._chunk_scale = chunk_scale
         self.stats = QueryStats()
         self._bulk_gen = None  # lazily-spawned NumPy side stream (sample_bulk)
+        self._dir = ChunkDirectory(weighted=False)
 
     # -- construction / rebuild ------------------------------------------------
 
@@ -220,122 +201,11 @@ class DynamicIRS(DynamicRangeSampler):
                 half = len(merged) // 2
                 pieces.append(merged[:half])
                 pieces.append(merged[half:])
-        self._chunks = [_Chunk(piece) for piece in pieces]
-        self._rebuild_directory()
-
-    def _rebuild_directory(self) -> None:
-        """Recompute ``maxes``/``mins``/``counts`` from the chunk list."""
-        maxes: list[float] = []
-        mins: list[float] = []
-        counts: list[int] = []
-        for chunk in self._chunks:
-            data = chunk.data
-            maxes.append(data[-1])
-            mins.append(data[0])
-            counts.append(len(data))
-        if _np is not None:
-            self._maxes = _np.asarray(maxes, dtype=float)
-            self._mins = _np.asarray(mins, dtype=float)
-            self._counts = _np.asarray(counts, dtype=_np.int64)
-        else:  # pragma: no cover - numpy is installed in CI
-            self._maxes = maxes
-            self._mins = mins
-            self._counts = counts
-        self._prefix = None
-        self._pending = {}
+        self._dir.load([_Chunk(piece) for piece in pieces])
 
     def _maybe_rebuild(self) -> None:
         if self._n > 2 * self._n0 or (self._n0 > _MIN_CHUNK and 2 * self._n < self._n0):
             self._build(self.values())
-
-    # -- directory helpers ------------------------------------------------------
-
-    def _first_max_ge(self, x: float) -> int:
-        """Index of the first chunk whose max ≥ ``x`` (``len`` if none)."""
-        if _np is not None:
-            return int(_np.searchsorted(self._maxes, x, side="left"))
-        return bisect_left(self._maxes, x)  # pragma: no cover
-
-    def _last_min_le(self, y: float) -> int:
-        """Index of the last chunk whose min ≤ ``y`` (``-1`` if none)."""
-        if _np is not None:
-            return int(_np.searchsorted(self._mins, y, side="right")) - 1
-        return bisect_right(self._mins, y) - 1  # pragma: no cover
-
-    def _ensure_prefix(self):
-        """Return the inclusive prefix-sum over chunk counts (cached)."""
-        if self._prefix is None:
-            if _np is not None:
-                self._prefix = _np.cumsum(self._counts)
-            else:  # pragma: no cover - numpy is installed in CI
-                self._prefix = list(accumulate(self._counts))
-            self._pending.clear()
-        return self._prefix
-
-    def _invalidate_prefix(self) -> None:
-        """Drop the prefix cache (chunk indices or many counts changed)."""
-        self._prefix = None
-        self._pending.clear()
-
-    def _note_count_delta(self, i: int, delta: int) -> None:
-        """Record a scalar count change against the cached prefix.
-
-        While the chunk list's *shape* is unchanged, a count change only
-        shifts the prefix entries from ``i`` on — recorded as a pending
-        per-chunk delta folded in by readers, so an update→query
-        alternation costs ``O(|pending|)`` instead of an ``O(n/s)`` cumsum
-        rebuild per transition.  Past ``_PENDING_CAP`` entries the cache is
-        dropped (update-heavy phases then do no prefix work at all).
-        """
-        if self._prefix is None:
-            return
-        pending = self._pending
-        pending[i] = pending.get(i, 0) + delta
-        if len(pending) > _PENDING_CAP:
-            self._invalidate_prefix()
-
-    def _points_between(self, a: int, b: int) -> int:
-        """Points in chunks strictly between indices ``a`` and ``b``."""
-        if b - a <= 1:
-            return 0
-        prefix = self._ensure_prefix()
-        total = int(prefix[b - 1] - prefix[a])
-        if self._pending:
-            # P(b-1) - P(a) covers chunks a+1 .. b-1.
-            for j, delta in self._pending.items():
-                if a < j < b:
-                    total += delta
-        return total
-
-    def _refresh_entry(self, i: int) -> None:
-        """Repair one chunk's directory row after a data mutation."""
-        data = self._chunks[i].data
-        self._maxes[i] = data[-1]
-        self._mins[i] = data[0]
-        self._counts[i] = len(data)
-
-    def _insert_entry(self, i: int, chunk: _Chunk) -> None:
-        """Insert one chunk's directory row at index ``i``."""
-        data = chunk.data
-        if _np is not None:
-            self._maxes = _np.insert(self._maxes, i, data[-1])
-            self._mins = _np.insert(self._mins, i, data[0])
-            self._counts = _np.insert(self._counts, i, len(data))
-        else:  # pragma: no cover
-            self._maxes.insert(i, data[-1])
-            self._mins.insert(i, data[0])
-            self._counts.insert(i, len(data))
-
-    def _delete_entry(self, i: int) -> None:
-        """Remove one chunk's directory row."""
-        if _np is not None:
-            self._maxes = _np.delete(self._maxes, i)
-            self._mins = _np.delete(self._mins, i)
-            self._counts = _np.delete(self._counts, i)
-        else:  # pragma: no cover
-            del self._maxes[i]
-            del self._mins[i]
-            del self._counts[i]
 
     # -- basic accessors ----------------------------------------------------------
 
@@ -347,25 +217,30 @@ class DynamicIRS(DynamicRangeSampler):
         """Current ``(s, 2s)`` chunk-size window (changes on rebuilds)."""
         return self._s, self._cap
 
+    @property
+    def _chunks(self) -> list[_Chunk]:
+        """The directory's ordered chunk list (tests and debugging)."""
+        return self._dir.chunks
+
     def _iter_chunks(self) -> Iterator[_Chunk]:
-        return iter(self._chunks)
+        return iter(self._dir.chunks)
 
     def _iter_values(self) -> Iterator[float]:
-        for chunk in self._chunks:
+        for chunk in self._dir.chunks:
             yield from chunk.data
 
     def values(self) -> list[float]:
         """Return every stored point in sorted order (``O(n)``)."""
         out: list[float] = []
-        for chunk in self._chunks:
+        for chunk in self._dir.chunks:
             out.extend(chunk.data)
         return out
 
     def __contains__(self, value: float) -> bool:
-        i = self._first_max_ge(value)
-        if i >= len(self._chunks):
+        i = self._dir.first_max_ge(value)
+        if i >= len(self._dir.chunks):
             return False
-        data = self._chunks[i].data
+        data = self._dir.chunks[i].data
         j = bisect_left(data, value)
         return j < len(data) and data[j] == value
 
@@ -373,25 +248,27 @@ class DynamicIRS(DynamicRangeSampler):
 
     def insert(self, value: float) -> None:
         """Insert one point in ``O(log n)`` amortized time."""
-        chunks = self._chunks
+        directory = self._dir
+        chunks = directory.chunks
         if not chunks:
             self._build([value])
             return
-        i = min(self._first_max_ge(value), len(chunks) - 1)
+        i = min(directory.first_max_ge(value), len(chunks) - 1)
         chunk = chunks[i]
         insort(chunk.data, value)
-        chunk.np_data = None
-        self._refresh_entry(i)
+        chunk.touch()
+        directory.refresh_entry(i)
         self._n += 1
-        self._note_count_delta(i, 1)
+        directory.note_delta(i, 1)
         if len(chunk.data) > self._cap:
-            self._split(i)
+            directory.split_chunk(i, self._cap)
         self._maybe_rebuild()
 
     def delete(self, value: float) -> None:
         """Delete one occurrence of ``value`` in ``O(log n)`` amortized time."""
-        chunks = self._chunks
-        i = self._first_max_ge(value)
+        directory = self._dir
+        chunks = directory.chunks
+        i = directory.first_max_ge(value)
         j = -1
         if i < len(chunks):
             data = chunks[i].data
@@ -402,77 +279,16 @@ class DynamicIRS(DynamicRangeSampler):
             raise KeyNotFoundError(f"value not present: {value!r}")
         chunk = chunks[i]
         chunk.data.pop(j)
-        chunk.np_data = None
+        chunk.touch()
         self._n -= 1
-        self._note_count_delta(i, -1)
+        directory.note_delta(i, -1)
         if not chunk.data:
-            self._remove_chunk(i)
+            directory.remove_chunk(i)
             return
-        self._refresh_entry(i)
+        directory.refresh_entry(i)
         if len(chunk.data) < self._s and len(chunks) > 1:
-            self._merge(i)
+            directory.repair_underfull(i, self._s)
         self._maybe_rebuild()
-
-    def _split(self, i: int) -> None:
-        """Split an over-full chunk into two halves."""
-        chunk = self._chunks[i]
-        half = len(chunk.data) // 2
-        right = _Chunk(chunk.data[half:])
-        chunk.data = chunk.data[:half]
-        chunk.np_data = None
-        self._chunks.insert(i + 1, right)
-        self._refresh_entry(i)
-        self._insert_entry(i + 1, right)
-        self._invalidate_prefix()
-
-    def _remove_chunk(self, i: int) -> None:
-        self._chunks.pop(i)
-        self._delete_entry(i)
-        self._invalidate_prefix()
-
-    def _merge(self, i: int) -> None:
-        """Restore the size invariant of an under-full chunk.
-
-        Borrowing one boundary element from a neighbor with slack is ``O(s)``
-        and leaves the directory structure untouched (two row refreshes, no
-        array insert/delete); only when both neighbors sit at exactly ``s``
-        does the chunk concatenate with one — the result is ``2s - 1 ≤ cap``,
-        so a merge can never cascade into a split.
-        """
-        chunks = self._chunks
-        chunk = chunks[i]
-        s = self._s
-        right = chunks[i + 1] if i + 1 < len(chunks) else None
-        if right is not None and len(right.data) > s:
-            chunk.data.append(right.data.pop(0))
-            chunk.np_data = None
-            right.np_data = None
-            self._refresh_entry(i)
-            self._refresh_entry(i + 1)
-            self._note_count_delta(i, 1)
-            self._note_count_delta(i + 1, -1)
-            return
-        left = chunks[i - 1] if i > 0 else None
-        if left is not None and len(left.data) > s:
-            chunk.data.insert(0, left.data.pop())
-            chunk.np_data = None
-            left.np_data = None
-            self._refresh_entry(i)
-            self._refresh_entry(i - 1)
-            self._note_count_delta(i, 1)
-            self._note_count_delta(i - 1, -1)
-            return
-        j = i + 1 if right is not None else i - 1
-        lo, hi = (i, j) if j > i else (j, i)
-        left_chunk = chunks[lo]
-        # Adjacent chunks are consecutive in sorted order, so concatenation
-        # preserves sortedness — no merge pass needed.
-        left_chunk.data = left_chunk.data + chunks[hi].data
-        left_chunk.np_data = None
-        chunks.pop(hi)
-        self._delete_entry(hi)
-        self._refresh_entry(lo)
-        self._invalidate_prefix()
 
     # -- bulk updates -----------------------------------------------------------------
 
@@ -517,17 +333,18 @@ class DynamicIRS(DynamicRangeSampler):
             merged.sort()
             self._build(merged)
             return
-        chunks = self._chunks
+        directory = self._dir
+        chunks = directory.chunks
         last = len(chunks) - 1
-        pos = _np.searchsorted(self._maxes, batch, side="left")
+        pos = _np.searchsorted(directory.maxes, batch, side="left")
         if int(pos[-1]) > last:  # values beyond the global max join the tail
             pos = _np.minimum(pos, last)
         uniq, starts = _np.unique(pos, return_index=True)
         ends = _np.append(starts[1:], m)
         # Directory repair for counts and key extents is fully vectorized.
-        self._counts[uniq] += ends - starts
-        self._maxes[uniq] = _np.maximum(self._maxes[uniq], batch[ends - 1])
-        self._mins[uniq] = _np.minimum(self._mins[uniq], batch[starts])
+        directory.counts[uniq] += ends - starts
+        directory.maxes[uniq] = _np.maximum(directory.maxes[uniq], batch[ends - 1])
+        directory.mins[uniq] = _np.minimum(directory.mins[uniq], batch[starts])
         bulk_list = batch.tolist()
         cap = self._cap
         oversized: list[int] = []
@@ -539,58 +356,13 @@ class DynamicIRS(DynamicRangeSampler):
             else:
                 data.extend(bulk_list[g0:g1])
                 data.sort()  # Timsort merges the two sorted runs in O(len)
-            chunk.np_data = None
+            chunk.touch()
             if len(data) > cap:
                 oversized.append(p)
         self._n += m
-        self._invalidate_prefix()
+        directory.invalidate_prefix()
         if oversized:
-            self._bulk_split(oversized)
-
-    def _split_data(self, data: list[float]) -> list[list[float]]:
-        """Cut an over-full run into balanced pieces within ``[s, 2s]``."""
-        k = -(-len(data) // self._cap)
-        base, extra = divmod(len(data), k)
-        pieces: list[list[float]] = []
-        at = 0
-        for i in range(k):
-            size = base + 1 if i < extra else base
-            pieces.append(data[at : at + size])
-            at += size
-        return pieces
-
-    def _bulk_split(self, positions: list[int]) -> None:
-        """Re-split every over-full chunk with one directory assembly.
-
-        ``positions`` must be ascending.  Each over-full chunk keeps its
-        first piece in place; the remaining pieces become new chunks spliced
-        into the list with slice concatenation and into the directory with
-        one multi-index array insert per column — ``O(n/s + new)`` C-level
-        work total, independent of how many chunks split.
-        """
-        chunks = self._chunks
-        inserts: list[tuple[int, _Chunk]] = []
-        for p in positions:
-            chunk = chunks[p]
-            pieces = self._split_data(chunk.data)
-            chunk.data = pieces[0]
-            chunk.np_data = None
-            self._refresh_entry(p)
-            for piece in pieces[1:]:
-                inserts.append((p + 1, _Chunk(piece)))
-        out: list[_Chunk] = []
-        at = 0
-        for idx, chunk in inserts:
-            out.extend(chunks[at:idx])
-            out.append(chunk)
-            at = idx
-        out.extend(chunks[at:])
-        self._chunks = out
-        idxs = [idx for idx, _ in inserts]
-        self._maxes = _np.insert(self._maxes, idxs, [c.data[-1] for _, c in inserts])
-        self._mins = _np.insert(self._mins, idxs, [c.data[0] for _, c in inserts])
-        self._counts = _np.insert(self._counts, idxs, [len(c.data) for _, c in inserts])
-        self._invalidate_prefix()
+            directory.bulk_split(oversized, cap)
 
     def delete_bulk(self, values: Iterable[float]) -> None:
         """Delete one occurrence per batch value with one deferred repair.
@@ -610,7 +382,8 @@ class DynamicIRS(DynamicRangeSampler):
         m = len(values)
         if m == 0:
             return
-        chunks = self._chunks
+        directory = self._dir
+        chunks = directory.chunks
         n_chunks = len(chunks)
         if m <= _BULK_CUTOFF:
             # Small batch: skip the vectorized prelude but keep the shared
@@ -618,7 +391,7 @@ class DynamicIRS(DynamicRangeSampler):
             bulk_list = sorted(values)
             groups: list[tuple[int, int, int]] = []
             for g, value in enumerate(bulk_list):
-                p = self._first_max_ge(value)
+                p = directory.first_max_ge(value)
                 if p >= n_chunks:
                     raise KeyNotFoundError(f"value not present: {value!r}")
                 if groups and groups[-1][0] == p:
@@ -627,7 +400,11 @@ class DynamicIRS(DynamicRangeSampler):
                     groups.append((p, g, g + 1))
         else:
             batch = _np.sort(_np.asarray(values, dtype=float))
-            pos = _np.searchsorted(self._maxes, batch, side="left") if n_chunks else None
+            pos = (
+                _np.searchsorted(directory.maxes, batch, side="left")
+                if n_chunks
+                else None
+            )
             if n_chunks == 0 or int(pos[-1]) >= n_chunks:
                 missing = batch[-1] if n_chunks == 0 else float(batch[pos >= n_chunks][0])
                 raise KeyNotFoundError(f"value not present: {float(missing)!r}")
@@ -639,7 +416,7 @@ class DynamicIRS(DynamicRangeSampler):
         # mutating anything, so a missing value aborts atomically.  Only
         # C-level bisects and integer appends — no list copies.
         plan: dict[int, list[int]] = {}
-        mins = self._mins
+        mins = directory.mins
         for p, g0, g1 in groups:
             j = p
             data = chunks[p].data
@@ -688,70 +465,22 @@ class DynamicIRS(DynamicRangeSampler):
                     at = i + 1
                 parts.extend(data[at:])
                 chunk.data = data = parts
-            chunk.np_data = None
+            chunk.touch()
             if len(data) < s:
                 violation = True
         self._n -= m
-        self._invalidate_prefix()
+        directory.invalidate_prefix()
         if violation:
-            self._normalize_chunks()
+            directory.normalize(s, self._cap)
         else:
             # All touched chunks stayed within bounds: repair their
             # directory rows with three vectorized assignments.
             changed = list(plan)
             idx = _np.asarray(changed, dtype=_np.int64)
-            self._counts[idx] = [len(chunks[p].data) for p in changed]
-            self._maxes[idx] = [chunks[p].data[-1] for p in changed]
-            self._mins[idx] = [chunks[p].data[0] for p in changed]
+            directory.counts[idx] = [len(chunks[p].data) for p in changed]
+            directory.maxes[idx] = [chunks[p].data[-1] for p in changed]
+            directory.mins[idx] = [chunks[p].data[0] for p in changed]
         self._maybe_rebuild()
-
-    def _normalize_chunks(self) -> None:
-        """Restore chunk-size invariants with one sweep over the list.
-
-        Empty chunks are dropped; an under-full chunk is folded into its
-        successor (concatenation preserves sortedness); over-full results
-        are re-split.  Rebuilds the directory arrays once at the end.
-        """
-        s, cap = self._s, self._cap
-        out: list[_Chunk] = []
-        pending: list[float] | None = None
-        for chunk in self._chunks:
-            data = chunk.data
-            if not data:
-                continue
-            if pending is not None:
-                data = pending + data
-                chunk.data = data
-                chunk.np_data = None
-                pending = None
-            if len(data) < s:
-                pending = data
-                continue
-            if len(data) > cap:
-                pieces = self._split_data(data)
-                chunk.data = pieces[0]
-                chunk.np_data = None
-                out.append(chunk)
-                out.extend(_Chunk(piece) for piece in pieces[1:])
-            else:
-                out.append(chunk)
-        if pending is not None:
-            if out:
-                tail = out.pop()
-                data = tail.data + pending
-                tail.np_data = None
-                if len(data) > cap:
-                    pieces = self._split_data(data)
-                    tail.data = pieces[0]
-                    out.append(tail)
-                    out.extend(_Chunk(piece) for piece in pieces[1:])
-                else:
-                    tail.data = data
-                    out.append(tail)
-            else:
-                out.append(_Chunk(pending))
-        self._chunks = out
-        self._rebuild_directory()
 
     # -- queries ------------------------------------------------------------------------
 
@@ -776,18 +505,15 @@ class DynamicIRS(DynamicRangeSampler):
         los, his = coerce_query_bounds(queries)
         q = len(los)
         out = _np.zeros(q, dtype=_np.int64)
-        chunks = self._chunks
+        directory = self._dir
+        chunks = directory.chunks
         if not chunks:
             return out
-        a_idx = _np.searchsorted(self._maxes, los, side="left")
-        b_idx = _np.searchsorted(self._mins, his, side="right") - 1
-        prefix = self._ensure_prefix()
-        if self._pending:
-            # Fold the pending scalar deltas into a query-local copy so the
-            # middle mass stays one subtraction per query.
-            prefix = prefix.copy()
-            for j, delta in self._pending.items():
-                prefix[j:] += delta
+        a_idx = _np.searchsorted(directory.maxes, los, side="left")
+        b_idx = _np.searchsorted(directory.mins, his, side="right") - 1
+        # Fold the pending scalar deltas into a query-local copy so the
+        # middle mass stays one subtraction per query.
+        prefix = directory.folded_prefix()
         for i in range(q):
             a, b = int(a_idx[i]), int(b_idx[i])
             if a >= len(chunks) or b < a:
@@ -811,15 +537,15 @@ class DynamicIRS(DynamicRangeSampler):
         """
         if _np is None:  # pragma: no cover
             return self.values()
-        if not self._chunks:
+        if not self._dir.chunks:
             return _np.empty(0, dtype=float)
-        return _np.concatenate([chunk.array() for chunk in self._chunks])
+        return _np.concatenate([chunk.array() for chunk in self._dir.chunks])
 
     def report(self, lo: float, hi: float) -> list[float]:
         validate_query(lo, hi, 0)
         out: list[float] = []
-        chunks = self._chunks
-        i = self._first_max_ge(lo)
+        chunks = self._dir.chunks
+        i = self._dir.first_max_ge(lo)
         while i < len(chunks) and chunks[i].data[0] <= hi:
             data = chunks[i].data
             a = bisect_left(data, lo) if data[0] < lo else 0
@@ -836,11 +562,12 @@ class DynamicIRS(DynamicRangeSampler):
         The single-chunk case is encoded entirely in the "left" fields with
         ``a == b``.
         """
-        chunks = self._chunks
-        a = self._first_max_ge(lo)
+        directory = self._dir
+        chunks = directory.chunks
+        a = directory.first_max_ge(lo)
         if a >= len(chunks):
             return None
-        b = self._last_min_le(hi)
+        b = directory.last_min_le(hi)
         if b < a:
             return None
         if a == b:
@@ -854,7 +581,7 @@ class DynamicIRS(DynamicRangeSampler):
         la = bisect_left(data_a, lo)
         k_left = len(data_a) - la
         k_right = bisect_right(chunks[b].data, hi)
-        k_mid = self._points_between(a, b)
+        k_mid = directory.points_between(a, b)
         total = k_left + k_mid + k_right
         if total == 0:
             return None
@@ -867,7 +594,7 @@ class DynamicIRS(DynamicRangeSampler):
         if self._require_nonempty(0 if plan is None else plan[0], t):
             return []
         total, a, la, k_left, k_mid, b, k_right = plan
-        chunks = self._chunks
+        chunks = self._dir.chunks
         stats = self.stats
         stats.queries += 1
         stats.samples_returned += t
@@ -918,7 +645,7 @@ class DynamicIRS(DynamicRangeSampler):
         if self._require_nonempty(0 if plan is None else plan[0], t):
             return _np.empty(0, dtype=float)
         total, a, la, k_left, k_mid, b, k_right = plan
-        chunks = self._chunks
+        chunks = self._dir.chunks
         stats = self.stats
         stats.queries += 1
         stats.samples_returned += t
@@ -1008,7 +735,7 @@ class DynamicIRS(DynamicRangeSampler):
         """
         plan = _MiddlePlan()
         if mid_hi - mid_lo + 1 <= max(_NARROW, 2 * t):
-            chunks = self._chunks[mid_lo : mid_hi + 1]
+            chunks = self._dir.chunks[mid_lo : mid_hi + 1]
             plan.mode = "cumulative"
             plan.chunks = chunks
             cum: list[int] = []
@@ -1022,7 +749,7 @@ class DynamicIRS(DynamicRangeSampler):
         plan.window_lo = mid_lo
         plan.window_hi = mid_hi
         plan.cap = self._cap
-        plan.chunks = self._chunks
+        plan.chunks = self._dir.chunks
         return plan
 
     def select_in_range(self, lo: float, hi: float, ranks: list[int]) -> list[float]:
@@ -1047,7 +774,7 @@ class DynamicIRS(DynamicRangeSampler):
         if not ranks:
             return []
         _, a, la, k_left, _k_mid, b, k_right = plan
-        chunks = self._chunks
+        chunks = self._dir.chunks
         index = a
         chunk_start = 0  # in-range rank of the chunk's first in-range point
         chunk_offset = la
@@ -1087,37 +814,4 @@ class DynamicIRS(DynamicRangeSampler):
 
     def check_invariants(self) -> None:
         """Assert every structural invariant; ``O(n)``, tests only."""
-        assert (len(self._chunks) == 0) == (self._n == 0)
-        assert len(self._maxes) == len(self._mins) == len(self._counts) == len(
-            self._chunks
-        )
-        seen = 0
-        prev_value = float("-inf")
-        for i, chunk in enumerate(self._chunks):
-            data = chunk.data
-            assert data, "empty chunk"
-            assert data == sorted(data), "chunk not sorted"
-            assert data[0] >= prev_value, "chunks out of order"
-            if self._n > self._cap:
-                assert self._s <= len(data) <= self._cap, (
-                    f"chunk size {len(data)} outside [{self._s}, {self._cap}]"
-                )
-            assert self._maxes[i] == data[-1], "maxes stale"
-            assert self._mins[i] == data[0], "mins stale"
-            assert self._counts[i] == len(data), "counts stale"
-            if chunk.np_data is not None:
-                assert list(chunk.np_data) == data, "numpy cache stale"
-            prev_value = data[-1]
-            seen += len(data)
-        assert seen == self._n, f"size mismatch: {seen} != {self._n}"
-        if self._prefix is not None:
-            expect = list(accumulate(len(c.data) for c in self._chunks))
-            folded = list(self._prefix)
-            for j, delta in self._pending.items():
-                for k in range(j, len(folded)):
-                    folded[k] += delta
-            assert folded == expect, "prefix cache (with pending deltas) stale"
-        else:
-            assert not self._pending, "pending deltas without a prefix cache"
-
-
+        self._dir.check(self._s, self._cap, self._n)

@@ -5,11 +5,13 @@ line of work (Afshani–Wei and later) treats it as the natural next step.
 This structure fills that slot with the best bound simple machinery gives:
 
 * space ``O(n)``;
-* update ``O(log n)`` amortized (same chunk mechanics as
-  :class:`~repro.core.dynamic_irs.DynamicIRS`);
-* query ``O((log n)·t)`` **worst case** — each sample draws a target mass
-  and resolves it with one weighted treap descent plus one in-chunk bisect.
-  Exact proportional probabilities, no rejection, and full independence.
+* update ``O(log n)`` amortized search work plus the same amortized
+  ``O(n/log² n)`` array-move term as
+  :class:`~repro.core.dynamic_irs.DynamicIRS` (the two share one chunk
+  directory engine — DESIGN.md §8);
+* query ``O(log n)`` setup plus ``O(log n)`` **worst case** per sample —
+  each draw is two cumulative-weight binary searches (chunk, then
+  in-chunk).  Exact proportional probabilities and full independence.
 
 Why not ``O(log n + t)``?  With arbitrary real weights the rejection trick
 that powers the unweighted structure loses its constant acceptance bound (a
@@ -19,16 +21,26 @@ machinery per canonical range.  ``O(log n)`` per sample matches what the
 2014-era state of the art achieved dynamically and is the honest comparison
 point; experiment T2's dynamic column tracks it.
 
-Design.  Points live in sorted chunks of ``Θ(log n)`` values with parallel
-weight arrays and a per-chunk cumulative weight table (rebuilt on chunk
-mutation, ``O(log n)`` — within the update budget).  The chunk treap
-aggregates subtree weight, so a query:
+Design (DESIGN.md §8).  Points live in sorted chunks of ``Θ(log n)``
+values with an aligned *weight plane*: each
+:class:`~repro.core.directory.WeightedChunk` keeps its weights and an
+in-chunk cumulative weight table, and the shared
+:class:`~repro.core.directory.ChunkDirectory` adds a per-chunk total-mass
+array (``wtotals``) with a lazily cached cumulative-weight prefix (pending
+per-chunk deltas, exactly like the count prefix).  A query:
 
-1. resolves boundary runs and their weights from the cumulative tables;
+1. resolves boundary runs and their masses from the chunks' cumulative
+   tables and the whole-chunk middle mass from the weight prefix;
 2. draws ``u`` uniform in ``[0, w(range))``;
-3. routes ``u`` to the left run, the middle (one
-   :meth:`~repro.trees.treap.ChunkTreap.select_by_prefix_weight` descent),
-   or the right run, then bisects the chunk's cumulative table.
+3. routes ``u`` to the left run, the middle, or the right run; a middle
+   draw is **two** cumulative binary searches — chunk by cumulative mass
+   (one ``searchsorted`` over the weight prefix), then point by the
+   chunk's own weight table.
+
+``sample_bulk`` vectorizes both passes, and for heavy batches flattens the
+per-chunk tables into one *global* cumulative-weight array (cached across
+queries, invalidated by the directory's mutation stamp) so every middle
+draw is one C-level ``searchsorted`` — no per-sample descent of any kind.
 """
 
 from __future__ import annotations
@@ -39,12 +51,13 @@ from itertools import accumulate
 from operator import itemgetter
 from typing import Iterable, Iterator
 
-from ..errors import InvalidWeightError, KeyNotFoundError
+from ..errors import EmptyRangeError, InvalidWeightError, KeyNotFoundError
 from ..rng import RandomSource
 from ..rng import generator as _generator
-from ..trees.treap import ChunkTreap, TreapNode
 from ..types import QueryStats
-from .base import validate_query
+from .base import coerce_query_bounds, validate_query
+from .directory import ChunkDirectory
+from .directory import WeightedChunk as _WChunk
 
 try:  # NumPy is optional at runtime; the vectorized paths use it when present.
     import numpy as _np
@@ -54,60 +67,11 @@ except ImportError:  # pragma: no cover - numpy is installed in CI
 __all__ = ["WeightedDynamicIRS"]
 
 _MIN_CHUNK = 8
-
-
-class _WChunk:
-    """A sorted run of (value, weight) points plus directory handles."""
-
-    __slots__ = ("values", "weights", "cum", "node", "prev", "next", "np_values", "np_cum")
-
-    def __init__(self, values: list[float], weights: list[float]) -> None:
-        self.values = values
-        self.weights = weights
-        self.cum: list[float] = []
-        self.node: TreapNode | None = None
-        self.prev: _WChunk | None = None
-        self.next: _WChunk | None = None
-        self.rebuild_cum()
-
-    def rebuild_cum(self) -> None:
-        """Recompute the cumulative weight table after any mutation."""
-        self.cum = list(accumulate(self.weights))
-        self.np_values = None
-        self.np_cum = None
-
-    def np_arrays(self):
-        """Return cached NumPy views ``(values, cum)`` for the bulk path."""
-        if self.np_values is None:
-            self.np_values = _np.asarray(self.values, dtype=float)
-            self.np_cum = _np.asarray(self.cum, dtype=float)
-        return self.np_values, self.np_cum
-
-    # Payload protocol for the treap aggregates.
-    @property
-    def size(self) -> int:
-        return len(self.values)
-
-    @property
-    def weight(self) -> float:
-        return self.cum[-1] if self.cum else 0.0
-
-    @property
-    def min_value(self) -> float:
-        return self.values[0]
-
-    @property
-    def max_value(self) -> float:
-        return self.values[-1]
-
-    def prefix(self, count: int) -> float:
-        """Weight of the first ``count`` points."""
-        return self.cum[count - 1] if count > 0 else 0.0
-
-    def locate(self, target: float) -> int:
-        """Index of the point owning cumulative mass position ``target``."""
-        i = bisect_right(self.cum, target)
-        return min(i, len(self.values) - 1)
+#: Batches at or below this size take the scalar update loop.
+_BULK_CUTOFF = 16
+#: Middle-draw batches at least this large amortize (re)building the
+#: flattened global cumulative-weight array when it is stale.
+_FLAT_MIN = 2048
 
 
 class WeightedDynamicIRS:
@@ -152,6 +116,9 @@ class WeightedDynamicIRS:
         self._rng = RandomSource(seed)
         self.stats = QueryStats()
         self._bulk_gen = None  # lazily-spawned NumPy side stream (sample_bulk)
+        self._dir = ChunkDirectory(weighted=True)
+        self._flat = None  # (values, global cum, offsets, chunk bases)
+        self._flat_stamp = -1
 
     @classmethod
     def _checked_pairs(
@@ -177,44 +144,20 @@ class WeightedDynamicIRS:
         self._n0 = max(self._n, 1)
         self._s = max(_MIN_CHUNK, int(math.log2(self._n0 + 2)))
         self._cap = 2 * self._s
-        self._treap = ChunkTreap(self._rng.spawn())
-        self._head: _WChunk | None = None
-        self._tail: _WChunk | None = None
-        if not pairs:
-            return
-        s = self._s
-        pieces = [pairs[i : i + s] for i in range(0, len(pairs), s)]
-        if len(pieces) > 1 and len(pieces[-1]) < s:
+        # Build at the midpoint of the [s, 2s] window so fresh chunks have
+        # slack on both sides (same policy as the unweighted structure).
+        step = (3 * self._s) // 2
+        pieces = [pairs[i : i + step] for i in range(0, len(pairs), step)]
+        if len(pieces) > 1 and len(pieces[-1]) < self._s:
             tail = pieces.pop()
             pieces[-1] = pieces[-1] + tail
             if len(pieces[-1]) > self._cap:
                 merged = pieces.pop()
                 half = len(merged) // 2
                 pieces.extend((merged[:half], merged[half:]))
-        self._link_chunks(
+        self._dir.load(
             [_WChunk([p[0] for p in piece], [p[1] for p in piece]) for piece in pieces]
         )
-
-    def _link_chunks(self, chunks: list[_WChunk]) -> None:
-        """Install ``chunks`` as the structure's ordered chunk sequence.
-
-        One :meth:`~repro.trees.treap.ChunkTreap.bulk_build` pass replaces
-        the treap (``O(m)`` instead of ``m`` ``insert_after`` + ``refresh``
-        round trips) and the linked list is rewired; shared by ``_build``
-        (hence the ``from_sorted`` fast constructor) and the bulk-update
-        repair step.
-        """
-        nodes = self._treap.bulk_build(chunks)
-        prev: _WChunk | None = None
-        for chunk, node in zip(chunks, nodes):
-            chunk.node = node
-            chunk.prev = prev
-            chunk.next = None
-            if prev is not None:
-                prev.next = chunk
-            prev = chunk
-        self._head = chunks[0] if chunks else None
-        self._tail = prev
 
     def _maybe_rebuild(self) -> None:
         if self._n > 2 * self._n0 or (self._n0 > _MIN_CHUNK and 2 * self._n < self._n0):
@@ -225,15 +168,17 @@ class WeightedDynamicIRS:
     def __len__(self) -> int:
         return self._n
 
+    @property
+    def _chunks(self) -> list[_WChunk]:
+        """The directory's ordered chunk list (tests and debugging)."""
+        return self._dir.chunks
+
     def _iter_chunks(self) -> Iterator[_WChunk]:
-        chunk = self._head
-        while chunk is not None:
-            yield chunk
-            chunk = chunk.next
+        return iter(self._dir.chunks)
 
     def _iter_pairs(self) -> Iterator[tuple[float, float]]:
-        for chunk in self._iter_chunks():
-            yield from zip(chunk.values, chunk.weights)
+        for chunk in self._dir.chunks:
+            yield from zip(chunk.data, chunk.weights)
 
     def items(self) -> list[tuple[float, float]]:
         """Return all ``(value, weight)`` pairs in sorted value order."""
@@ -247,8 +192,8 @@ class WeightedDynamicIRS:
         """
         values: list[float] = []
         weights: list[float] = []
-        for chunk in self._iter_chunks():
-            values.extend(chunk.values)
+        for chunk in self._dir.chunks:
+            values.extend(chunk.data)
             weights.extend(chunk.weights)
         if _np is None:  # pragma: no cover
             return values, weights
@@ -260,92 +205,83 @@ class WeightedDynamicIRS:
     @property
     def total_weight(self) -> float:
         """Sum of all stored weights."""
-        return self._treap.total_weight
+        return self._dir.total_weight
 
     # -- updates -----------------------------------------------------------------
 
     def insert(self, value: float, weight: float = 1.0) -> None:
         """Insert one weighted point in ``O(log n)`` amortized time."""
         self._check_weight(weight)
-        if self._head is None:
+        directory = self._dir
+        chunks = directory.chunks
+        if not chunks:
             self._build([(value, weight)])
             return
-        node = self._treap.first_with_max_ge(value)
-        chunk: _WChunk = node.payload if node is not None else self._tail
-        i = bisect_left(chunk.values, value)
-        chunk.values.insert(i, value)
-        chunk.weights.insert(i, weight)
-        chunk.rebuild_cum()
-        self._treap.refresh(chunk.node)
+        i = min(directory.first_max_ge(value), len(chunks) - 1)
+        chunk = chunks[i]
+        j = bisect_left(chunk.data, value)
+        chunk.data.insert(j, value)
+        chunk.weights.insert(j, weight)
+        chunk.touch()
+        directory.refresh_entry(i)
         self._n += 1
-        if len(chunk.values) > self._cap:
-            self._split(chunk)
+        directory.note_delta(i, 1, weight)
+        if len(chunk.data) > self._cap:
+            directory.split_chunk(i, self._cap)
         self._maybe_rebuild()
 
     def delete(self, value: float) -> float:
         """Delete one occurrence of ``value``; returns its weight."""
-        node = self._treap.first_with_max_ge(value)
-        chunk: _WChunk | None = node.payload if node is not None else None
-        i = -1
-        if chunk is not None:
-            i = bisect_left(chunk.values, value)
-            if i >= len(chunk.values) or chunk.values[i] != value:
-                chunk = None
-        if chunk is None:
+        directory = self._dir
+        chunks = directory.chunks
+        i = directory.first_max_ge(value)
+        j = -1
+        if i < len(chunks):
+            data = chunks[i].data
+            j = bisect_left(data, value)
+            if j >= len(data) or data[j] != value:
+                j = -1
+        if j < 0:
             raise KeyNotFoundError(f"value not present: {value!r}")
-        chunk.values.pop(i)
-        weight = chunk.weights.pop(i)
+        chunk = chunks[i]
+        chunk.data.pop(j)
+        weight = chunk.weights.pop(j)
+        chunk.touch()
         self._n -= 1
-        if not chunk.values:
-            self._remove_chunk(chunk)
+        directory.note_delta(i, -1, -weight)
+        if not chunk.data:
+            directory.remove_chunk(i)
             return weight
-        chunk.rebuild_cum()
-        self._treap.refresh(chunk.node)
-        if len(chunk.values) < self._s and (chunk.prev or chunk.next):
-            self._merge(chunk)
+        directory.refresh_entry(i)
+        if len(chunk.data) < self._s and len(chunks) > 1:
+            directory.repair_underfull(i, self._s)
         self._maybe_rebuild()
         return weight
 
-    def _split(self, chunk: _WChunk) -> None:
-        half = len(chunk.values) // 2
-        right = _WChunk(chunk.values[half:], chunk.weights[half:])
-        chunk.values = chunk.values[:half]
-        chunk.weights = chunk.weights[:half]
-        chunk.rebuild_cum()
-        right.node = self._treap.insert_after(chunk.node, right)
-        self._treap.refresh(chunk.node)
-        right.next = chunk.next
-        right.prev = chunk
-        if chunk.next is not None:
-            chunk.next.prev = right
-        else:
-            self._tail = right
-        chunk.next = right
+    def update_weight(self, value: float, weight: float) -> float:
+        """Re-weight one occurrence of ``value``; returns the old weight.
 
-    def _remove_chunk(self, chunk: _WChunk) -> None:
-        self._treap.delete(chunk.node)
-        if chunk.prev is not None:
-            chunk.prev.next = chunk.next
-        else:
-            self._head = chunk.next
-        if chunk.next is not None:
-            chunk.next.prev = chunk.prev
-        else:
-            self._tail = chunk.prev
-        chunk.node = None
-
-    def _merge(self, chunk: _WChunk) -> None:
-        neighbor = chunk.next if chunk.next is not None else chunk.prev
-        left, right = (
-            (chunk, chunk.next) if neighbor is chunk.next else (chunk.prev, chunk)
-        )
-        left.values = left.values + right.values
-        left.weights = left.weights + right.weights
-        left.rebuild_cum()
-        self._remove_chunk(right)
-        self._treap.refresh(left.node)
-        if len(left.values) > self._cap:
-            self._split(left)
+        ``O(log n)`` — one directory search, one in-chunk bisect, one
+        cumulative-table rebuild and one pending weight delta; the chunk
+        list's shape is untouched, so no structural repair can trigger.
+        Raises :class:`~repro.errors.KeyNotFoundError` if absent.
+        """
+        self._check_weight(weight)
+        directory = self._dir
+        chunks = directory.chunks
+        i = directory.first_max_ge(value)
+        if i >= len(chunks):
+            raise KeyNotFoundError(f"value not present: {value!r}")
+        chunk = chunks[i]
+        j = bisect_left(chunk.data, value)
+        if j >= len(chunk.data) or chunk.data[j] != value:
+            raise KeyNotFoundError(f"value not present: {value!r}")
+        old = chunk.weights[j]
+        chunk.weights[j] = weight
+        chunk.touch()
+        directory.refresh_entry(i)
+        directory.note_delta(i, 0, weight - old)
+        return old
 
     # -- bulk updates -------------------------------------------------------------
 
@@ -354,54 +290,89 @@ class WeightedDynamicIRS:
     ) -> None:
         """Insert a weighted batch with one deferred directory repair.
 
-        The batch is sorted once; each target chunk absorbs its whole
-        segment with one splice (Timsort galloping over the two sorted
-        runs) and one cumulative-table rebuild.  Over-full chunks are then
-        re-split and the chunk treap is rebuilt with a single
-        :meth:`~repro.trees.treap.ChunkTreap.bulk_build` pass instead of
-        per-element descent + refresh round trips.
+        The batch is sorted once and routed to its target chunks with a
+        single vectorized ``searchsorted`` over the directory ``maxes``;
+        each touched chunk absorbs its whole segment with one splice
+        (Timsort galloping over the two sorted runs) and one cumulative-
+        table rebuild, and over-full chunks are re-split with the shared
+        multi-index directory assembly — the exact machinery of
+        :meth:`~repro.core.dynamic_irs.DynamicIRS.insert_bulk`, plus the
+        aligned weight plane.
         """
-        pairs = sorted(self._checked_pairs(values, weights), key=itemgetter(0))
-        m = len(pairs)
+        values = list(values)
+        if weights is None:
+            weights = [1.0] * len(values)
+        else:
+            weights = list(weights)
+            if len(weights) != len(values):
+                raise ValueError(
+                    f"values and weights differ in length: "
+                    f"{len(values)} != {len(weights)}"
+                )
+        m = len(values)
         if m == 0:
             return
-        if self._head is None:
-            self._build(pairs)
+        directory = self._dir
+        if _np is None or m <= _BULK_CUTOFF:  # scalar loop below the cutoff
+            for _v, w in zip(values, weights):
+                self._check_weight(w)
+            for value, weight in zip(values, weights):
+                self.insert(value, weight)
+            return
+        batch = _np.asarray(values, dtype=float)
+        warr = _np.asarray(weights, dtype=float)
+        # Vectorized weight validation (the scalar check, one array pass).
+        if not (_np.isfinite(warr).all() and bool((warr > 0.0).all())):
+            for w in weights:
+                self._check_weight(w)
+        order = _np.argsort(batch, kind="stable")
+        batch = batch[order]
+        warr = warr[order]
+        if not directory.chunks:
+            self._build(list(zip(batch.tolist(), warr.tolist())))
             return
         if self._n + m > 2 * self._n0:
             merged = list(self._iter_pairs())
-            merged.extend(pairs)
+            merged.extend(zip(batch.tolist(), warr.tolist()))
             merged.sort(key=itemgetter(0))
             self._build(merged)
             return
-        svals = [p[0] for p in pairs]
-        node = self._treap.first_with_max_ge(svals[0])
-        chunk: _WChunk = node.payload if node is not None else self._tail
-        i = 0
+        chunks = directory.chunks
+        last = len(chunks) - 1
+        bulk_v = batch.tolist()
+        bulk_w = warr.tolist()
+        pos = _np.searchsorted(directory.maxes, batch, side="left")
+        if int(pos[-1]) > last:  # values beyond the global max join the tail
+            pos = _np.minimum(pos, last)
+        uniq, starts = _np.unique(pos, return_index=True)
+        ends = _np.append(starts[1:], m)
+        # Directory repair for counts, key extents and the weight plane is
+        # fully vectorized (one segment-sum per touched chunk's new mass).
+        directory.counts[uniq] += ends - starts
+        directory.maxes[uniq] = _np.maximum(directory.maxes[uniq], batch[ends - 1])
+        directory.mins[uniq] = _np.minimum(directory.mins[uniq], batch[starts])
+        directory.wtotals[uniq] += _np.add.reduceat(warr, starts)
         cap = self._cap
-        oversized = False
-        touched: list[_WChunk] = []
-        while i < m:
-            while chunk.next is not None and chunk.values[-1] < svals[i]:
-                chunk = chunk.next
-            j = m if chunk.next is None else bisect_right(svals, chunk.values[-1], i)
-            merged = list(zip(chunk.values, chunk.weights))
-            merged.extend(pairs[i:j])
-            merged.sort(key=itemgetter(0))
-            chunk.values = [p[0] for p in merged]
-            chunk.weights = [p[1] for p in merged]
-            chunk.rebuild_cum()
-            touched.append(chunk)
-            if len(chunk.values) > cap:
-                oversized = True
-            i = j
+        oversized: list[int] = []
+        for p, g0, g1 in zip(uniq.tolist(), starts.tolist(), ends.tolist()):
+            chunk = chunks[p]
+            if g1 - g0 == 1:
+                j = bisect_left(chunk.data, bulk_v[g0])
+                chunk.data.insert(j, bulk_v[g0])
+                chunk.weights.insert(j, bulk_w[g0])
+            else:
+                merged = list(zip(chunk.data, chunk.weights))
+                merged.extend(zip(bulk_v[g0:g1], bulk_w[g0:g1]))
+                merged.sort(key=itemgetter(0))  # Timsort merges two sorted runs
+                chunk.data = [q[0] for q in merged]
+                chunk.weights = [q[1] for q in merged]
+            chunk.touch()
+            if len(chunk.data) > cap:
+                oversized.append(p)
         self._n += m
+        directory.invalidate_prefix()
         if oversized:
-            self._repair_bulk()
-        else:
-            for chunk in touched:
-                self._treap.refresh(chunk.node)
-        self._maybe_rebuild()
+            directory.bulk_split(oversized, cap)
 
     def delete_bulk(self, values: Iterable[float]) -> list[float]:
         """Delete one occurrence per batch value; returns their weights.
@@ -410,158 +381,184 @@ class WeightedDynamicIRS:
         distinct weights the pairing between requested duplicates and
         removed occurrences is arbitrary, as with a scalar delete loop).
         Atomic: if any value is absent the structure is left untouched and
-        :class:`~repro.errors.KeyNotFoundError` is raised.
+        :class:`~repro.errors.KeyNotFoundError` is raised.  Identical
+        machinery to :meth:`~repro.core.dynamic_irs.DynamicIRS.delete_bulk`
+        — one sort, one vectorized routing pass, a verify-then-apply plan —
+        plus the aligned weight plane: hits record their weights for the
+        return value and the directory's mass column is repaired with one
+        vectorized subtraction.
         """
         values = [float(v) for v in values]
         m = len(values)
         if m == 0:
             return []
+        directory = self._dir
+        chunks = directory.chunks
+        n_chunks = len(chunks)
         order = sorted(range(m), key=values.__getitem__)
-        targets = [(values[k], k) for k in order]
-        tvals = [t[0] for t in targets]
-        node = self._treap.first_with_max_ge(targets[0][0])
-        if node is None:
-            raise KeyNotFoundError(f"value not present: {targets[0][0]!r}")
-        chunk: _WChunk = node.payload
-        # Plan phase: nothing is mutated until every target is matched.
-        plan: dict[int, tuple[_WChunk, list[float], list[float]]] = {}
-        matched: list[tuple[int, float]] = []
-        pending: list[tuple[float, int]] = []
-        i = 0
-        while i < m or pending:
-            if chunk is None:
-                missing = pending[0][0] if pending else targets[i][0]
+        bulk_list = [values[k] for k in order]
+        if n_chunks == 0:
+            raise KeyNotFoundError(f"value not present: {bulk_list[-1]!r}")
+        if m <= _BULK_CUTOFF:
+            # Small batch: skip the vectorized prelude but keep the shared
+            # verify/apply path (and with it the atomicity guarantee).
+            groups: list[tuple[int, int, int]] = []
+            for g, value in enumerate(bulk_list):
+                p = directory.first_max_ge(value)
+                if p >= n_chunks:
+                    raise KeyNotFoundError(f"value not present: {value!r}")
+                if groups and groups[-1][0] == p:
+                    groups[-1] = (p, groups[-1][1], g + 1)
+                else:
+                    groups.append((p, g, g + 1))
+        else:
+            batch = _np.asarray(bulk_list, dtype=float)
+            pos = _np.searchsorted(directory.maxes, batch, side="left")
+            if int(pos[-1]) >= n_chunks:
+                missing = float(batch[pos >= n_chunks][0])
                 raise KeyNotFoundError(f"value not present: {missing!r}")
-            if not pending and chunk.next is not None and chunk.values[-1] < targets[i][0]:
-                chunk = chunk.next
-                continue
-            j = m if chunk.next is None else bisect_right(tvals, chunk.values[-1], i)
-            cand = pending + targets[i:j]
-            i = j
-            # The walk only ever moves forward, so each chunk is planned at
-            # most once and its pristine arrays are always the source.
-            kept_v, kept_w, pending, hits = _subtract_pairs(
-                chunk.values, chunk.weights, cand
-            )
-            plan[id(chunk)] = (chunk, kept_v, kept_w)
-            matched.extend(hits)
-            if pending:
-                nxt = chunk.next
-                if nxt is None or nxt.values[0] > pending[0][0]:
-                    raise KeyNotFoundError(f"value not present: {pending[0][0]!r}")
-            chunk = chunk.next
-        # Commit phase.
+            uniq, starts = _np.unique(pos, return_index=True)
+            ends = _np.append(starts[1:], m)
+            groups = list(zip(uniq.tolist(), starts.tolist(), ends.tolist()))
+        # Verify phase: resolve every target to its (chunk, offset) without
+        # mutating anything, so a missing value aborts atomically.  ``out``
+        # is filled as hits resolve (sorted position ``g`` maps back to the
+        # caller's order through ``order[g]``).
+        out: list[float] = [0.0] * m
+        plan: dict[int, list[int]] = {}
+        mins = directory.mins
+        for p, g0, g1 in groups:
+            j = p
+            chunk = chunks[p]
+            data = chunk.data
+            weights = chunk.weights
+            size = len(data)
+            hits = plan.get(p)
+            if hits is None:
+                hits = plan[p] = []
+                at = 0  # search floor inside chunk j
+            else:
+                at = hits[-1] + 1
+            for g in range(g0, g1):
+                value = bulk_list[g]
+                while True:
+                    i = bisect_left(data, value, at)
+                    if i < size and data[i] == value:
+                        hits.append(i)
+                        out[order[g]] = weights[i]
+                        at = i + 1
+                        break
+                    # Spill into the next chunk: possible only when the
+                    # value ties this chunk's max and duplicates continue.
+                    j += 1
+                    if j >= n_chunks or mins[j] > value:
+                        raise KeyNotFoundError(f"value not present: {value!r}")
+                    chunk = chunks[j]
+                    data = chunk.data
+                    weights = chunk.weights
+                    size = len(data)
+                    hits = plan.get(j)
+                    if hits is None:
+                        hits = plan[j] = []
+                        at = 0
+                    else:
+                        at = hits[-1] + 1
+        # Apply phase: delete the recorded offsets from both planes in
+        # place (ascending per chunk, so slice assembly needs no index
+        # adjustment), then repair the directory rows vectorized.
         violation = False
         s = self._s
-        for chunk, kept_v, kept_w in plan.values():
-            chunk.values = kept_v
-            chunk.weights = kept_w
-            chunk.rebuild_cum()
-            if len(kept_v) < s:
+        removed_mass: list[float] = []
+        for p, hits in plan.items():
+            chunk = chunks[p]
+            data = chunk.data
+            weights = chunk.weights
+            if len(hits) == 1:
+                i = hits[0]
+                removed_mass.append(weights[i])
+                del data[i]
+                del weights[i]
+            else:
+                parts: list[float] = []
+                wparts: list[float] = []
+                removed = 0.0
+                at = 0
+                for i in hits:
+                    parts.extend(data[at:i])
+                    wparts.extend(weights[at:i])
+                    removed += weights[i]
+                    at = i + 1
+                parts.extend(data[at:])
+                wparts.extend(weights[at:])
+                chunk.data = data = parts
+                chunk.weights = wparts
+                removed_mass.append(removed)
+            chunk.touch()
+            if len(data) < s:
                 violation = True
         self._n -= m
+        directory.invalidate_prefix()
         if violation:
-            self._repair_bulk()
+            directory.normalize(s, self._cap)
         else:
-            for chunk, _v, _w in plan.values():
-                self._treap.refresh(chunk.node)
+            # All touched chunks stayed within bounds: repair their
+            # directory rows with four vectorized assignments.
+            changed = list(plan)
+            idx = _np.asarray(changed, dtype=_np.int64)
+            directory.counts[idx] = [len(chunks[p].data) for p in changed]
+            directory.maxes[idx] = [chunks[p].data[-1] for p in changed]
+            directory.mins[idx] = [chunks[p].data[0] for p in changed]
+            directory.wtotals[idx] -= _np.asarray(removed_mass, dtype=float)
         self._maybe_rebuild()
-        out: list[float] = [0.0] * m
-        for out_idx, weight in matched:
-            out[out_idx] = weight
         return out
-
-    def _split_pairs(
-        self, values: list[float], weights: list[float]
-    ) -> list[tuple[list[float], list[float]]]:
-        """Cut an over-full run into balanced pieces within ``[s, 2s]``."""
-        k = -(-len(values) // self._cap)
-        base, extra = divmod(len(values), k)
-        pieces = []
-        at = 0
-        for idx in range(k):
-            size = base + 1 if idx < extra else base
-            pieces.append((values[at : at + size], weights[at : at + size]))
-            at += size
-        return pieces
-
-    def _repair_bulk(self) -> None:
-        """Restore chunk-size invariants and rebuild the whole directory.
-
-        One sweep drops empty chunks, folds under-full chunks into their
-        successors and re-splits over-full results; then a single
-        :meth:`~repro.trees.treap.ChunkTreap.bulk_build` replaces the treap
-        and the linked list is rewired — ``O(n/s)`` total instead of one
-        ``O(log n)`` structural update per violating chunk.
-        """
-        s, cap = self._s, self._cap
-        out: list[_WChunk] = []
-        pending: tuple[list[float], list[float]] | None = None
-
-        def emit(chunk: _WChunk) -> None:
-            if len(chunk.values) > cap:
-                pieces = self._split_pairs(chunk.values, chunk.weights)
-                chunk.values, chunk.weights = pieces[0]
-                chunk.rebuild_cum()
-                out.append(chunk)
-                out.extend(_WChunk(v, w) for v, w in pieces[1:])
-            else:
-                out.append(chunk)
-
-        chunk = self._head
-        while chunk is not None:
-            nxt = chunk.next
-            if chunk.values:
-                if pending is not None:
-                    chunk.values = pending[0] + chunk.values
-                    chunk.weights = pending[1] + chunk.weights
-                    chunk.rebuild_cum()
-                    pending = None
-                if len(chunk.values) < s:
-                    pending = (chunk.values, chunk.weights)
-                else:
-                    emit(chunk)
-            chunk = nxt
-        if pending is not None:
-            if out:
-                tail = out.pop()
-                tail.values = tail.values + pending[0]
-                tail.weights = tail.weights + pending[1]
-                tail.rebuild_cum()
-                emit(tail)
-            else:
-                out.append(_WChunk(pending[0], pending[1]))
-        self._link_chunks(out)
 
     # -- queries ---------------------------------------------------------------------
 
     def _plan(self, lo: float, hi: float):
-        treap = self._treap
-        anode = treap.first_with_max_ge(lo)
-        bnode = treap.last_with_min_le(hi)
-        if anode is None or bnode is None:
+        """Resolve a range into ``(count, weight, parts)``.
+
+        ``parts`` is ``(a, la, ra, w_left, w_mid, b, rb, w_right)``: the
+        boundary chunk indices with their in-chunk run bounds (the left
+        run is ``[la, ra)`` of chunk ``a`` — ``ra = len`` in the
+        multi-chunk case — and the right run ``[0, rb)`` of chunk ``b``).
+        Boundary-run masses are *direct* ``math.fsum`` sums over the run's
+        weights, not prefix differences: a prefix diff can round to exactly
+        0.0 for a positive-weight run when a huge weight absorbs tiny ones,
+        and "weight == 0" is a semantic decision (``EmptyRangeError``), not
+        a tolerance — the same guard :class:`WeightedStaticIRS` documents.
+        (The whole-chunk middle mass still comes from the directory's
+        cumulative prefix; mass preceding the *window* can shave ulps off
+        it, which biases nothing structurally — draws are clamped into
+        their runs — but is the float-cancellation caveat recorded in
+        DESIGN.md §8.)
+        """
+        directory = self._dir
+        chunks = directory.chunks
+        a = directory.first_max_ge(lo)
+        if a >= len(chunks):
             return None
-        a: _WChunk = anode.payload
-        b: _WChunk = bnode.payload
-        if a is b:
-            la = bisect_left(a.values, lo)
-            ra = bisect_right(a.values, hi)
+        b = directory.last_min_le(hi)
+        if b < a:
+            return None
+        ca = chunks[a]
+        if a == b:
+            la = bisect_left(ca.data, lo)
+            ra = bisect_right(ca.data, hi)
             if ra <= la:
                 return None
-            w = a.prefix(ra) - a.prefix(la)
-            return ra - la, w, (a, la, ra, w, 0.0, None, None, 0, 0.0)
-        if treap.rank(anode) > treap.rank(bnode):
-            return None
-        la = bisect_left(a.values, lo)
-        rb = bisect_right(b.values, hi)
-        w_left = a.weight - a.prefix(la)
-        w_right = b.prefix(rb)
-        k_left = len(a.values) - la
-        k_mid = treap.points_between(anode, bnode)
-        w_mid = treap.weight_between(anode, bnode) if k_mid else 0.0
+            w = math.fsum(ca.weights[la:ra])
+            return ra - la, w, (a, la, ra, w, 0.0, b, ra, 0.0)
+        cb = chunks[b]
+        la = bisect_left(ca.data, lo)
+        rb = bisect_right(cb.data, hi)
+        w_left = math.fsum(ca.weights[la:])
+        w_right = math.fsum(cb.weights[:rb])
+        k_left = len(ca.data) - la
+        k_mid = directory.points_between(a, b)
+        w_mid = directory.weight_between(a, b) if k_mid else 0.0
         count = k_left + k_mid + rb
         weight = w_left + w_mid + w_right
-        return count, weight, (a, la, len(a.values), w_left, w_mid, anode, bnode, rb, w_right)
+        return count, weight, (a, la, len(ca.data), w_left, w_mid, b, rb, w_right)
 
     def count(self, lo: float, hi: float) -> int:
         """Return ``|P ∩ [lo, hi]|``."""
@@ -575,17 +572,96 @@ class WeightedDynamicIRS:
         plan = self._plan(lo, hi)
         return plan[1] if plan is not None else 0.0
 
+    def peek_counts(self, queries):
+        """Vectorized multi-range count over the chunk directory.
+
+        Same machinery as :meth:`DynamicIRS.peek_counts
+        <repro.core.dynamic_irs.DynamicIRS.peek_counts>`: one
+        ``searchsorted`` over ``maxes`` and one over ``mins`` resolve the
+        boundary chunks of *all* queries, the whole-chunk middle mass is a
+        prefix difference, and only the two in-chunk bisects remain per
+        query — ``O(q log n)`` total.
+        """
+        if _np is None:  # pragma: no cover - numpy is installed in CI
+            return [self.count(lo, hi) for lo, hi in queries]
+        los, his = coerce_query_bounds(queries)
+        q = len(los)
+        out = _np.zeros(q, dtype=_np.int64)
+        directory = self._dir
+        chunks = directory.chunks
+        if not chunks:
+            return out
+        a_idx = _np.searchsorted(directory.maxes, los, side="left")
+        b_idx = _np.searchsorted(directory.mins, his, side="right") - 1
+        prefix = directory.folded_prefix()
+        for i in range(q):
+            a, b = int(a_idx[i]), int(b_idx[i])
+            if a >= len(chunks) or b < a:
+                continue
+            data_a = chunks[a].data
+            if a == b:
+                out[i] = bisect_right(data_a, his[i]) - bisect_left(data_a, los[i])
+                continue
+            k = len(data_a) - bisect_left(data_a, los[i])
+            k += bisect_right(chunks[b].data, his[i])
+            if b - a > 1:
+                k += int(prefix[b - 1] - prefix[a])
+            out[i] = k
+        return out
+
+    def peek_weights(self, queries):
+        """Vectorized multi-range mass probe (``w(P ∩ [lo, hi])`` each).
+
+        The weight-plane twin of :meth:`peek_counts`: boundary chunks for
+        all queries from two directory ``searchsorted`` calls, whole-chunk
+        middle mass from the cumulative weight prefix, boundary masses
+        from the chunks' own tables.  Returns a float array aligned with
+        the input.
+        """
+        if _np is None:  # pragma: no cover - numpy is installed in CI
+            return [self.range_weight(lo, hi) for lo, hi in queries]
+        los, his = coerce_query_bounds(queries)
+        q = len(los)
+        out = _np.zeros(q, dtype=float)
+        directory = self._dir
+        chunks = directory.chunks
+        if not chunks:
+            return out
+        a_idx = _np.searchsorted(directory.maxes, los, side="left")
+        b_idx = _np.searchsorted(directory.mins, his, side="right") - 1
+        wprefix = directory.folded_wprefix()
+        for i in range(q):
+            a, b = int(a_idx[i]), int(b_idx[i])
+            if a >= len(chunks) or b < a:
+                continue
+            ca = chunks[a]
+            la = bisect_left(ca.data, los[i])
+            # Boundary-run masses are direct fsum sums, mirroring _plan
+            # (a prefix diff can round a positive run's mass to 0.0).
+            if a == b:
+                ra = bisect_right(ca.data, his[i])
+                out[i] = math.fsum(ca.weights[la:ra])
+                continue
+            cb = chunks[b]
+            w = math.fsum(ca.weights[la:])
+            w += math.fsum(cb.weights[: bisect_right(cb.data, his[i])])
+            if b - a > 1:
+                w += float(wprefix[b - 1] - wprefix[a])
+            out[i] = w
+        return out
+
     def report(self, lo: float, hi: float) -> list[tuple[float, float]]:
         """Return the in-range ``(value, weight)`` pairs in sorted order."""
         validate_query(lo, hi, 0)
         out: list[tuple[float, float]] = []
-        node = self._treap.first_with_max_ge(lo)
-        chunk = node.payload if node is not None else None
-        while chunk is not None and chunk.values[0] <= hi:
-            a = bisect_left(chunk.values, lo)
-            b = bisect_right(chunk.values, hi)
-            out.extend(zip(chunk.values[a:b], chunk.weights[a:b]))
-            chunk = chunk.next
+        chunks = self._dir.chunks
+        i = self._dir.first_max_ge(lo)
+        while i < len(chunks) and chunks[i].data[0] <= hi:
+            chunk = chunks[i]
+            a = bisect_left(chunk.data, lo)
+            b = bisect_right(chunk.data, hi)
+            out.extend(zip(chunk.data[a:b], chunk.weights[a:b]))
+            i += 1
         return out
 
     def sample(self, lo: float, hi: float, t: int) -> list[float]:
@@ -595,38 +671,40 @@ class WeightedDynamicIRS:
             return []
         plan = self._plan(lo, hi)
         if plan is None or plan[1] <= 0.0:
-            from ..errors import EmptyRangeError
-
             raise EmptyRangeError("query range is empty or has zero weight")
-        _count, weight, (a, la, ra, w_left, w_mid, anode, bnode, rb, w_right) = plan
-        b: _WChunk = bnode.payload if bnode is not None else a
+        _count, weight, (a, la, ra, w_left, w_mid, b, rb, w_right) = plan
+        chunks = self._dir.chunks
+        ca = chunks[a]
+        cb = chunks[b]
         self.stats.queries += 1
         self.stats.samples_returned += t
         rng = self._rng
-        treap = self._treap
         out: list[float] = []
-        base_left = a.prefix(la)
-        mid_base = treap.prefix_weight(treap.rank(anode) + 1) if anode is not None else 0.0
-        while len(out) < t:
+        base_left = ca.prefix(la)
+        w_lm = w_left + w_mid
+        wprefix = None
+        for _ in range(t):
             u = rng.random() * weight
             if u < w_left:
-                out.append(a.values[a.locate(base_left + u)])
-            elif u < w_left + w_mid:
-                # One weighted descent over the middle chunks; ``mid_base``
-                # is the weight of everything up to and including the first
-                # boundary chunk.  Float round-off at a boundary can park the
-                # descent on a boundary chunk and surface an out-of-range
-                # value — probability ~ulp — in which case we redraw, which
-                # keeps the distribution exact.
-                node, residual = treap.select_by_prefix_weight(mid_base + (u - w_left))
-                chunk: _WChunk = node.payload
-                value = chunk.values[chunk.locate(residual)]
-                if lo <= value <= hi:
-                    out.append(value)
-                else:
-                    self.stats.rejections += 1
+                # Clamp into the run [la, ra): round-off between the fsum
+                # mass and the cumulative table must not leave the range.
+                out.append(ca.data[min(max(ca.locate(base_left + u), la), ra - 1)])
+            elif u < w_lm:
+                # Two cumulative binary searches: chunk by the directory's
+                # weight prefix, then point by the chunk's own table.  The
+                # chunk index is clamped into the middle window, so float
+                # round-off at a boundary (probability ~ulp) stays exact
+                # to the same fidelity as the boundary draws themselves.
+                if wprefix is None:
+                    wprefix = self._dir.folded_wprefix()
+                    base_mid = float(wprefix[a])
+                target = base_mid + (u - w_left)
+                ci = int(_np.searchsorted(wprefix, target, side="right"))
+                ci = min(max(ci, a + 1), b - 1)
+                chunk = chunks[ci]
+                out.append(chunk.data[chunk.locate(target - float(wprefix[ci - 1]))])
             else:
-                out.append(b.values[b.locate(u - w_left - w_mid)])
+                out.append(cb.data[min(cb.locate(u - w_lm), rb - 1)])
         return out
 
     def sample_bulk(self, lo: float, hi: float, t: int, *, seed=None):
@@ -636,14 +714,12 @@ class WeightedDynamicIRS:
         proportional samples), with randomness from a NumPy side stream
         spawned once via :meth:`RandomSource.spawn_numpy` (draw accounting
         differs from the scalar path by design); an explicit ``seed``
-        overrides the side stream (seed-addressable draws).  The
-        three-way mass split
-        is resolved vectorized: one batch of uniform mass positions, then
-        per-chunk cumulative-weight ``searchsorted`` gathers against NumPy
-        views cached on the chunks.  Narrow middles gather their chunks'
-        weights behind one prefix table; wide middles fall back to the
-        scalar treap descent per middle sample, keeping the worst case at
-        ``O(t log n)`` like :meth:`sample`.
+        overrides the side stream (seed-addressable draws).  The three-way
+        mass split is resolved vectorized: one batch of uniform mass
+        positions, boundary parts gathered against the chunks' cached
+        NumPy tables, and middle draws resolved by the two-pass
+        cumulative-``searchsorted`` scheme of :meth:`_middle_bulk` — zero
+        per-sample descents of any kind.
         """
         if _np is None:  # pragma: no cover - numpy is installed in CI
             return self.sample(lo, hi, t)
@@ -652,11 +728,9 @@ class WeightedDynamicIRS:
             return _np.empty(0, dtype=float)
         plan = self._plan(lo, hi)
         if plan is None or plan[1] <= 0.0:
-            from ..errors import EmptyRangeError
-
             raise EmptyRangeError("query range is empty or has zero weight")
-        _count, weight, (a, la, ra, w_left, w_mid, anode, bnode, rb, w_right) = plan
-        b: _WChunk = bnode.payload if bnode is not None else a
+        _count, weight, (a, la, ra, w_left, w_mid, b, rb, w_right) = plan
+        chunks = self._dir.chunks
         stats = self.stats
         stats.queries += 1
         stats.samples_returned += t
@@ -671,126 +745,132 @@ class WeightedDynamicIRS:
         left_mask = u < w_left
         mid_mask = (~left_mask) & (u < w_left + w_mid)
         right_mask = ~(left_mask | mid_mask)
+        # Boundary gathers are clamped into their runs ([la, ra) of chunk
+        # a, [0, rb) of chunk b): round-off between the fsum run masses
+        # and the cumulative tables must never surface an out-of-range
+        # point.
         if left_mask.any():
-            vals, cum = a.np_arrays()
-            base_left = a.prefix(la)
+            vals, cum = chunks[a].np_arrays()
+            base_left = chunks[a].prefix(la)
             idx = _np.searchsorted(cum, base_left + u[left_mask], side="right")
-            out[left_mask] = vals[_np.minimum(idx, len(a.values) - 1)]
+            out[left_mask] = vals[_np.clip(idx, la, ra - 1)]
         if right_mask.any():
-            vals, cum = b.np_arrays()
+            vals, cum = chunks[b].np_arrays()
             residual = u[right_mask] - (w_left + w_mid)
             idx = _np.searchsorted(cum, residual, side="right")
-            out[right_mask] = vals[_np.minimum(idx, len(b.values) - 1)]
+            out[right_mask] = vals[_np.minimum(idx, rb - 1)]
         n_mid = int(mid_mask.sum())
         if n_mid:
-            out[mid_mask] = self._middle_bulk(
-                anode, bnode, u[mid_mask] - w_left, n_mid, w_mid, lo, hi, gen
-            )
+            out[mid_mask] = self._middle_bulk(a, b, u[mid_mask] - w_left, n_mid)
         return out
 
-    def _middle_bulk(self, anode, bnode, residuals, count: int, w_mid, lo, hi, gen):
-        """Resolve middle-mass positions for :meth:`sample_bulk`."""
-        treap = self._treap
-        width = treap.nodes_between(anode, bnode)
+    def _middle_bulk(self, a: int, b: int, residuals, count: int):
+        """Resolve middle-mass positions with two vectorized passes.
+
+        With the flattened global cumulative-weight array warm (or a batch
+        large enough to amortize rebuilding it), every draw is **one**
+        C-level ``searchsorted`` into the global table, clamped into the
+        middle window.  Otherwise: pass 1 routes all draws to chunks with
+        one ``searchsorted`` over the directory weight prefix; pass 2
+        groups the draws per distinct chunk (one stable argsort) and
+        bisects each chunk's own cumulative table — ``O(t log n)`` total
+        with both passes in C, never a per-sample descent.
+        """
+        directory = self._dir
+        if self._flat_stamp == directory.mutations or count >= _FLAT_MIN:
+            vals, gcum, offsets, base = self._ensure_flat()
+            o1 = int(offsets[a + 1])
+            o2 = int(offsets[b])
+            idx = _np.searchsorted(gcum, base[a + 1] + residuals, side="right")
+            return vals[_np.clip(idx, o1, o2 - 1)]
+        chunks = directory.chunks
+        wprefix = directory.folded_wprefix()
+        targets = float(wprefix[a]) + residuals
+        ci = _np.searchsorted(wprefix, targets, side="right")
+        ci = _np.clip(ci, a + 1, b - 1)
+        inner = targets - wprefix[ci - 1]
         out = _np.empty(count, dtype=float)
-        if width > max(64, 4 * count):
-            # Wide middle, few samples: one weighted treap descent each,
-            # exactly as the scalar path (including the redraw on the
-            # ~ulp-probability boundary round-off case, re-drawn uniformly
-            # over the middle mass).
-            mid_base = treap.prefix_weight(treap.rank(anode) + 1)
-            filled = 0
-            pending = residuals.tolist()
-            while pending:
-                residual = pending.pop()
-                node, inner = treap.select_by_prefix_weight(mid_base + residual)
-                chunk: _WChunk = node.payload
-                value = chunk.values[chunk.locate(inner)]
-                if lo <= value <= hi:
-                    out[filled] = value
-                    filled += 1
-                else:
-                    self.stats.rejections += 1
-                    pending.append(float(gen.random()) * w_mid)
-            return out
-        # Narrow middle: gather the chunks once, route every sample with one
-        # vectorized searchsorted over the per-chunk weight prefix, then one
-        # grouped searchsorted inside each distinct chunk.
-        chunks: list[_WChunk] = []
-        chunk: _WChunk = anode.payload.next
-        last: _WChunk = bnode.payload
-        while chunk is not last:
-            chunks.append(chunk)
-            chunk = chunk.next
-        chunk_w = _np.asarray([c.weight for c in chunks], dtype=float)
-        cum_w = _np.cumsum(chunk_w)
-        ci = _np.searchsorted(cum_w, residuals, side="right")
-        ci = _np.minimum(ci, len(chunks) - 1)
-        inner = residuals - (cum_w[ci] - chunk_w[ci])
         order = _np.argsort(ci, kind="stable")
         grouped_ci = ci[order]
         grouped_inner = inner[order]
         uniq, group_starts = _np.unique(grouped_ci, return_index=True)
         group_ends = _np.append(group_starts[1:], count)
         for chunk_i, g0, g1 in zip(uniq, group_starts, group_ends):
-            c = chunks[chunk_i]
-            vals, cum = c.np_arrays()
+            chunk = chunks[chunk_i]
+            vals, cum = chunk.np_arrays()
             idx = _np.searchsorted(cum, grouped_inner[g0:g1], side="right")
-            out[order[g0:g1]] = vals[_np.minimum(idx, len(c.values) - 1)]
+            out[order[g0:g1]] = vals[_np.minimum(idx, len(vals) - 1)]
         return out
+
+    def _ensure_flat(self):
+        """Return the flattened ``(values, global cum, offsets, bases)``.
+
+        One array per plane over *all* points, rebuilt only when the
+        directory's mutation stamp moved: ``values`` is the full sorted
+        point array, ``global cum`` the strictly increasing global
+        cumulative weight (per-chunk tables shifted by the chunk's
+        cumulative base mass), ``offsets[i]`` the flat position of chunk
+        ``i``'s first point, and ``bases[i]`` the total mass before chunk
+        ``i``.  ``O(n)`` to build, cached across queries.
+        """
+        directory = self._dir
+        if self._flat is not None and self._flat_stamp == directory.mutations:
+            return self._flat
+        chunks = directory.chunks
+        pairs = [c.np_arrays() for c in chunks]
+        vals = _np.concatenate([p[0] for p in pairs])
+        cums = _np.concatenate([p[1] for p in pairs])
+        counts = _np.asarray(directory.counts, dtype=_np.int64)
+        offsets = _np.concatenate(([0], _np.cumsum(counts)))
+        base = _np.concatenate(([0.0], _np.cumsum(directory.wtotals)))
+        gcum = cums + _np.repeat(base[:-1], counts)
+        self._flat = (vals, gcum, offsets, base)
+        self._flat_stamp = directory.mutations
+        return self._flat
+
+    def sample_bulk_many(self, queries, *, seeds=None) -> list:
+        """Answer many ``(lo, hi, t)`` queries in one batched pass.
+
+        Results align with the input order; per-query distribution — and,
+        for seeded queries (``seeds[i] is not None``), the exact draws —
+        are identical to calling :meth:`sample_bulk` per query.  The
+        batch's heavy middle draws all share one flattened global
+        cumulative-weight array (built at most once per call), which is
+        what lets the batch engine and the serving layer coalesce weighted
+        read runs without falling back to scalar loops.
+        """
+        from ..errors import InvalidQueryError
+
+        queries = [(float(lo), float(hi), int(t)) for lo, hi, t in queries]
+        if seeds is None:
+            seeds = [None] * len(queries)
+        elif len(seeds) != len(queries):
+            raise InvalidQueryError("seeds must align with queries")
+        for lo, hi, t in queries:
+            validate_query(lo, hi, t)
+        if _np is None:  # pragma: no cover - numpy is installed in CI
+            return [self.sample(lo, hi, t) for lo, hi, t in queries]
+        if sum(t for _lo, _hi, t in queries) >= _FLAT_MIN and self._dir.chunks:
+            self._ensure_flat()  # one shared build for the whole batch
+        return [
+            self.sample_bulk(lo, hi, t, seed=seed)
+            for (lo, hi, t), seed in zip(queries, seeds)
+        ]
 
     # -- validation (tests) ----------------------------------------------------------
 
     def check_invariants(self) -> None:
         """Assert chunk and directory invariants (``O(n)``, tests only)."""
-        seen = 0
+        self._dir.check(self._s, self._cap, self._n)
         total = 0.0
-        prev_value = float("-inf")
-        for chunk in self._iter_chunks():
-            assert chunk.values, "empty chunk"
-            assert chunk.values == sorted(chunk.values)
-            assert chunk.values[0] >= prev_value
-            assert len(chunk.values) == len(chunk.weights) == len(chunk.cum)
+        for chunk in self._dir.chunks:
+            assert len(chunk.data) == len(chunk.weights)
             assert all(w > 0.0 for w in chunk.weights)
-            expect = list(accumulate(chunk.weights))
-            assert all(abs(x - y) < 1e-9 for x, y in zip(expect, chunk.cum))
-            if self._n > self._cap:
-                assert self._s <= len(chunk.values) <= self._cap
-            prev_value = chunk.values[-1]
-            seen += len(chunk.values)
-            total += chunk.weight
-        assert seen == self._n
+            if chunk.cum is not None:
+                assert len(chunk.cum) == len(chunk.weights)
+                expect = list(accumulate(chunk.weights))
+                assert all(abs(x - y) < 1e-9 for x, y in zip(expect, chunk.cum))
+            total += chunk.mass
         assert abs(total - self.total_weight) <= 1e-6 * max(1.0, total)
-        self._treap.check_invariants()
 
 
-def _subtract_pairs(
-    values: list[float],
-    weights: list[float],
-    targets: list[tuple[float, int]],
-) -> tuple[list[float], list[float], list[tuple[float, int]], list[tuple[int, float]]]:
-    """Remove one occurrence per target value from a sorted weighted run.
-
-    ``targets`` is sorted ``(value, out_index)`` pairs.  Returns ``(kept
-    values, kept weights, unmatched targets, matches)`` where ``matches``
-    holds ``(out_index, removed weight)``.  One C-level bisect per target
-    with slice assembly between hits.
-    """
-    kept_v: list[float] = []
-    kept_w: list[float] = []
-    unmatched: list[tuple[float, int]] = []
-    matches: list[tuple[int, float]] = []
-    at = 0
-    size = len(values)
-    for tv, ti in targets:
-        i = bisect_left(values, tv, at)
-        if i < size and values[i] == tv:
-            kept_v.extend(values[at:i])
-            kept_w.extend(weights[at:i])
-            matches.append((ti, weights[i]))
-            at = i + 1
-        else:
-            unmatched.append((tv, ti))
-    kept_v.extend(values[at:])
-    kept_w.extend(weights[at:])
-    return kept_v, kept_w, unmatched, matches

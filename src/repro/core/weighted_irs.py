@@ -28,7 +28,7 @@ from ..alias.walker import AliasTable
 from ..errors import EmptyRangeError, InvalidWeightError
 from ..rng import RandomSource
 from ..rng import generator as _generator
-from .base import RangeSampler, validate_query
+from .base import RangeSampler, coerce_query_bounds, validate_query
 
 try:  # NumPy is optional at runtime; bulk sampling uses it when present.
     import numpy as _np
@@ -81,6 +81,7 @@ class WeightedStaticIRS(RangeSampler):
         # values and the vectorized side stream, both built lazily on the
         # first bulk call so scalar-only users skip the O(n) copy.
         self._np_values = None
+        self._np_prefix = None
         self._bulk_gen = None
         self._prefix = [0.0, *accumulate(self._weights)]
         n = len(self._values)
@@ -137,6 +138,41 @@ class WeightedStaticIRS(RangeSampler):
         """Return ``w(P ∩ [lo, hi])`` (prefix-sum difference)."""
         a, b = self.rank_range(lo, hi)
         return self._prefix[b] - self._prefix[a]
+
+    def peek_counts(self, queries):
+        """Vectorized multi-range count: one ``searchsorted`` per bound set.
+
+        ``queries`` is a sequence of ``(lo, hi)`` pairs; the result is a
+        NumPy ``int64`` array of ``|P ∩ [lo, hi]|`` aligned with the input
+        — the same count-probe primitive the other sampler kinds expose,
+        so :meth:`repro.batch.BatchQueryRunner.run_counts` and the shard
+        planner never fall back to scalar loops on weighted structures.
+        """
+        if _np is None:  # pragma: no cover - numpy is installed in CI
+            return [self.count(lo, hi) for lo, hi in queries]
+        los, his = coerce_query_bounds(queries)
+        arr = self.export_sorted()
+        return _np.searchsorted(arr, his, side="right") - _np.searchsorted(
+            arr, los, side="left"
+        )
+
+    def peek_weights(self, queries):
+        """Vectorized multi-range mass probe (``w(P ∩ [lo, hi])`` each).
+
+        Two ``searchsorted`` passes resolve every query's rank interval,
+        then the masses are prefix-sum differences — ``O(q log n)`` total,
+        results bit-identical to per-query :meth:`total_weight` (the NumPy
+        prefix is converted from, not recomputed beside, the scalar one).
+        """
+        if _np is None:  # pragma: no cover - numpy is installed in CI
+            return [self.total_weight(lo, hi) for lo, hi in queries]
+        los, his = coerce_query_bounds(queries)
+        arr = self.export_sorted()
+        if self._np_prefix is None:
+            self._np_prefix = _np.asarray(self._prefix, dtype=float)
+        a = _np.searchsorted(arr, los, side="left")
+        b = _np.searchsorted(arr, his, side="right")
+        return self._np_prefix[b] - self._np_prefix[a]
 
     def range_weight(self, lo: float, hi: float) -> float:
         """Alias of :meth:`total_weight` under the dynamic sampler's name.

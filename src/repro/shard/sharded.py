@@ -473,6 +473,28 @@ class ShardedIRS(DynamicRangeSampler):
             self._shards[i].range_weight(lo, hi) for i in self._window(lo, hi)
         )
 
+    def peek_weights(self, queries):
+        """Vectorized multi-range mass probe, summed across shards.
+
+        The weight-plane twin of :meth:`peek_counts` (weighted shard kinds
+        only): shards exposing their own ``peek_weights`` answer the whole
+        query set with one vectorized probe each (out-of-range shards
+        contribute zeros); shards without it fall back to per-query
+        ``range_weight``.
+        """
+        if not self._weighted:
+            raise InvalidQueryError("peek_weights requires weighted shards")
+        queries = list(queries)
+        total = _np.zeros(len(queries), dtype=float)
+        for shard in self._shards:
+            peek = getattr(shard, "peek_weights", None)
+            if peek is not None:
+                total += _np.asarray(peek(queries), dtype=float)
+            else:  # pragma: no cover - both weighted kinds expose the probe
+                for j, (lo, hi) in enumerate(queries):
+                    total[j] += shard.range_weight(lo, hi)
+        return total
+
     # -- sampling ----------------------------------------------------------------
 
     def sample(self, lo: float, hi: float, t: int) -> list[float]:

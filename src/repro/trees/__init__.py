@@ -1,8 +1,24 @@
-"""Ordered-collection substrates: an implicit treap with subtree aggregates
-(the chunk directory of the dynamic IRS structure) and a packed-memory array
-(density-bounded cell storage enabling O(1) random cell probes)."""
+"""Deprecated location of the ordered-collection ablation substrates.
 
-from .treap import ChunkTreap, TreapNode
-from .pma import PackedMemoryArray
+The implicit treap and the packed-memory array retired from the
+production import graph when both dynamic samplers moved onto the shared
+array-backed chunk directory (:mod:`repro.core.directory`, DESIGN.md §8);
+their homes are now :mod:`repro.baselines.treap` and
+:mod:`repro.baselines.pma`.  This package re-exports them so existing
+imports keep working, with a :class:`DeprecationWarning` on import.
+"""
+
+import warnings as _warnings
+
+from ..baselines.pma import PackedMemoryArray
+from ..baselines.treap import ChunkTreap, TreapNode
+
+_warnings.warn(
+    "repro.trees is deprecated: the treap/PMA substrates retired to "
+    "repro.baselines.treap / repro.baselines.pma when the samplers moved "
+    "onto the shared array-backed chunk directory (repro.core.directory)",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["ChunkTreap", "TreapNode", "PackedMemoryArray"]

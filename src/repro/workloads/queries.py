@@ -85,6 +85,14 @@ class UpdateStream:
     tracks itself so any structure can replay it.  A ``hotspot`` fraction
     concentrates inserts in a narrow value band, the adversarial update
     pattern for chunked structures (all splits land in one region).
+
+    With ``weight_range=(lo, hi)`` the stream drives *weighted* structures
+    instead: every insert carries a uniform weight from the range and is
+    yielded as a ``("insert", value, weight)`` triple (deletes stay
+    pairs).  :func:`~repro.workloads.runner.as_mixed_ops` and
+    :func:`~repro.workloads.runner.run_mixed_workload` understand both
+    shapes, which is how the CLI's workload generation reaches the
+    ``weighted-dynamic`` structure kind.
     """
 
     def __init__(
@@ -94,13 +102,19 @@ class UpdateStream:
         hotspot: tuple[float, float] | None = None,
         hotspot_fraction: float = 0.0,
         seed: int = 0,
+        weight_range: tuple[float, float] | None = None,
     ) -> None:
         if not 0.0 <= insert_fraction <= 1.0:
             raise ValueError("insert_fraction must be in [0, 1]")
+        if weight_range is not None:
+            w_lo, w_hi = weight_range
+            if not 0.0 < w_lo <= w_hi:
+                raise ValueError("weight_range must satisfy 0 < lo <= hi")
         self._live = list(initial)
         self._insert_fraction = insert_fraction
         self._hotspot = hotspot
         self._hotspot_fraction = hotspot_fraction
+        self._weight_range = weight_range
         self._rng = random.Random(seed)
 
     @property
@@ -115,10 +129,10 @@ class UpdateStream:
             return rng.uniform(lo, hi)
         return rng.random()
 
-    def __iter__(self) -> Iterator[tuple[str, float]]:
+    def __iter__(self) -> Iterator[tuple]:
         return self
 
-    def __next__(self) -> tuple[str, float]:
+    def __next__(self) -> tuple:
         rng = self._rng
         if self._live and rng.random() >= self._insert_fraction:
             i = rng.randrange(len(self._live))
@@ -128,8 +142,10 @@ class UpdateStream:
             return "delete", value
         value = self._new_value()
         self._live.append(value)
+        if self._weight_range is not None:
+            return "insert", value, rng.uniform(*self._weight_range)
         return "insert", value
 
-    def take(self, count: int) -> list[tuple[str, float]]:
+    def take(self, count: int) -> list[tuple]:
         """Materialize the next ``count`` operations."""
         return [next(self) for _ in range(count)]

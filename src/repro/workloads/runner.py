@@ -59,22 +59,30 @@ def run_query_workload(
 
 
 def as_mixed_ops(
-    operations: Sequence[tuple[str, float]],
+    operations: Sequence[tuple],
     queries: Sequence[tuple[float, float]],
     t: int,
     query_every: int = 10,
-) -> list[tuple]:
+) -> list:
     """Interleave an update stream with sampling ops for the batch engine.
 
-    Produces the op-tuple stream :meth:`repro.batch.BatchQueryRunner.
-    run_mixed` accepts, with the same interleaving convention as
+    Produces the op stream :meth:`repro.batch.BatchQueryRunner.run_mixed`
+    accepts, with the same interleaving convention as
     :func:`run_mixed_workload`: after every ``query_every`` updates the next
     query from ``queries`` (cycling) is issued as a ``sample`` op.
+    Weighted inserts — ``("insert", value, weight)`` triples from an
+    :class:`~repro.workloads.queries.UpdateStream` with a ``weight_range``
+    — become :class:`~repro.batch.BatchOp` inserts carrying the weight.
     """
-    ops: list[tuple] = []
+    from ..batch import BatchOp
+
+    ops: list = []
     qi = 0
-    for i, (op, value) in enumerate(operations):
-        ops.append((op, value))
+    for i, operation in enumerate(operations):
+        if operation[0] == "insert" and len(operation) == 3:
+            ops.append(BatchOp.insert(operation[1], operation[2]))
+        else:
+            ops.append(operation)
         if queries and query_every and (i + 1) % query_every == 0:
             lo, hi = queries[qi % len(queries)]
             qi += 1
@@ -84,7 +92,7 @@ def as_mixed_ops(
 
 def run_mixed_workload(
     sampler: DynamicRangeSampler,
-    operations: Sequence[tuple[str, float]],
+    operations: Sequence[tuple],
     queries: Sequence[tuple[float, float]],
     t: int,
     query_every: int = 10,
@@ -92,15 +100,21 @@ def run_mixed_workload(
     """Interleave updates with sampling queries.
 
     Applies ``operations`` in order; after every ``query_every`` updates,
-    runs the next query from ``queries`` (cycling).
+    runs the next query from ``queries`` (cycling).  ``("insert", value,
+    weight)`` triples (weighted update streams) pass the weight through to
+    the sampler's ``insert``.
     """
     result = WorkloadResult()
     clock = time.perf_counter
     qi = 0
     start_all = clock()
-    for i, (op, value) in enumerate(operations):
+    for i, operation in enumerate(operations):
+        op, value = operation[0], operation[1]
         if op == "insert":
-            sampler.insert(value)
+            if len(operation) == 3:
+                sampler.insert(value, operation[2])
+            else:
+                sampler.insert(value)
         elif op == "delete":
             sampler.delete(value)
         else:

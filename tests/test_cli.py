@@ -135,6 +135,36 @@ class TestCommands:
         assert lines[2].startswith("# ops=5 queries=2 updates=3 bulk_calls=")
         assert "samples=60" in lines[2]
 
+    def test_batch_ops_weighted_dynamic(self, capsys, data_file, weight_file, tmp_path):
+        ops = tmp_path / "ops.txt"
+        # 'insert V W' routes the weight through the weighted bulk path; a
+        # heavy weight on 101.5 must dominate the sample mean of [100, 102].
+        ops.write_text(
+            "insert 100.5 1.0\ninsert 101.5 10000.0\nsample 100 102 200\n"
+            "delete 100.5\nsample 100 102\n"
+        )
+        assert main(
+            ["batch", "--data", data_file, "--weights", weight_file,
+             "--structure", "weighted-dynamic", "--ops", str(ops),
+             "-t", "10", "--seed", "7"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        assert float(lines[0]) > 101.0  # weight 10000 pulls the mean up
+        assert float(lines[1]) == 101.5
+        assert lines[2].startswith("# ops=5 queries=2 updates=3")
+
+    def test_batch_ops_weighted_insert_rejected_on_unweighted(
+        self, data_file, tmp_path
+    ):
+        from repro import InvalidQueryError
+
+        ops = tmp_path / "ops.txt"
+        ops.write_text("insert 1.0 5.0\n")
+        with pytest.raises(InvalidQueryError):
+            main(["batch", "--data", data_file, "--structure", "dynamic",
+                  "--ops", str(ops)])
+
     def test_batch_ops_malformed_file(self, data_file, tmp_path):
         ops = tmp_path / "ops.txt"
         ops.write_text("upsert 1.0\n")
@@ -201,3 +231,39 @@ class TestShardedCLI:
                                 shards=4)
             assert s.count(0.0, 100.0) == 64
             s.close()
+
+    def test_weighted_dynamic_sharded_with_weights(
+        self, capsys, data_file, weight_file
+    ):
+        assert main(["sample", "--data", data_file, "--weights", weight_file,
+                     "--structure", "weighted-dynamic", "--shards", "3",
+                     "--lo", "10", "--hi", "19", "-t", "6", "--seed", "2"]) == 0
+        values = [float(line) for line in capsys.readouterr().out.split()]
+        assert len(values) == 6
+        assert all(10.0 <= v <= 19.0 for v in values)
+
+
+class TestServeCLI:
+    """The serve subcommand accepts every structure kind, weighted included."""
+
+    def test_serve_offline_weighted_dynamic(
+        self, capsys, data_file, weight_file, tmp_path
+    ):
+        import json
+
+        requests = tmp_path / "requests.txt"
+        requests.write_text(
+            '{"id": 1, "op": "sample", "lo": 10, "hi": 19, "t": 4, "seed": 9}\n'
+            '{"id": 2, "op": "insert", "value": 10.5, "weight": 3.5}\n'
+            '{"id": 3, "op": "count", "lo": 10, "hi": 19}\n'
+        )
+        assert main(
+            ["serve", "--data", data_file, "--weights", weight_file,
+             "--structure", "weighted-dynamic", "--requests", str(requests),
+             "--seed", "4"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        replies = [json.loads(line) for line in lines if not line.startswith("#")]
+        assert [r["ok"] for r in replies] == [True, True, True]
+        assert len(replies[0]["result"]) == 4
+        assert replies[2]["result"] == 11  # 10 initial points + the insert

@@ -8,7 +8,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.trees import PackedMemoryArray
+from repro.baselines.pma import PackedMemoryArray
 
 
 class Item:

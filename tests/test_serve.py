@@ -7,7 +7,13 @@ import json
 
 import pytest
 
-from repro import DynamicIRS, ShardedIRS, StaticIRS, WeightedStaticIRS
+from repro import (
+    DynamicIRS,
+    ShardedIRS,
+    StaticIRS,
+    WeightedDynamicIRS,
+    WeightedStaticIRS,
+)
 from repro.serve import ReproServer, ServeClient, ServeError, TCPServeClient
 from repro.serve.protocol import decode, encode, error_response, ok_response
 from repro.stats import uniformity_test
@@ -19,6 +25,7 @@ def run(coro):
 
 
 DATA = sorted(gaussian_mixture(4000, clusters=4, seed=11))
+WEIGHTS = [1.0 + (i % 7) for i in range(len(DATA))]
 
 
 def mid_range():
@@ -155,14 +162,44 @@ def test_served_samples_are_uniform():
     run(main())
 
 
+def test_served_weighted_samples_are_proportional():
+    """The weighted chi-square gate holds through the server path."""
+    from collections import Counter
+
+    from repro.stats import chi_square_gof
+
+    async def main():
+        values = [float(v) for v in range(40)]
+        weights = [1.0 + (v % 5) * 3.0 for v in range(40)]
+        structure = WeightedDynamicIRS(values, weights, seed=21)
+        async with ReproServer(structure, seed=9) as server:
+            client = ServeClient(server)
+            chunks = await asyncio.gather(
+                *(client.sample(5.0, 34.0, 2000) for _ in range(6))
+            )
+        samples = Counter(v for chunk in chunks for v in chunk)
+        population = [v for v in values if 5.0 <= v <= 34.0]
+        counts = [samples.get(v, 0) for v in population]
+        expected = [weights[int(v)] for v in population]
+        _stat, p = chi_square_gof(counts, expected)
+        assert p > 1e-4, f"server-path weighted sampling biased: p={p:.2e}"
+
+    run(main())
+
+
 @pytest.mark.parametrize(
     "factory",
     [
         lambda: StaticIRS(DATA, seed=1),
         lambda: DynamicIRS(DATA, seed=1),
+        lambda: WeightedDynamicIRS(DATA, WEIGHTS, seed=1),
         lambda: ShardedIRS(DATA, num_shards=3, seed=1),
+        lambda: ShardedIRS(
+            DATA, num_shards=3, weights=WEIGHTS, seed=1,
+            shard_kind="weighted-dynamic",
+        ),
     ],
-    ids=["static", "dynamic", "sharded"],
+    ids=["static", "dynamic", "weighted-dynamic", "sharded", "sharded-weighted"],
 )
 def test_replies_byte_identical_across_coalescing_configs(factory):
     """A fixed root seed fixes every reply, however batches happen to form."""

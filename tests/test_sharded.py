@@ -376,3 +376,22 @@ class TestRankMachinery:
     def test_too_many_distinct_requested(self, sharded):
         with pytest.raises(InvalidQueryError):
             sharded.sample_without_replacement(0.45, 0.46, 10_000)
+
+
+class TestMassProbes:
+    def test_peek_weights_matches_range_weight(self):
+        values = [float(i % 31) for i in range(600)]
+        weights = [1.0 + (i % 5) for i in range(600)]
+        queries = [(0.0, 10.0), (5.0, 5.0), (-2.0, 0.5), (25.0, 99.0)]
+        for kind in ("weighted", "weighted-dynamic"):
+            with ShardedIRS(
+                values, num_shards=4, weights=weights, seed=7, shard_kind=kind
+            ) as s:
+                masses = s.peek_weights(queries)
+                for (lo, hi), m in zip(queries, masses):
+                    assert float(m) == pytest.approx(s.range_weight(lo, hi), rel=1e-12)
+
+    def test_peek_weights_requires_weighted_shards(self):
+        with ShardedIRS([1.0, 2.0], num_shards=2, seed=8) as s:
+            with pytest.raises(InvalidQueryError):
+                s.peek_weights([(0.0, 1.0)])

@@ -1,4 +1,4 @@
-"""Unit + property tests for the implicit treap (chunk directory)."""
+"""Unit + property tests for the implicit treap (retired chunk-directory ablation substrate)."""
 
 from __future__ import annotations
 
@@ -9,7 +9,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.rng import RandomSource
-from repro.trees import ChunkTreap
+from repro.baselines.treap import ChunkTreap
 
 
 class FakeChunk:

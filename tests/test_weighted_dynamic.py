@@ -179,3 +179,187 @@ def test_property_counts_and_membership(pairs, lo, width):
     else:
         with pytest.raises(EmptyRangeError):
             w.sample(lo, hi, 1)
+
+
+class TestUpdateWeight:
+    def test_basic_reweight_and_return(self):
+        w = WeightedDynamicIRS([1.0, 2.0, 3.0], [1.0, 2.0, 3.0], seed=40)
+        old = w.update_weight(2.0, 9.0)
+        assert old == 2.0
+        assert w.total_weight == pytest.approx(13.0)
+        assert w.range_weight(2.0, 2.0) == pytest.approx(9.0)
+        w.check_invariants()
+
+    def test_missing_value_raises(self):
+        w = WeightedDynamicIRS([1.0], seed=41)
+        with pytest.raises(KeyNotFoundError):
+            w.update_weight(2.0, 1.0)
+
+    def test_invalid_weight_rejected(self):
+        w = WeightedDynamicIRS([1.0], seed=42)
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(InvalidWeightError):
+                w.update_weight(1.0, bad)
+        assert w.total_weight == pytest.approx(1.0)
+
+    def test_reweight_shifts_sampling_mass(self):
+        values = [float(i) for i in range(200)]
+        w = WeightedDynamicIRS(values, seed=43)
+        w.update_weight(50.0, 10_000.0)
+        samples = w.sample_bulk(0.0, 199.0, 4000)
+        hot = (samples == 50.0).sum()
+        # 50.0 owns ~98% of the mass after the reweight.
+        assert hot > 3500
+
+    def test_reweight_visible_to_bulk_after_flat_cache(self):
+        values = [float(i) for i in range(500)]
+        w = WeightedDynamicIRS(values, seed=44)
+        w.sample_bulk(0.0, 499.0, 5000)  # builds the flat global table
+        w.update_weight(250.0, 50_000.0)  # must invalidate it
+        samples = w.sample_bulk(0.0, 499.0, 4000)
+        assert (samples == 250.0).sum() > 3500
+
+
+class TestPeekProbes:
+    RANGES = [(0.0, 10.0), (5.0, 5.0), (-3.0, 0.5), (8.0, 100.0), (11.0, 12.0)]
+
+    def test_peek_matches_scalar(self):
+        values = [float(i % 11) for i in range(300)]
+        weights = [1.0 + (i % 5) for i in range(300)]
+        w = WeightedDynamicIRS(values, weights, seed=50)
+        counts = w.peek_counts(self.RANGES)
+        masses = w.peek_weights(self.RANGES)
+        for (lo, hi), k, m in zip(self.RANGES, counts, masses):
+            assert int(k) == w.count(lo, hi)
+            assert float(m) == pytest.approx(w.range_weight(lo, hi), abs=1e-9)
+
+    def test_peek_after_updates_with_pending_deltas(self):
+        values = [float(i) for i in range(400)]
+        w = WeightedDynamicIRS(values, seed=51)
+        w.range_weight(0.0, 400.0)  # warm the prefix caches
+        w.insert(100.5, 7.0)
+        w.update_weight(200.0, 3.0)
+        w.delete(300.0)
+        counts = w.peek_counts([(0.0, 400.0), (100.0, 101.0), (199.0, 301.0)])
+        masses = w.peek_weights([(0.0, 400.0), (100.0, 101.0), (199.0, 301.0)])
+        for (lo, hi), k, m in zip(
+            [(0.0, 400.0), (100.0, 101.0), (199.0, 301.0)], counts, masses
+        ):
+            assert int(k) == w.count(lo, hi)
+            assert float(m) == pytest.approx(w.range_weight(lo, hi), abs=1e-9)
+
+    def test_peek_rejects_bad_bounds(self):
+        w = WeightedDynamicIRS([1.0], seed=52)
+        with pytest.raises(InvalidQueryError):
+            w.peek_counts([(2.0, 1.0)])
+        with pytest.raises(InvalidQueryError):
+            w.peek_weights([(float("nan"), 1.0)])
+
+
+class TestSampleBulkMany:
+    def test_alignment_and_membership(self):
+        values = [float(i) for i in range(100)]
+        w = WeightedDynamicIRS(values, seed=60)
+        queries = [(0.0, 9.0, 5), (50.0, 59.0, 0), (90.0, 99.0, 3)]
+        results = w.sample_bulk_many(queries)
+        assert [len(r) for r in results] == [5, 0, 3]
+        assert all(0.0 <= v <= 9.0 for v in results[0])
+        assert all(90.0 <= v <= 99.0 for v in results[2])
+
+    def test_seeded_queries_reproduce(self):
+        values = [float(i) for i in range(500)]
+        weights = [1.0 + (i % 3) for i in range(500)]
+        a = WeightedDynamicIRS(values, weights, seed=61)
+        b = WeightedDynamicIRS(values, weights, seed=999)  # different stream
+        queries = [(0.0, 499.0, 64), (100.0, 400.0, 32)]
+        seeds = [7, 8]
+        ra = a.sample_bulk_many(queries, seeds=seeds)
+        rb = b.sample_bulk_many(queries, seeds=seeds)
+        for x, y in zip(ra, rb):
+            assert list(x) == list(y)  # pure function of seed + contents
+        # and identical to lone seeded sample_bulk calls
+        for (lo, hi, t), seed, got in zip(queries, seeds, ra):
+            assert list(a.sample_bulk(lo, hi, t, seed=seed)) == list(got)
+
+    def test_seeds_must_align(self):
+        w = WeightedDynamicIRS([1.0], seed=62)
+        with pytest.raises(InvalidQueryError):
+            w.sample_bulk_many([(0.0, 1.0, 1)], seeds=[1, 2])
+
+
+class TestUniformityUnderChurn:
+    def test_weighted_chi_square_after_interleaved_updates(self):
+        """Proportionality survives interleaved insert/delete/update_weight."""
+        rng = random.Random(70)
+        values = [float(i) for i in range(120)]
+        weights = [1.0 + (i % 4) for i in range(120)]
+        w = WeightedDynamicIRS(values, weights, seed=71)
+        live = dict(zip(values, weights))
+        next_value = 200.0
+        for step in range(600):
+            op = rng.random()
+            if op < 0.4:
+                weight = 0.5 + 4.0 * rng.random()
+                w.insert(next_value, weight)
+                live[next_value] = weight
+                next_value += 1.0
+            elif op < 0.7 and len(live) > 40:
+                victim = rng.choice(sorted(live))
+                w.delete(victim)
+                del live[victim]
+            else:
+                target = rng.choice(sorted(live))
+                weight = 0.5 + 4.0 * rng.random()
+                w.update_weight(target, weight)
+                live[target] = weight
+            if step % 97 == 0:
+                w.sample_bulk(0.0, 1000.0, 64)  # interleave reads with churn
+        w.check_invariants()
+        population = sorted(live)
+        lo, hi = population[5], population[-5]
+        in_range = [v for v in population if lo <= v <= hi]
+        samples = w.sample_bulk(lo, hi, 60_000)
+        from collections import Counter
+
+        got = Counter(samples.tolist())
+        counts = [got.get(v, 0) for v in in_range]
+        expected = [live[v] for v in in_range]
+        _stat, p = chi_square_gof(counts, expected)
+        assert p > 1e-4, f"weighted sampling biased after churn: p={p:.2e}"
+        # The scalar path must pass the same gate on the same structure.
+        scalar = Counter(w.sample(lo, hi, 20_000))
+        counts = [scalar.get(v, 0) for v in in_range]
+        _stat, p = chi_square_gof(counts, expected)
+        assert p > 1e-4, f"scalar weighted sampling biased after churn: p={p:.2e}"
+
+
+class TestFloatRobustness:
+    """Extreme-weight cases: prefix-diff cancellation and boundary clamps."""
+
+    def test_huge_weight_does_not_zero_out_sibling_mass(self):
+        # A 1e18 weight absorbs the others in a cumulative prefix; the
+        # boundary-run masses must come from direct summation so this
+        # positive-weight range neither reports 0 mass nor raises.
+        w = WeightedDynamicIRS([float(i) for i in range(10)], [1e18] + [1.0] * 9,
+                               seed=90)
+        assert w.count(5.0, 8.0) == 4
+        assert w.range_weight(5.0, 8.0) == 4.0
+        assert float(w.peek_weights([(5.0, 8.0)])[0]) == 4.0
+        assert all(5.0 <= v <= 8.0 for v in w.sample(5.0, 8.0, 50))
+        assert all(5.0 <= v <= 8.0 for v in w.sample_bulk(5.0, 8.0, 500))
+
+    def test_boundary_draws_clamped_into_query_run(self):
+        # Round-off between the three-way mass split and the cumulative
+        # tables must never surface a sample outside [lo, hi].
+        w = WeightedDynamicIRS([float(i) for i in range(10)], [1e16] + [3.0] * 9,
+                               seed=91)
+        assert all(1.0 <= v <= 4.0 for v in w.sample(1.0, 4.0, 5000))
+        assert all(1.0 <= v <= 4.0 for v in w.sample_bulk(1.0, 4.0, 20000))
+        # Multi-chunk: the huge weight sits before the query's window.
+        vals = [float(i) for i in range(2000)]
+        w2 = WeightedDynamicIRS(vals, [1e16] + [1.0] * 1999, seed=92)
+        assert w2.range_weight(100.0, 1800.0) > 0.0
+        assert all(100.0 <= v <= 1800.0 for v in w2.sample(100.0, 1800.0, 2000))
+        assert all(
+            100.0 <= v <= 1800.0 for v in w2.sample_bulk(100.0, 1800.0, 50000)
+        )

@@ -1,4 +1,11 @@
-"""Hypothesis stateful test for WeightedDynamicIRS vs a list model."""
+"""Hypothesis stateful test for WeightedDynamicIRS vs a list model.
+
+Exercises the shared array-directory engine (DESIGN.md §8) under every
+mutation kind — scalar insert/delete, ``update_weight``, bulk insert and
+atomic bulk delete — and checks the read side (count, range_weight, the
+vectorized peek probes, scalar and bulk sampling) against the model after
+arbitrary interleavings.
+"""
 
 from __future__ import annotations
 
@@ -16,7 +23,7 @@ from hypothesis.stateful import (
 
 import pytest
 
-from repro import WeightedDynamicIRS
+from repro import KeyNotFoundError, WeightedDynamicIRS
 
 _VALUES = st.integers(0, 60).map(float)
 _WEIGHTS = st.floats(min_value=0.1, max_value=50.0)
@@ -79,12 +86,43 @@ class WeightedDynamicMachine(RuleBasedStateMachine):
             else:
                 raise AssertionError("bulk delete returned a weight not in model")
 
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), weight=_WEIGHTS)
+    def update_weight(self, data, weight):
+        value = data.draw(st.sampled_from([v for v, _w in self.model]))
+        old = self.structure.update_weight(value, weight)
+        for i, (v, w) in enumerate(self.model):
+            if v == value and w == pytest.approx(old):
+                self.model[i] = (v, weight)
+                break
+        else:
+            raise AssertionError("update_weight returned a weight not in model")
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete_bulk_missing_is_atomic(self, data):
+        batch = data.draw(
+            st.lists(st.sampled_from([v for v, _w in self.model]), max_size=5)
+        )
+        before = self.structure.items()
+        with pytest.raises(KeyNotFoundError):
+            # 1000.0 is outside the value strategy's [0, 60] range, so it
+            # can never be present: the whole batch must roll back.
+            self.structure.delete_bulk(batch + [1000.0])
+        assert self.structure.items() == before
+
     @rule(lo=_VALUES, width=st.integers(0, 60))
     def count_and_weight_match(self, lo, width):
         hi = lo + width
         expected = [(v, w) for v, w in self.model if lo <= v <= hi]
         assert self.structure.count(lo, hi) == len(expected)
         assert self.structure.range_weight(lo, hi) == pytest.approx(
+            sum(w for _v, w in expected), abs=1e-9
+        )
+        # The vectorized probes must agree with the scalar answers exactly
+        # (counts) / to float tolerance (masses), pending deltas included.
+        assert int(self.structure.peek_counts([(lo, hi)])[0]) == len(expected)
+        assert float(self.structure.peek_weights([(lo, hi)])[0]) == pytest.approx(
             sum(w for _v, w in expected), abs=1e-9
         )
 
@@ -95,6 +133,15 @@ class WeightedDynamicMachine(RuleBasedStateMachine):
         if not members:
             return
         for sample in self.structure.sample(lo, hi, t):
+            assert sample in members
+
+    @rule(lo=_VALUES, width=st.integers(0, 60), t=st.integers(1, 6))
+    def bulk_samples_are_members(self, lo, width, t):
+        hi = lo + width
+        members = {v for v, _w in self.model if lo <= v <= hi}
+        if not members:
+            return
+        for sample in self.structure.sample_bulk(lo, hi, t):
             assert sample in members
 
     @invariant()

@@ -178,3 +178,39 @@ def test_sample_support_matches_positive_weight_members(pairs, lo, width):
     }
     samples = sampler.sample(lo, hi, 12)
     assert set(samples) <= support_with_zero_twins
+
+
+class TestPeekProbes:
+    RANGES = [(0.0, 10.0), (5.0, 5.0), (-3.0, 0.5), (8.0, 100.0), (11.0, 12.0)]
+
+    def test_peek_counts_and_weights_match_scalar(self):
+        values = [float(i % 13) for i in range(400)]
+        weights = [0.5 + (i % 7) for i in range(400)]
+        w = WeightedStaticIRS(values, weights, seed=80)
+        counts = w.peek_counts(self.RANGES)
+        masses = w.peek_weights(self.RANGES)
+        for (lo, hi), k, m in zip(self.RANGES, counts, masses):
+            assert int(k) == w.count(lo, hi)
+            assert float(m) == w.total_weight(lo, hi)  # bit-identical prefix
+
+    def test_peek_rejects_bad_bounds(self):
+        from repro import InvalidQueryError
+
+        w = WeightedStaticIRS([1.0], [1.0], seed=81)
+        with pytest.raises(InvalidQueryError):
+            w.peek_counts([(2.0, 1.0)])
+        with pytest.raises(InvalidQueryError):
+            w.peek_weights([(float("nan"), 1.0)])
+
+    def test_run_counts_uses_weighted_peek(self):
+        from repro import BatchQueryRunner
+
+        values = [float(i) for i in range(50)]
+        runner = BatchQueryRunner(
+            {
+                "ws": WeightedStaticIRS(values, [1.0] * 50, seed=82),
+                "wd": __import__("repro").WeightedDynamicIRS(values, seed=83),
+            }
+        )
+        queries = [(0.0, 9.0, "ws"), (0.0, 9.0, "wd"), (40.0, 100.0, "ws")]
+        assert runner.run_counts(queries) == [10, 10, 10]

@@ -140,3 +140,49 @@ class TestRunners:
         d = DynamicIRS([1.0], seed=24)
         with pytest.raises(ValueError):
             run_mixed_workload(d, [("upsert", 1.0)], [], t=1)
+
+
+class TestWeightedStreams:
+    """UpdateStream weight_range wiring through the runners."""
+
+    def test_weighted_stream_shapes(self):
+        stream = UpdateStream(
+            [0.5], insert_fraction=0.7, seed=30, weight_range=(1.0, 4.0)
+        )
+        ops = stream.take(200)
+        inserts = [op for op in ops if op[0] == "insert"]
+        deletes = [op for op in ops if op[0] == "delete"]
+        assert inserts and deletes
+        assert all(len(op) == 3 and 1.0 <= op[2] <= 4.0 for op in inserts)
+        assert all(len(op) == 2 for op in deletes)
+
+    def test_weight_range_validation(self):
+        with pytest.raises(ValueError):
+            UpdateStream([], weight_range=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            UpdateStream([], weight_range=(2.0, 1.0))
+
+    def test_weighted_mixed_workload_and_ops(self):
+        from repro import BatchOp, BatchQueryRunner, WeightedDynamicIRS
+
+        initial = [float(i) for i in range(100)]
+        stream = UpdateStream(
+            initial, insert_fraction=0.6, seed=31, weight_range=(0.5, 2.0)
+        )
+        operations = stream.take(150)
+        w = WeightedDynamicIRS(initial, seed=32)
+        result = run_mixed_workload(w, operations, [(10.0, 80.0)], t=4)
+        assert result.operations > 150
+        w.check_invariants()
+        # The same stream through the batch engine: weighted inserts become
+        # BatchOp instances carrying the weight.
+        from repro.workloads import as_mixed_ops
+
+        ops = as_mixed_ops(operations, [(10.0, 80.0)], t=4, query_every=25)
+        weighted_ops = [op for op in ops if isinstance(op, BatchOp)]
+        assert weighted_ops and all(op.weight is not None for op in weighted_ops)
+        w2 = WeightedDynamicIRS(initial, seed=32)
+        mixed = BatchQueryRunner(w2).run_mixed(ops)
+        assert mixed.stats.extra["updates"] == 150
+        w2.check_invariants()
+        assert w2.items() == w.items()
