@@ -34,7 +34,12 @@ serves newline-delimited JSON requests against it — over TCP
 (``--port``; runs until interrupted) or from a ``--requests`` file
 (offline: one response line per request line, then a ``#``-prefixed
 stats line, then exit).  ``--window-ms``/``--max-batch`` tune request
-coalescing; ``--window-ms 0`` serves one request per call.
+coalescing; ``--window-ms 0`` serves one request per call.  With
+``--data-dir`` the server is durable: state recovers from the
+directory's snapshot + write-ahead log on start, every update batch is
+logged before it executes (``--fsync`` picks the policy), and snapshots
+checkpoint on ``--snapshot-ops``/``--snapshot-interval`` triggers and on
+graceful shutdown.
 """
 
 from __future__ import annotations
@@ -208,6 +213,31 @@ def _parser() -> argparse.ArgumentParser:
                 help="offline mode: file of JSON request lines to answer, "
                 "then exit (no TCP listener)",
             )
+            p.add_argument(
+                "--data-dir",
+                default=None,
+                help="durability directory: recover state from it on start, "
+                "write-ahead log every update, snapshot on triggers and "
+                "graceful shutdown",
+            )
+            p.add_argument(
+                "--fsync",
+                choices=("always", "batch", "off"),
+                default="batch",
+                help="WAL fsync policy (with --data-dir)",
+            )
+            p.add_argument(
+                "--snapshot-ops",
+                type=int,
+                default=50_000,
+                help="checkpoint after this many logged update ops",
+            )
+            p.add_argument(
+                "--snapshot-interval",
+                type=float,
+                default=None,
+                help="optional wall-clock checkpoint interval in seconds",
+            )
         else:
             p.add_argument("--lo", type=float, required=True)
             p.add_argument("--hi", type=float, required=True)
@@ -246,6 +276,12 @@ def _serve(args, structure) -> int:
     from .serve import ReproServer, ServeClient
 
     window = max(0.0, args.window_ms) / 1e3
+    durable = dict(
+        data_dir=args.data_dir,
+        fsync=args.fsync,
+        snapshot_ops=args.snapshot_ops,
+        snapshot_interval=args.snapshot_interval,
+    )
 
     async def offline() -> int:
         with open(args.requests) as handle:
@@ -259,6 +295,7 @@ def _serve(args, structure) -> int:
             # queue must hold it all or long files would draw spurious
             # 'overloaded' errors in a deterministic replay mode.
             max_pending=max(1, len(lines)),
+            **durable,
         ) as server:
             client = ServeClient(server)
             futures = [server.submit(line.encode()) for line in lines]
@@ -274,7 +311,11 @@ def _serve(args, structure) -> int:
 
     async def tcp() -> int:
         server = ReproServer(
-            structure, seed=args.seed, window=window, max_batch=args.max_batch
+            structure,
+            seed=args.seed,
+            window=window,
+            max_batch=args.max_batch,
+            **durable,
         )
         await server.start_tcp(args.host, args.port)
         print(f"serving on {args.host}:{server.port}", flush=True)

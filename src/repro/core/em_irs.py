@@ -105,9 +105,11 @@ class ExternalIRS(RangeSampler):
         seed: int | None = None,
         min_level: int | None = None,
         buffer_factor: float = 1.0,
+        device=None,
     ) -> None:
         self._init_from_sorted(
-            sorted(values), block_size, pool_capacity, seed, min_level, buffer_factor
+            sorted(values), block_size, pool_capacity, seed, min_level,
+            buffer_factor, device,
         )
 
     @classmethod
@@ -119,6 +121,7 @@ class ExternalIRS(RangeSampler):
         seed: int | None = None,
         min_level: int | None = None,
         buffer_factor: float = 1.0,
+        device=None,
     ) -> "ExternalIRS":
         """O(n) fast constructor over already-sorted input (skips the sort).
 
@@ -129,7 +132,7 @@ class ExternalIRS(RangeSampler):
         """
         self = cls.__new__(cls)
         self._init_from_sorted(
-            values, block_size, pool_capacity, seed, min_level, buffer_factor
+            values, block_size, pool_capacity, seed, min_level, buffer_factor, device
         )
         return self
 
@@ -141,9 +144,17 @@ class ExternalIRS(RangeSampler):
         seed: int | None,
         min_level: int | None,
         buffer_factor: float,
+        device=None,
     ) -> None:
         self._rng = RandomSource(seed)
-        self.device = BlockDevice(block_size)
+        # Any StorageBackend works: the default is the paper's simulated
+        # device; pass a repro.store.FileDevice for a real on-disk cold
+        # tier (same code path, same logical I/O accounting).
+        if device is None:
+            device = BlockDevice(block_size)
+        elif device.block_size != block_size:
+            block_size = device.block_size
+        self.device = device
         if pool_capacity is None:
             pool_capacity = 16
         self.pool = BufferPool(self.device, pool_capacity)
@@ -182,6 +193,13 @@ class ExternalIRS(RangeSampler):
     def io_delta(self, before: IOStats) -> IOStats:
         """Return device I/O performed since ``before`` (a snapshot)."""
         return self.device.stats.delta(before)
+
+    def close(self) -> None:
+        """Flush the pool and close the device if it owns real resources."""
+        self.pool.flush()
+        close = getattr(self.device, "close", None)
+        if close is not None:
+            close()
 
     def count(self, lo: float, hi: float) -> int:
         validate_query(lo, hi, 0)

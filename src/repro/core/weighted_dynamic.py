@@ -202,6 +202,21 @@ class WeightedDynamicIRS:
             _np.asarray(weights, dtype=float),
         )
 
+    def export_sorted(self):
+        """Return the sorted points as a NumPy array (values plane only).
+
+        The uniform snapshot surface: every sampler kind answers
+        ``export_sorted``; weighted kinds additionally answer
+        :meth:`export_sorted_pairs`, which is what the snapshot store
+        actually persists for them.
+        """
+        values: list[float] = []
+        for chunk in self._dir.chunks:
+            values.extend(chunk.data)
+        if _np is None:  # pragma: no cover
+            return values
+        return _np.asarray(values, dtype=float)
+
     @property
     def total_weight(self) -> float:
         """Sum of all stored weights."""

@@ -40,6 +40,25 @@ __all__ = ["WeightedStaticIRS"]
 _BLOCK = 8
 
 
+def _checked_planes(values, weights) -> tuple[list[float], list[float]]:
+    """Materialize and validate aligned value/weight planes.
+
+    Weights are validated *before* any sorting/zipping downstream: a NaN
+    weight would otherwise poison sort-key comparisons and the prefix
+    sums before ever being reported.
+    """
+    values = [float(v) for v in values]
+    weights = [float(w) for w in weights]
+    if len(values) != len(weights):
+        raise ValueError(
+            f"values and weights differ in length: {len(values)} != {len(weights)}"
+        )
+    for w in weights:
+        if not math.isfinite(w) or w < 0.0:
+            raise InvalidWeightError(f"invalid weight: {w!r}")
+    return values, weights
+
+
 class WeightedStaticIRS(RangeSampler):
     """Static weighted independent range sampling.
 
@@ -61,19 +80,34 @@ class WeightedStaticIRS(RangeSampler):
         weights: Iterable[float],
         seed: int | None = None,
     ) -> None:
-        values = list(values)
-        weights = list(weights)
-        if len(values) != len(weights):
-            raise ValueError(
-                f"values and weights differ in length: {len(values)} != {len(weights)}"
-            )
-        # Validate *before* sorting/zipping: a NaN weight would otherwise
-        # poison the sort's key comparisons and the prefix sums before ever
-        # being reported.
-        for w in weights:
-            if not math.isfinite(w) or w < 0.0:
-                raise InvalidWeightError(f"invalid weight: {w!r}")
+        values, weights = _checked_planes(values, weights)
         pairs = sorted(zip(values, weights), key=lambda p: p[0])
+        self._build(pairs, seed)
+
+    @classmethod
+    def from_sorted(
+        cls,
+        values: Iterable[float],
+        weights: Iterable[float],
+        seed: int | None = None,
+    ) -> "WeightedStaticIRS":
+        """O(n) fast constructor over value-sorted input (skips the sort).
+
+        ``values`` must be nondecreasing (verified in ``O(n)``, raising
+        :class:`ValueError` otherwise); ``weights`` aligns with it.  The
+        canonical-tree build still dominates the constructor, but the
+        snapshot-recovery path uses this for uniformity with the other
+        sampler kinds — and to skip re-sorting already-sorted planes.
+        """
+        values, weights = _checked_planes(values, weights)
+        if any(a > b for a, b in zip(values, values[1:])):
+            raise ValueError("from_sorted requires nondecreasing values")
+        self = cls.__new__(cls)
+        self._build(list(zip(values, weights)), seed)
+        return self
+
+    def _build(self, pairs: list[tuple[float, float]], seed: int | None) -> None:
+        """Construct the canonical tree over value-sorted (value, weight)s."""
         self._values = [p[0] for p in pairs]
         self._weights = [p[1] for p in pairs]
         self._rng = RandomSource(seed)

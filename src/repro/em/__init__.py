@@ -6,6 +6,12 @@ for CPU work.  Timing real file I/O from CPython would measure interpreter
 overhead, not the algorithm, so the device *simulates* a disk: blocks are
 Python lists held in a dictionary, and every logical transfer bumps a
 counter.  All EM experiments in this library report these counts.
+
+Every layer here is written against the
+:class:`~repro.store.StorageBackend` protocol, so the same pool, sorted
+file and B-tree also run over the real file-backed
+:class:`~repro.store.FileDevice` — the durable cold tier — with
+identical logical I/O accounting (asserted by the F17 parity benchmark).
 """
 
 from .device import BlockDevice, IOStats

@@ -1,10 +1,17 @@
-"""A simulated block device with exact I/O accounting."""
+"""A simulated block device with exact I/O accounting.
+
+``BlockDevice`` is the reference implementation of the
+:class:`~repro.store.StorageBackend` protocol: blocks are Python lists in
+a dict and transfers only bump counters, so EM experiments measure the
+algorithm rather than the OS.  The real file-backed twin is
+:class:`~repro.store.FileDevice`; both report identical logical I/O.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import CapacityError
+from ..errors import BlockNotAllocatedError, CapacityError
 
 __all__ = ["BlockDevice", "IOStats"]
 
@@ -85,7 +92,9 @@ class BlockDevice:
         return bid
 
     def free(self, bid: int) -> None:
-        """Release a block (no transfer cost)."""
+        """Release a block (no transfer cost); typed error on double free."""
+        if bid not in self._blocks:
+            raise BlockNotAllocatedError(f"block {bid} is not allocated")
         del self._blocks[bid]
         self.stats.freed += 1
 
@@ -98,7 +107,10 @@ class BlockDevice:
 
     def read(self, bid: int) -> list:
         """Transfer one block in; returns the stored item list."""
-        block = self._blocks[bid]
+        try:
+            block = self._blocks[bid]
+        except KeyError:
+            raise BlockNotAllocatedError(f"block {bid} is not allocated") from None
         self.stats.reads += 1
         if bid == self._last_read + 1:
             self.stats.sequential_reads += 1
@@ -112,7 +124,7 @@ class BlockDevice:
                 f"{len(items)} items exceed block size {self.block_size}"
             )
         if bid not in self._blocks:
-            raise KeyError(f"block {bid} was never allocated")
+            raise BlockNotAllocatedError(f"block {bid} is not allocated")
         self._blocks[bid] = list(items)
         self.stats.writes += 1
         if bid == self._last_write + 1:

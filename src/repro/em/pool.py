@@ -1,15 +1,19 @@
-"""An LRU buffer pool in front of a :class:`~repro.em.device.BlockDevice`.
+"""An LRU buffer pool in front of any ``StorageBackend`` device.
 
 The pool models internal memory: a block already cached costs nothing to
 touch again, which is what turns "pop B consecutive pre-drawn samples from a
 buffer block" into ``O(1/B)`` amortized I/Os in the external IRS structure.
+
+The pool talks to its device exclusively through the
+:class:`~repro.store.StorageBackend` verbs, so the same code path runs
+over the simulated :class:`~repro.em.device.BlockDevice` (the paper's
+experiments) and the real file-backed :class:`~repro.store.FileDevice`
+(the durable cold tier).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-
-from .device import BlockDevice
 
 __all__ = ["BufferPool"]
 
@@ -20,12 +24,13 @@ class BufferPool:
     Parameters
     ----------
     device:
-        Backing block device.
+        Backing block device — any :class:`~repro.store.StorageBackend`
+        implementation.
     capacity:
         Number of blocks held in memory (``M/B`` in EM terms); must be >= 1.
     """
 
-    def __init__(self, device: BlockDevice, capacity: int) -> None:
+    def __init__(self, device, capacity: int) -> None:
         if capacity < 1:
             raise ValueError(f"pool capacity must be >= 1, got {capacity}")
         self.device = device
@@ -79,7 +84,15 @@ class BufferPool:
         self._dirty.discard(bid)
 
     def flush(self) -> None:
-        """Write every dirty frame back to the device."""
+        """Write every dirty frame back to the device, in block-id order.
+
+        Ascending order is load-bearing for the accounting: consecutive
+        dirty ids become one sequential run in
+        :attr:`~repro.em.device.IOStats.sequential_writes`, so flushes of
+        contiguous structures read as streaming writes — on a real disk
+        (``FileDevice``) that ordering is also what makes the flush one
+        forward pass instead of a seek storm.
+        """
         for bid in sorted(self._dirty):
             self.device.write(bid, self._frames[bid])
         self._dirty.clear()

@@ -1,4 +1,9 @@
-"""A packed sorted file: ``n`` values in ``⌈n/B⌉`` consecutive blocks."""
+"""A packed sorted file: ``n`` values in ``⌈n/B⌉`` consecutive blocks.
+
+Device-agnostic: all block traffic goes through the
+:class:`~repro.em.pool.BufferPool`, whose device may be simulated or a
+real :class:`~repro.store.FileDevice`.
+"""
 
 from __future__ import annotations
 

@@ -15,6 +15,9 @@ __all__ = [
     "InvalidWeightError",
     "KeyNotFoundError",
     "CapacityError",
+    "StorageError",
+    "BlockNotAllocatedError",
+    "CorruptRecordError",
 ]
 
 
@@ -49,3 +52,26 @@ class KeyNotFoundError(ReproError, KeyError):
 
 class CapacityError(ReproError):
     """Raised when a fixed-capacity substrate (e.g. a block) overflows."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-backend and durability-tier failures."""
+
+
+class BlockNotAllocatedError(StorageError, KeyError):
+    """Raised when touching a block id that is not currently allocated.
+
+    Covers double frees and read/write-after-free on any
+    :class:`~repro.store.StorageBackend`.  Subclasses ``KeyError`` for
+    backward compatibility with callers that caught the old dict error.
+    """
+
+
+class CorruptRecordError(StorageError):
+    """Raised when a WAL record or snapshot plane fails its integrity check.
+
+    The write-ahead log treats a corrupt *tail* record as a torn write and
+    truncates it silently during recovery; corruption before the tail — or
+    a corrupt snapshot manifest/plane — is unrecoverable data damage and
+    surfaces as this error.
+    """

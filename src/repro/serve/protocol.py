@@ -43,6 +43,8 @@ __all__ = [
     "error_code",
     "error_response",
     "ok_response",
+    "op_to_wire",
+    "op_from_wire",
 ]
 
 #: Library exception -> stable wire error code (most specific class wins).
@@ -133,6 +135,60 @@ def decode(line: bytes | str) -> dict:
     if not isinstance(message, dict):
         raise RequestError("bad_request", "request must be a JSON object")
     return message
+
+
+#: BatchOp kind <-> one-letter wire tag (kept stable: WAL records on disk
+#: outlive code versions).
+_OP_TAGS = {"insert": "i", "delete": "d", "sample": "s", "count": "c"}
+_TAG_OPS = {tag: kind for kind, tag in _OP_TAGS.items()}
+
+
+def op_to_wire(op) -> dict:
+    """Serialize one :class:`~repro.batch.BatchOp` to its wire dict.
+
+    This is the record body format of the write-ahead log
+    (:mod:`repro.store.wal`): compact stable keys, op-irrelevant fields
+    omitted, round-trippable through :func:`op_from_wire`.  The dict is
+    JSON-safe by construction — values were validated finite at
+    admission.
+    """
+    tag = _OP_TAGS.get(op.kind)
+    if tag is None:
+        raise ValueError(f"unknown op kind: {op.kind!r}")
+    wire: dict = {"k": tag}
+    if op.kind in ("insert", "delete"):
+        wire["v"] = op.value
+        if op.kind == "insert" and op.weight is not None:
+            wire["w"] = op.weight
+    else:
+        wire["lo"] = op.lo
+        wire["hi"] = op.hi
+        if op.kind == "sample":
+            wire["t"] = op.t
+            if op.seed is not None:
+                wire["seed"] = op.seed
+    if op.structure != "default":
+        wire["s"] = op.structure
+    return wire
+
+
+def op_from_wire(wire: dict):
+    """Rebuild a :class:`~repro.batch.BatchOp` from its wire dict."""
+    from ..batch import BatchOp
+
+    kind = _TAG_OPS.get(wire.get("k"))
+    if kind is None:
+        raise ValueError(f"unknown op tag: {wire.get('k')!r}")
+    structure = wire.get("s", "default")
+    if kind == "insert":
+        return BatchOp.insert(wire["v"], wire.get("w"), structure)
+    if kind == "delete":
+        return BatchOp.delete(wire["v"], structure)
+    if kind == "sample":
+        return BatchOp.sample(
+            wire["lo"], wire["hi"], wire["t"], structure, seed=wire.get("seed")
+        )
+    return BatchOp.count(wire["lo"], wire["hi"], structure)
 
 
 def require_number(message: dict, field: str, *, finite: bool = False) -> float:

@@ -26,6 +26,18 @@ all on one event loop:
    FIFO consistency model — and responses scatter back to each request's
    future as the batch completes.
 
+With ``data_dir=`` the server is **durable**: on construction it
+recovers state from the directory's newest snapshot plus the write-ahead
+log (:class:`~repro.store.DurableStore`), every batch's update ops are
+logged *before* the batch executes (write-ahead), snapshots checkpoint
+on a size trigger (``snapshot_ops``), an optional wall-clock interval
+(``snapshot_interval``) and on graceful shutdown, and the covered WAL
+prefix is truncated after each checkpoint.  A ``kill -9`` mid-stream
+therefore loses no acknowledged update under ``fsync="always"`` (and no
+OS-flushed one under the other policies) — restart recovery rebuilds a
+byte-identical structure state, and client-seeded sample requests return
+byte-identical replies against it.
+
 The server is single-loop and not thread-safe by design: samplers are
 plain mutable Python objects, and one ordered executor is what makes the
 write order well-defined.
@@ -94,6 +106,18 @@ class ReproServer:
         How many formed batches may await execution (pipeline depth).
     max_line:
         TCP line-length limit in bytes (newline-delimited JSON frames).
+    data_dir:
+        Durability directory (``None`` keeps the server purely
+        in-memory).  When set, state is recovered from it on
+        construction and every mutating batch is write-ahead logged.
+    fsync:
+        WAL fsync policy (``always``/``batch``/``off``); only meaningful
+        with ``data_dir``.
+    snapshot_ops:
+        Checkpoint after this many logged update ops.
+    snapshot_interval:
+        Optional wall-clock checkpoint interval in seconds (checked as
+        batches execute; an idle server does not wake up to snapshot).
     """
 
     def __init__(
@@ -108,12 +132,32 @@ class ReproServer:
         max_pending: int = 4096,
         max_inflight: int = 8,
         max_line: int = 1 << 20,
+        data_dir: str | None = None,
+        fsync: str = "batch",
+        snapshot_ops: int = 50_000,
+        snapshot_interval: float | None = None,
     ) -> None:
         if window < 0.0:
             raise ValueError("window must be >= 0")
         if max_batch < 1 or max_pending < 1 or max_inflight < 1:
             raise ValueError("max_batch, max_pending and max_inflight must be >= 1")
         self._runner = BatchQueryRunner(structures)
+        self.store = None
+        self.recovery = None
+        self._snapshot_interval = snapshot_interval
+        self._last_snapshot_at = None  # loop time of the last checkpoint
+        if data_dir is not None:
+            # Imported here, not at module level: repro.store.wal reuses
+            # this package's wire protocol, so a top-level import would be
+            # circular.
+            from ..store.durable import DurableStore
+
+            self.store = DurableStore(
+                data_dir, fsync=fsync, snapshot_ops=snapshot_ops
+            )
+            self.recovery = self.store.recover(self._runner.structures, seed=seed)
+            self._runner = BatchQueryRunner(self.recovery.structures)
+        self._store_closed = False
         self._entropy = RandomSource(seed)._rng.getrandbits(64)
         self._serial = 0
         self._window = float(window)
@@ -198,6 +242,13 @@ class ReproServer:
                 pending.future.set_result(
                     protocol.error_response(pending.request_id, shutdown)
                 )
+        if self.store is not None and not self._store_closed:
+            self._store_closed = True
+            # Graceful shutdown checkpoints whatever the WAL holds beyond
+            # the last snapshot, so a clean restart replays nothing.
+            if self.store.ops_since_snapshot > 0:
+                self.store.snapshot(self._runner.structures)
+            self.store.close()
 
     async def __aenter__(self) -> "ReproServer":
         return await self.start()
@@ -391,6 +442,14 @@ class ReproServer:
             spans.append((pending, len(ops), len(pending.ops)))
             ops.extend(pending.ops)
         self.stats.observe_batch(len(batch))
+        if self.store is not None:
+            # Write-ahead: the batch's update ops are durable (to the
+            # policy's standard) before any of them mutates a structure.
+            # Ops that will fail in execution are logged too — replay runs
+            # the same capture-errors path, so they fail identically there.
+            update_ops = [op for op in ops if op.kind in ("insert", "delete")]
+            if update_ops:
+                self.store.log_batch(update_ops)
         try:
             mixed = self._runner.run_mixed(
                 ops, capture_errors=True, coalesce_reads=True
@@ -444,6 +503,23 @@ class ReproServer:
                 result = n
             response = protocol.ok_response(pending.request_id, result)
             self._reply(pending, response, ok=True, loop=loop, samples=samples)
+        self._maybe_checkpoint(loop)
+
+    def _maybe_checkpoint(self, loop) -> None:
+        """Snapshot when the size or wall-clock trigger fires."""
+        if self.store is None:
+            return
+        now = loop.time()
+        if self._last_snapshot_at is None:
+            self._last_snapshot_at = now
+        due = self.store.should_snapshot() or (
+            self._snapshot_interval is not None
+            and now - self._last_snapshot_at >= self._snapshot_interval
+            and self.store.ops_since_snapshot > 0
+        )
+        if due:
+            self.store.snapshot(self._runner.structures)
+            self._last_snapshot_at = loop.time()
 
     def _reply(self, pending: _Pending, response, *, ok, loop, samples=0) -> None:
         self.stats.observe_reply(ok, loop.time() - pending.admitted_at, samples)

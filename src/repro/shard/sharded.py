@@ -348,6 +348,40 @@ class ShardedIRS(DynamicRangeSampler):
             out.extend(self._shard_values(i).tolist())
         return out
 
+    def export_sorted(self):
+        """Return every stored point as one sorted NumPy array.
+
+        Per-shard delegation: each shard exports its own sorted plane
+        (through the snapshot cache, so clean shards cost nothing) and
+        the key-ordered disjoint pieces concatenate into the global
+        sorted order.  This is the uniform snapshot surface the
+        durability tier (:mod:`repro.store.snapshot`) persists.
+        """
+        if not self._shards:
+            return _np.empty(0, dtype=float)
+        return _np.concatenate(
+            [self._shard_values(i) for i in range(len(self._shards))]
+        )
+
+    def export_sorted_pairs(self):
+        """Return ``(values, weights)`` planes in sorted value order.
+
+        Weighted shard kinds only (:class:`~repro.errors.InvalidQueryError`
+        otherwise); the per-shard pairs concatenate exactly like
+        :meth:`export_sorted`.
+        """
+        if not self._weighted:
+            raise InvalidQueryError("export_sorted_pairs requires weighted shards")
+        values: list = []
+        weights: list = []
+        for i in range(len(self._shards)):
+            v, w = self._export_shard(i)
+            values.append(v)
+            weights.append(w)
+        if not values:
+            return _np.empty(0, dtype=float), _np.empty(0, dtype=float)
+        return _np.concatenate(values), _np.concatenate(weights)
+
     def close(self) -> None:
         """Release the backend's workers and every shared-memory segment."""
         self._backend.close()

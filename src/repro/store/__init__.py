@@ -1,0 +1,54 @@
+"""``repro.store`` — the durability tier: storage backends, WAL, snapshots.
+
+The subsystem spans three layers:
+
+* **Storage** (:mod:`repro.store.backend`, :mod:`repro.store.filedev`) —
+  the :class:`StorageBackend` protocol shared by the paper's simulated
+  :class:`~repro.em.BlockDevice` and the real file-backed
+  :class:`FileDevice`, so the EM experiments and the durable cold tier
+  run the same code path with the same logical I/O accounting;
+* **Durability** (:mod:`repro.store.wal`, :mod:`repro.store.snapshot`) —
+  :class:`WriteAheadLog` appends coalesced update batches as
+  length-prefixed CRC-checked records (reusing the ``BatchOp`` wire
+  encoding), :class:`SnapshotStore` persists every structure's
+  ``export_sorted`` planes plus a manifest and rebuilds in ``O(n)``
+  through ``from_sorted``;
+* **Orchestration** (:mod:`repro.store.durable`) — :class:`DurableStore`
+  ties both into one ``data_dir`` with the recovery invariant the
+  serving layer relies on: *state = snapshot ⊕ replay(WAL records past
+  the manifest's sequence number)*.
+
+Quick start::
+
+    from repro import DynamicIRS
+    from repro.store import DurableStore
+
+    store = DurableStore("/tmp/irs-data", fsync="always")
+    report = store.recover({"default": DynamicIRS([1.0, 2.0, 3.0])})
+    d = report.structures["default"]            # rebuilt + WAL-replayed
+    store.log_batch([("insert", 4.0)])          # durable before applied
+    d.insert(4.0)
+    store.snapshot(report.structures)           # truncates the WAL prefix
+    store.close()
+
+See DESIGN.md §9 for the record format, fsync trade-offs and the
+crash-recovery argument; ``repro serve --data-dir`` wires this into the
+serving layer.
+"""
+
+from .backend import StorageBackend
+from .durable import DurableStore
+from .filedev import FileDevice
+from .snapshot import SnapshotStore, build_from_sorted, snapshot_spec
+from .wal import WalRecord, WriteAheadLog
+
+__all__ = [
+    "StorageBackend",
+    "FileDevice",
+    "WriteAheadLog",
+    "WalRecord",
+    "SnapshotStore",
+    "DurableStore",
+    "build_from_sorted",
+    "snapshot_spec",
+]

@@ -1,0 +1,76 @@
+"""The storage-backend protocol shared by simulated and real devices.
+
+Every external-memory structure in this library (buffer pool, sorted
+file, B-tree, :class:`~repro.core.em_irs.ExternalIRS`) talks to its
+device exclusively through this surface: fixed-capacity blocks addressed
+by integer id, four verbs (``allocate``/``free``/``read``/``write``) and
+exact per-transfer accounting via :class:`~repro.em.device.IOStats`.
+
+Two implementations ship:
+
+* :class:`~repro.em.device.BlockDevice` — the paper's simulated disk
+  (blocks are Python lists in a dict; transfers only bump counters),
+  used by the EM experiments so they measure the algorithm, not the OS;
+* :class:`~repro.store.filedev.FileDevice` — a real single-file device
+  (fixed-size binary slots, NumPy ``tobytes``/``frombuffer`` codec)
+  backing the durable cold tier.
+
+Both count logical I/O identically, which is what lets the F17 benchmark
+assert query-path parity between the simulation and the real file.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from ..em.device import IOStats
+
+__all__ = ["StorageBackend", "IOStats"]
+
+
+@runtime_checkable
+class StorageBackend(Protocol):
+    """Structural interface of a block storage device.
+
+    Implementations must provide the two attributes and the four verbs
+    below with these semantics:
+
+    * ``block_size`` — fixed item capacity of every block (the EM
+      literature's ``B``); writers may store fewer items, never more;
+    * ``stats`` — cumulative :class:`IOStats`, bumped once per ``read``
+      and once per ``write`` (allocation and freeing transfer nothing);
+    * ``allocate() -> int`` — reserve a fresh empty block, return its id;
+    * ``free(bid)`` — release a block; freeing an unallocated id raises
+      :class:`~repro.errors.BlockNotAllocatedError`;
+    * ``read(bid) -> list`` — return the block's stored items (a copy or
+      an immutable view; callers treat it as theirs to mutate only after
+      going through a buffer pool);
+    * ``write(bid, items)`` — replace the block's contents;
+      :class:`~repro.errors.CapacityError` if ``len(items)`` exceeds
+      ``block_size``, :class:`~repro.errors.BlockNotAllocatedError` if
+      the id is not live.
+    """
+
+    block_size: int
+    stats: IOStats
+
+    def allocate(self) -> int:
+        """Reserve a new empty block and return its id."""
+        ...
+
+    def free(self, bid: int) -> None:
+        """Release a block (typed error on double free)."""
+        ...
+
+    def read(self, bid: int) -> list:
+        """Transfer one block in; returns the stored item list."""
+        ...
+
+    def write(self, bid: int, items: list) -> None:
+        """Transfer one block out; ``items`` must fit in the block."""
+        ...
+
+    @property
+    def blocks_in_use(self) -> int:
+        """Number of live blocks — the structure's space in the EM model."""
+        ...

@@ -1,0 +1,183 @@
+"""The durability facade: one data directory = WAL + snapshot store.
+
+:class:`DurableStore` owns a data directory with the layout::
+
+    <data_dir>/wal/wal-<first_seq>.log   # the write-ahead log segments
+    <data_dir>/snapshots/snap-<seq>/     # published snapshots
+
+and implements the recovery invariant the serving layer stands on::
+
+    state  =  snapshot  ⊕  replay(records with seq > snapshot.wal_seq)
+
+The serving layer calls :meth:`log_batch` with each batch's update ops
+*before* executing them, :meth:`maybe_snapshot` after (size-triggered
+checkpoints), :meth:`snapshot` on graceful shutdown, and
+:meth:`recover` on start.  Replay runs the logged ops through the same
+:meth:`~repro.batch.BatchQueryRunner.run_mixed` path that executed them
+live — with ``capture_errors=True``, so an op that failed live (say a
+delete of an absent value) fails identically on replay instead of
+aborting it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from ..rng import derive_seed
+from .snapshot import SnapshotStore, build_from_sorted
+from .wal import WriteAheadLog
+
+__all__ = ["DurableStore", "RecoveryReport"]
+
+
+@dataclass(slots=True)
+class RecoveryReport:
+    """What :meth:`DurableStore.recover` found and did."""
+
+    snapshot_seq: int = 0  #: WAL position of the snapshot used (0 = none)
+    replayed_records: int = 0  #: WAL records replayed on top of it
+    replayed_ops: int = 0  #: individual ops inside those records
+    structures: dict = field(default_factory=dict)  #: the recovered set
+
+
+class DurableStore:
+    """WAL + snapshots over one data directory.
+
+    Parameters
+    ----------
+    data_dir:
+        The directory (created if missing).  One store per directory.
+    fsync:
+        WAL fsync policy — see :class:`~repro.store.wal.WriteAheadLog`.
+    snapshot_ops:
+        Size trigger: :meth:`maybe_snapshot` checkpoints once this many
+        update ops have been logged since the last snapshot.
+    segment_bytes / sync_every:
+        Forwarded to the WAL.
+    """
+
+    def __init__(
+        self,
+        data_dir: str | os.PathLike,
+        *,
+        fsync: str = "batch",
+        snapshot_ops: int = 50_000,
+        segment_bytes: int = 64 << 20,
+        sync_every: int = 256,
+    ) -> None:
+        if snapshot_ops < 1:
+            raise ValueError("snapshot_ops must be >= 1")
+        self.data_dir = os.fspath(data_dir)
+        os.makedirs(self.data_dir, exist_ok=True)
+        self.wal = WriteAheadLog(
+            os.path.join(self.data_dir, "wal"),
+            fsync=fsync,
+            segment_bytes=segment_bytes,
+            sync_every=sync_every,
+        )
+        self.snapshots = SnapshotStore(os.path.join(self.data_dir, "snapshots"))
+        self.snapshot_ops = int(snapshot_ops)
+        self._ops_since_snapshot = 0
+
+    # -- logging -------------------------------------------------------------
+
+    @property
+    def last_seq(self) -> int:
+        """The WAL's current highest sequence number."""
+        return self.wal.last_seq
+
+    @property
+    def ops_since_snapshot(self) -> int:
+        """Update ops logged (or replayed) since the last checkpoint."""
+        return self._ops_since_snapshot
+
+    def log_batch(self, ops) -> int | None:
+        """Append one batch of update ops; return its seq (None if empty)."""
+        ops = list(ops)
+        if not ops:
+            return None
+        seq = self.wal.append(ops)
+        self._ops_since_snapshot += len(ops)
+        return seq
+
+    # -- checkpointing -------------------------------------------------------
+
+    def should_snapshot(self) -> bool:
+        """True once enough updates accumulated since the last snapshot."""
+        return self._ops_since_snapshot >= self.snapshot_ops
+
+    def maybe_snapshot(self, structures) -> int | None:
+        """Checkpoint if the size trigger fired; return the seq or None."""
+        if not self.should_snapshot():
+            return None
+        return self.snapshot(structures)
+
+    def snapshot(self, structures) -> int:
+        """Checkpoint ``structures`` at the current WAL position.
+
+        The WAL is fsynced first so the snapshot can never claim to cover
+        records that are not themselves durable; after publication the
+        covered WAL prefix is deleted.
+        """
+        self.wal.sync()
+        seq = self.wal.last_seq
+        self.snapshots.save(structures, seq)
+        self.wal.truncate_through(seq)
+        self._ops_since_snapshot = 0
+        return seq
+
+    # -- recovery ------------------------------------------------------------
+
+    def recover(self, structures, *, seed: int | None = None) -> RecoveryReport:
+        """Rebuild state from the newest snapshot plus the WAL suffix.
+
+        ``structures`` is the freshly built name -> sampler mapping (the
+        server's cold-start state, e.g. from ``--data``); structures
+        present in the snapshot are *replaced* by their O(n)
+        ``from_sorted`` rebuild, others stay as given.  The WAL records
+        beyond the snapshot then replay through the batch engine.  With
+        no snapshot the whole WAL replays into the given structures.
+
+        ``seed`` (optional) re-seeds the rebuilt structures'
+        *internal* streams deterministically.  Served replies only
+        depend on it for requests without a client seed — seeded
+        requests are reproducible regardless, which is what the
+        byte-identical recovery guarantee is stated over.
+        """
+        from ..batch import BatchQueryRunner
+
+        report = RecoveryReport(structures=dict(structures))
+        loaded = self.snapshots.load()
+        if loaded:
+            entry = self.snapshots.latest()
+            report.snapshot_seq = entry[0] if entry is not None else 0
+            for index, (name, (spec, values, weights)) in enumerate(
+                sorted(loaded.items())
+            ):
+                rebuilt_seed = None if seed is None else derive_seed(seed, index)
+                report.structures[name] = build_from_sorted(
+                    spec, values, weights, seed=rebuilt_seed
+                )
+        if self.wal.last_seq > report.snapshot_seq:
+            runner = BatchQueryRunner(report.structures)
+            for record in self.wal.replay(after_seq=report.snapshot_seq):
+                runner.run_mixed(record.ops, capture_errors=True)
+                report.replayed_records += 1
+                report.replayed_ops += len(record.ops)
+        self._ops_since_snapshot = report.replayed_ops
+        return report
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the WAL (fsyncing under the durable policies)."""
+        self.wal.close()
+
+    def __enter__(self) -> "DurableStore":
+        """Context-manager entry (returns self)."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Context-manager exit: close the store."""
+        self.close()

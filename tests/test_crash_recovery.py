@@ -1,0 +1,218 @@
+"""Crash injection: kill -9 a durable ``repro serve`` and verify recovery.
+
+The harness starts the real CLI server (``python -m repro serve --data-dir``)
+as a subprocess, drives a write workload over its TCP socket, SIGKILLs it
+mid-stream, and then checks the recovery contract:
+
+* the recovered state equals the initial data plus a *prefix* of the sent
+  update stream, and that prefix covers every acknowledged update (an op
+  the client saw succeed is never lost);
+* a client-seeded sample reply from the recovered server is byte-identical
+  to the reply of an uninterrupted server holding the same state.
+
+The deterministic variant runs in tier 1; the randomized multi-round
+variant is marked ``slow`` (run with ``pytest -m slow``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import signal
+import socket
+import subprocess
+import sys
+
+import pytest
+
+from repro import DynamicIRS
+from repro.serve import ReproServer
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+INITIAL = [float(i) for i in range(120)]
+
+
+def serve_command(data_file, data_dir, fsync):
+    return [
+        sys.executable, "-m", "repro", "serve",
+        "--data", data_file, "--structure", "dynamic", "--seed", "7",
+        "--host", "127.0.0.1", "--port", "0",
+        "--data-dir", data_dir, "--fsync", fsync,
+        "--window-ms", "1", "--snapshot-ops", "1000000",
+    ]
+
+
+def start_server(data_file, data_dir, fsync="batch"):
+    """Launch the CLI server; return (process, port)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    proc = subprocess.Popen(
+        serve_command(data_file, data_dir, fsync),
+        cwd=REPO, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    line = proc.stdout.readline()
+    assert "serving on" in line, f"server failed to start: {line!r}"
+    return proc, int(line.rsplit(":", 1)[1])
+
+
+def drain_responses(sock, want, deadline=20.0):
+    """Read newline-JSON responses until ``want`` arrive or the socket ends."""
+    sock.settimeout(deadline)
+    buf = b""
+    out = []
+    try:
+        while len(out) < want:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+            while b"\n" in buf and len(out) < want:
+                head, buf = buf.split(b"\n", 1)
+                out.append(json.loads(head))
+    except (TimeoutError, OSError):  # killed mid-read is expected
+        pass
+    return out
+
+
+def apply_ops(values, ops):
+    """Replay (kind, value) ops over a sorted list, returning a new list."""
+    out = list(values)
+    for kind, value in ops:
+        if kind == "insert":
+            out.append(value)
+        elif value in out:
+            out.remove(value)
+    return sorted(out)
+
+
+def verify_recovery(data_dir, sent_ops, acked):
+    """Open the data dir in process; check the prefix property and replies."""
+    seeded_req = json.dumps(
+        {"id": 0, "op": "sample", "lo": -1e9, "hi": 1e9, "t": 16, "seed": 321}
+    ).encode()
+
+    async def recover_and_sample():
+        async with ReproServer(
+            DynamicIRS(INITIAL, seed=7), seed=7, data_dir=data_dir
+        ) as server:
+            state = sorted(server._runner.structures["default"].export_sorted())
+            reply = await server.submit(seeded_req)
+            return state, reply
+
+    async def uninterrupted_sample(state):
+        async with ReproServer(DynamicIRS(state, seed=7), seed=7) as server:
+            return await server.submit(seeded_req)
+
+    state, reply = asyncio.run(recover_and_sample())
+    # The recovered state must be the initial data plus some prefix of the
+    # sent stream -- and that prefix must include every acknowledged op.
+    candidates = {}
+    rolling = list(INITIAL)
+    candidates[tuple(sorted(rolling))] = 0
+    for i, op in enumerate(sent_ops):
+        rolling = apply_ops(rolling, [op])
+        # Overwrite on repeats: when two prefixes yield the same state the
+        # longer one is the safe answer for the acked-coverage check.
+        candidates[tuple(rolling)] = i + 1
+    assert tuple(state) in candidates, "recovered state is not a sent-prefix"
+    prefix_len = candidates[tuple(state)]
+    assert prefix_len >= acked, (
+        f"lost acknowledged updates: prefix {prefix_len} < acked {acked}"
+    )
+    reference = asyncio.run(uninterrupted_sample(state))
+    assert json.dumps(reply, sort_keys=True) == json.dumps(reference, sort_keys=True)
+    return prefix_len
+
+
+def run_crash_round(tmp_path, tag, ops, ack_target, fsync):
+    """One start -> workload -> kill -9 -> verify cycle; return prefix length."""
+    data_file = tmp_path / f"points-{tag}.txt"
+    data_file.write_text("\n".join(str(v) for v in INITIAL))
+    data_dir = str(tmp_path / f"state-{tag}")
+    proc, port = start_server(str(data_file), data_dir, fsync)
+    try:
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+            payload = b"".join(
+                json.dumps(
+                    {"id": i, "op": kind, "value": value}
+                ).encode() + b"\n"
+                for i, (kind, value) in enumerate(ops)
+            )
+            sock.sendall(payload)
+            replies = drain_responses(sock, want=ack_target)
+            acked = sum(1 for r in replies if r.get("ok"))
+            os.kill(proc.pid, signal.SIGKILL)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=20)
+    return verify_recovery(data_dir, ops, acked)
+
+
+def test_kill9_mid_workload_recovers_acked_prefix(tmp_path):
+    ops = [("insert", 1000.0 + i) for i in range(240)]
+    run_crash_round(tmp_path, "fast", ops, ack_target=60, fsync="batch")
+
+
+def test_restarted_cli_server_serves_recovered_state(tmp_path):
+    data_file = tmp_path / "points.txt"
+    data_file.write_text("\n".join(str(v) for v in INITIAL))
+    data_dir = str(tmp_path / "state")
+    ops = [("insert", 2000.0 + i) for i in range(40)]
+
+    proc, port = start_server(str(data_file), data_dir)
+    try:
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+            for i, (kind, value) in enumerate(ops):
+                sock.sendall(
+                    json.dumps({"id": i, "op": kind, "value": value}).encode() + b"\n"
+                )
+            replies = drain_responses(sock, want=len(ops))
+            assert sum(1 for r in replies if r.get("ok")) == len(ops)
+            os.kill(proc.pid, signal.SIGKILL)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=20)
+
+    # A second CLI process over the same --data-dir recovers and serves.
+    proc, port = start_server(str(data_file), data_dir)
+    try:
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+            sock.sendall(
+                json.dumps(
+                    {"id": 0, "op": "count", "lo": -1e9, "hi": 1e9}
+                ).encode() + b"\n"
+            )
+            (reply,) = drain_responses(sock, want=1)
+        assert reply["ok"] and reply["result"] == len(INITIAL) + len(ops)
+    finally:
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=20)
+
+
+@pytest.mark.slow
+def test_kill9_randomized_rounds(tmp_path):
+    rng = random.Random(20140807)
+    for round_no in range(3):
+        live = list(INITIAL)
+        ops = []
+        for i in range(180):
+            if live and rng.random() < 0.3:
+                value = live.pop(rng.randrange(len(live)))
+                ops.append(("delete", value))
+            else:
+                value = 5000.0 + round_no * 1000 + i
+                live.append(value)
+                ops.append(("insert", value))
+        prefix = run_crash_round(
+            tmp_path,
+            f"rand{round_no}",
+            ops,
+            ack_target=rng.randrange(20, 160),
+            fsync=rng.choice(["always", "batch"]),
+        )
+        assert 0 <= prefix <= len(ops)

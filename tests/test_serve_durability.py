@@ -1,0 +1,156 @@
+"""The serving layer's durability loop, in process (no subprocesses here)."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+
+from repro import DynamicIRS, WeightedDynamicIRS
+from repro.serve import ReproServer, ServeClient
+
+DATA = [float(i) for i in range(50)]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def fresh_structures():
+    return {
+        "default": DynamicIRS(DATA, seed=1),
+        "weighted": WeightedDynamicIRS(DATA, [1.0] * len(DATA), seed=2),
+    }
+
+
+def test_server_without_data_dir_has_no_store():
+    async def main():
+        async with ReproServer(fresh_structures(), seed=5) as server:
+            assert server.store is None and server.recovery is None
+            await ServeClient(server).insert(1.5)
+
+    run(main())
+
+
+def test_server_recovers_state_and_seeded_replies(tmp_path):
+    data_dir = str(tmp_path / "srv")
+    sample_req = json.dumps(
+        {"id": 1, "op": "sample", "lo": 0.0, "hi": 100.0, "t": 12, "seed": 99}
+    ).encode()
+
+    async def first_run():
+        async with ReproServer(fresh_structures(), seed=5, data_dir=data_dir) as server:
+            client = ServeClient(server)
+            await client.insert_bulk([100.5, 101.5, 102.5])
+            await client.delete(0.0)
+            await client.insert(7.25, structure="weighted")
+            reply = await server.submit(sample_req)
+            state = list(server._runner.structures["default"].export_sorted())
+            return reply, state
+
+    async def second_run():
+        async with ReproServer(fresh_structures(), seed=5, data_dir=data_dir) as server:
+            reply = await server.submit(sample_req)
+            state = list(server._runner.structures["default"].export_sorted())
+            wstate = list(server._runner.structures["weighted"].export_sorted())
+            return reply, state, wstate, server.recovery
+
+    reply1, state1 = run(first_run())
+    reply2, state2, wstate2, recovery = run(second_run())
+    assert state2 == state1
+    assert 7.25 in wstate2
+    # Client-seeded replies are byte-identical across the restart.
+    assert json.dumps(reply2, sort_keys=True) == json.dumps(reply1, sort_keys=True)
+    # Graceful shutdown checkpointed, so recovery came from the snapshot
+    # alone with nothing left to replay.
+    assert recovery.snapshot_seq > 0
+    assert recovery.replayed_records == 0
+
+
+def test_server_snapshot_ops_trigger(tmp_path):
+    data_dir = str(tmp_path / "srv")
+
+    async def main():
+        async with ReproServer(
+            DynamicIRS(DATA, seed=1), seed=5, data_dir=data_dir, snapshot_ops=2
+        ) as server:
+            client = ServeClient(server)
+            for i in range(5):
+                await client.insert(1000.0 + i)
+            # The size trigger fired mid-run: fewer pending ops than inserts.
+            assert server.store.ops_since_snapshot < 5
+            return server.store.snapshots.latest()[0]
+
+    assert run(main()) >= 1
+    snaps = os.listdir(os.path.join(data_dir, "snapshots"))
+    assert len(snaps) == 1
+
+
+def test_server_interval_trigger(tmp_path):
+    data_dir = str(tmp_path / "srv")
+
+    async def main():
+        async with ReproServer(
+            DynamicIRS(DATA, seed=1),
+            seed=5,
+            data_dir=data_dir,
+            snapshot_interval=0.0,  # every executed batch is past due
+        ) as server:
+            client = ServeClient(server)
+            await client.insert(1000.0)
+            assert server.store.ops_since_snapshot == 0
+            assert server.store.snapshots.latest() is not None
+
+    run(main())
+
+
+def test_server_read_only_traffic_logs_nothing(tmp_path):
+    data_dir = str(tmp_path / "srv")
+
+    async def main():
+        async with ReproServer(
+            DynamicIRS(DATA, seed=1), seed=5, data_dir=data_dir
+        ) as server:
+            client = ServeClient(server)
+            await client.count(0.0, 100.0)
+            await client.sample(0.0, 100.0, 4)
+            assert server.store.last_seq == 0
+
+    run(main())
+    # No updates -> shutdown writes no snapshot either.
+    assert os.listdir(os.path.join(data_dir, "snapshots")) == []
+
+
+def test_server_failed_update_replays_identically(tmp_path):
+    data_dir = str(tmp_path / "srv")
+
+    async def main(check):
+        async with ReproServer(
+            DynamicIRS(DATA, seed=1),
+            seed=5,
+            data_dir=data_dir,
+            snapshot_ops=10_000_000,  # keep everything in the WAL
+        ) as server:
+            client = ServeClient(server)
+            if not check:
+                # One failing delete inside a batch of otherwise-good updates:
+                # the reply is a typed error, the WAL still holds the batch.
+                await client.insert(200.0)
+                reply = await server.submit(
+                    json.dumps({"id": 9, "op": "delete", "value": 555.5}).encode()
+                )
+                assert reply["ok"] is False
+                await client.insert(201.0)
+                # Skip the shutdown snapshot so recovery must replay the WAL.
+                server._store_closed = True
+                server.store.close()
+            return (
+                list(server._runner.structures["default"].export_sorted()),
+                server.recovery,
+            )
+
+    state1, _ = run(main(check=False))
+    state2, recovery = run(main(check=True))
+    assert state2 == state1
+    assert recovery.snapshot_seq == 0
+    assert recovery.replayed_ops == 3

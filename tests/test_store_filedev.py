@@ -1,0 +1,200 @@
+"""The file-backed cold tier: codec, typed errors, pool ordering, parity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExternalIRS
+from repro.em import BlockDevice, BufferPool
+from repro.errors import BlockNotAllocatedError, CapacityError, StorageError
+from repro.store import FileDevice
+from repro.workloads import gaussian_mixture
+
+
+def make_file_device(tmp_path, block_size=8, name="dev.bin"):
+    return FileDevice(tmp_path / name, block_size)
+
+
+def devices(tmp_path, block_size=8):
+    """Both StorageBackend implementations, for behavior-parity tests."""
+    return [BlockDevice(block_size), make_file_device(tmp_path, block_size)]
+
+
+# -- codec --------------------------------------------------------------------
+
+
+def test_filedevice_codec_roundtrip_all_block_shapes(tmp_path):
+    dev = make_file_device(tmp_path)
+    values_bid, pairs_bid, node_bid = dev.allocate(), dev.allocate(), dev.allocate()
+    dev.write(values_bid, [1.5, -2.0, 3.25])
+    dev.write(pairs_bid, [(7, 1.5), (9, -2.0)])
+    dev.write(node_bid, [[0.5, 1.5, 2.5], [10, 11, 12, 13][:3]])
+    assert dev.read(values_bid) == [1.5, -2.0, 3.25]
+    assert dev.read(pairs_bid) == [(7, 1.5), (9, -2.0)]
+    assert dev.read(node_bid) == [[0.5, 1.5, 2.5], [10, 11, 12]]
+    # Overwrite with a different shape: the slot re-tags itself.
+    dev.write(values_bid, [(1, 9.0)])
+    assert dev.read(values_bid) == [(1, 9.0)]
+    dev.write(values_bid, [])
+    assert dev.read(values_bid) == []
+    dev.close()
+
+
+def test_filedevice_allocated_but_unwritten_reads_empty(tmp_path):
+    dev = make_file_device(tmp_path)
+    bid = dev.allocate()
+    assert dev.read(bid) == []
+    dev.close()
+
+
+def test_filedevice_persists_across_reopen(tmp_path):
+    dev = make_file_device(tmp_path)
+    bid = dev.allocate()
+    dev.write(bid, [4.0, 5.0])
+    dev.sync()
+    dev.close()
+    dev = make_file_device(tmp_path)
+    # Allocation state is in-memory (the cold tier is rebuilt on recovery),
+    # so re-allocate block 0 and read what the file still holds.
+    assert dev.allocate() == bid
+    assert dev.read(bid) == [4.0, 5.0]
+    dev.close()
+
+
+def test_filedevice_header_validation(tmp_path):
+    dev = make_file_device(tmp_path)
+    dev.close()
+    with pytest.raises(StorageError):
+        FileDevice(tmp_path / "dev.bin", 16)  # block size mismatch
+    junk = tmp_path / "junk.bin"
+    junk.write_bytes(b"not a device file, definitely")
+    with pytest.raises(StorageError):
+        FileDevice(junk, 8)
+    with pytest.raises(CapacityError):
+        FileDevice(tmp_path / "tiny.bin", 1)
+
+
+# -- typed errors, both backends ---------------------------------------------
+
+
+def test_double_free_is_typed_on_both_devices(tmp_path):
+    for dev in devices(tmp_path):
+        bid = dev.allocate()
+        dev.free(bid)
+        with pytest.raises(BlockNotAllocatedError):
+            dev.free(bid)
+        # The typed error keeps its historical KeyError lineage so legacy
+        # callers catching KeyError still work.
+        assert issubclass(BlockNotAllocatedError, StorageError)
+        assert issubclass(BlockNotAllocatedError, KeyError)
+
+
+def test_read_and_write_after_free_are_typed(tmp_path):
+    for dev in devices(tmp_path):
+        bid = dev.allocate()
+        dev.write(bid, [1.0])
+        dev.free(bid)
+        with pytest.raises(BlockNotAllocatedError):
+            dev.read(bid)
+        with pytest.raises(BlockNotAllocatedError):
+            dev.write(bid, [2.0])
+
+
+def test_unallocated_block_access_is_typed(tmp_path):
+    for dev in devices(tmp_path):
+        with pytest.raises(BlockNotAllocatedError):
+            dev.read(12345)
+        with pytest.raises(BlockNotAllocatedError):
+            dev.write(12345, [1.0])
+
+
+def test_overfull_write_is_capacity_error(tmp_path):
+    for dev in devices(tmp_path, block_size=4):
+        bid = dev.allocate()
+        with pytest.raises(CapacityError):
+            dev.write(bid, [1.0] * 5)
+
+
+def test_filedevice_free_list_reuse(tmp_path):
+    dev = make_file_device(tmp_path)
+    a, b = dev.allocate(), dev.allocate()
+    dev.free(a)
+    assert dev.allocate() == a
+    assert dev.blocks_in_use == 2
+    assert (dev.stats.allocated, dev.stats.freed) == (3, 1)
+    dev.free(a)
+    dev.free(b)
+    assert dev.blocks_in_use == 0
+
+
+# -- buffer pool ordering -----------------------------------------------------
+
+
+class _OrderSpy:
+    """StorageBackend double that records the write order it sees."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.write_order = []
+
+    def write(self, bid, items):
+        self.write_order.append(bid)
+        self.inner.write(bid, items)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+def test_bufferpool_flush_writes_in_block_id_order(tmp_path):
+    for raw in devices(tmp_path, block_size=4):
+        spy = _OrderSpy(raw)
+        pool = BufferPool(spy, capacity=16)
+        bids = [raw.allocate() for _ in range(8)]
+        for bid in [5, 2, 7, 0, 3, 6, 1, 4]:
+            pool.put(bids[bid], [float(bid)])
+        before = raw.stats.snapshot()
+        pool.flush()
+        assert spy.write_order == sorted(bids)
+        # Ascending contiguous ids flush as one sequential streaming run.
+        delta = raw.stats.delta(before)
+        assert delta.writes == 8
+        assert delta.sequential_writes == 7
+        pool.flush()  # idempotent: nothing dirty remains
+        assert len(spy.write_order) == 8
+
+
+def test_bufferpool_read_after_free_is_typed(tmp_path):
+    for dev in devices(tmp_path):
+        pool = BufferPool(dev, capacity=4)
+        bid = dev.allocate()
+        pool.put(bid, [1.0])
+        pool.flush()
+        pool.invalidate(bid)
+        dev.free(bid)
+        with pytest.raises(BlockNotAllocatedError):
+            pool.get(bid)
+
+
+# -- ExternalIRS parity: simulated device vs real file ------------------------
+
+
+def test_external_irs_identical_io_on_file_and_simulated_device(tmp_path):
+    data = gaussian_mixture(4000, clusters=3, seed=17)
+    sim = ExternalIRS(data, block_size=64, seed=23)
+    real = ExternalIRS(
+        data, block_size=64, seed=23,
+        device=FileDevice(tmp_path / "irs.bin", 64),
+    )
+    lo, hi = sorted(data)[len(data) // 8], sorted(data)[(7 * len(data)) // 8]
+    for irs in (sim, real):
+        irs.sample_bulk(lo, hi, 500, seed=5)
+        irs.sample_bulk(lo, hi, 37, seed=6)
+        irs.count(lo, hi)
+    assert real.device.stats == sim.device.stats
+    assert list(real.sample_bulk(lo, hi, 64, seed=9)) == list(
+        sim.sample_bulk(lo, hi, 64, seed=9)
+    )
+    assert real.export_sorted().tolist() == sim.export_sorted().tolist()
+    assert real.count(lo, hi) == sim.count(lo, hi)
+    real.close()
+    sim.close()

@@ -1,0 +1,321 @@
+"""The durability tier: WAL framing, snapshots, and the DurableStore loop."""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+
+import pytest
+
+from repro import DynamicIRS, WeightedDynamicIRS
+from repro.batch import BatchOp
+from repro.errors import CorruptRecordError, StorageError
+from repro.store import (
+    DurableStore,
+    SnapshotStore,
+    WriteAheadLog,
+    build_from_sorted,
+    snapshot_spec,
+)
+
+OPS_A = [("insert", 1.5), ("insert", 2.5), ("delete", 1.5)]
+OPS_B = [BatchOp.insert(7.0), BatchOp.delete(2.5)]
+
+
+def wal_dir(tmp_path):
+    return str(tmp_path / "wal")
+
+
+# -- WAL framing and replay --------------------------------------------------
+
+
+def test_wal_append_replay_roundtrip(tmp_path):
+    with WriteAheadLog(wal_dir(tmp_path)) as wal:
+        assert wal.append(OPS_A) == 1
+        assert wal.append(OPS_B) == 2
+        assert wal.last_seq == 2
+        records = list(wal.replay())
+    assert [r.seq for r in records] == [1, 2]
+    first = records[0].ops
+    assert [(op.kind, op.value) for op in first] == [
+        ("insert", 1.5), ("insert", 2.5), ("delete", 1.5),
+    ]
+    assert all(isinstance(op, BatchOp) for op in first)
+    assert list(wal.replay(after_seq=1))[0].seq == 2
+    assert list(wal.replay(after_seq=2)) == []
+
+
+def test_wal_reopen_continues_sequence(tmp_path):
+    with WriteAheadLog(wal_dir(tmp_path)) as wal:
+        wal.append(OPS_A)
+    with WriteAheadLog(wal_dir(tmp_path)) as wal:
+        assert wal.last_seq == 1
+        assert wal.append(OPS_B) == 2
+        assert [r.seq for r in wal.replay()] == [1, 2]
+
+
+def test_wal_rotation_and_truncation(tmp_path):
+    with WriteAheadLog(wal_dir(tmp_path), segment_bytes=1) as wal:
+        for i in range(5):
+            wal.append([("insert", float(i))])
+        names = sorted(os.listdir(wal_dir(tmp_path)))
+        # segment_bytes=1: every append lands in its own segment.
+        assert len(names) == 5
+        assert [r.seq for r in wal.replay()] == [1, 2, 3, 4, 5]
+        # Everything through seq 3 is covered by a snapshot: segments whose
+        # records all fall at or below it are deleted, replay starts past it.
+        removed = wal.truncate_through(3)
+        assert removed == 3
+        assert [r.seq for r in wal.replay()] == [4, 5]
+        assert [r.seq for r in wal.replay(after_seq=3)] == [4, 5]
+    # The active segment is only removable once the log is closed.
+    with WriteAheadLog(wal_dir(tmp_path)) as wal:
+        assert wal.last_seq == 5
+    reopened = WriteAheadLog(wal_dir(tmp_path))
+    reopened.truncate_through(5)
+    assert list(reopened.replay()) == []
+    reopened.close()
+
+
+def test_wal_torn_tail_truncated_on_open(tmp_path):
+    with WriteAheadLog(wal_dir(tmp_path)) as wal:
+        for i in range(3):
+            wal.append([("insert", float(i))])
+    (name,) = os.listdir(wal_dir(tmp_path))
+    path = os.path.join(wal_dir(tmp_path), name)
+    with open(path, "r+b") as fh:
+        fh.truncate(os.path.getsize(path) - 3)  # tear the last record
+    with WriteAheadLog(wal_dir(tmp_path)) as wal:
+        assert wal.torn_tail == (name, os.path.getsize(path))
+        assert wal.last_seq == 2
+        assert [r.seq for r in wal.replay()] == [1, 2]
+        # The log keeps accepting appends after healing.
+        assert wal.append(OPS_B) == 3
+    with WriteAheadLog(wal_dir(tmp_path)) as wal:
+        assert wal.torn_tail is None
+        assert [r.seq for r in wal.replay()] == [1, 2, 3]
+
+
+def test_wal_corruption_before_tail_raises(tmp_path):
+    with WriteAheadLog(wal_dir(tmp_path), segment_bytes=1) as wal:
+        wal.append(OPS_A)
+        wal.append(OPS_B)
+    first = sorted(os.listdir(wal_dir(tmp_path)))[0]
+    path = os.path.join(wal_dir(tmp_path), first)
+    raw = bytearray(open(path, "rb").read())
+    raw[12] ^= 0xFF  # flip a payload byte in a non-tail segment
+    open(path, "wb").write(bytes(raw))
+    with pytest.raises(CorruptRecordError):
+        WriteAheadLog(wal_dir(tmp_path))
+
+
+def test_wal_crc_valid_but_unparseable_raises(tmp_path):
+    os.makedirs(wal_dir(tmp_path))
+    payload = b"definitely not json\n"
+    frame = struct.pack("<II", len(payload), zlib.crc32(payload)) + payload
+    with open(os.path.join(wal_dir(tmp_path), "wal-0000000000000001.log"), "wb") as fh:
+        fh.write(frame)
+    with pytest.raises(CorruptRecordError):
+        WriteAheadLog(wal_dir(tmp_path))
+
+
+def test_wal_parameter_validation(tmp_path):
+    with pytest.raises(ValueError):
+        WriteAheadLog(wal_dir(tmp_path), fsync="sometimes")
+    with pytest.raises(ValueError):
+        WriteAheadLog(wal_dir(tmp_path), segment_bytes=0)
+    with pytest.raises(ValueError):
+        WriteAheadLog(wal_dir(tmp_path), sync_every=0)
+
+
+@pytest.mark.parametrize("fsync", ["always", "batch", "off"])
+def test_wal_policies_all_flush_records(tmp_path, fsync):
+    with WriteAheadLog(wal_dir(tmp_path) + fsync, fsync=fsync, sync_every=2) as wal:
+        for i in range(5):
+            wal.append([("insert", float(i))])
+        wal.sync()
+    with WriteAheadLog(wal_dir(tmp_path) + fsync, fsync=fsync) as wal:
+        assert [r.seq for r in wal.replay()] == [1, 2, 3, 4, 5]
+
+
+def test_wal_segment_is_inspectable_json(tmp_path):
+    with WriteAheadLog(wal_dir(tmp_path)) as wal:
+        wal.append([("insert", 3.25, "other")])
+    (name,) = os.listdir(wal_dir(tmp_path))
+    raw = open(os.path.join(wal_dir(tmp_path), name), "rb").read()
+    length, crc = struct.unpack_from("<II", raw)
+    payload = raw[8 : 8 + length]
+    assert zlib.crc32(payload) == crc
+    body = json.loads(payload)
+    assert body["q"] == 1
+    assert body["ops"] == [{"k": "i", "v": 3.25, "s": "other"}]
+
+
+# -- snapshots ----------------------------------------------------------------
+
+
+def test_snapshot_save_load_roundtrip(tmp_path):
+    store = SnapshotStore(tmp_path / "snaps")
+    assert store.latest() is None
+    assert store.load() == {}
+    structures = {
+        "default": DynamicIRS([3.0, 1.0, 2.0], seed=1),
+        "weighted": WeightedDynamicIRS([2.0, 1.0], [0.5, 2.0], seed=2),
+    }
+    store.save(structures, wal_seq=9)
+    seq, manifest = store.latest()
+    assert seq == 9
+    assert set(manifest["structures"]) == {"default", "weighted"}
+    loaded = store.load()
+    spec, values, weights = loaded["default"]
+    assert spec["kind"] == "dynamic" and weights is None
+    assert list(values) == [1.0, 2.0, 3.0]
+    spec, values, weights = loaded["weighted"]
+    assert spec["kind"] == "weighted-dynamic"
+    assert list(values) == [1.0, 2.0]
+    assert list(weights) == [2.0, 0.5]
+    rebuilt = build_from_sorted(spec, values, weights, seed=3)
+    assert rebuilt.export_sorted().tolist() == [1.0, 2.0]
+    assert rebuilt.peek_weights([(0.0, 5.0)]) == structures["weighted"].peek_weights(
+        [(0.0, 5.0)]
+    )
+
+
+def test_snapshot_save_prunes_and_replaces(tmp_path):
+    store = SnapshotStore(tmp_path / "snaps")
+    d = {"default": DynamicIRS([1.0], seed=1)}
+    store.save(d, wal_seq=3)
+    store.save(d, wal_seq=8)
+    assert [e.name for e in os.scandir(tmp_path / "snaps")] == ["snap-0000000000000008"]
+    # Re-publishing the same WAL position replaces in place.
+    store.save({"default": DynamicIRS([4.0], seed=1)}, wal_seq=8)
+    (_, values, _) = store.load()["default"]
+    assert list(values) == [4.0]
+
+
+def test_snapshot_ignores_tmp_and_junk_dirs(tmp_path):
+    store = SnapshotStore(tmp_path / "snaps")
+    os.makedirs(tmp_path / "snaps" / "snap-0000000000000009.tmp-1")
+    os.makedirs(tmp_path / "snaps" / "snap-nonsense")
+    assert store.latest() is None
+    store.save({"default": DynamicIRS([1.0], seed=1)}, wal_seq=2)
+    assert store.latest()[0] == 2
+
+
+def test_snapshot_crc_mismatch_raises(tmp_path):
+    store = SnapshotStore(tmp_path / "snaps")
+    store.save({"default": DynamicIRS([1.0, 2.0], seed=1)}, wal_seq=1)
+    snap = tmp_path / "snaps" / "snap-0000000000000001"
+    plane = snap / "s0000.values.f8"
+    raw = bytearray(plane.read_bytes())
+    raw[0] ^= 0xFF
+    plane.write_bytes(bytes(raw))
+    with pytest.raises(CorruptRecordError):
+        store.load()
+
+
+def test_snapshot_spec_rejects_undescribable_samplers():
+    with pytest.raises(StorageError):
+        snapshot_spec(object())
+    from repro import ShardedIRS
+
+    def custom_shard(values, weights, seed):
+        return DynamicIRS.from_sorted(list(values), seed=seed)
+
+    sharded = ShardedIRS([1.0, 2.0], num_shards=2, shard_kind=custom_shard)
+    with pytest.raises(StorageError):
+        snapshot_spec(sharded)
+
+
+def test_build_from_sorted_rejects_unknown_kind():
+    with pytest.raises(StorageError):
+        build_from_sorted({"kind": "quantum", "params": {}}, [1.0])
+
+
+# -- the durable store loop ---------------------------------------------------
+
+
+def test_durable_store_log_recover_invariant(tmp_path):
+    data_dir = str(tmp_path / "d")
+    live = DynamicIRS([1.0, 2.0, 3.0], seed=5)
+    with DurableStore(data_dir) as store:
+        assert store.log_batch([]) is None
+        store.log_batch([("insert", 4.0), ("insert", 5.0)])
+        live.insert(4.0)
+        live.insert(5.0)
+        store.log_batch([("delete", 1.0)])
+        live.delete(1.0)
+        assert store.ops_since_snapshot == 3
+    with DurableStore(data_dir) as store:
+        report = store.recover({"default": DynamicIRS([1.0, 2.0, 3.0], seed=5)})
+        assert (report.snapshot_seq, report.replayed_records, report.replayed_ops) == (
+            0, 2, 3,
+        )
+        assert report.structures["default"].export_sorted().tolist() == (
+            live.export_sorted().tolist()
+        )
+
+
+def test_durable_store_snapshot_truncates_and_resets(tmp_path):
+    data_dir = str(tmp_path / "d")
+    d = DynamicIRS([1.0], seed=1)
+    with DurableStore(data_dir) as store:
+        store.log_batch([("insert", 2.0)])
+        d.insert(2.0)
+        seq = store.snapshot({"default": d})
+        assert seq == 1
+        assert store.ops_since_snapshot == 0
+        store.log_batch([("insert", 3.0)])
+        d.insert(3.0)
+    with DurableStore(data_dir) as store:
+        report = store.recover({"default": DynamicIRS([1.0], seed=1)})
+        assert report.snapshot_seq == 1
+        assert (report.replayed_records, report.replayed_ops) == (1, 1)
+        assert report.structures["default"].export_sorted().tolist() == (
+            d.export_sorted().tolist()
+        )
+        # Replayed-but-unsnapshotted ops still count toward the next trigger.
+        assert store.ops_since_snapshot == 1
+
+
+def test_durable_store_size_trigger(tmp_path):
+    with DurableStore(tmp_path / "d", snapshot_ops=3) as store:
+        d = DynamicIRS([], seed=1)
+        store.log_batch([("insert", 1.0), ("insert", 2.0)])
+        d.insert_bulk([1.0, 2.0])
+        assert store.maybe_snapshot({"default": d}) is None
+        store.log_batch([("insert", 3.0)])
+        d.insert(3.0)
+        assert store.should_snapshot()
+        assert store.maybe_snapshot({"default": d}) == 2
+
+
+def test_durable_store_replay_tolerates_failed_ops(tmp_path):
+    data_dir = str(tmp_path / "d")
+    with DurableStore(data_dir) as store:
+        # A delete of an absent value failed live (capture_errors on the
+        # serving path); replay must fail it identically, not abort.
+        store.log_batch([("delete", 99.0), ("insert", 4.0)])
+    with DurableStore(data_dir) as store:
+        report = store.recover({"default": DynamicIRS([1.0], seed=1)})
+        assert report.structures["default"].export_sorted().tolist() == [1.0, 4.0]
+
+
+def test_durable_store_seeded_recovery_is_deterministic(tmp_path):
+    data_dir = str(tmp_path / "d")
+    with DurableStore(data_dir) as store:
+        store.snapshot({"default": DynamicIRS([float(i) for i in range(64)], seed=1)})
+
+    def recovered_stream():
+        with DurableStore(data_dir) as store:
+            rep = store.recover({"default": DynamicIRS([], seed=1)}, seed=77)
+            return list(rep.structures["default"].sample_bulk(0.0, 63.0, 16))
+
+    assert recovered_stream() == recovered_stream()
+
+
+def test_durable_store_validates_snapshot_ops(tmp_path):
+    with pytest.raises(ValueError):
+        DurableStore(tmp_path / "d", snapshot_ops=0)
