@@ -310,6 +310,8 @@ def _serve(args, structure) -> int:
         return 0
 
     async def tcp() -> int:
+        import signal
+
         server = ReproServer(
             structure,
             seed=args.seed,
@@ -319,9 +321,25 @@ def _serve(args, structure) -> int:
         )
         await server.start_tcp(args.host, args.port)
         print(f"serving on {args.host}:{server.port}", flush=True)
+        # SIGTERM (the orchestrator's polite kill) must run the same
+        # graceful path as Ctrl-C: drain in-flight batches, write the
+        # shutdown checkpoint, close the WAL.  Without the handler the
+        # default action kills the process mid-batch and the next start
+        # pays a full WAL replay.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        hooked: list[int] = []
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+                hooked.append(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread / platform without loop signals
         try:
-            await asyncio.Event().wait()  # until interrupted
+            await stop.wait()  # until SIGINT/SIGTERM (or KeyboardInterrupt)
         finally:
+            for sig in hooked:
+                loop.remove_signal_handler(sig)
             await server.aclose()
         return 0
 

@@ -18,6 +18,13 @@ __all__ = [
     "StorageError",
     "BlockNotAllocatedError",
     "CorruptRecordError",
+    "InjectedFaultError",
+    "ConnectionLostError",
+    "DeadlineExceededError",
+    "RetriesExhaustedError",
+    "ShardExecutionError",
+    "ShardTimeoutError",
+    "WorkerDiedError",
 ]
 
 
@@ -75,3 +82,57 @@ class CorruptRecordError(StorageError):
     a corrupt snapshot manifest/plane — is unrecoverable data damage and
     surfaces as this error.
     """
+
+
+class InjectedFaultError(StorageError):
+    """A fault deliberately injected by :mod:`repro.faults`.
+
+    Subclasses :class:`StorageError` so injection sites inside the storage
+    stack surface exactly like a real EIO would; the distinct type lets
+    chaos tests tell an injected failure from an accidental one.
+    """
+
+
+class ConnectionLostError(ReproError, ConnectionError):
+    """The transport to the server died mid-conversation.
+
+    Raised by :class:`~repro.serve.TCPServeClient` when the connection
+    drops, the server closes mid-reply, or a reply frame is truncated or
+    undecodable — every "the wire went bad" failure mode, so callers (and
+    the retrying client) need exactly one except clause for them.
+    """
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A request's per-call deadline expired before a reply arrived.
+
+    Raised by :class:`~repro.serve.ResilientClient` when the configured
+    deadline runs out — including when time remains but not enough to sit
+    out the next backoff delay.
+    """
+
+
+class RetriesExhaustedError(ReproError):
+    """A retryable request failed on every allowed attempt.
+
+    The last underlying failure is attached as ``__cause__``; seeded reads
+    and request-id-tagged updates are safe to retry again at a higher
+    level because both are idempotent against the server.
+    """
+
+
+class ShardExecutionError(ReproError):
+    """Base class for shard-task execution failures (timeout, worker death).
+
+    :class:`~repro.shard.ShardedIRS` catches this to fail over to the
+    serial backend: shard tasks are seed-pure, so the re-run returns
+    byte-identical samples.
+    """
+
+
+class ShardTimeoutError(ShardExecutionError, TimeoutError):
+    """A shard task missed its execution deadline on a parallel backend."""
+
+
+class WorkerDiedError(ShardExecutionError):
+    """A shard worker process died before finishing its tasks."""

@@ -1,0 +1,203 @@
+"""Storage-seam injection: a faulty block device and a faulty file handle.
+
+:class:`FaultyDevice` wraps any :class:`~repro.store.StorageBackend` and
+injects EIO-style failures and torn partial writes on the block verbs;
+:class:`FaultyFile` wraps a binary file object and injects torn writes,
+silent byte corruption, and fsync failures — plug it into
+:class:`~repro.store.wal.WriteAheadLog` via its ``file_wrapper`` hook to
+drive the log's torn-tail and corruption recovery paths from a seeded
+:class:`~repro.faults.FaultPlan` instead of hand-crafted truncation.
+
+Sites consumed (under the wrapper's ``site`` prefix, default shown):
+
+========================  ====================================================
+``device.read``           ``read`` raises :class:`InjectedFaultError`
+``device.write``          ``write`` raises before touching the block
+``device.torn``           ``write`` stores a strict prefix of the items, then
+                          raises — the block now holds a torn image
+``device.fsync``          ``sync`` raises
+``wal.torn``              ``write`` persists a strict byte prefix, then
+                          raises; the handle is then *dead* (every further
+                          verb raises), modeling a process that died
+                          mid-write and never got to roll back
+``wal.corrupt``           ``write`` silently flips one byte and succeeds —
+                          latent damage a checksum must catch later
+``wal.fsync``             ``fsync`` raises (the bytes are flushed but their
+                          durability is unknown)
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..errors import InjectedFaultError
+from .plan import FaultPlan
+
+__all__ = ["FaultyDevice", "FaultyFile"]
+
+
+class FaultyDevice:
+    """A :class:`~repro.store.StorageBackend` wrapper that injects faults.
+
+    Every verb consults the plan before delegating; ``allocate``/``free``
+    always pass through (allocation is bookkeeping, not a transfer).  The
+    wrapped device's ``block_size``/``stats``/``blocks_in_use`` surface
+    unchanged, so a :class:`~repro.em.buffer.BufferPool` or
+    :class:`~repro.core.ExternalIRS` runs over the wrapper unmodified.
+    """
+
+    def __init__(self, inner, plan: FaultPlan, *, site: str = "device") -> None:
+        self.inner = inner
+        self.plan = plan
+        self.site = site
+
+    @property
+    def block_size(self) -> int:
+        """The wrapped device's block capacity."""
+        return self.inner.block_size
+
+    @property
+    def stats(self):
+        """The wrapped device's cumulative I/O counters."""
+        return self.inner.stats
+
+    @property
+    def blocks_in_use(self) -> int:
+        """The wrapped device's live-block count."""
+        return self.inner.blocks_in_use
+
+    def allocate(self) -> int:
+        """Reserve a block on the wrapped device (never faulted)."""
+        return self.inner.allocate()
+
+    def free(self, bid: int) -> None:
+        """Release a block on the wrapped device (never faulted)."""
+        self.inner.free(bid)
+
+    def read(self, bid: int) -> list:
+        """Read a block, or raise an injected EIO at site ``<site>.read``."""
+        if self.plan.should(f"{self.site}.read"):
+            raise InjectedFaultError(f"injected EIO reading block {bid}")
+        return self.inner.read(bid)
+
+    def write(self, bid: int, items: list) -> None:
+        """Write a block; may raise an injected EIO or tear the write.
+
+        A torn write (site ``<site>.torn``) stores a strict non-empty
+        prefix of ``items`` before raising, so the block afterwards holds
+        a syntactically valid but incomplete image — what a real partial
+        sector write leaves behind.
+        """
+        if self.plan.should(f"{self.site}.write"):
+            raise InjectedFaultError(f"injected EIO writing block {bid}")
+        if self.plan.should(f"{self.site}.torn"):
+            items = list(items)
+            keep = self.plan.split_point(f"{self.site}.torn", len(items))
+            self.inner.write(bid, items[:keep])
+            raise InjectedFaultError(
+                f"injected torn write on block {bid}: kept {keep}/{len(items)} items"
+            )
+        self.inner.write(bid, items)
+
+    def sync(self) -> None:
+        """Fsync the wrapped device, or raise at site ``<site>.fsync``."""
+        if self.plan.should(f"{self.site}.fsync"):
+            raise InjectedFaultError("injected fsync failure on device")
+        sync = getattr(self.inner, "sync", None)
+        if sync is not None:
+            sync()
+
+    def close(self) -> None:
+        """Close the wrapped device (never faulted)."""
+        close = getattr(self.inner, "close", None)
+        if close is not None:
+            close()
+
+
+class FaultyFile:
+    """A binary-file wrapper that injects write-path faults.
+
+    Built for the WAL's ``file_wrapper`` hook: the log opens its segment,
+    passes the handle through this wrapper, and every subsequent
+    ``write``/``fsync`` consults the plan.  After a torn write the handle
+    goes *dead* — all further verbs raise — because a real torn write
+    means the process died mid-``write(2)``; the partial frame must stay
+    on disk for recovery to find, not be rolled back by the survivor.
+    """
+
+    def __init__(self, inner, plan: FaultPlan, *, site: str = "wal") -> None:
+        self.inner = inner
+        self.plan = plan
+        self.site = site
+        self._dead = False
+
+    def _check_alive(self) -> None:
+        if self._dead:
+            raise InjectedFaultError(
+                "injected: file handle dead after a torn write (simulated crash)"
+            )
+
+    def write(self, data) -> int:
+        """Write bytes, possibly torn (then dead) or silently corrupted."""
+        self._check_alive()
+        if self.plan.should(f"{self.site}.torn"):
+            keep = self.plan.split_point(f"{self.site}.torn", len(data))
+            if keep:
+                self.inner.write(data[:keep])
+                self.inner.flush()
+            self._dead = True
+            raise InjectedFaultError(
+                f"injected torn write: {keep}/{len(data)} bytes persisted"
+            )
+        if self.plan.should(f"{self.site}.corrupt") and len(data) > 0:
+            flip = int(self.plan.fraction(f"{self.site}.corrupt") * len(data))
+            flip = min(flip, len(data) - 1)
+            data = bytes(data[:flip]) + bytes([data[flip] ^ 0xFF]) + bytes(
+                data[flip + 1 :]
+            )
+        return self.inner.write(data)
+
+    def fsync(self) -> None:
+        """Flush and fsync the wrapped handle, or raise at ``<site>.fsync``."""
+        self._check_alive()
+        if self.plan.should(f"{self.site}.fsync"):
+            raise InjectedFaultError("injected fsync failure")
+        self.inner.flush()
+        os.fsync(self.inner.fileno())
+
+    def flush(self) -> None:
+        """Flush the wrapped handle (dead after a torn write)."""
+        self._check_alive()
+        self.inner.flush()
+
+    def truncate(self, size: int) -> int:
+        """Truncate the wrapped handle (dead after a torn write)."""
+        self._check_alive()
+        return self.inner.truncate(size)
+
+    def tell(self) -> int:
+        """Return the wrapped handle's position (dead after a torn write)."""
+        self._check_alive()
+        return self.inner.tell()
+
+    def seek(self, offset: int, whence: int = 0) -> int:
+        """Seek the wrapped handle."""
+        self._check_alive()
+        return self.inner.seek(offset, whence)
+
+    def fileno(self) -> int:
+        """Return the wrapped handle's file descriptor."""
+        return self.inner.fileno()
+
+    def close(self) -> None:
+        """Close the wrapped handle (allowed even when dead, for cleanup)."""
+        try:
+            self.inner.close()
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+
+    @property
+    def closed(self) -> bool:
+        """Whether the wrapped handle is closed."""
+        return self.inner.closed

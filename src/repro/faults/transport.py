@@ -1,0 +1,146 @@
+"""Transport-seam injection: a chaos TCP proxy for the serving protocol.
+
+:class:`FaultyProxy` sits between a client and a
+:class:`~repro.serve.ReproServer`, relaying newline-delimited JSON frames
+in both directions and injecting the network's failure modes on the
+reply path — dropped connections, delayed replies, truncated frames —
+per a seeded :class:`~repro.faults.FaultPlan`.
+
+The server behind the proxy is untouched: a request whose reply the
+proxy destroys **was still executed**.  That asymmetry is the whole
+point — it is exactly the window where a naive retrying client would
+double-apply an update, and what the request-id dedup window in
+:class:`~repro.serve.ReproServer` exists to close.
+
+Sites consumed (under the proxy's ``site`` prefix, default shown):
+
+==================  =========================================================
+``proxy.drop``      sever the connection instead of relaying this reply
+``proxy.truncate``  relay a strict prefix of the reply frame, then sever
+``proxy.delay``     sleep a deterministic 5–25 ms before relaying
+==================  =========================================================
+
+Decisions are per reply *frame*; with a client that awaits each reply
+before sending the next request (the resilient client's mode), the visit
+sequence — and therefore the fault schedule — is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import suppress
+
+from .plan import FaultPlan
+
+__all__ = ["FaultyProxy"]
+
+
+class FaultyProxy:
+    """A fault-injecting TCP relay in front of a serving endpoint."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        target_port: int,
+        *,
+        target_host: str = "127.0.0.1",
+        site: str = "proxy",
+        limit: int = 1 << 20,
+    ) -> None:
+        self.plan = plan
+        self.target_host = target_host
+        self.target_port = target_port
+        self.site = site
+        self._limit = limit
+        self._server: asyncio.base_events.Server | None = None
+        self._conns: set[asyncio.streams.StreamWriter] = set()
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> "FaultyProxy":
+        """Start listening; connect clients to :attr:`port`."""
+        self._server = await asyncio.start_server(
+            self._handle, host, port, limit=self._limit
+        )
+        return self
+
+    @property
+    def port(self) -> int | None:
+        """The proxy's bound port (``None`` before :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            return None
+        return self._server.sockets[0].getsockname()[1]
+
+    async def aclose(self) -> None:
+        """Stop listening and sever every relayed connection."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._conns):
+            writer.close()
+
+    async def __aenter__(self) -> "FaultyProxy":
+        """Context-manager entry: start the proxy."""
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        """Context-manager exit: close the proxy."""
+        await self.aclose()
+
+    async def _handle(self, client_reader, client_writer) -> None:
+        """Relay one client connection to the target, faulting replies."""
+        try:
+            server_reader, server_writer = await asyncio.open_connection(
+                self.target_host, self.target_port, limit=self._limit
+            )
+        except OSError:
+            client_writer.close()
+            return
+        self._conns.add(client_writer)
+        self._conns.add(server_writer)
+
+        async def pump(reader, writer, faulted: bool) -> None:
+            try:
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        break
+                    if faulted and not await self._relay_reply(line, writer):
+                        break
+                    if not faulted:
+                        writer.write(line)
+                        await writer.drain()
+            except (ConnectionResetError, OSError, ValueError):
+                pass
+            finally:
+                # Severing both directions makes a mid-stream fault look
+                # like a dead peer to each side, not a half-open socket.
+                for w in (client_writer, server_writer):
+                    self._conns.discard(w)
+                    with suppress(Exception):
+                        w.close()
+
+        try:
+            await asyncio.gather(
+                pump(client_reader, server_writer, faulted=False),
+                pump(server_reader, client_writer, faulted=True),
+            )
+        except asyncio.CancelledError:
+            # Loop shutdown mid-relay: the pumps' cleanup already severed
+            # both sides; swallowing keeps the handler task quiet.
+            pass
+
+    async def _relay_reply(self, line: bytes, writer) -> bool:
+        """Relay one reply frame per the plan; False ends the connection."""
+        if self.plan.should(f"{self.site}.drop"):
+            return False
+        if self.plan.should(f"{self.site}.truncate"):
+            keep = self.plan.split_point(f"{self.site}.truncate", len(line))
+            if keep:
+                writer.write(line[:keep])
+                with suppress(ConnectionResetError, OSError):
+                    await writer.drain()
+            return False
+        if self.plan.should(f"{self.site}.delay"):
+            await asyncio.sleep(0.005 + 0.02 * self.plan.fraction(f"{self.site}.delay"))
+        writer.write(line)
+        await writer.drain()
+        return True

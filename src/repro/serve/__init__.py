@@ -9,6 +9,9 @@ calls the batch engine is fast at:
   :class:`~repro.batch.BatchQueryRunner`, and scatters replies back;
 * :class:`ServeClient` / :class:`TCPServeClient` — the in-process and TCP
   clients, one shared convenience surface;
+* :class:`ResilientClient` / :class:`RetryPolicy` — the retrying TCP
+  client: deadlines, backoff with deterministic jitter, reconnection,
+  and exactly-once updates via idempotency keys;
 * :class:`ServerStats` — the metrics snapshot (throughput, latency
   percentiles, coalesce factor) behind the ``stats`` op;
 * :class:`ServeError` — the client-side typed-error exception.
@@ -30,7 +33,7 @@ See ``docs/architecture.md`` for the pipeline and consistency model, and
 ``docs/api.md`` for the wire protocol reference.
 """
 
-from .client import ServeClient, TCPServeClient
+from .client import ResilientClient, RetryPolicy, ServeClient, TCPServeClient
 from .protocol import RequestError, ServeError
 from .server import ReproServer
 from .stats import ServerStats
@@ -39,6 +42,8 @@ __all__ = [
     "ReproServer",
     "ServeClient",
     "TCPServeClient",
+    "ResilientClient",
+    "RetryPolicy",
     "ServerStats",
     "ServeError",
     "RequestError",

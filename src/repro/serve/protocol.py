@@ -12,8 +12,11 @@ pipeline requests and match replies out of order.  Responses are either
 ``{"id": ..., "ok": false, "error": {"type": ..., "message": ...}}``
     a *typed* error: ``type`` is a stable machine-readable code (one of
     :data:`ERROR_TYPES` values plus the admission codes ``bad_request``,
-    ``unknown_op``, ``unknown_structure``, ``too_large``, ``overloaded``
-    and ``shutting_down``), ``message`` is human-readable detail.
+    ``unknown_op``, ``unknown_structure``, ``too_large``, ``overloaded``,
+    ``unavailable`` and ``shutting_down``), ``message`` is human-readable
+    detail.  Overload refusals may carry ``retry_after`` (seconds) — the
+    server's measured-capacity backoff hint; codes in
+    :data:`RETRYABLE_CODES` are safe to retry.
 
 The module is transport-agnostic: the TCP server and the in-process
 client both speak dicts shaped by these helpers.
@@ -32,10 +35,14 @@ from ..errors import (
     InvalidWeightError,
     KeyNotFoundError,
     ReproError,
+    ShardTimeoutError,
+    StorageError,
+    WorkerDiedError,
 )
 
 __all__ = [
     "ERROR_TYPES",
+    "RETRYABLE_CODES",
     "RequestError",
     "ServeError",
     "encode",
@@ -43,6 +50,7 @@ __all__ = [
     "error_code",
     "error_response",
     "ok_response",
+    "span_error_body",
     "op_to_wire",
     "op_from_wire",
 ]
@@ -55,8 +63,20 @@ ERROR_TYPES: list[tuple[type, str]] = [
     (KeyNotFoundError, "key_not_found"),
     (InvalidQueryError, "invalid_query"),
     (CapacityError, "capacity"),
+    (ShardTimeoutError, "shard_timeout"),
+    (WorkerDiedError, "worker_died"),
+    (StorageError, "storage"),
     (ReproError, "error"),
 ]
+
+#: Wire error codes that mean "the request did not take effect (or is safe
+#: to repeat) and a later attempt may succeed" — the retrying client's
+#: whitelist.  ``overloaded``/``shutting_down``/``unavailable`` are
+#: refusals issued *before* execution; ``shard_timeout``/``worker_died``
+#: come from seed-pure read paths, so repeating them is harmless.
+RETRYABLE_CODES = frozenset(
+    {"overloaded", "shutting_down", "unavailable", "shard_timeout", "worker_died"}
+)
 
 
 class RequestError(ReproError):
@@ -65,11 +85,16 @@ class RequestError(ReproError):
     Raised (and caught) inside the server for malformed payloads,
     unknown ops/structures, oversized requests and backpressure refusals;
     the ``code`` attribute becomes the response's ``error.type``.
+    ``retry_after`` (seconds), when set, is attached to the error body as
+    the server's backoff hint — how long until capacity should free up.
     """
 
-    def __init__(self, code: str, message: str) -> None:
+    def __init__(
+        self, code: str, message: str, *, retry_after: float | None = None
+    ) -> None:
         super().__init__(message)
         self.code = code
+        self.retry_after = retry_after
 
 
 class ServeError(ReproError):
@@ -102,12 +127,43 @@ def ok_response(request_id, result) -> dict:
 
 
 def error_response(request_id, exc: BaseException) -> dict:
-    """Build a typed error response envelope from an exception."""
-    return {
-        "id": request_id,
-        "ok": False,
-        "error": {"type": error_code(exc), "message": str(exc)},
-    }
+    """Build a typed error response envelope from an exception.
+
+    A ``retry_after`` hint carried by a :class:`RequestError` (the
+    overload path) rides along in the error body.
+    """
+    body = {"type": error_code(exc), "message": str(exc)}
+    retry_after = getattr(exc, "retry_after", None)
+    if retry_after is not None:
+        body["retry_after"] = round(float(retry_after), 4)
+    return {"id": request_id, "ok": False, "error": body}
+
+
+def span_error_body(span_errors) -> dict | None:
+    """Build the error body for a request spanning these per-op errors.
+
+    ``span_errors`` is the request's slice of a mixed run's ``errors``
+    list (``None`` per succeeded op).  Returns ``None`` when every op
+    succeeded, else the wire error body; multi-op (bulk) requests also
+    get ``op_index`` (first failing op) and ``applied`` (ops that did
+    commit) — bulk requests are not atomic, and the reply must say what
+    committed or a client would retry ops that already happened.  The
+    same helper shapes live replies and the dedup outcomes rebuilt from
+    WAL replay, which is what keeps them identical.
+    """
+    error = None
+    error_at = -1
+    for j, exc in enumerate(span_errors):
+        if exc is not None:
+            error, error_at = exc, j
+            break
+    if error is None:
+        return None
+    body = {"type": error_code(error), "message": str(error)}
+    if len(span_errors) > 1:
+        body["op_index"] = error_at
+        body["applied"] = sum(1 for e in span_errors if e is None)
+    return body
 
 
 def encode(message: dict) -> bytes:

@@ -38,6 +38,24 @@ OS-flushed one under the other policies) — restart recovery rebuilds a
 byte-identical structure state, and client-seeded sample requests return
 byte-identical replies against it.
 
+The server also carries the resilience contract a retrying client
+(:class:`~repro.serve.ResilientClient`) stands on:
+
+* **Exactly-once updates.**  An update request may carry a client
+  idempotency key (``rid``).  The server keeps a bounded dedup window of
+  recent rids: a duplicate (the retry of a reply that got lost on the
+  wire) is answered with the recorded outcome instead of re-applied, and
+  a duplicate arriving while the original is still in flight waits on it.
+  Rids are journaled through the WAL with their batches, so recovery
+  rebuilds the window and dedup survives a crash-restart.
+* **Degradation over failure.**  A WAL append failure refuses that
+  batch's updates with a retryable ``unavailable`` error (the
+  write-ahead contract: never execute an unlogged update) while reads in
+  the batch still execute; ``overloaded`` refusals carry a
+  ``retry_after`` hint computed from the measured arrival and drain
+  rates; a failed checkpoint is recorded and retried later instead of
+  killing the executor.
+
 The server is single-loop and not thread-safe by design: samplers are
 plain mutable Python objects, and one ordered executor is what makes the
 write order well-defined.
@@ -46,9 +64,11 @@ write order well-defined.
 from __future__ import annotations
 
 import asyncio
+from collections import OrderedDict
 from contextlib import suppress
 
 from ..batch import BatchOp, BatchQueryRunner
+from ..errors import StorageError
 from ..rng import RandomSource, derive_seed
 from . import protocol
 from .protocol import RequestError
@@ -62,15 +82,18 @@ _UPDATE_OPS = ("insert", "delete", "insert_bulk", "delete_bulk")
 class _Pending:
     """One admitted request waiting for its batch to execute."""
 
-    __slots__ = ("request_id", "kind", "ops", "cost", "future", "admitted_at")
+    __slots__ = ("request_id", "kind", "ops", "cost", "future", "admitted_at", "rid")
 
-    def __init__(self, request_id, kind, ops, cost, future, admitted_at) -> None:
+    def __init__(
+        self, request_id, kind, ops, cost, future, admitted_at, rid=None
+    ) -> None:
         self.request_id = request_id
         self.kind = kind
         self.ops = ops
         self.cost = cost
         self.future = future
         self.admitted_at = admitted_at
+        self.rid = rid
 
 
 class ReproServer:
@@ -118,6 +141,11 @@ class ReproServer:
     snapshot_interval:
         Optional wall-clock checkpoint interval in seconds (checked as
         batches execute; an idle server does not wake up to snapshot).
+    dedup_window:
+        How many recent update request-ids (``rid``) the exactly-once
+        dedup map remembers.  A retry arriving after its rid was evicted
+        re-executes — size the window to cover the client's retry
+        horizon (attempts x max backoff x peak update rate).
     """
 
     def __init__(
@@ -136,6 +164,7 @@ class ReproServer:
         fsync: str = "batch",
         snapshot_ops: int = 50_000,
         snapshot_interval: float | None = None,
+        dedup_window: int = 4096,
     ) -> None:
         if window < 0.0:
             raise ValueError("window must be >= 0")
@@ -175,6 +204,18 @@ class ReproServer:
         self._tcp: asyncio.base_events.Server | None = None
         self._connections: set = set()
         self._closing = False
+        self.last_snapshot_error: Exception | None = None
+        # rid -> ("done", ok, payload) | ("pending", [(request_id, future)]).
+        # Insertion-ordered so eviction drops the oldest outcomes first.
+        self._dedup: OrderedDict = OrderedDict()
+        self._dedup_window = int(dedup_window)
+        if self.recovery is not None:
+            # Crash recovery rebuilt the outcomes of every rid journaled in
+            # the replayed WAL suffix; seed the window so a client retrying
+            # across the restart hits dedup instead of re-applying.
+            for rid, (ok, payload) in self.recovery.dedup.items():
+                self._dedup[rid] = ("done", ok, payload)
+            self._trim_dedup()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -238,6 +279,11 @@ class ReproServer:
                 item = queue.get_nowait()
                 leftovers.extend(item if isinstance(item, list) else [item])
         for pending in leftovers:
+            if pending.rid is not None:
+                # Never executed: release the rid (and answer duplicates
+                # queued behind it) so a retry against a restarted server
+                # re-enters cleanly.
+                self._dedup_abort(pending.rid, shutdown)
             if not pending.future.done():
                 pending.future.set_result(
                     protocol.error_response(pending.request_id, shutdown)
@@ -245,10 +291,18 @@ class ReproServer:
         if self.store is not None and not self._store_closed:
             self._store_closed = True
             # Graceful shutdown checkpoints whatever the WAL holds beyond
-            # the last snapshot, so a clean restart replays nothing.
-            if self.store.ops_since_snapshot > 0:
-                self.store.snapshot(self._runner.structures)
-            self.store.close()
+            # the last snapshot, so a clean restart replays nothing.  A
+            # storage fault here is recorded, not raised — the WAL still
+            # holds everything the snapshot would have covered, and a
+            # failing disk must not turn shutdown into a crash.
+            try:
+                if self.store.ops_since_snapshot > 0:
+                    self.store.snapshot(self._runner.structures)
+                self.store.close()
+            except (StorageError, OSError) as exc:
+                self.last_snapshot_error = exc
+                with suppress(Exception):
+                    self.store.close()
 
     async def __aenter__(self) -> "ReproServer":
         return await self.start()
@@ -278,11 +332,16 @@ class ReproServer:
             self.stats.observe_rejected()
             future.set_result(protocol.error_response(request_id, exc))
             return future
-        if pending is None:  # immediate op (ping/stats/empty bulk)
+        if pending is None:  # immediate op (ping/stats/dedup hit/empty bulk)
             return future
         try:
             self._admit_q.put_nowait(pending)
         except asyncio.QueueFull:
+            if pending.rid is not None:
+                # The rid was provisionally registered; a refused request
+                # must not leave an in-flight entry behind or its retry
+                # would wait forever.
+                self._dedup.pop(pending.rid, None)
             self.stats.observe_rejected()
             future.set_result(
                 protocol.error_response(
@@ -290,12 +349,30 @@ class ReproServer:
                     RequestError(
                         "overloaded",
                         f"admission queue full ({self._max_pending} pending)",
+                        retry_after=self.retry_after_hint(),
                     ),
                 )
             )
             return future
         self.stats.observe_admitted(pending.kind)
         return future
+
+    def retry_after_hint(self) -> float:
+        """Estimate seconds until refused work should retry (overload hint).
+
+        Queue depth over the measured drain rate — "how long until the
+        backlog ahead of you clears" — clamped to ``[0.005, 5.0]``.  With
+        no drain measurement yet (a cold or wedged server) the floor
+        applies: an optimistic quick retry that backoff will stretch if
+        the condition persists.
+        """
+        drain = self.stats.drain_rate()
+        depth = (self._admit_q.qsize() if self._admit_q is not None else 0) + len(
+            self._forming
+        )
+        if drain <= 0.0:
+            return 0.005
+        return min(5.0, max(0.005, depth / drain))
 
     def _admit(self, message: dict, future, loop) -> _Pending | None:
         """Validate one request; return its pending record or resolve now."""
@@ -312,6 +389,22 @@ class ReproServer:
             raise RequestError("unknown_op", f"unknown op: {op!r}")
         if not isinstance(structure, str) or structure not in self._runner.structures:
             raise RequestError("unknown_structure", f"unknown structure: {structure!r}")
+        rid = message.get("rid") if op in _UPDATE_OPS else None
+        if rid is not None:
+            if isinstance(rid, bool) or not isinstance(rid, (str, int)):
+                raise RequestError("bad_request", "field 'rid' must be a string or int")
+            if isinstance(rid, str) and len(rid) > 200:
+                raise RequestError("bad_request", "field 'rid' exceeds 200 characters")
+            entry = self._dedup.get(rid)
+            if entry is not None:
+                # The retry of an update we already know about: answer with
+                # the recorded outcome, or wait for the in-flight original.
+                self.stats.observe_dedup_hit()
+                if entry[0] == "done":
+                    future.set_result(self._dedup_envelope(request_id, entry))
+                else:
+                    entry[1].append((request_id, future))
+                return None
         if op == "sample":
             lo = protocol.require_number(message, "lo")
             hi = protocol.require_number(message, "hi")
@@ -387,7 +480,11 @@ class ReproServer:
                 future.set_result(protocol.ok_response(request_id, 0))
                 return None
             kind, cost = "update", len(ops)
-        return _Pending(request_id, kind, ops, cost, future, loop.time())
+        if rid is not None:
+            # Provisionally in flight; duplicates arriving from here on
+            # queue behind this future instead of re-executing.
+            self._dedup[rid] = ("pending", [])
+        return _Pending(request_id, kind, ops, cost, future, loop.time(), rid)
 
     # -- the coalescing pipeline -------------------------------------------
 
@@ -435,21 +532,65 @@ class ReproServer:
             await asyncio.sleep(0)
 
     def _execute(self, batch: list, loop) -> None:
-        """Run one batch through the mixed runner and scatter the replies."""
+        """Write-ahead log one batch, then run it and scatter the replies.
+
+        A failed WAL append degrades instead of crashing: the batch's
+        update requests are refused with a retryable ``unavailable``
+        error (an unlogged update must never execute — that is the
+        write-ahead contract), their rids are released so honest retries
+        re-enter cleanly, and the batch's reads still run.  The append
+        itself is atomic (:meth:`~repro.store.wal.WriteAheadLog.append`
+        rolls back partial frames), so "refused" reliably means "not in
+        the log".
+        """
+        self.stats.observe_batch(len(batch))
+        if self.store is not None:
+            update_ops: list[BatchOp] = []
+            rid_spans: list[tuple] = []
+            for pending in batch:
+                if pending.kind != "update":
+                    continue
+                if pending.rid is not None:
+                    rid_spans.append((pending.rid, len(update_ops), len(pending.ops)))
+                update_ops.extend(pending.ops)
+            if update_ops:
+                # Write-ahead: the batch's update ops are durable (to the
+                # policy's standard) before any of them mutates a
+                # structure.  Ops that will fail in execution are logged
+                # too — replay runs the same capture-errors path, so they
+                # fail identically there.  Rid spans ride in the record so
+                # recovery can rebuild the dedup window.
+                try:
+                    self.store.log_batch(update_ops, rids=rid_spans or None)
+                except (StorageError, OSError) as exc:
+                    self.stats.observe_wal_failure()
+                    refusal = RequestError(
+                        "unavailable", f"write-ahead log append failed: {exc}"
+                    )
+                    survivors = []
+                    for pending in batch:
+                        if pending.kind != "update":
+                            survivors.append(pending)
+                            continue
+                        response = protocol.error_response(
+                            pending.request_id, refusal
+                        )
+                        if pending.rid is not None:
+                            self._dedup_abort(pending.rid, refusal)
+                        self._reply(pending, response, ok=False, loop=loop)
+                    batch = survivors
+                    if not batch:
+                        return
+        self._run_batch(batch, loop)
+        self._maybe_checkpoint(loop)
+
+    def _run_batch(self, batch: list, loop) -> None:
+        """Run one (already-logged) batch and scatter replies to futures."""
         ops: list[BatchOp] = []
         spans: list[tuple[_Pending, int, int]] = []
         for pending in batch:
             spans.append((pending, len(ops), len(pending.ops)))
             ops.extend(pending.ops)
-        self.stats.observe_batch(len(batch))
-        if self.store is not None:
-            # Write-ahead: the batch's update ops are durable (to the
-            # policy's standard) before any of them mutates a structure.
-            # Ops that will fail in execution are logged too — replay runs
-            # the same capture-errors path, so they fail identically there.
-            update_ops = [op for op in ops if op.kind in ("insert", "delete")]
-            if update_ops:
-                self.store.log_batch(update_ops)
         try:
             mixed = self._runner.run_mixed(
                 ops, capture_errors=True, coalesce_reads=True
@@ -457,34 +598,21 @@ class ReproServer:
         except Exception as exc:  # defensive: keep the server alive
             failure = RequestError("internal", f"batch execution failed: {exc}")
             for pending, _start, _n in spans:
-                self._reply(
-                    pending,
-                    protocol.error_response(pending.request_id, failure),
-                    ok=False,
-                    loop=loop,
-                )
+                response = protocol.error_response(pending.request_id, failure)
+                if pending.rid is not None:
+                    self._dedup_resolve(pending.rid, response)
+                self._reply(pending, response, ok=False, loop=loop)
             return
         for pending, start, n in spans:
-            error = None
-            error_at = -1
-            if mixed.errors is not None:
-                for j in range(start, start + n):
-                    if mixed.errors[j] is not None:
-                        error = mixed.errors[j]
-                        error_at = j - start
-                        break
-            if error is not None:
-                response = protocol.error_response(pending.request_id, error)
-                if n > 1:
-                    # Bulk requests are not atomic across their values (the
-                    # runner applies what it can and attributes failures
-                    # per value) — the reply must say what committed, or a
-                    # client would retry ops that already happened.
-                    span_errors = mixed.errors[start : start + n]
-                    response["error"]["op_index"] = error_at
-                    response["error"]["applied"] = sum(
-                        1 for e in span_errors if e is None
-                    )
+            # Bulk requests are not atomic across their values (the runner
+            # applies what it can and attributes failures per value) — the
+            # error body says what committed (``applied``/``op_index``), or
+            # a client would retry ops that already happened.
+            body = protocol.span_error_body(mixed.errors[start : start + n])
+            if body is not None:
+                response = {"id": pending.request_id, "ok": False, "error": body}
+                if pending.rid is not None:
+                    self._dedup_resolve(pending.rid, response)
                 self._reply(pending, response, ok=False, loop=loop)
                 continue
             samples = 0
@@ -502,11 +630,57 @@ class ReproServer:
             else:
                 result = n
             response = protocol.ok_response(pending.request_id, result)
+            if pending.rid is not None:
+                self._dedup_resolve(pending.rid, response)
             self._reply(pending, response, ok=True, loop=loop, samples=samples)
-        self._maybe_checkpoint(loop)
+
+    # -- the exactly-once dedup window -------------------------------------
+
+    def _dedup_envelope(self, request_id, entry) -> dict:
+        """Build a reply from a recorded outcome, under the retry's own id."""
+        _state, ok, payload = entry
+        if ok:
+            return protocol.ok_response(request_id, payload)
+        return {"id": request_id, "ok": False, "error": dict(payload)}
+
+    def _dedup_resolve(self, rid, response: dict) -> None:
+        """Record an executed update's outcome; answer queued duplicates."""
+        previous = self._dedup.get(rid)
+        ok = bool(response.get("ok"))
+        payload = response["result"] if ok else dict(response["error"])
+        entry = ("done", ok, payload)
+        self._dedup[rid] = entry
+        self._dedup.move_to_end(rid)
+        if previous is not None and previous[0] == "pending":
+            for dup_id, future in previous[1]:
+                if not future.done():
+                    future.set_result(self._dedup_envelope(dup_id, entry))
+        self._trim_dedup()
+
+    def _dedup_abort(self, rid, refusal: RequestError) -> None:
+        """Drop an in-flight rid (refused batch): retries re-enter cleanly."""
+        previous = self._dedup.pop(rid, None)
+        if previous is not None and previous[0] == "pending":
+            for dup_id, future in previous[1]:
+                if not future.done():
+                    future.set_result(protocol.error_response(dup_id, refusal))
+
+    def _trim_dedup(self) -> None:
+        """Evict oldest recorded outcomes past the window (keep in-flight)."""
+        while len(self._dedup) > self._dedup_window:
+            rid, entry = next(iter(self._dedup.items()))
+            if entry[0] == "pending":
+                break
+            del self._dedup[rid]
 
     def _maybe_checkpoint(self, loop) -> None:
-        """Snapshot when the size or wall-clock trigger fires."""
+        """Snapshot when the size or wall-clock trigger fires.
+
+        A failing checkpoint (the snapshot directory's disk misbehaving)
+        is recorded on :attr:`last_snapshot_error` and retried on a later
+        trigger instead of killing the executor — the WAL still holds
+        everything the snapshot would have covered.
+        """
         if self.store is None:
             return
         now = loop.time()
@@ -518,7 +692,11 @@ class ReproServer:
             and self.store.ops_since_snapshot > 0
         )
         if due:
-            self.store.snapshot(self._runner.structures)
+            try:
+                self.store.snapshot(self._runner.structures)
+                self.last_snapshot_error = None
+            except (StorageError, OSError) as exc:
+                self.last_snapshot_error = exc
             self._last_snapshot_at = loop.time()
 
     def _reply(self, pending: _Pending, response, *, ok, loop, samples=0) -> None:

@@ -26,7 +26,7 @@ class ServerStats:
     whole life).
     """
 
-    def __init__(self, window: int = 4096) -> None:
+    def __init__(self, window: int = 4096, rate_window: int = 256) -> None:
         self.started = time.perf_counter()
         self.admitted = 0
         self.rejected = 0
@@ -39,13 +39,20 @@ class ServerStats:
         self.count_requests = 0
         self.update_requests = 0
         self.samples_returned = 0
+        self.dedup_hits = 0
+        self.wal_failures = 0
         self.latencies: deque[float] = deque(maxlen=window)
+        # Timestamps of recent admissions / replies: the measured arrival
+        # and drain rates behind the `retry_after` overload hint.
+        self.arrivals: deque[float] = deque(maxlen=rate_window)
+        self.drains: deque[float] = deque(maxlen=rate_window)
 
     # -- recording ---------------------------------------------------------
 
     def observe_admitted(self, kind: str) -> None:
         """Record one admitted request by op kind."""
         self.admitted += 1
+        self.arrivals.append(time.perf_counter())
         if kind == "sample":
             self.sample_requests += 1
         elif kind == "count":
@@ -70,10 +77,19 @@ class ServerStats:
             self.replies_error += 1
         self.samples_returned += samples
         self.latencies.append(latency)
+        self.drains.append(time.perf_counter())
 
     def observe_dropped(self) -> None:
         """Record a reply that could not be delivered (client went away)."""
         self.dropped_replies += 1
+
+    def observe_dedup_hit(self) -> None:
+        """Record a duplicate update absorbed by the idempotency window."""
+        self.dedup_hits += 1
+
+    def observe_wal_failure(self) -> None:
+        """Record a batch whose write-ahead append failed (updates refused)."""
+        self.wal_failures += 1
 
     # -- reporting ---------------------------------------------------------
 
@@ -81,6 +97,24 @@ class ServerStats:
     def coalesce_factor(self) -> float:
         """Mean requests per executed batch (1.0 means no coalescing won)."""
         return self.batched_requests / self.batches if self.batches else 0.0
+
+    @staticmethod
+    def _rate(stamps: deque[float]) -> float:
+        """Events per second over a timestamp window (0.0 if unmeasurable)."""
+        if len(stamps) < 2:
+            return 0.0
+        elapsed = stamps[-1] - stamps[0]
+        if elapsed <= 0.0:
+            return 0.0
+        return (len(stamps) - 1) / elapsed
+
+    def arrival_rate(self) -> float:
+        """Measured admissions per second over the recent rate window."""
+        return self._rate(self.arrivals)
+
+    def drain_rate(self) -> float:
+        """Measured replies per second over the recent rate window."""
+        return self._rate(self.drains)
 
     def snapshot(self) -> dict:
         """Return a JSON-safe metrics snapshot (the ``stats`` op's reply)."""
@@ -98,9 +132,13 @@ class ServerStats:
             "count_requests": self.count_requests,
             "update_requests": self.update_requests,
             "samples_returned": self.samples_returned,
+            "dedup_hits": self.dedup_hits,
+            "wal_failures": self.wal_failures,
             "batches": self.batches,
             "coalesce_factor": round(self.coalesce_factor, 3),
             "requests_per_second": round(replies / uptime, 3) if uptime > 0 else 0.0,
+            "arrival_rate": round(self.arrival_rate(), 3),
+            "drain_rate": round(self.drain_rate(), 3),
         }
         if lat:
             out["latency_ms"] = {

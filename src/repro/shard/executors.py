@@ -18,12 +18,21 @@ shard snapshot in :mod:`multiprocessing.shared_memory` and ships only the
 task tuples — workers attach the segments by name, draw, and write their
 slice of a shared output segment, so neither point data nor samples ever
 cross the pipe.
+
+Every backend's ``run`` accepts an optional ``timeout`` (seconds for the
+whole task list).  Expiry raises :class:`~repro.errors.ShardTimeoutError`;
+a dead worker process raises :class:`~repro.errors.WorkerDiedError`.  Both
+are :class:`~repro.errors.ShardExecutionError`\\ s, which is the signal
+:class:`~repro.shard.sharded.ShardedIRS` uses to fail over to the serial
+backend — safe precisely because tasks are seed-pure and idempotent.
 """
 
 from __future__ import annotations
 
 import os
 from typing import Sequence
+
+from ..errors import ShardTimeoutError, WorkerDiedError
 
 try:  # NumPy is required for the parallel backends (serial falls back).
     import numpy as _np
@@ -67,13 +76,43 @@ def draw_from_snapshot(values, cumw, lo: float, hi: float, t: int, seed: int):
     return values[ranks]
 
 
+def _run_with_deadline(pool, fn, tasks: Sequence, timeout: float) -> None:
+    """Submit ``tasks`` to ``pool`` and wait at most ``timeout`` seconds.
+
+    Stragglers are cancelled best-effort (a task already running cannot be
+    interrupted, but its write lands in its own disjoint output slice, so
+    a late completion is harmless).  Raises
+    :class:`~repro.errors.ShardTimeoutError` when the deadline expires
+    with tasks unfinished; re-raises the first task exception otherwise.
+    """
+    from concurrent.futures import wait
+
+    futures = [pool.submit(fn, task) for task in tasks]
+    done, not_done = wait(futures, timeout=timeout)
+    if not_done:
+        for future in not_done:
+            future.cancel()
+        raise ShardTimeoutError(
+            f"{len(not_done)} of {len(futures)} shard task(s) "
+            f"unfinished after {timeout}s"
+        )
+    for future in done:
+        future.result()
+
+
 class SerialBackend:
-    """Run shard tasks inline, one after another."""
+    """Run shard tasks inline, one after another.
+
+    ``timeout`` is accepted for interface parity and ignored: inline
+    execution cannot be preempted, and the serial backend is the failover
+    target — it must never itself raise a shard-execution fault.
+    """
 
     name = "serial"
     uses_shared_memory = False
 
-    def run(self, fn, tasks: Sequence) -> None:
+    def run(self, fn, tasks: Sequence, timeout: float | None = None) -> None:
+        """Execute every task inline (``timeout`` ignored)."""
         for task in tasks:
             fn(task)
 
@@ -103,13 +142,22 @@ class ThreadBackend:
             self._pool = ThreadPoolExecutor(max_workers=self._max_workers)
         return self._pool
 
-    def run(self, fn, tasks: Sequence) -> None:
-        if len(tasks) <= 1:
+    def run(self, fn, tasks: Sequence, timeout: float | None = None) -> None:
+        """Execute the tasks on the pool (inline when there is at most one).
+
+        With a ``timeout`` the whole task list must finish within it or
+        :class:`~repro.errors.ShardTimeoutError` is raised.
+        """
+        if timeout is None and len(tasks) <= 1:
             for task in tasks:
                 fn(task)
             return
-        # list() drains the iterator so exceptions propagate here.
-        list(self._ensure_pool().map(fn, tasks))
+        pool = self._ensure_pool()
+        if timeout is None:
+            # list() drains the iterator so exceptions propagate here.
+            list(pool.map(fn, tasks))
+        else:
+            _run_with_deadline(pool, fn, tasks, timeout)
 
     def close(self) -> None:
         if self._pool is not None:
@@ -207,15 +255,30 @@ class ProcessBackend:
             )
         return self._pool
 
-    def run(self, fn, tasks: Sequence) -> None:
-        # ``fn`` is ignored: process tasks are always the shared-memory
-        # descriptors executed by the module-level worker (closures over
-        # snapshot arrays cannot cross the pipe).
+    def run(self, fn, tasks: Sequence, timeout: float | None = None) -> None:
+        """Execute the shared-memory task descriptors on the pool.
+
+        ``fn`` is ignored: process tasks are always the shared-memory
+        descriptors executed by the module-level worker (closures over
+        snapshot arrays cannot cross the pipe).  A worker dying mid-call
+        surfaces as :class:`~repro.errors.WorkerDiedError` (the pool is
+        torn down — it is unusable after a break); a ``timeout`` expiry
+        as :class:`~repro.errors.ShardTimeoutError`.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
         if not tasks:
             return
         pool = self._ensure_pool()
-        chunksize = max(1, len(tasks) // (4 * self._max_workers))
-        list(pool.map(_run_shm_task, tasks, chunksize=chunksize))
+        try:
+            if timeout is None:
+                chunksize = max(1, len(tasks) // (4 * self._max_workers))
+                list(pool.map(_run_shm_task, tasks, chunksize=chunksize))
+            else:
+                _run_with_deadline(pool, _run_shm_task, tasks, timeout)
+        except BrokenProcessPool as exc:
+            self.close()
+            raise WorkerDiedError(f"shard worker process died: {exc}") from exc
 
     def close(self) -> None:
         if self._pool is not None:

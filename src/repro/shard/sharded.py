@@ -46,11 +46,16 @@ from ..core.em_irs import ExternalIRS
 from ..core.static_irs import StaticIRS
 from ..core.weighted_dynamic import WeightedDynamicIRS
 from ..core.weighted_irs import WeightedStaticIRS
-from ..errors import EmptyRangeError, InvalidQueryError, KeyNotFoundError
+from ..errors import (
+    EmptyRangeError,
+    InvalidQueryError,
+    KeyNotFoundError,
+    ShardExecutionError,
+)
 from ..rng import RandomSource, derive_seed
 from ..rng import generator as rng_generator
 from ..types import QueryStats
-from .executors import draw_from_snapshot, make_backend
+from .executors import SerialBackend, draw_from_snapshot, make_backend
 from .partition import cut_bounds, route_values, run_aligned_cuts
 
 try:
@@ -130,6 +135,15 @@ class ShardedIRS(DynamicRangeSampler):
         triggers a rebalance (split + merge pass).  Must be > 1.
     block_size:
         Block size forwarded to ``external`` shards.
+    task_timeout:
+        Optional deadline (seconds) for one scatter's shard tasks on the
+        parallel backends.  Expiry — like a dead worker process — raises
+        a typed :class:`~repro.errors.ShardExecutionError` and the facade
+        *fails over*: the backend is swapped for the serial one, so the
+        next attempt (e.g. a client retry — the serve layer marks these
+        codes retryable) succeeds inline.  Tasks are seed-pure, so the
+        failover result is byte-identical to what the parallel run would
+        have produced.
     """
 
     def __init__(
@@ -144,6 +158,7 @@ class ShardedIRS(DynamicRangeSampler):
         max_workers: int | None = None,
         rebalance_factor: float = 2.0,
         block_size: int = 1024,
+        task_timeout: float | None = None,
     ) -> None:
         if _np is None:  # pragma: no cover - numpy is installed in CI
             raise RuntimeError("ShardedIRS requires NumPy")
@@ -162,7 +177,7 @@ class ShardedIRS(DynamicRangeSampler):
             sorted_weights = weights[order]
         self._init_common(
             num_shards, seed, shard_kind, backend, max_workers,
-            rebalance_factor, block_size,
+            rebalance_factor, block_size, task_timeout,
         )
         self._build_partitions(values[order], sorted_weights)
 
@@ -179,6 +194,7 @@ class ShardedIRS(DynamicRangeSampler):
         max_workers: int | None = None,
         rebalance_factor: float = 2.0,
         block_size: int = 1024,
+        task_timeout: float | None = None,
     ) -> "ShardedIRS":
         """O(n) constructor over already-sorted input (skips the sort)."""
         values = _np.asarray(
@@ -196,14 +212,14 @@ class ShardedIRS(DynamicRangeSampler):
         self = cls.__new__(cls)
         self._init_common(
             num_shards, seed, shard_kind, backend, max_workers,
-            rebalance_factor, block_size,
+            rebalance_factor, block_size, task_timeout,
         )
         self._build_partitions(values, weights)
         return self
 
     def _init_common(
         self, num_shards, seed, shard_kind, backend, max_workers,
-        rebalance_factor, block_size,
+        rebalance_factor, block_size, task_timeout=None,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -227,6 +243,10 @@ class ShardedIRS(DynamicRangeSampler):
         self._ticket = 0  # per-query counter: the seed path of scatter tasks
         self._shard_ticket = 0  # per-shard-build counter (fresh shard seeds)
         self._update_clock = 0
+        if task_timeout is not None and not task_timeout > 0:
+            raise ValueError("task_timeout must be > 0 (or None)")
+        self._task_timeout = None if task_timeout is None else float(task_timeout)
+        self.last_failover: str | None = None
         self.stats = QueryStats()
         self._backend = make_backend(backend, max_workers)
         self._uid = f"{os.getpid():x}-{next(_uid):x}"
@@ -696,7 +716,49 @@ class ShardedIRS(DynamicRangeSampler):
         return results
 
     def _scatter(self, snaps, queries, tasks_meta, total_samples):
-        """Run the planned tasks on the backend; return the gathered block."""
+        """Run the planned tasks on the backend; return the gathered block.
+
+        A shard-execution fault (worker death, task-deadline expiry —
+        injected or real) triggers *failover*: the parallel backend is
+        replaced by a fresh :class:`~repro.shard.executors.SerialBackend`
+        and the typed error propagates to the caller, whose retry then
+        runs inline.  Failover is one-way for the structure's lifetime —
+        a backend that lost a worker or missed a deadline has forfeited
+        the benefit of the doubt, and serial execution is always correct
+        (tasks are seed-pure, so results are byte-identical).
+        """
+        try:
+            return self._scatter_on_backend(
+                snaps, queries, tasks_meta, total_samples
+            )
+        except ShardExecutionError as exc:
+            self._failover(exc)
+            raise
+
+    def _failover(self, exc: ShardExecutionError) -> None:
+        """Swap the backend for a serial one after a shard-execution fault."""
+        old, self._backend = self._backend, SerialBackend()
+        self.last_failover = f"{type(exc).__name__}: {exc}"
+        self.stats.extra["failovers"] = self.stats.extra.get("failovers", 0) + 1
+        try:
+            old.close()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+
+    def _run_backend(self, fn, tasks) -> None:
+        """Invoke the backend, passing the task deadline only when set.
+
+        The two-argument call keeps custom backends with a plain
+        ``run(fn, tasks)`` signature working when no timeout is
+        configured.
+        """
+        if self._task_timeout is None:
+            self._backend.run(fn, tasks)
+        else:
+            self._backend.run(fn, tasks, self._task_timeout)
+
+    def _scatter_on_backend(self, snaps, queries, tasks_meta, total_samples):
+        """One scatter attempt on the current backend (shm or local path)."""
         if getattr(self._backend, "uses_shared_memory", False) and tasks_meta:
             from multiprocessing import shared_memory
 
@@ -719,7 +781,7 @@ class ShardedIRS(DynamicRangeSampler):
                             out_name, total_samples, off,
                         )
                     )
-                self._backend.run(None, tasks)
+                self._run_backend(None, tasks)
                 view = _np.ndarray(
                     (total_samples,), dtype=_np.float64, buffer=out_shm.buf
                 )
@@ -739,7 +801,7 @@ class ShardedIRS(DynamicRangeSampler):
                 snap.values, snap.cumw, lo, hi, ts, seed
             )
 
-        self._backend.run(run_local, tasks_meta)
+        self._run_backend(run_local, tasks_meta)
         return out
 
     # -- rank addressing (without-replacement support) ---------------------------

@@ -39,6 +39,12 @@ class RecoveryReport:
     replayed_records: int = 0  #: WAL records replayed on top of it
     replayed_ops: int = 0  #: individual ops inside those records
     structures: dict = field(default_factory=dict)  #: the recovered set
+    #: Rebuilt dedup window: rid -> (ok, result-or-error-body), one entry
+    #: per request id journaled in the replayed WAL suffix.  The server
+    #: seeds its in-memory dedup map from this, so a client retrying an
+    #: update it sent before the crash gets the recorded outcome instead
+    #: of a second application.
+    dedup: dict = field(default_factory=dict)
 
 
 class DurableStore:
@@ -92,12 +98,17 @@ class DurableStore:
         """Update ops logged (or replayed) since the last checkpoint."""
         return self._ops_since_snapshot
 
-    def log_batch(self, ops) -> int | None:
-        """Append one batch of update ops; return its seq (None if empty)."""
+    def log_batch(self, ops, rids=None) -> int | None:
+        """Append one batch of update ops; return its seq (None if empty).
+
+        ``rids`` optionally journals client idempotency keys as
+        ``(rid, start, n)`` spans over ``ops`` — see
+        :meth:`~repro.store.wal.WriteAheadLog.append`.
+        """
         ops = list(ops)
         if not ops:
             return None
-        seq = self.wal.append(ops)
+        seq = self.wal.append(ops, rids=rids)
         self._ops_since_snapshot += len(ops)
         return seq
 
@@ -160,11 +171,20 @@ class DurableStore:
                     spec, values, weights, seed=rebuilt_seed
                 )
         if self.wal.last_seq > report.snapshot_seq:
+            from ..serve.protocol import span_error_body
+
             runner = BatchQueryRunner(report.structures)
             for record in self.wal.replay(after_seq=report.snapshot_seq):
-                runner.run_mixed(record.ops, capture_errors=True)
+                mixed = runner.run_mixed(record.ops, capture_errors=True)
                 report.replayed_records += 1
                 report.replayed_ops += len(record.ops)
+                # Rebuild each journaled request's outcome from the replay:
+                # capture_errors reproduces the live run's per-op results,
+                # so the dedup entry matches the reply the client was (or
+                # would have been) sent.
+                for rid, start, n in record.rids or ():
+                    body = span_error_body(mixed.errors[start : start + n])
+                    report.dedup[rid] = (True, n) if body is None else (False, body)
         self._ops_since_snapshot = report.replayed_ops
         return report
 

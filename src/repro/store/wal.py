@@ -31,6 +31,21 @@ order and treats a short or checksum-failing *tail* record as a torn
 write (truncated, logged in :attr:`WriteAheadLog.torn_tail`), while
 corruption *before* the tail raises
 :class:`~repro.errors.CorruptRecordError`.
+
+Two guarantees the serving layer's exactly-once story stands on:
+
+* **Appends are atomic.**  If anything fails mid-append — a write, a
+  flush, an fsync — the partially written frame is rolled back (the
+  segment truncated to its pre-append length) before the error
+  propagates, so a failed ``append`` leaves no record behind and the
+  caller may safely re-log.  If the rollback itself fails the log marks
+  itself :attr:`broken` and refuses further appends: only a restart
+  (whose open-time scan truncates the torn tail) can make the file
+  trustworthy again.
+* **Request ids ride in the record.**  ``append(ops, rids=...)`` journals
+  the client idempotency-key spans alongside the ops; replay returns
+  them on :class:`WalRecord`, which is how the server's dedup window
+  survives crash recovery.
 """
 
 from __future__ import annotations
@@ -41,7 +56,7 @@ import struct
 import zlib
 from dataclasses import dataclass
 
-from ..errors import CorruptRecordError
+from ..errors import CorruptRecordError, StorageError
 from ..serve.protocol import encode as _encode_line
 from ..serve.protocol import op_from_wire, op_to_wire
 
@@ -56,10 +71,17 @@ _SEGMENT_SUFFIX = ".log"
 
 @dataclass(frozen=True, slots=True)
 class WalRecord:
-    """One replayed record: its sequence number and decoded ops."""
+    """One replayed record: sequence number, decoded ops, and rid spans.
+
+    ``rids`` is ``None`` for records logged without request ids (the
+    pre-resilience format and rid-less batches), else a list of
+    ``(rid, start, n)`` tuples: the request with idempotency key ``rid``
+    contributed ``ops[start : start + n]``.
+    """
 
     seq: int
     ops: list
+    rids: list | None = None
 
 
 def _segment_name(first_seq: int) -> str:
@@ -84,6 +106,11 @@ class WriteAheadLog:
         closed, and a new one started.
     sync_every:
         Under ``fsync="batch"``: fsync after this many appended records.
+    file_wrapper:
+        Optional callable applied to every segment file handle as it is
+        opened for append (fault injection hook — see
+        :class:`repro.faults.FaultyFile`).  A wrapper providing an
+        ``fsync()`` method takes over fsync duty for its handle.
     """
 
     def __init__(
@@ -93,6 +120,7 @@ class WriteAheadLog:
         fsync: str = "batch",
         segment_bytes: int = 64 << 20,
         sync_every: int = 256,
+        file_wrapper=None,
     ) -> None:
         if fsync not in FSYNC_POLICIES:
             raise ValueError(f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}")
@@ -102,7 +130,9 @@ class WriteAheadLog:
         self.fsync = fsync
         self.segment_bytes = int(segment_bytes)
         self.sync_every = int(sync_every)
+        self.file_wrapper = file_wrapper
         self.torn_tail: tuple[str, int] | None = None  # (segment, offset) truncated
+        self.broken = False  # a failed append could not be rolled back
         os.makedirs(self.directory, exist_ok=True)
         self._fh = None
         self._unsynced = 0
@@ -164,8 +194,13 @@ class WriteAheadLog:
                     return
                 try:
                     body = json.loads(payload)
+                    rids = body.get("r")
+                    if rids is not None:
+                        rids = [(rid, int(start), int(n)) for rid, start, n in rids]
                     record = WalRecord(
-                        int(body["q"]), [op_from_wire(w) for w in body["ops"]]
+                        int(body["q"]),
+                        [op_from_wire(w) for w in body["ops"]],
+                        rids,
                     )
                 except (ValueError, KeyError, TypeError):
                     # CRC passed but the body does not parse: not a torn
@@ -178,16 +213,21 @@ class WriteAheadLog:
 
     # -- appending ----------------------------------------------------------
 
+    def _open_path(self, path: str) -> None:
+        fh = open(path, "ab")
+        if self.file_wrapper is not None:
+            fh = self.file_wrapper(fh)
+        self._fh = fh
+
     def _open_segment(self, first_seq: int) -> None:
-        path = os.path.join(self.directory, _segment_name(first_seq))
-        self._fh = open(path, "ab")
+        self._open_path(os.path.join(self.directory, _segment_name(first_seq)))
 
     def _rotate_if_needed(self, next_seq: int) -> None:
         if self._fh is None:
             names = self._segments()
             if names:
                 # Keep appending to the newest segment until it fills.
-                self._fh = open(os.path.join(self.directory, names[-1]), "ab")
+                self._open_path(os.path.join(self.directory, names[-1]))
             else:
                 self._open_segment(next_seq)
             return
@@ -198,35 +238,85 @@ class WriteAheadLog:
 
     def _sync_file(self) -> None:
         if self._fh is not None:
-            self._fh.flush()
-            os.fsync(self._fh.fileno())
+            # A wrapped handle that knows how to fsync itself (the fault
+            # injection seam) takes precedence over the raw-fd path.
+            fsync = getattr(self._fh, "fsync", None)
+            if fsync is not None:
+                fsync()
+            else:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
             self._unsynced = 0
 
-    def append(self, ops) -> int:
+    def append(self, ops, rids=None) -> int:
         """Append one batch of ops; return its sequence number.
 
         The record is always *flushed to the OS* before return (a
         subsequent process ``kill -9`` cannot lose it); whether it is
         also fsynced is the policy's call.  Ops may be
         :class:`~repro.batch.BatchOp` instances or the tuple shorthands
-        the batch runner accepts.
+        the batch runner accepts.  ``rids`` optionally journals request
+        idempotency keys as ``(rid, start, n)`` spans over ``ops``.
+
+        The append is atomic: on any failure the partial frame is rolled
+        back before the exception propagates, so the record either fully
+        exists or does not exist at all.  A rollback that itself fails
+        marks the log :attr:`broken`; every later append raises
+        :class:`~repro.errors.StorageError` until a restart re-scans and
+        truncates the file.
         """
         from ..batch import BatchOp
 
+        if self.broken:
+            raise StorageError(
+                "write-ahead log is broken (a failed append could not be "
+                "rolled back); restart to recover"
+            )
         ops = [op if isinstance(op, BatchOp) else _coerce(op) for op in ops]
         seq = self.last_seq + 1
         self._rotate_if_needed(seq)
-        payload = _encode_line({"q": seq, "ops": [op_to_wire(op) for op in ops]})
-        self._fh.write(_HEADER.pack(len(payload), zlib.crc32(payload)) + payload)
-        self._fh.flush()
-        self.last_seq = seq
-        if self.fsync == "always":
-            os.fsync(self._fh.fileno())
-        elif self.fsync == "batch":
-            self._unsynced += 1
-            if self._unsynced >= self.sync_every:
+        body = {"q": seq, "ops": [op_to_wire(op) for op in ops]}
+        if rids:
+            body["r"] = [[rid, int(start), int(n)] for rid, start, n in rids]
+        payload = _encode_line(body)
+        start = self._fh.tell()
+        try:
+            self._fh.write(_HEADER.pack(len(payload), zlib.crc32(payload)) + payload)
+            self._fh.flush()
+            if self.fsync == "always":
                 self._sync_file()
+            elif self.fsync == "batch":
+                self._unsynced += 1
+                if self._unsynced >= self.sync_every:
+                    self._sync_file()
+        except Exception:
+            self._rollback(start)
+            raise
+        self.last_seq = seq
         return seq
+
+    def _rollback(self, start: int) -> None:
+        """Erase a partially appended frame so a failed append is atomic.
+
+        The segment is truncated back to its pre-append length through
+        the (possibly wrapped) handle; the handle is then abandoned and
+        the next append reopens the segment fresh.  ``truncate`` on a
+        buffered writer flushes its buffer first, and the file is in
+        append mode, so any straggler bytes land beyond ``start`` and are
+        cut with the frame.  If the truncate fails the partial frame is
+        stranded on disk and the log goes :attr:`broken` — exactly the
+        state the open-time torn-tail scan repairs.
+        """
+        fh, self._fh = self._fh, None
+        try:
+            fh.truncate(start)
+            fh.close()
+        except Exception:
+            self.broken = True
+            try:
+                fh.close()
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
 
     def sync(self) -> None:
         """Force an fsync of the active segment (any policy)."""

@@ -1,0 +1,379 @@
+"""The retrying client and the server's exactly-once dedup window."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro import DynamicIRS
+from repro.errors import (
+    ConnectionLostError,
+    DeadlineExceededError,
+    RetriesExhaustedError,
+)
+from repro.faults import FaultPlan, FaultyProxy
+from repro.serve import ReproServer, ResilientClient, RetryPolicy, TCPServeClient
+
+DATA = [float(i) for i in range(60)]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_server():
+    return ReproServer(DynamicIRS(DATA, seed=1), seed=5)
+
+
+FAST = RetryPolicy(max_attempts=6, base_delay=0.005, max_delay=0.02)
+
+
+# -- TCP client failure surfacing ---------------------------------------------
+
+
+def test_tcp_client_surfaces_malformed_frames():
+    async def garbage_server(reader, writer):
+        await reader.readline()
+        writer.write(b"this is not json\n")
+        await writer.drain()
+
+    async def main():
+        server = await asyncio.start_server(garbage_server, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        client = await TCPServeClient.connect("127.0.0.1", port)
+        try:
+            with pytest.raises(ConnectionLostError, match="malformed reply"):
+                await client.request({"op": "ping", "id": 1})
+            assert client.is_closed
+            # A closed client refuses new work with the same typed error.
+            with pytest.raises(ConnectionLostError):
+                await client.request({"op": "ping", "id": 2})
+        finally:
+            await client.aclose()
+            server.close()
+            await server.wait_closed()
+
+    run(main())
+
+
+def test_tcp_client_surfaces_mid_reply_disconnect():
+    async def dying_server(reader, writer):
+        await reader.readline()
+        writer.write(b'{"id": 1, "ok"')  # half a frame, then gone
+        await writer.drain()
+        writer.close()
+
+    async def main():
+        server = await asyncio.start_server(dying_server, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        client = await TCPServeClient.connect("127.0.0.1", port)
+        try:
+            with pytest.raises(ConnectionLostError):
+                await client.request({"op": "ping", "id": 1})
+        finally:
+            await client.aclose()
+            server.close()
+            await server.wait_closed()
+
+    run(main())
+
+
+# -- the retry loop -----------------------------------------------------------
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ValueError):
+        ResilientClient(policy=RetryPolicy(max_attempts=0))
+
+
+def test_resilient_client_plain_roundtrip():
+    async def main():
+        async with make_server() as server:
+            await server.start_tcp("127.0.0.1", 0)
+            async with ResilientClient("127.0.0.1", server.port, seed=1) as client:
+                samples = await client.sample(0.0, 59.0, 8, seed=42)
+                assert len(samples) == 8
+                assert await client.insert(500.5) == 1
+                assert await client.count(500.0, 501.0) == 1
+                assert client.retries == 0 and client.reconnects == 0
+
+    run(main())
+
+
+def test_retry_through_dropped_reply_is_exactly_once():
+    # The proxy drops the insert's ack *after* the server executed it —
+    # the classic double-apply window.  The client retries with the same
+    # rid; dedup answers with the recorded outcome.
+    async def main():
+        async with make_server() as server:
+            await server.start_tcp("127.0.0.1", 0)
+            plan = FaultPlan(0, at={"proxy.drop": {0}})
+            async with FaultyProxy(plan, server.port) as proxy:
+                client = ResilientClient(
+                    "127.0.0.1", proxy.port, policy=FAST, seed=2
+                )
+                try:
+                    assert await client.insert(777.5) == 1
+                    assert client.retries >= 1
+                    assert client.reconnects >= 1
+                    assert await client.count(777.0, 778.0) == 1
+                finally:
+                    await client.aclose()
+            assert server.stats.dedup_hits >= 1
+
+    run(main())
+
+
+def test_retry_through_truncated_reply():
+    async def main():
+        async with make_server() as server:
+            await server.start_tcp("127.0.0.1", 0)
+            plan = FaultPlan(1, at={"proxy.truncate": {0}})
+            async with FaultyProxy(plan, server.port) as proxy:
+                client = ResilientClient(
+                    "127.0.0.1", proxy.port, policy=FAST, seed=3
+                )
+                try:
+                    # Seeded: the retried read returns the same bytes a
+                    # fault-free call would.
+                    direct = await client.sample(0.0, 59.0, 6, seed=9)
+                finally:
+                    await client.aclose()
+            async with make_server() as clean_server:
+                await clean_server.start_tcp("127.0.0.1", 0)
+                async with ResilientClient(
+                    "127.0.0.1", clean_server.port, seed=3
+                ) as clean:
+                    assert await clean.sample(0.0, 59.0, 6, seed=9) == direct
+
+    run(main())
+
+
+def test_deadline_exceeded_on_hung_server():
+    async def hung_server(reader, writer):
+        await reader.read()  # consume everything, answer nothing
+
+    async def main():
+        server = await asyncio.start_server(hung_server, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        policy = RetryPolicy(max_attempts=10, deadline=0.2, base_delay=0.01)
+        client = ResilientClient("127.0.0.1", port, policy=policy, seed=4)
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        try:
+            with pytest.raises(DeadlineExceededError):
+                await client.ping()
+            assert loop.time() - started < 5.0
+        finally:
+            await client.aclose()
+            server.close()
+            await server.wait_closed()
+
+    run(main())
+
+
+def test_retries_exhausted_chains_last_failure():
+    async def main():
+        async with make_server() as server:
+            await server.start_tcp("127.0.0.1", 0)
+            plan = FaultPlan(5, rates={"proxy.drop": 1.0})  # every reply dies
+            async with FaultyProxy(plan, server.port) as proxy:
+                policy = RetryPolicy(max_attempts=3, base_delay=0.005)
+                client = ResilientClient(
+                    "127.0.0.1", proxy.port, policy=policy, seed=5
+                )
+                try:
+                    with pytest.raises(RetriesExhaustedError) as info:
+                        await client.count(0.0, 1.0)
+                    assert isinstance(info.value.__cause__, ConnectionLostError)
+                    assert client.retries == 2  # 3 attempts = 2 retries
+                finally:
+                    await client.aclose()
+
+    run(main())
+
+
+def test_non_retryable_error_returns_immediately():
+    async def main():
+        async with make_server() as server:
+            await server.start_tcp("127.0.0.1", 0)
+            async with ResilientClient("127.0.0.1", server.port, seed=6) as client:
+                reply = await client.request(
+                    {"op": "sample", "lo": 9.0, "hi": 1.0, "t": 2, "id": 1}
+                )
+                assert reply["ok"] is False
+                assert reply["error"]["type"] == "invalid_query"
+                assert client.retries == 0
+
+    run(main())
+
+
+def test_deterministic_jitter_and_rids_from_seed():
+    a = ResilientClient(seed=77)
+    b = ResilientClient(seed=77)
+    c = ResilientClient(seed=78)
+    assert a._tag == b._tag != c._tag
+    assert [a._next_jitter() for _ in range(8)] == [
+        b._next_jitter() for _ in range(8)
+    ]
+
+
+# -- the server-side dedup window ---------------------------------------------
+
+
+def test_duplicate_rid_replays_recorded_outcome():
+    async def main():
+        async with make_server() as server:
+            first = await server.submit(
+                {"op": "insert", "value": 300.5, "rid": "r-1", "id": 1}
+            )
+            dup = await server.submit(
+                {"op": "insert", "value": 300.5, "rid": "r-1", "id": 2}
+            )
+            assert first == {"id": 1, "ok": True, "result": 1}
+            # Same outcome, the duplicate's own request id.
+            assert dup == {"id": 2, "ok": True, "result": 1}
+            assert server.stats.dedup_hits == 1
+            count = await server.submit(
+                {"op": "count", "lo": 300.0, "hi": 301.0, "id": 3}
+            )
+            assert count["result"] == 1  # applied exactly once
+
+    run(main())
+
+
+def test_duplicate_rid_waits_on_inflight_original():
+    async def main():
+        async with ReproServer(
+            DynamicIRS(DATA, seed=1), seed=5, window=0.05
+        ) as server:
+            # Submit both before either executes: the duplicate must queue
+            # behind the in-flight original, not re-execute.
+            f1 = server.submit({"op": "insert", "value": 301.5, "rid": "r-2", "id": 1})
+            f2 = server.submit({"op": "insert", "value": 301.5, "rid": "r-2", "id": 2})
+            r1, r2 = await asyncio.gather(f1, f2)
+            assert r1 == {"id": 1, "ok": True, "result": 1}
+            assert r2 == {"id": 2, "ok": True, "result": 1}
+            count = await server.submit(
+                {"op": "count", "lo": 301.0, "hi": 302.0, "id": 3}
+            )
+            assert count["result"] == 1
+
+    run(main())
+
+
+def test_dedup_replays_error_outcomes_too():
+    async def main():
+        async with make_server() as server:
+            first = await server.submit(
+                {"op": "delete", "value": 999.5, "rid": "r-3", "id": 1}
+            )
+            dup = await server.submit(
+                {"op": "delete", "value": 999.5, "rid": "r-3", "id": 2}
+            )
+            assert first["ok"] is False and dup["ok"] is False
+            assert first["error"] == dup["error"]
+            assert dup["id"] == 2
+
+    run(main())
+
+
+def test_dedup_window_evicts_oldest():
+    async def main():
+        async with ReproServer(
+            DynamicIRS(DATA, seed=1), seed=5, dedup_window=4
+        ) as server:
+            for i in range(8):
+                await server.submit(
+                    {"op": "insert", "value": 400.0 + i, "rid": f"w-{i}", "id": i}
+                )
+            assert len(server._dedup) <= 4
+            # An evicted rid re-executes (the documented horizon trade-off)...
+            dup = await server.submit(
+                {"op": "insert", "value": 400.0, "rid": "w-0", "id": 99}
+            )
+            assert dup["ok"] is True
+            count = await server.submit(
+                {"op": "count", "lo": 400.0, "hi": 400.5, "id": 100}
+            )
+            assert count["result"] == 2
+            # ...while a still-windowed rid dedups.
+            assert server.stats.dedup_hits == 0
+            await server.submit(
+                {"op": "insert", "value": 407.0, "rid": "w-7", "id": 101}
+            )
+            assert server.stats.dedup_hits == 1
+
+    run(main())
+
+
+def test_bad_rid_is_refused():
+    async def main():
+        async with make_server() as server:
+            reply = await server.submit(
+                {"op": "insert", "value": 1.0, "rid": ["no"], "id": 1}
+            )
+            assert reply["ok"] is False
+            assert reply["error"]["type"] == "bad_request"
+            long = await server.submit(
+                {"op": "insert", "value": 1.0, "rid": "x" * 201, "id": 2}
+            )
+            assert long["error"]["type"] == "bad_request"
+
+    run(main())
+
+
+def test_rids_ride_the_wal_and_survive_restart(tmp_path):
+    data_dir = str(tmp_path / "srv")
+    payload = {"op": "insert", "value": 555.5, "rid": "crash-rid-1", "id": 1}
+
+    async def before_crash():
+        server = ReproServer(
+            DynamicIRS(DATA, seed=1), seed=5, data_dir=data_dir
+        )
+        await server.start()
+        reply = await server.submit(dict(payload))
+        assert reply["ok"] is True
+        # Crash: close the store without the shutdown snapshot, so the WAL
+        # suffix (ops + rid spans) is what recovery must replay.
+        server._store_closed = True
+        server.store.close()
+        await server.aclose()
+
+    async def after_restart():
+        server = ReproServer(
+            DynamicIRS(DATA, seed=1), seed=5, data_dir=data_dir
+        )
+        assert server.recovery.dedup == {"crash-rid-1": (True, 1)}
+        await server.start()
+        dup = await server.submit(dict(payload))
+        count = await server.submit(
+            {"op": "count", "lo": 555.0, "hi": 556.0, "id": 2}
+        )
+        await server.aclose()
+        return dup, count, server.stats.dedup_hits
+
+    run(before_crash())
+    dup, count, hits = run(after_restart())
+    # The retry across the restart replays the recorded outcome; the
+    # insert was applied exactly once.
+    assert dup == {"id": 1, "ok": True, "result": 1}
+    assert count["result"] == 1
+    assert hits == 1
+
+
+def test_wire_payloads_with_rid_roundtrip():
+    # The rid rides the same JSON wire as everything else.
+    async def main():
+        async with make_server() as server:
+            line = json.dumps(
+                {"op": "insert", "value": 42.25, "rid": 7, "id": "a"}
+            ).encode()
+            first = await server.submit(line)
+            dup = await server.submit(line)
+            assert first["ok"] and dup["ok"]
+            assert server.stats.dedup_hits == 1
+
+    run(main())
