@@ -288,6 +288,47 @@ def main() -> int:
         f"({replay_s / snapshot_s:.1f}x)",
     )
 
+    # -- observability: metrics must stay off the serving hot path -------------
+    # Same protocol as F18's overhead test, at smoke scale: shared-CPU
+    # runners drift more than the 5% being measured, so compare within
+    # temporally adjacent off/on pairs and judge the best pair — real
+    # instrumentation overhead depresses every pair, noise only some.
+    from repro.bench import serve_throughput
+    from repro.serve import ReproServer
+
+    obs_rng = random.Random(43)
+    obs_payloads = []
+    for _ in range(16):
+        requests = []
+        for _ in range(50):
+            lo = obs_rng.uniform(0.0, 0.5)
+            requests.append(
+                {"op": "sample", "lo": lo, "hi": lo + 0.4, "t": 16}
+            )
+        obs_payloads.append(requests)
+    obs_data = sorted(uniform_points(N, seed=42))
+
+    def serve_rps(observe: bool) -> float:
+        def make_server():
+            return ReproServer(
+                StaticIRS(obs_data, seed=3), seed=7, window=0.001, observe=observe
+            )
+
+        rps, _ = serve_throughput(make_server, obs_payloads, repeat=2)
+        return rps
+
+    obs_ratio = 0.0
+    for _ in range(3):
+        off_rps = serve_rps(observe=False)
+        on_rps = serve_rps(observe=True)
+        if off_rps > 0:
+            obs_ratio = max(obs_ratio, on_rps / off_rps)
+    check(
+        "metrics-on serving within 5% of metrics-off",
+        obs_ratio >= 0.95,
+        f"best on/off ratio {obs_ratio:.3f}",
+    )
+
     # -- mixed stream through the batch engine ---------------------------------
     runner = BatchQueryRunner(DynamicIRS(data, seed=26))
     stream = UpdateStream(data, insert_fraction=0.5, seed=27).take(2_000)

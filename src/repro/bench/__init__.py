@@ -7,6 +7,7 @@ from .harness import (
     dump_experiment_json,
     geometric_range,
     mixed_throughput,
+    serve_open_loop,
     serve_throughput,
     time_callable,
     update_throughput,
@@ -22,5 +23,6 @@ __all__ = [
     "update_throughput",
     "mixed_throughput",
     "serve_throughput",
+    "serve_open_loop",
     "dump_experiment_json",
 ]

@@ -16,6 +16,7 @@ __all__ = [
     "update_throughput",
     "mixed_throughput",
     "serve_throughput",
+    "serve_open_loop",
     "dump_experiment_json",
 ]
 
@@ -162,6 +163,75 @@ def serve_throughput(
         if elapsed < best:
             best, best_factor = elapsed, factor
     return (total / best if best > 0.0 else 0.0), best_factor
+
+
+def serve_open_loop(
+    make_server, schedule: Sequence[tuple[float, Mapping]]
+) -> dict:
+    """Open-loop in-process serving latency over a timed arrival schedule.
+
+    ``schedule`` is ``[(arrival_offset_seconds, payload), ...]`` relative
+    to the run start; arrivals are *open-loop* — each request fires at
+    its scheduled time regardless of whether earlier replies came back,
+    so queueing under a coalescing window (or under overload) shows up in
+    the measured latency instead of throttling the offered load, which is
+    the regime where the window/latency trade-off is visible at all.
+    Requests go through the in-process door (no TCP) so the measurement
+    is the coalescer and executor, not the socket stack.
+
+    Returns ``{"mean", "p50", "p99", "max"}`` latencies in seconds over
+    every request of a single pass (an open-loop schedule is its own
+    repetition structure: phases recur inside it), plus ``"latencies"``
+    (per-request latencies in *schedule order*, so callers can slice the
+    run back into its phases) and ``"stats"`` (the server's final
+    :meth:`~repro.serve.stats.ServerStats.snapshot`, for batch/coalesce
+    accounting of the whole run).
+    """
+    import asyncio
+
+    from ..serve.client import ServeClient
+
+    async def once() -> tuple[list[float], dict]:
+        server = make_server()
+        async with server:
+            client = ServeClient(server)
+            loop = asyncio.get_running_loop()
+            latencies: list[float] = [0.0] * len(schedule)
+
+            async def fire(payload: Mapping, index: int) -> None:
+                t0 = loop.time()
+                await client.request(dict(payload))
+                latencies[index] = loop.time() - t0
+
+            tasks = []
+            start = loop.time()
+            for index, (offset, payload) in enumerate(schedule):
+                delay = start + offset - loop.time()
+                if delay > 0.0:
+                    await asyncio.sleep(delay)
+                tasks.append(asyncio.create_task(fire(payload, index)))
+            await asyncio.gather(*tasks)
+            return latencies, server.stats.snapshot()
+
+    ordered, stats = asyncio.run(once())
+    if not ordered:
+        return {
+            "mean": 0.0, "p50": 0.0, "p99": 0.0, "max": 0.0,
+            "latencies": [], "stats": stats,
+        }
+    latencies = sorted(ordered)
+
+    def pct(q: float) -> float:
+        return latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+
+    return {
+        "mean": sum(latencies) / len(latencies),
+        "p50": pct(0.50),
+        "p99": pct(0.99),
+        "max": latencies[-1],
+        "latencies": ordered,
+        "stats": stats,
+    }
 
 
 def dump_experiment_json(

@@ -40,6 +40,15 @@ directory's snapshot + write-ahead log on start, every update batch is
 logged before it executes (``--fsync`` picks the policy), and snapshots
 checkpoint on ``--snapshot-ops``/``--snapshot-interval`` triggers and on
 graceful shutdown.
+
+The serving control plane (:mod:`repro.obs`) hangs off the same
+command: ``--metrics-port`` serves ``GET /metrics`` (Prometheus text)
+and ``GET /healthz`` (ok/degraded/overloaded JSON), ``--trace-dir``
+exports recent per-request traces as Chrome-trace-viewer JSON on
+shutdown, ``--adaptive-window`` lets the coalescing window retune
+itself from measured load, and ``--memory-budget`` /
+``--rate-capacity`` / ``--overcommit`` gate admission on measured
+capacity instead of queue depth alone.
 """
 
 from __future__ import annotations
@@ -238,6 +247,51 @@ def _parser() -> argparse.ArgumentParser:
                 default=None,
                 help="optional wall-clock checkpoint interval in seconds",
             )
+            p.add_argument(
+                "--metrics-port",
+                type=int,
+                default=None,
+                help="serve GET /metrics (Prometheus text) and GET /healthz "
+                "on this port (0 binds an ephemeral port)",
+            )
+            p.add_argument(
+                "--metrics-host",
+                default="127.0.0.1",
+                help="bind host for the metrics listener",
+            )
+            p.add_argument(
+                "--trace-dir",
+                default=None,
+                help="export recent request traces to this directory as "
+                "Chrome-trace-viewer JSON on shutdown",
+            )
+            p.add_argument(
+                "--adaptive-window",
+                action="store_true",
+                help="retune the coalescing window from measured arrival "
+                "rate and p99 (AIMD between 0 and --window-ms)",
+            )
+            p.add_argument(
+                "--memory-budget",
+                type=int,
+                default=None,
+                help="logical resident-byte budget across hosted structures; "
+                "admission refuses at measured capacity",
+            )
+            p.add_argument(
+                "--rate-capacity",
+                type=float,
+                default=None,
+                help="provisioned arrival ceiling in requests/s for the "
+                "admission gate",
+            )
+            p.add_argument(
+                "--overcommit",
+                type=float,
+                default=1.0,
+                help="over-commit ratio applied to --memory-budget and "
+                "--rate-capacity",
+            )
         else:
             p.add_argument("--lo", type=float, required=True)
             p.add_argument("--hi", type=float, required=True)
@@ -282,6 +336,17 @@ def _serve(args, structure) -> int:
         snapshot_ops=args.snapshot_ops,
         snapshot_interval=args.snapshot_interval,
     )
+    control = dict(
+        memory_budget=getattr(args, "memory_budget", None),
+        rate_capacity=getattr(args, "rate_capacity", None),
+        overcommit=getattr(args, "overcommit", 1.0),
+    )
+    if getattr(args, "adaptive_window", False):
+        from .obs import WindowController
+
+        control["adaptive_window"] = WindowController(
+            min_window=0.0, max_window=max(window, 0.001)
+        )
 
     async def offline() -> int:
         with open(args.requests) as handle:
@@ -318,9 +383,17 @@ def _serve(args, structure) -> int:
             window=window,
             max_batch=args.max_batch,
             **durable,
+            **control,
         )
         await server.start_tcp(args.host, args.port)
         print(f"serving on {args.host}:{server.port}", flush=True)
+        if args.metrics_port is not None:
+            await server.start_metrics(args.metrics_host, args.metrics_port)
+            print(
+                f"metrics on {args.metrics_host}:{server.metrics_port}"
+                " (/metrics, /healthz)",
+                flush=True,
+            )
         # SIGTERM (the orchestrator's polite kill) must run the same
         # graceful path as Ctrl-C: drain in-flight batches, write the
         # shutdown checkpoint, close the WAL.  Without the handler the
@@ -340,7 +413,18 @@ def _serve(args, structure) -> int:
         finally:
             for sig in hooked:
                 loop.remove_signal_handler(sig)
+            port = server.port
             await server.aclose()
+            if args.trace_dir is not None and server.traces is not None:
+                import os
+
+                from .obs import chrome_trace
+
+                os.makedirs(args.trace_dir, exist_ok=True)
+                path = os.path.join(args.trace_dir, f"trace-{port}.json")
+                with open(path, "w") as handle:
+                    handle.write(chrome_trace(server.traces.recent()))
+                print(f"wrote {len(server.traces)} traces to {path}", flush=True)
         return 0
 
     try:

@@ -37,6 +37,7 @@ class BufferPool:
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._frames: OrderedDict[int, list] = OrderedDict()
         self._dirty: set[int] = set()
 
@@ -73,6 +74,7 @@ class BufferPool:
         else:
             while len(self._frames) >= self.capacity:
                 old, old_frame = self._frames.popitem(last=False)
+                self.evictions += 1
                 if old in self._dirty:
                     self._dirty.discard(old)
                     self.device.write(old, old_frame)

@@ -1,0 +1,124 @@
+"""An HTTP-lite exposition listener for ``/metrics`` and ``/healthz``.
+
+Scrapers (Prometheus, curl, load balancer health checks) speak HTTP;
+the serving tier speaks a length-prefixed binary protocol.  Rather than
+pull in an HTTP framework, this module implements the sliver of
+HTTP/1.1 a scraper needs: parse a ``GET`` request line, skip headers,
+answer with a correct status line, ``Content-Type``,
+``Content-Length``, and ``Connection: close``.  It runs on the same
+asyncio loop as the serving listener, so exposition never needs a
+thread and reads a consistent view of all counters.
+
+Routes:
+
+``GET /metrics``
+    Prometheus text exposition (v0.0.4) from the wired registry.
+``GET /healthz``
+    JSON health document ``{"status": ok|degraded|overloaded, ...}``;
+    ``503`` when not ok so dumb HTTP checkers work unmodified.
+
+Anything else is ``404``; non-GET methods are ``405``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+__all__ = ["MetricsHTTP"]
+
+_MAX_REQUEST_BYTES = 8192
+
+
+class MetricsHTTP:
+    """Serve ``/metrics`` and ``/healthz`` over minimal HTTP.
+
+    Parameters
+    ----------
+    render:
+        Zero-arg callable returning the Prometheus text body.
+    health:
+        Zero-arg callable returning the health dict; its ``"status"``
+        key selects the HTTP status (``ok`` -> 200, otherwise 503).
+    """
+
+    def __init__(self, render, health) -> None:
+        self.render = render
+        self.health = health
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind and start serving (``port=0`` picks a free port)."""
+        self._server = await asyncio.start_server(self._handle, host, port)
+
+    @property
+    def port(self) -> int | None:
+        """The bound port, or ``None`` before :meth:`start`."""
+        if self._server is None or not self._server.sockets:
+            return None
+        return self._server.sockets[0].getsockname()[1]
+
+    async def aclose(self) -> None:
+        """Stop listening and release the socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            request = await self._read_request(reader)
+            status, ctype, body = self._route(request)
+            payload = body.encode("utf-8")
+            head = (
+                f"HTTP/1.1 {status}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("ascii") + payload)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError, ValueError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    @staticmethod
+    async def _read_request(reader) -> tuple[str, str]:
+        """Read the request line, drain headers, return (method, path)."""
+        line = await reader.readline()
+        if not line:
+            raise ValueError("empty request")
+        parts = line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise ValueError("malformed request line")
+        consumed = len(line)
+        while True:
+            header = await reader.readline()
+            consumed += len(header)
+            if consumed > _MAX_REQUEST_BYTES:
+                raise ValueError("request too large")
+            if header in (b"\r\n", b"\n", b""):
+                break
+        return parts[0], parts[1]
+
+    def _route(self, request: tuple[str, str]) -> tuple[str, str, str]:
+        method, path = request
+        path = path.split("?", 1)[0]
+        if method != "GET":
+            return "405 Method Not Allowed", "text/plain; charset=utf-8", "GET only\n"
+        if path == "/metrics":
+            return (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                self.render(),
+            )
+        if path == "/healthz":
+            doc = self.health()
+            status = "200 OK" if doc.get("status") == "ok" else "503 Service Unavailable"
+            return status, "application/json", json.dumps(doc, sort_keys=True) + "\n"
+        return "404 Not Found", "text/plain; charset=utf-8", "not found\n"

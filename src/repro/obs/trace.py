@@ -1,0 +1,223 @@
+"""Per-request tracing: span records, a bounded ring, Chrome-trace export.
+
+A *trace* is the story of one request: when it was admitted, how long it
+waited in the coalescing window, how long the batch executed, which shard
+tasks it fanned out to, and when the reply was written.  Each phase is a
+:class:`Span` (name, start, duration, optional detail); a request's spans
+live in a :class:`TraceRecord` keyed by a monotonically increasing trace
+id.  Finished records land in a bounded ring (:class:`TraceRing`) so
+memory stays constant regardless of uptime; the ring is exported through
+the server's ``trace`` op and, at shutdown, as Chrome-trace-viewer JSON
+(``chrome://tracing`` / Perfetto ``trace_event`` format).
+
+Shard attribution crosses a layer boundary: the server knows trace ids,
+the shard scatter path knows per-task timings, and neither imports the
+other.  The bridge is a module-level *active trace table* — the server
+publishes ``{seed: trace_id}`` for the batch it is about to execute
+(:func:`set_active`), and :class:`~repro.shard.ShardedIRS` labels its
+task spans by looking up each task's derived seed
+(:func:`active_trace_id`).  The server runs a single asyncio loop and
+executes one batch at a time, so a plain module global is race-free.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+
+__all__ = [
+    "Span",
+    "TraceRecord",
+    "TraceRing",
+    "set_active",
+    "clear_active",
+    "active_trace_id",
+    "record_task_span",
+    "chrome_trace",
+]
+
+
+class Span:
+    """One timed phase of a request: name, start, duration, detail."""
+
+    __slots__ = ("name", "start", "duration", "detail")
+
+    def __init__(self, name, start, duration, detail=None) -> None:
+        self.name = name
+        self.start = start
+        self.duration = duration
+        self.detail = detail
+
+    def to_dict(self) -> dict:
+        """Return a JSON-safe dict (durations in seconds)."""
+        out = {
+            "name": self.name,
+            "start": round(self.start, 9),
+            "duration": round(self.duration, 9),
+        }
+        if self.detail is not None:
+            out["detail"] = self.detail
+        return out
+
+
+class TraceRecord:
+    """All spans for one request, plus identifying context.
+
+    Spans are stored as plain ``(name, start, duration, detail)`` tuples,
+    not :class:`Span` objects — a traced request appends four to six of
+    them on the serving hot path, and a tuple append is several times
+    cheaper than an object construction.  :meth:`spans` materializes
+    :class:`Span` views for callers that want the richer API.
+    """
+
+    __slots__ = ("trace_id", "request_id", "kind", "_spans", "started")
+
+    def __init__(self, trace_id, request_id, kind, started) -> None:
+        self.trace_id = trace_id
+        self.request_id = request_id
+        self.kind = kind
+        self.started = started
+        self._spans: list[tuple] = []
+
+    def add(self, name, start, duration, detail=None) -> None:
+        """Append a span to this record."""
+        self._spans.append((name, start, duration, detail))
+
+    @property
+    def spans(self) -> list[Span]:
+        """The recorded phases as :class:`Span` objects."""
+        return [Span(*t) for t in self._spans]
+
+    def to_dict(self) -> dict:
+        """Return a JSON-safe dict of the whole record."""
+        spans = []
+        for name, start, duration, detail in self._spans:
+            span = {
+                "name": name,
+                "start": round(start, 9),
+                "duration": round(duration, 9),
+            }
+            if detail is not None:
+                span["detail"] = detail
+            spans.append(span)
+        return {
+            "trace_id": self.trace_id,
+            "request_id": self.request_id,
+            "kind": self.kind,
+            "started": round(self.started, 9),
+            "spans": spans,
+        }
+
+
+class TraceRing:
+    """A bounded ring of finished :class:`TraceRecord` objects.
+
+    ``capacity`` bounds memory; the ring keeps the most recent records.
+    ``next_id`` hands out trace ids; ``push`` files a finished record.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        self.capacity = int(capacity)
+        self._ring: deque[TraceRecord] = deque(maxlen=self.capacity)
+        self._next = 0
+        self.total = 0
+
+    def next_id(self) -> int:
+        """Allocate the next trace id."""
+        self._next += 1
+        return self._next
+
+    def push(self, record: TraceRecord) -> None:
+        """File a finished record (evicting the oldest past capacity)."""
+        self._ring.append(record)
+        self.total += 1
+
+    def recent(self, limit: int | None = None) -> list[TraceRecord]:
+        """Return up to ``limit`` most-recent records, oldest first."""
+        records = list(self._ring)
+        if limit is not None and limit >= 0:
+            records = records[-limit:] if limit else []
+        return records
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+# -- the active-trace bridge (server -> shard scatter) ----------------------
+
+_ACTIVE: dict[int, int] = {}
+_TASK_SPANS: list[tuple] = []
+
+
+def set_active(seed_to_trace: dict[int, int]) -> None:
+    """Publish the seed->trace-id table for the batch about to execute."""
+    global _ACTIVE
+    _ACTIVE = seed_to_trace
+    _TASK_SPANS.clear()
+
+
+def clear_active() -> list[tuple]:
+    """Tear down the table; return task spans recorded while it was up.
+
+    Each span is ``(trace_id, shard, start, duration, n)`` — trace_id may
+    be ``None`` when a task's seed was not in the table.
+    """
+    global _ACTIVE
+    _ACTIVE = {}
+    spans = list(_TASK_SPANS)
+    _TASK_SPANS.clear()
+    return spans
+
+
+def active_trace_id(seed) -> int | None:
+    """Look up the trace id for a task seed (``None`` when untraced)."""
+    return _ACTIVE.get(seed)
+
+
+def record_task_span(trace_id, shard, start, duration, n) -> None:
+    """Record one shard-task span against the active batch."""
+    if _ACTIVE:
+        _TASK_SPANS.append((trace_id, shard, start, duration, n))
+
+
+# -- Chrome trace-viewer export ---------------------------------------------
+
+def chrome_trace(records) -> str:
+    """Serialize trace records as Chrome-trace-viewer JSON.
+
+    Emits ``ph: "X"`` (complete) events with microsecond timestamps;
+    request phases go on ``tid`` 0 of a per-trace ``pid`` lane, shard
+    task spans on ``tid = shard + 1`` so a slow shard stands out in the
+    viewer.  Load the output at ``chrome://tracing`` or ui.perfetto.dev.
+    """
+    events = []
+    for rec in records:
+        pid = rec.trace_id
+        events.append(
+            {
+                "name": f"request {rec.request_id or rec.trace_id} ({rec.kind})",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"request_id": rec.request_id, "kind": rec.kind},
+                "cat": "meta",
+                "ts": int(rec.started * 1e6),
+            }
+        )
+        for name, start, duration, detail in rec._spans:
+            tid = 0
+            detail = detail or {}
+            if name == "shard_task" and isinstance(detail, dict):
+                tid = int(detail.get("shard", -1)) + 1
+            events.append(
+                {
+                    "name": name,
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": int(start * 1e6),
+                    "dur": max(1, int(duration * 1e6)),
+                    "args": detail if isinstance(detail, dict) else {"detail": detail},
+                }
+            )
+    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})

@@ -1,0 +1,84 @@
+"""Self-tuning coalescing: an AIMD controller over the batching window.
+
+The coalescing window trades latency for batch efficiency: a longer
+window gathers bigger batches (amortizing WAL appends and scatter
+setup) but every request in the window waits for it.  The right window
+therefore depends on the *arrival rate* — at 10k req/s a 1 ms window
+already gathers ~10 requests, while at 100 req/s the same window
+gathers one and merely adds a millisecond of sleep.
+
+:class:`WindowController` retunes the window between configured bounds
+from two measured signals, in the additive-increase /
+multiplicative-decrease shape that TCP congestion control made
+standard (gentle probing upward, decisive backoff):
+
+* **Arrival-driven target.**  ``ideal = target_batch / arrival_rate``
+  is the window that would gather ``target_batch`` requests.  When the
+  current window overshoots the ideal by 2x (arrivals surged), it is
+  *halved* — bursts get served at low latency immediately.  When it
+  undershoots (arrivals dropped), it *grows additively* by ``step`` —
+  slow traffic slowly consolidates into batches.
+* **Latency guard.**  If observed p99 exceeds ``p99_budget`` while the
+  window is not gathering its target batch (i.e. the window itself is
+  the latency), the window is halved regardless.
+
+The controller is **off by default** — the server keeps its fixed
+window unless constructed with one — and owns no clock or task: the
+server's executor loop calls :meth:`tick` after each batch, passing
+measured rate and p99, so the controller stays a pure, testable
+function of its inputs.
+"""
+
+from __future__ import annotations
+
+__all__ = ["WindowController"]
+
+
+class WindowController:
+    """AIMD retuning of the coalescing window between bounds."""
+
+    def __init__(
+        self,
+        min_window: float = 0.0,
+        max_window: float = 0.016,
+        target_batch: int = 64,
+        p99_budget: float = 0.050,
+        step: float = 0.001,
+        interval: float = 0.02,
+    ) -> None:
+        if min_window < 0 or max_window < min_window:
+            raise ValueError("need 0 <= min_window <= max_window")
+        self.min_window = float(min_window)
+        self.max_window = float(max_window)
+        self.target_batch = max(1, int(target_batch))
+        self.p99_budget = float(p99_budget)
+        self.step = float(step)
+        self.interval = float(interval)
+        self.window = min(max(0.001, min_window), max_window)
+        self._last_tick = None
+        self.adjustments = 0
+
+    def tick(self, now: float, arrival_rate: float, p99: float | None) -> float:
+        """Retune from measured signals; returns the (possibly new) window.
+
+        Call from the serving loop after each batch; ticks closer
+        together than ``interval`` are no-ops so the controller reacts
+        at a bounded cadence rather than per batch.
+        """
+        if self._last_tick is not None and now - self._last_tick < self.interval:
+            return self.window
+        self._last_tick = now
+        before = self.window
+        gathering = arrival_rate * self.window
+        if p99 is not None and p99 > self.p99_budget and gathering < self.target_batch:
+            # The window is the latency: back off decisively.
+            self.window = max(self.min_window, self.window / 2.0)
+        elif arrival_rate > 0.0:
+            ideal = self.target_batch / arrival_rate
+            if ideal < self.window / 2.0:
+                self.window = max(self.min_window, self.window / 2.0)
+            elif ideal > self.window:
+                self.window = min(self.max_window, self.window + self.step)
+        if self.window != before:
+            self.adjustments += 1
+        return self.window

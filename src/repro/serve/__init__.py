@@ -14,6 +14,9 @@ calls the batch engine is fast at:
   and exactly-once updates via idempotency keys;
 * :class:`ServerStats` — the metrics snapshot (throughput, latency
   percentiles, coalesce factor) behind the ``stats`` op;
+* :class:`ServerObservability` — the control-plane wiring: Prometheus
+  families for every layer, health derivation, change-only publication
+  (see :mod:`repro.obs`);
 * :class:`ServeError` — the client-side typed-error exception.
 
 Quick start (in process)::
@@ -34,6 +37,7 @@ See ``docs/architecture.md`` for the pipeline and consistency model, and
 """
 
 from .client import ResilientClient, RetryPolicy, ServeClient, TCPServeClient
+from .observe import ServerObservability
 from .protocol import RequestError, ServeError
 from .server import ReproServer
 from .stats import ServerStats
@@ -45,6 +49,7 @@ __all__ = [
     "ResilientClient",
     "RetryPolicy",
     "ServerStats",
+    "ServerObservability",
     "ServeError",
     "RequestError",
 ]

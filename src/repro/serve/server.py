@@ -14,9 +14,11 @@ all on one event loop:
    the seed and the data, never on how requests happen to share batches.
 2. **Coalescing** (the batcher task): admitted requests are grouped into
    a batch until the *window* elapses, the batch holds ``max_batch``
-   requests, or the sample budget is spent.  ``window=0`` or
-   ``max_batch=1`` degenerates to naive one-request-per-call serving
-   (the benchmark baseline).
+   requests, or the sample budget is spent.  ``max_batch=1`` degenerates
+   to naive one-request-per-call serving (the benchmark baseline);
+   ``window=0`` skips only the deliberate gather sleep — queued backlog
+   still drains into batches (exhaustive service), so a saturated
+   zero-window server self-batches instead of going serial.
 3. **Execution** (the executor task): batches run strictly in admission
    order through :meth:`repro.batch.BatchQueryRunner.run_mixed` with
    ``coalesce_reads=True`` (read runs become single scatter/probe calls,
@@ -64,13 +66,17 @@ write order well-defined.
 from __future__ import annotations
 
 import asyncio
+import time
 from collections import OrderedDict
 from contextlib import suppress
 
 from ..batch import BatchOp, BatchQueryRunner
 from ..errors import StorageError
+from ..obs import AdmissionGate, MetricsHTTP, TraceRecord, TraceRing
+from ..obs import trace as obs_trace
 from ..rng import RandomSource, derive_seed
 from . import protocol
+from .observe import ServerObservability
 from .protocol import RequestError
 from .stats import ServerStats
 
@@ -78,11 +84,17 @@ __all__ = ["ReproServer"]
 
 _UPDATE_OPS = ("insert", "delete", "insert_bulk", "delete_bulk")
 
+# Shared reply-span details: allocated once, never mutated (hot path).
+_REPLY_OK = {"ok": True}
+_REPLY_ERR = {"ok": False}
+
 
 class _Pending:
     """One admitted request waiting for its batch to execute."""
 
-    __slots__ = ("request_id", "kind", "ops", "cost", "future", "admitted_at", "rid")
+    __slots__ = (
+        "request_id", "kind", "ops", "cost", "future", "admitted_at", "rid", "trace",
+    )
 
     def __init__(
         self, request_id, kind, ops, cost, future, admitted_at, rid=None
@@ -94,6 +106,7 @@ class _Pending:
         self.future = future
         self.admitted_at = admitted_at
         self.rid = rid
+        self.trace = None  # TraceRecord when tracing is on
 
 
 class ReproServer:
@@ -146,6 +159,29 @@ class ReproServer:
         dedup map remembers.  A retry arriving after its rid was evicted
         re-executes — size the window to cover the client's retry
         horizon (attempts x max backoff x peak update rate).
+    observe:
+        Wire the observability control plane (Prometheus families for
+        every layer, per-request tracing, health derivation).  ``False``
+        keeps only the plain counters — the metrics-off baseline of the
+        overhead benchmark.
+    trace_capacity:
+        Size of the bounded ring of finished per-request traces.
+    adaptive_window:
+        Optional :class:`~repro.obs.WindowController`: the coalescing
+        window then retunes itself (AIMD between the controller's
+        bounds) from measured arrival rate and p99.  ``None`` (default)
+        keeps the fixed ``window``.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` threaded into the WAL
+        as a :class:`~repro.faults.FaultyFile` wrapper (sites
+        ``wal.torn`` / ``wal.corrupt`` / ``wal.fsync``) and exposed as
+        the ``repro_faults_fired_total`` family.
+    memory_budget / rate_capacity / overcommit:
+        Measured-capacity admission (see
+        :class:`~repro.obs.AdmissionGate`): logical resident-byte budget
+        across hosted structures, provisioned arrival ceiling in
+        requests/s, and the over-commit multiplier applied to both.
+        Unset budgets never gate.
     """
 
     def __init__(
@@ -165,6 +201,13 @@ class ReproServer:
         snapshot_ops: int = 50_000,
         snapshot_interval: float | None = None,
         dedup_window: int = 4096,
+        observe: bool = True,
+        trace_capacity: int = 512,
+        adaptive_window=None,
+        fault_plan=None,
+        memory_budget: int | None = None,
+        rate_capacity: float | None = None,
+        overcommit: float = 1.0,
     ) -> None:
         if window < 0.0:
             raise ValueError("window must be >= 0")
@@ -173,6 +216,7 @@ class ReproServer:
         self._runner = BatchQueryRunner(structures)
         self.store = None
         self.recovery = None
+        self.fault_plan = fault_plan
         self._snapshot_interval = snapshot_interval
         self._last_snapshot_at = None  # loop time of the last checkpoint
         if data_dir is not None:
@@ -181,8 +225,18 @@ class ReproServer:
             # circular.
             from ..store.durable import DurableStore
 
+            wrapper = None
+            if fault_plan is not None:
+                from ..faults import FaultyFile
+
+                def wrapper(fh, _plan=fault_plan):
+                    return FaultyFile(fh, _plan, site="wal")
+
             self.store = DurableStore(
-                data_dir, fsync=fsync, snapshot_ops=snapshot_ops
+                data_dir,
+                fsync=fsync,
+                snapshot_ops=snapshot_ops,
+                file_wrapper=wrapper,
             )
             self.recovery = self.store.recover(self._runner.structures, seed=seed)
             self._runner = BatchQueryRunner(self.recovery.structures)
@@ -197,6 +251,21 @@ class ReproServer:
         self._max_inflight = int(max_inflight)
         self._max_line = int(max_line)
         self.stats = ServerStats()
+        self.gate = AdmissionGate(
+            max_pending,
+            memory_budget=memory_budget,
+            rate_capacity=rate_capacity,
+            overcommit=overcommit,
+        )
+        self.gate.watch(self._runner.structures)
+        self._controller = adaptive_window
+        if self._controller is not None:
+            self._window = self._controller.window
+        self.traces = TraceRing(trace_capacity) if observe else None
+        self.obs = ServerObservability(self) if observe else None
+        if not observe:
+            self.stats.observe_latency = False
+        self._metrics_http: MetricsHTTP | None = None
         self._admit_q: asyncio.Queue | None = None
         self._exec_q: asyncio.Queue | None = None
         self._forming: list = []  # the batcher's in-progress batch
@@ -254,6 +323,28 @@ class ReproServer:
             return None
         return self._tcp.sockets[0].getsockname()[1]
 
+    async def start_metrics(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> "ReproServer":
+        """Serve ``GET /metrics`` and ``GET /healthz`` on ``host:port``.
+
+        Requires ``observe=True`` (the default).  ``port=0`` binds an
+        ephemeral port; read it back from :attr:`metrics_port`.
+        """
+        if self.obs is None:
+            raise RuntimeError("metrics exposition requires observe=True")
+        if self._metrics_http is None:
+            self._metrics_http = MetricsHTTP(
+                self.stats.registry.render, self.obs.health
+            )
+            await self._metrics_http.start(host, port)
+        return self
+
+    @property
+    def metrics_port(self) -> int | None:
+        """The metrics listener's port (``None`` before :meth:`start_metrics`)."""
+        return self._metrics_http.port if self._metrics_http is not None else None
+
     async def aclose(self) -> None:
         """Stop accepting, cancel the pipeline, fail leftover requests.
 
@@ -261,6 +352,9 @@ class ReproServer:
         typed ``shutting_down`` error rather than left hanging.
         """
         self._closing = True
+        if self._metrics_http is not None:
+            await self._metrics_http.aclose()
+            self._metrics_http = None
         if self._tcp is not None:
             self._tcp.close()
             await self._tcp.wait_closed()
@@ -322,6 +416,7 @@ class ReproServer:
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         request_id = request.get("id") if isinstance(request, dict) else None
+        t0 = time.perf_counter() if self.traces is not None else 0.0
         try:
             if self._admit_q is None or self._closing:
                 raise RequestError("shutting_down", "server is not accepting requests")
@@ -334,6 +429,30 @@ class ReproServer:
             return future
         if pending is None:  # immediate op (ping/stats/dedup hit/empty bulk)
             return future
+        admitted, component = self.gate.admit(
+            self._admit_q.qsize() + len(self._forming), self.stats.arrival_rate()
+        )
+        if not admitted:
+            if pending.rid is not None:
+                self._dedup.pop(pending.rid, None)
+            self.stats.observe_rejected()
+            future.set_result(
+                protocol.error_response(
+                    pending.request_id,
+                    RequestError(
+                        "overloaded",
+                        f"capacity exhausted ({component} pressure >= 1.0)",
+                        retry_after=self.retry_after_hint(),
+                    ),
+                )
+            )
+            return future
+        if self.traces is not None:
+            record = TraceRecord(
+                self.traces.next_id(), pending.request_id, pending.kind, t0
+            )
+            record.add("admission", t0, time.perf_counter() - t0)
+            pending.trace = record
         try:
             self._admit_q.put_nowait(pending)
         except asyncio.QueueFull:
@@ -374,6 +493,22 @@ class ReproServer:
             return 0.005
         return min(5.0, max(0.005, depth / drain))
 
+    def trace_snapshot(self, limit=None) -> dict:
+        """Return recent finished traces (the ``trace`` op's reply body)."""
+        if self.traces is None:
+            return {"enabled": False, "total": 0, "records": []}
+        if limit is not None and (
+            isinstance(limit, bool) or not isinstance(limit, int) or limit < 0
+        ):
+            raise RequestError(
+                "bad_request", "field 'limit' must be a non-negative integer"
+            )
+        return {
+            "enabled": True,
+            "total": self.traces.total,
+            "records": [r.to_dict() for r in self.traces.recent(limit)],
+        }
+
     def _admit(self, message: dict, future, loop) -> _Pending | None:
         """Validate one request; return its pending record or resolve now."""
         op = message.get("op")
@@ -383,7 +518,19 @@ class ReproServer:
             future.set_result(protocol.ok_response(request_id, "pong"))
             return None
         if op == "stats":
-            future.set_result(protocol.ok_response(request_id, self.stats.snapshot()))
+            snapshot = self.stats.snapshot()
+            if self.obs is not None:
+                structures = self.obs.structure_stats()
+                if structures:
+                    snapshot["structures"] = structures
+            future.set_result(protocol.ok_response(request_id, snapshot))
+            return None
+        if op == "trace":
+            future.set_result(
+                protocol.ok_response(
+                    request_id, self.trace_snapshot(message.get("limit"))
+                )
+            )
             return None
         if op not in ("sample", "count") and op not in _UPDATE_OPS:
             raise RequestError("unknown_op", f"unknown op: {op!r}")
@@ -544,6 +691,18 @@ class ReproServer:
         the log".
         """
         self.stats.observe_batch(len(batch))
+        traced = (
+            [p for p in batch if p.trace is not None]
+            if self.traces is not None
+            else []
+        )
+        if traced:
+            t_exec = time.perf_counter()
+            for pending in traced:
+                # The admission span tuple, read in place (hot path).
+                _, s0, d0, _ = pending.trace._spans[0]
+                start = s0 + d0
+                pending.trace.add("coalesce_wait", start, t_exec - start)
         if self.store is not None:
             update_ops: list[BatchOp] = []
             rid_spans: list[tuple] = []
@@ -560,6 +719,7 @@ class ReproServer:
                 # too — replay runs the same capture-errors path, so they
                 # fail identically there.  Rid spans ride in the record so
                 # recovery can rebuild the dedup window.
+                t_wal = time.perf_counter()
                 try:
                     self.store.log_batch(update_ops, rids=rid_spans or None)
                 except (StorageError, OSError) as exc:
@@ -578,11 +738,78 @@ class ReproServer:
                         if pending.rid is not None:
                             self._dedup_abort(pending.rid, refusal)
                         self._reply(pending, response, ok=False, loop=loop)
+                        if pending.trace is not None:
+                            # Refused before execution: the trace is done.
+                            traced.remove(pending)
+                            self.traces.push(pending.trace)
                     batch = survivors
                     if not batch:
+                        self._publish_and_tune()
                         return
-        self._run_batch(batch, loop)
+                else:
+                    if traced:
+                        wal_dur = time.perf_counter() - t_wal
+                        for pending in batch:
+                            if pending.kind == "update" and pending.trace is not None:
+                                pending.trace.add("wal_append", t_wal, wal_dur)
+        if traced:
+            # Publish the seed -> trace-id table so the shard scatter path
+            # can attribute its task spans to requests (single-loop: one
+            # batch executes at a time, so the module global is race-free).
+            seed_map = {
+                p.ops[0].seed: p.trace.trace_id
+                for p in batch
+                if p.trace is not None and p.kind == "sample"
+            }
+            obs_trace.set_active(seed_map)
+            t_run = time.perf_counter()
+            try:
+                self._run_batch(batch, loop)
+            finally:
+                run_dur = time.perf_counter() - t_run
+                task_spans = obs_trace.clear_active()
+            by_trace: dict[int, list] = {}
+            batch_spans: list = []
+            for trace_id, shard, start, dur, n in task_spans:
+                if trace_id is None:
+                    batch_spans.append((shard, start, dur, n))
+                else:
+                    by_trace.setdefault(trace_id, []).append((shard, start, dur, n))
+            for pending in traced:
+                record = pending.trace
+                record.add("execute", t_run, run_dur)
+                for shard, start, dur, n in by_trace.get(record.trace_id, ()):
+                    record.add("shard_task", start, dur, {"shard": shard, "n": n})
+                for shard, start, dur, n in batch_spans:
+                    # Spans the scatter could not attribute per request
+                    # (the shared-memory backend times the whole scatter):
+                    # batch-level context on every traced member.
+                    record.add(
+                        "shard_task", start, dur,
+                        {"shard": shard, "n": n, "aggregate": True},
+                    )
+                self.traces.push(record)
+        else:
+            self._run_batch(batch, loop)
         self._maybe_checkpoint(loop)
+        self._publish_and_tune()
+
+    def _publish_and_tune(self) -> None:
+        """Post-batch control-plane work: publication and window retuning.
+
+        Publication is change-only (see
+        :meth:`~repro.serve.observe.ServerObservability.publish`) and the
+        AIMD controller ticks at its own bounded cadence, so the per-batch
+        cost here is a handful of comparisons.
+        """
+        if self.obs is not None:
+            self.obs.publish()
+        if self._controller is not None:
+            self._window = self._controller.tick(
+                time.perf_counter(),
+                self.stats.arrival_rate(),
+                self.stats.recent_p99(),
+            )
 
     def _run_batch(self, batch: list, loop) -> None:
         """Run one (already-logged) batch and scatter replies to futures."""
@@ -700,10 +927,16 @@ class ReproServer:
             self._last_snapshot_at = loop.time()
 
     def _reply(self, pending: _Pending, response, *, ok, loop, samples=0) -> None:
-        self.stats.observe_reply(ok, loop.time() - pending.admitted_at, samples)
         if pending.future.done():  # pragma: no cover - cancellation race
+            # A dropped reply drained a slot but was never delivered: it
+            # counts toward the drain rate, not toward ok/error replies.
             self.stats.observe_dropped()
             return
+        self.stats.observe_reply(ok, loop.time() - pending.admitted_at, samples)
+        if pending.trace is not None:
+            pending.trace.add(
+                "reply", time.perf_counter(), 0.0, _REPLY_OK if ok else _REPLY_ERR
+            )
         pending.future.set_result(response)
 
     # -- TCP transport -----------------------------------------------------

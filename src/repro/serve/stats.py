@@ -1,9 +1,21 @@
-"""Server-side metrics: throughput, latency percentiles, coalesce factor."""
+"""Server-side metrics: throughput, latency percentiles, coalesce factor.
+
+Rebuilt on :mod:`repro.obs.metrics`: every counter the server records is
+also a family in a :class:`~repro.obs.metrics.MetricsRegistry`, so one
+recording site feeds both the legacy ``stats`` op snapshot (wire shape
+preserved) and the Prometheus exposition.  The registry families are
+*pull-valued* — they read the plain integer attributes at render time —
+so the hot path still pays integer adds only; the single push
+instrument is the request-latency histogram (bucketing needs the
+observation).
+"""
 
 from __future__ import annotations
 
 import time
 from collections import deque
+
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["ServerStats"]
 
@@ -24,9 +36,18 @@ class ServerStats:
     reply wall times of the most recent ``window`` replies (a bounded
     reservoir, so a long-running server reports recent behavior, not its
     whole life).
+
+    ``registry`` optionally supplies the metrics registry to expose the
+    serve-layer families on; by default each instance owns a fresh one
+    (reachable as :attr:`registry`).
     """
 
-    def __init__(self, window: int = 4096, rate_window: int = 256) -> None:
+    def __init__(
+        self,
+        window: int = 4096,
+        rate_window: int = 256,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self.started = time.perf_counter()
         self.admitted = 0
         self.rejected = 0
@@ -46,6 +67,61 @@ class ServerStats:
         # and drain rates behind the `retry_after` overload hint.
         self.arrivals: deque[float] = deque(maxlen=rate_window)
         self.drains: deque[float] = deque(maxlen=rate_window)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._register()
+        #: Set ``False`` to skip the histogram observe (the metrics-off
+        #: baseline of the overhead benchmark); counters always record.
+        self.observe_latency = True
+
+    def _register(self) -> None:
+        """Wire the serve-layer families (pull-valued except the histogram)."""
+        reg = self.registry
+        requests = reg.counter(
+            "repro_serve_requests_total", "Admitted requests by op kind.", ("kind",)
+        )
+        requests.labels(kind="sample").set_function(lambda: self.sample_requests)
+        requests.labels(kind="count").set_function(lambda: self.count_requests)
+        requests.labels(kind="update").set_function(lambda: self.update_requests)
+        reg.counter(
+            "repro_serve_rejected_total", "Requests refused at admission."
+        ).set_function(lambda: self.rejected)
+        replies = reg.counter(
+            "repro_serve_replies_total", "Replies by outcome.", ("outcome",)
+        )
+        replies.labels(outcome="ok").set_function(lambda: self.replies_ok)
+        replies.labels(outcome="error").set_function(lambda: self.replies_error)
+        replies.labels(outcome="dropped").set_function(lambda: self.dropped_replies)
+        reg.counter(
+            "repro_serve_batches_total", "Executed coalesced batches."
+        ).set_function(lambda: self.batches)
+        reg.counter(
+            "repro_serve_batched_requests_total",
+            "Requests carried by executed batches.",
+        ).set_function(lambda: self.batched_requests)
+        reg.counter(
+            "repro_serve_samples_returned_total", "Sample values returned."
+        ).set_function(lambda: self.samples_returned)
+        reg.counter(
+            "repro_serve_dedup_hits_total",
+            "Duplicate updates absorbed by the idempotency window.",
+        ).set_function(lambda: self.dedup_hits)
+        reg.counter(
+            "repro_serve_wal_failures_total",
+            "Batches whose write-ahead append failed.",
+        ).set_function(lambda: self.wal_failures)
+        reg.gauge(
+            "repro_serve_arrival_rate", "Measured admissions per second."
+        ).set_function(self.arrival_rate)
+        reg.gauge(
+            "repro_serve_drain_rate", "Measured replies per second."
+        ).set_function(self.drain_rate)
+        reg.gauge(
+            "repro_serve_coalesce_factor", "Mean requests per executed batch."
+        ).set_function(lambda: self.coalesce_factor)
+        self.latency_hist = reg.histogram(
+            "repro_serve_request_latency_seconds",
+            "Admission-to-reply latency of served requests.",
+        )
 
     # -- recording ---------------------------------------------------------
 
@@ -78,10 +154,18 @@ class ServerStats:
         self.samples_returned += samples
         self.latencies.append(latency)
         self.drains.append(time.perf_counter())
+        if self.observe_latency:
+            self.latency_hist.observe(latency)
 
     def observe_dropped(self) -> None:
-        """Record a reply that could not be delivered (client went away)."""
+        """Record a reply that could not be delivered (client went away).
+
+        A dropped reply still *drained* a queue slot, so it stamps the
+        drain-rate window — otherwise a disconnect-heavy workload would
+        under-report drain rate and inflate every ``retry_after`` hint.
+        """
         self.dropped_replies += 1
+        self.drains.append(time.perf_counter())
 
     def observe_dedup_hit(self) -> None:
         """Record a duplicate update absorbed by the idempotency window."""
@@ -116,6 +200,14 @@ class ServerStats:
         """Measured replies per second over the recent rate window."""
         return self._rate(self.drains)
 
+    def recent_p99(self, n: int = 128) -> float | None:
+        """p99 of the most recent ``n`` reply latencies (None if empty)."""
+        if not self.latencies:
+            return None
+        tail = list(self.latencies)[-n:]
+        tail.sort()
+        return _percentile(tail, 0.99)
+
     def snapshot(self) -> dict:
         """Return a JSON-safe metrics snapshot (the ``stats`` op's reply)."""
         uptime = time.perf_counter() - self.started
@@ -140,6 +232,8 @@ class ServerStats:
             "arrival_rate": round(self.arrival_rate(), 3),
             "drain_rate": round(self.drain_rate(), 3),
         }
+        # Always present so wire consumers never branch on the key; zeros
+        # mean "no replies measured yet", exactly like the counters.
         if lat:
             out["latency_ms"] = {
                 "p50": round(1e3 * _percentile(lat, 0.50), 3),
@@ -147,4 +241,6 @@ class ServerStats:
                 "p99": round(1e3 * _percentile(lat, 0.99), 3),
                 "max": round(1e3 * lat[-1], 3),
             }
+        else:
+            out["latency_ms"] = {"p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
         return out

@@ -35,6 +35,7 @@ are identical across backends and worker schedules under a fixed seed.
 from __future__ import annotations
 
 import os
+import time
 import weakref
 from bisect import bisect_right
 from itertools import count as _counter
@@ -51,7 +52,10 @@ from ..errors import (
     InvalidQueryError,
     KeyNotFoundError,
     ShardExecutionError,
+    ShardTimeoutError,
 )
+from ..obs import trace as _trace
+from ..obs.metrics import Histogram as _Histogram
 from ..rng import RandomSource, derive_seed
 from ..rng import generator as rng_generator
 from ..types import QueryStats
@@ -248,6 +252,10 @@ class ShardedIRS(DynamicRangeSampler):
         self._task_timeout = None if task_timeout is None else float(task_timeout)
         self.last_failover: str | None = None
         self.stats = QueryStats()
+        # Per-task scatter latency (seconds), observed from the gather
+        # side after each scatter; adoptable into a metrics registry
+        # under a ``structure=`` label (see repro.serve.observe).
+        self.task_latency = _Histogram()
         self._backend = make_backend(backend, max_workers)
         self._uid = f"{os.getpid():x}-{next(_uid):x}"
         self._shm_ticket = 0
@@ -694,7 +702,7 @@ class ShardedIRS(DynamicRangeSampler):
                     off += ts
             at += ti
         total_samples = at
-        out = self._scatter(snaps, queries, tasks_meta, total_samples)
+        out = self._scatter(snaps, queries, tasks_meta, total_samples, seeds)
         results: list = []
         for q, (_lo, _hi, ti) in enumerate(queries):
             block = out[out_offsets[q] : out_offsets[q] + ti]
@@ -715,7 +723,7 @@ class ShardedIRS(DynamicRangeSampler):
         )
         return results
 
-    def _scatter(self, snaps, queries, tasks_meta, total_samples):
+    def _scatter(self, snaps, queries, tasks_meta, total_samples, query_seeds=None):
         """Run the planned tasks on the backend; return the gathered block.
 
         A shard-execution fault (worker death, task-deadline expiry —
@@ -729,7 +737,7 @@ class ShardedIRS(DynamicRangeSampler):
         """
         try:
             return self._scatter_on_backend(
-                snaps, queries, tasks_meta, total_samples
+                snaps, queries, tasks_meta, total_samples, query_seeds
             )
         except ShardExecutionError as exc:
             self._failover(exc)
@@ -740,6 +748,8 @@ class ShardedIRS(DynamicRangeSampler):
         old, self._backend = self._backend, SerialBackend()
         self.last_failover = f"{type(exc).__name__}: {exc}"
         self.stats.extra["failovers"] = self.stats.extra.get("failovers", 0) + 1
+        if isinstance(exc, ShardTimeoutError):
+            self.stats.extra["timeouts"] = self.stats.extra.get("timeouts", 0) + 1
         try:
             old.close()
         except Exception:  # pragma: no cover - best-effort teardown
@@ -757,8 +767,16 @@ class ShardedIRS(DynamicRangeSampler):
         else:
             self._backend.run(fn, tasks, self._task_timeout)
 
-    def _scatter_on_backend(self, snaps, queries, tasks_meta, total_samples):
-        """One scatter attempt on the current backend (shm or local path)."""
+    def _scatter_on_backend(
+        self, snaps, queries, tasks_meta, total_samples, query_seeds=None
+    ):
+        """One scatter attempt on the current backend (shm or local path).
+
+        ``query_seeds`` aligns each query's *request* seed (or ``None``)
+        with ``queries`` — the key the serving layer publishes trace ids
+        under (:func:`repro.obs.trace.set_active`), which is how a shard
+        task's latency span lands on the request that caused it.
+        """
         if getattr(self._backend, "uses_shared_memory", False) and tasks_meta:
             from multiprocessing import shared_memory
 
@@ -781,7 +799,14 @@ class ShardedIRS(DynamicRangeSampler):
                             out_name, total_samples, off,
                         )
                     )
+                started = time.perf_counter()
                 self._run_backend(None, tasks)
+                elapsed = time.perf_counter() - started
+                # Worker processes cannot share a Python histogram: the
+                # whole scatter is observed as one sample and traced as
+                # one aggregate span (shard -1) instead of per task.
+                self.task_latency.observe(elapsed)
+                _trace.record_task_span(None, -1, started, elapsed, total_samples)
                 view = _np.ndarray(
                     (total_samples,), dtype=_np.float64, buffer=out_shm.buf
                 )
@@ -792,16 +817,27 @@ class ShardedIRS(DynamicRangeSampler):
                 out_shm.unlink()
             return out
         out = _np.empty(total_samples, dtype=float)
+        # Tasks may run on worker threads; list.append is atomic, so each
+        # task records (shard, query, start, duration, n) here and the
+        # gather side folds them into the histogram and the active trace.
+        timings: list = []
 
         def run_local(task):
             s, q, ts, seed, off = task
             snap = snaps[s]
             lo, hi, _ = queries[q]
+            t0 = time.perf_counter()
             out[off : off + ts] = draw_from_snapshot(
                 snap.values, snap.cumw, lo, hi, ts, seed
             )
+            timings.append((s, q, t0, time.perf_counter() - t0, ts))
 
         self._run_backend(run_local, tasks_meta)
+        for s, q, t0, dt, ts in timings:
+            self.task_latency.observe(dt)
+            rseed = query_seeds[q] if query_seeds is not None else None
+            trace_id = None if rseed is None else _trace.active_trace_id(rseed)
+            _trace.record_task_span(trace_id, s, t0, dt, ts)
         return out
 
     # -- rank addressing (without-replacement support) ---------------------------

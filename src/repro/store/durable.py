@@ -22,6 +22,7 @@ aborting it.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 
 from ..rng import derive_seed
@@ -59,8 +60,9 @@ class DurableStore:
     snapshot_ops:
         Size trigger: :meth:`maybe_snapshot` checkpoints once this many
         update ops have been logged since the last snapshot.
-    segment_bytes / sync_every:
-        Forwarded to the WAL.
+    segment_bytes / sync_every / file_wrapper:
+        Forwarded to the WAL (``file_wrapper`` is the fault-injection
+        seam — see :class:`repro.faults.FaultyFile`).
     """
 
     def __init__(
@@ -71,6 +73,7 @@ class DurableStore:
         snapshot_ops: int = 50_000,
         segment_bytes: int = 64 << 20,
         sync_every: int = 256,
+        file_wrapper=None,
     ) -> None:
         if snapshot_ops < 1:
             raise ValueError("snapshot_ops must be >= 1")
@@ -81,10 +84,15 @@ class DurableStore:
             fsync=fsync,
             segment_bytes=segment_bytes,
             sync_every=sync_every,
+            file_wrapper=file_wrapper,
         )
         self.snapshots = SnapshotStore(os.path.join(self.data_dir, "snapshots"))
         self.snapshot_ops = int(snapshot_ops)
         self._ops_since_snapshot = 0
+        # Checkpoint instruments (pulled at scrape time).
+        self.snapshots_taken = 0
+        self.last_snapshot_seconds = 0.0
+        self.snapshot_seconds_total = 0.0
 
     # -- logging -------------------------------------------------------------
 
@@ -131,11 +139,15 @@ class DurableStore:
         records that are not themselves durable; after publication the
         covered WAL prefix is deleted.
         """
+        started = time.perf_counter()
         self.wal.sync()
         seq = self.wal.last_seq
         self.snapshots.save(structures, seq)
         self.wal.truncate_through(seq)
         self._ops_since_snapshot = 0
+        self.snapshots_taken += 1
+        self.last_snapshot_seconds = time.perf_counter() - started
+        self.snapshot_seconds_total += self.last_snapshot_seconds
         return seq
 
     # -- recovery ------------------------------------------------------------

@@ -133,6 +133,12 @@ class WriteAheadLog:
         self.file_wrapper = file_wrapper
         self.torn_tail: tuple[str, int] | None = None  # (segment, offset) truncated
         self.broken = False  # a failed append could not be rolled back
+        # Plain-int instruments, pulled by the observability registry at
+        # scrape time — appending must never pay more than integer adds.
+        self.appends = 0
+        self.fsyncs = 0
+        self.rotations = 0
+        self.bytes_written = 0
         os.makedirs(self.directory, exist_ok=True)
         self._fh = None
         self._unsynced = 0
@@ -235,6 +241,7 @@ class WriteAheadLog:
             self._sync_file()
             self._fh.close()
             self._open_segment(next_seq)
+            self.rotations += 1
 
     def _sync_file(self) -> None:
         if self._fh is not None:
@@ -247,6 +254,7 @@ class WriteAheadLog:
                 self._fh.flush()
                 os.fsync(self._fh.fileno())
             self._unsynced = 0
+            self.fsyncs += 1
 
     def append(self, ops, rids=None) -> int:
         """Append one batch of ops; return its sequence number.
@@ -293,6 +301,8 @@ class WriteAheadLog:
             self._rollback(start)
             raise
         self.last_seq = seq
+        self.appends += 1
+        self.bytes_written += _HEADER.size + len(payload)
         return seq
 
     def _rollback(self, start: int) -> None:

@@ -1,0 +1,278 @@
+"""A strict Prometheus text-exposition (v0.0.4) parser for tests.
+
+The point is to be *unforgiving*: a scraper would tolerate most of what
+this module rejects, so any drift in the renderer (missing HELP/TYPE,
+unescaped label values, non-cumulative buckets, a histogram without its
+``+Inf`` bound) fails a test instead of silently producing a scrape that
+merely looks right.
+
+``parse(text)`` returns ``{family_name: Family}`` and raises
+``PromParseError`` on any violation of:
+
+* the overall shape — trailing newline, ``# HELP`` then ``# TYPE`` then
+  samples for every family, no samples before their family header;
+* lexical rules — metric/label name charsets, label-value escaping
+  (``\\``, ``\"``, ``\n`` only), float-parseable sample values;
+* per-type rules — counters never negative, histogram sample names
+  restricted to ``_bucket``/``_sum``/``_count``;
+* histogram invariants per label set — ``le`` bounds strictly
+  increasing, cumulative bucket counts non-decreasing, a ``+Inf``
+  bucket present and equal to ``_count``, ``_sum`` present;
+* uniqueness — no duplicate family names, no duplicate sample
+  (name, labelset) pairs.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+class PromParseError(AssertionError):
+    """Raised on any violation of the strict exposition grammar."""
+
+
+class Family:
+    """One parsed metric family: name, type, help, samples."""
+
+    def __init__(self, name: str, type: str, help: str) -> None:
+        self.name = name
+        self.type = type
+        self.help = help
+        # (sample_name, frozenset(labels.items())) -> float value
+        self.samples: dict[tuple, float] = {}
+        # preserved per-sample label dicts for richer assertions
+        self.labelsets: list[tuple[str, dict, float]] = []
+
+    def value(self, sample_name: str | None = None, **labels) -> float:
+        """Return the value of one sample (raises KeyError if absent)."""
+        name = sample_name or self.name
+        return self.samples[(name, frozenset(labels.items()))]
+
+    def label_values(self, label: str) -> set:
+        """Every observed value of one label across this family's samples."""
+        return {
+            d[label] for _, d, _ in self.labelsets if label in d
+        }
+
+
+def _unescape_label(raw: str, where: str) -> str:
+    out = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch == "\\":
+            if i + 1 >= len(raw):
+                raise PromParseError(f"{where}: dangling backslash")
+            nxt = raw[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+            elif nxt == "n":
+                out.append("\n")
+            elif nxt == '"':
+                out.append('"')
+            else:
+                raise PromParseError(f"{where}: bad escape \\{nxt}")
+            i += 2
+        elif ch == '"':
+            raise PromParseError(f"{where}: unescaped quote in label value")
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _parse_labels(raw: str, where: str) -> dict:
+    """Parse ``name="value",...`` (the text between braces)."""
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(raw):
+        eq = raw.find("=", i)
+        if eq < 0:
+            raise PromParseError(f"{where}: label without '='")
+        name = raw[i:eq]
+        if not LABEL_RE.match(name):
+            raise PromParseError(f"{where}: bad label name {name!r}")
+        if name in labels:
+            raise PromParseError(f"{where}: duplicate label {name!r}")
+        if eq + 1 >= len(raw) or raw[eq + 1] != '"':
+            raise PromParseError(f"{where}: label value must be quoted")
+        j = eq + 2
+        while j < len(raw):
+            if raw[j] == "\\":
+                j += 2
+            elif raw[j] == '"':
+                break
+            else:
+                j += 1
+        if j >= len(raw) or raw[j] != '"':
+            raise PromParseError(f"{where}: unterminated label value")
+        labels[name] = _unescape_label(raw[eq + 2 : j], where)
+        i = j + 1
+        if i < len(raw):
+            if raw[i] != ",":
+                raise PromParseError(f"{where}: expected ',' between labels")
+            i += 1
+            if i == len(raw):
+                raise PromParseError(f"{where}: trailing comma")
+    return labels
+
+
+def _parse_value(raw: str, where: str) -> float:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    try:
+        return float(raw)
+    except ValueError:
+        raise PromParseError(f"{where}: unparseable value {raw!r}") from None
+
+
+def _split_sample(line: str, where: str) -> tuple[str, dict, float]:
+    """Split one sample line into (name, labels, value)."""
+    if "{" in line:
+        name, rest = line.split("{", 1)
+        close = rest.rfind("}")
+        if close < 0:
+            raise PromParseError(f"{where}: missing '}}'")
+        labels = _parse_labels(rest[:close], where)
+        tail = rest[close + 1 :].strip()
+    else:
+        parts = line.split(None, 1)
+        if len(parts) != 2:
+            raise PromParseError(f"{where}: sample without value")
+        name, tail = parts[0], parts[1].strip()
+        labels = {}
+    if not NAME_RE.match(name):
+        raise PromParseError(f"{where}: bad sample name {name!r}")
+    if not tail or " " in tail:
+        # (no timestamp support: the renderer never emits them)
+        raise PromParseError(f"{where}: expected exactly one value, got {tail!r}")
+    return name, labels, _parse_value(tail, where)
+
+
+def _check_histogram(family: Family) -> None:
+    """Enforce bucket monotonicity and +Inf/sum/count per label set."""
+    by_set: dict[frozenset, dict] = {}
+    for name, labels, value in family.labelsets:
+        base = {k: v for k, v in labels.items() if k != "le"}
+        key = frozenset(base.items())
+        slot = by_set.setdefault(key, {"buckets": [], "sum": None, "count": None})
+        if name == f"{family.name}_bucket":
+            if "le" not in labels:
+                raise PromParseError(f"{family.name}: bucket without 'le'")
+            slot["buckets"].append((_parse_value(labels["le"], family.name), value))
+        elif name == f"{family.name}_sum":
+            slot["sum"] = value
+        elif name == f"{family.name}_count":
+            slot["count"] = value
+        else:
+            raise PromParseError(
+                f"{family.name}: unexpected histogram sample {name!r}"
+            )
+    if not by_set:
+        raise PromParseError(f"{family.name}: histogram with no samples")
+    for key, slot in by_set.items():
+        where = f"{family.name}{dict(key) or ''}"
+        buckets, total, count = slot["buckets"], slot["sum"], slot["count"]
+        if total is None or count is None:
+            raise PromParseError(f"{where}: missing _sum or _count")
+        if not buckets:
+            raise PromParseError(f"{where}: no _bucket samples")
+        bounds = [b for b, _ in buckets]
+        if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise PromParseError(f"{where}: le bounds not strictly increasing")
+        if bounds[-1] != math.inf:
+            raise PromParseError(f"{where}: missing +Inf bucket")
+        counts = [c for _, c in buckets]
+        if any(b > a for a, b in zip(counts[1:], counts)):
+            raise PromParseError(f"{where}: bucket counts not cumulative")
+        if any(c < 0 for c in counts):
+            raise PromParseError(f"{where}: negative bucket count")
+        if counts[-1] != count:
+            raise PromParseError(
+                f"{where}: +Inf bucket {counts[-1]} != _count {count}"
+            )
+        if count < 0:
+            raise PromParseError(f"{where}: negative _count")
+
+
+def parse(text: str) -> dict[str, Family]:
+    """Strictly parse one exposition; return families keyed by name."""
+    if not text:
+        raise PromParseError("empty exposition")
+    if not text.endswith("\n"):
+        raise PromParseError("exposition must end with a newline")
+    families: dict[str, Family] = {}
+    pending_help: tuple[str, str] | None = None
+    current: Family | None = None
+    for lineno, line in enumerate(text.split("\n")[:-1], start=1):
+        where = f"line {lineno}"
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP ") :].split(" ", 1)
+            name = parts[0]
+            if not NAME_RE.match(name):
+                raise PromParseError(f"{where}: bad family name {name!r}")
+            if name in families:
+                raise PromParseError(f"{where}: duplicate family {name!r}")
+            if pending_help is not None:
+                raise PromParseError(f"{where}: HELP without a following TYPE")
+            pending_help = (name, parts[1] if len(parts) > 1 else "")
+        elif line.startswith("# TYPE "):
+            parts = line[len("# TYPE ") :].split()
+            if len(parts) != 2:
+                raise PromParseError(f"{where}: malformed TYPE line")
+            name, type_ = parts
+            if type_ not in TYPES:
+                raise PromParseError(f"{where}: unknown type {type_!r}")
+            if pending_help is None or pending_help[0] != name:
+                raise PromParseError(f"{where}: TYPE {name!r} without its HELP")
+            current = families[name] = Family(name, type_, pending_help[1])
+            pending_help = None
+        elif line.startswith("#"):
+            raise PromParseError(f"{where}: stray comment {line!r}")
+        elif not line.strip():
+            raise PromParseError(f"{where}: blank line inside exposition")
+        else:
+            if current is None:
+                raise PromParseError(f"{where}: sample before any family header")
+            name, labels, value = _split_sample(line, where)
+            if current.type == "histogram":
+                allowed = {
+                    f"{current.name}_bucket",
+                    f"{current.name}_sum",
+                    f"{current.name}_count",
+                }
+                if name not in allowed:
+                    raise PromParseError(
+                        f"{where}: {name!r} does not belong to histogram "
+                        f"{current.name!r}"
+                    )
+            else:
+                if name != current.name:
+                    raise PromParseError(
+                        f"{where}: {name!r} does not belong to family "
+                        f"{current.name!r}"
+                    )
+                if current.type == "counter" and value < 0:
+                    raise PromParseError(f"{where}: negative counter value")
+            key = (name, frozenset(labels.items()))
+            if key in current.samples:
+                raise PromParseError(f"{where}: duplicate sample {key!r}")
+            current.samples[key] = value
+            current.labelsets.append((name, labels, value))
+    if pending_help is not None:
+        raise PromParseError(f"HELP {pending_help[0]!r} without TYPE")
+    for family in families.values():
+        if family.type == "histogram":
+            _check_histogram(family)
+        elif not family.samples:
+            raise PromParseError(f"{family.name}: family with no samples")
+    return families

@@ -1,0 +1,188 @@
+"""Per-request tracing: the span model, the ring, and live attribution."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro import DynamicIRS, ShardedIRS
+from repro.obs import Span, TraceRecord, TraceRing, chrome_trace
+from repro.obs import trace as trace_mod
+from repro.serve import ReproServer, ServeClient
+
+DATA = [float(i) for i in range(2000)]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# -- span / record / ring ----------------------------------------------------
+
+
+def test_span_to_dict():
+    span = Span("admission", 1.25, 0.002, {"kind": "sample"})
+    d = span.to_dict()
+    assert d == {
+        "name": "admission",
+        "start": 1.25,
+        "duration": 0.002,
+        "detail": {"kind": "sample"},
+    }
+    assert "detail" not in Span("x", 0.0, 0.0).to_dict()
+
+
+def test_record_accumulates_spans():
+    rec = TraceRecord(7, "req-1", "sample", 0.5)
+    rec.add("admission", 0.5, 0.001)
+    rec.add("execute", 0.501, 0.004, {"batch": 3})
+    d = rec.to_dict()
+    assert d["trace_id"] == 7 and d["kind"] == "sample"
+    assert [s["name"] for s in d["spans"]] == ["admission", "execute"]
+
+
+def test_ring_bounds_memory():
+    ring = TraceRing(capacity=4)
+    ids = [ring.next_id() for _ in range(10)]
+    assert ids == list(range(1, 11))  # monotone, never reused
+    for i in ids:
+        ring.push(TraceRecord(i, None, "sample", 0.0))
+    assert len(ring) == 4
+    assert ring.total == 10
+    assert [r.trace_id for r in ring.recent()] == [7, 8, 9, 10]
+    assert [r.trace_id for r in ring.recent(limit=2)] == [9, 10]
+    assert ring.recent(limit=0) == []
+
+
+# -- the active-trace bridge -------------------------------------------------
+
+
+def test_task_spans_dropped_when_inactive():
+    trace_mod.clear_active()
+    trace_mod.record_task_span(1, 0, 0.0, 0.1, 5)
+    assert trace_mod.clear_active() == []
+
+
+def test_bridge_round_trip():
+    trace_mod.set_active({101: 1, 202: 2})
+    assert trace_mod.active_trace_id(101) == 1
+    assert trace_mod.active_trace_id(999) is None
+    trace_mod.record_task_span(1, 0, 0.0, 0.1, 5)
+    trace_mod.record_task_span(None, 3, 0.1, 0.2, 7)
+    spans = trace_mod.clear_active()
+    assert spans == [(1, 0, 0.0, 0.1, 5), (None, 3, 0.1, 0.2, 7)]
+    # Cleared: the table is down and the spans were handed off.
+    assert trace_mod.active_trace_id(101) is None
+    assert trace_mod.clear_active() == []
+
+
+# -- Chrome trace export -----------------------------------------------------
+
+
+def test_chrome_trace_shape():
+    rec = TraceRecord(3, "req-9", "sample", 1.0)
+    rec.add("admission", 1.0, 0.001)
+    rec.add("shard_task", 1.001, 0.002, {"shard": 2, "n": 16})
+    doc = json.loads(chrome_trace([rec]))
+    events = doc["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    spans = [e for e in events if e["ph"] == "X"]
+    assert len(meta) == 1 and meta[0]["pid"] == 3
+    assert {e["name"] for e in spans} == {"admission", "shard_task"}
+    shard_ev = next(e for e in spans if e["name"] == "shard_task")
+    assert shard_ev["tid"] == 3  # shard + 1, so lane 0 stays for phases
+    assert shard_ev["dur"] >= 1  # microseconds, floored at 1 for visibility
+    admission = next(e for e in spans if e["name"] == "admission")
+    assert admission["tid"] == 0
+    assert admission["ts"] == int(1.0 * 1e6)
+
+
+# -- live end-to-end ---------------------------------------------------------
+
+
+def test_server_traces_request_phases():
+    async def main():
+        async with ReproServer(DynamicIRS(DATA, seed=3), seed=5, window=0.0) as server:
+            client = ServeClient(server)
+            await client.sample(100.0, 1900.0, 8, seed=42)
+            await client.insert(50.0)
+            snap = server.trace_snapshot()
+            assert snap["enabled"] is True
+            assert snap["total"] == 2
+            names = {s["name"] for r in snap["records"] for s in r["spans"]}
+            assert {"admission", "coalesce_wait", "execute", "reply"} <= names
+            sample_rec = snap["records"][0]
+            assert sample_rec["kind"] == "sample"
+            reply = next(s for s in sample_rec["spans"] if s["name"] == "reply")
+            assert reply["detail"] == {"ok": True}
+            return snap
+
+    run(main())
+
+
+def test_server_attributes_shard_tasks_to_traces():
+    async def main():
+        sharded = ShardedIRS(DATA, num_shards=4, seed=9)
+        async with ReproServer(sharded, seed=5, window=0.0) as server:
+            client = ServeClient(server)
+            await client.sample(0.0, 2000.0, 64, seed=7)
+            snap = server.trace_snapshot()
+            rec = snap["records"][0]
+            tasks = [s for s in rec["spans"] if s["name"] == "shard_task"]
+            assert tasks, "expected shard_task spans on a sharded sample"
+            shards = {s["detail"]["shard"] for s in tasks}
+            assert shards <= set(range(4)) and len(shards) >= 1
+            assert all(s["detail"]["n"] >= 1 for s in tasks)
+            assert not any(s["detail"].get("aggregate") for s in tasks)
+
+    run(main())
+
+
+def test_trace_ring_bounded_on_server():
+    async def main():
+        async with ReproServer(
+            DynamicIRS(DATA, seed=3), seed=5, window=0.0, trace_capacity=4
+        ) as server:
+            client = ServeClient(server)
+            for _ in range(10):
+                await client.count(0.0, 2000.0)
+            snap = server.trace_snapshot()
+            assert snap["total"] == 10
+            assert len(snap["records"]) == 4
+            limited = server.trace_snapshot(limit=2)
+            assert len(limited["records"]) == 2
+
+    run(main())
+
+
+def test_trace_op_and_validation():
+    async def main():
+        async with ReproServer(DynamicIRS(DATA, seed=3), seed=5) as server:
+            client = ServeClient(server)
+            await client.sample(0.0, 2000.0, 4)
+            body = await client.request({"op": "trace", "id": 1})
+            assert body["ok"] is True
+            assert body["result"]["enabled"] is True
+            assert body["result"]["records"]
+            bad = await client.request({"op": "trace", "id": 2, "limit": -1})
+            assert bad["ok"] is False
+            assert bad["error"]["type"] == "bad_request"
+
+    run(main())
+
+
+def test_observe_off_disables_tracing():
+    async def main():
+        async with ReproServer(
+            DynamicIRS(DATA, seed=3), seed=5, observe=False
+        ) as server:
+            client = ServeClient(server)
+            await client.sample(0.0, 2000.0, 4)
+            snap = server.trace_snapshot()
+            assert snap == {"enabled": False, "total": 0, "records": []}
+            with pytest.raises(RuntimeError):
+                await server.start_metrics()
+
+    run(main())
