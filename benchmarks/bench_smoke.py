@@ -11,6 +11,9 @@ Tiny-n, seconds-long sanity gate (not a benchmark): asserts that
   compared as weighted/unweighted throughput *ratios* so host speed
   cancels out,
 * every sampler exposes ``sample_bulk`` and returns in-range samples,
+* ``sample_stratified`` on the sharded facade matches the naive
+  per-stratum loop byte-for-byte and is at least as fast (the one-call
+  scatter round must amortize, never regress to the loop),
 * the mixed-stream runner executes a coalesced read/write stream,
 * the sharded engine agrees with a flat structure and (on multi-core
   hosts) the ``processes`` backend beats ``serial`` on wide-range bulk
@@ -216,6 +219,56 @@ def main() -> int:
     check(
         "ShardedIRS.sample_bulk in-range",
         len(samples) == 512 and all(0.2 <= v <= 0.7 for v in samples),
+    )
+
+    # -- scenario tier: stratified must amortize, not loop ----------------------
+    # sample_stratified answers every stratum through one sample_bulk_many
+    # scatter round on ShardedIRS; the naive baseline is one sample_bulk
+    # call per stratum with the identical multinomial allocation and
+    # per-stratum seeds (so the outputs are byte-identical and the timing
+    # difference is pure dispatch amortization).  F19 measures ~1.3x at
+    # n=2e5; the smoke gate only asserts the direction never inverts.
+    from repro import sample_stratified
+    from repro.rng import derive_seed, generator
+
+    strata = [(0.05 + 0.1 * j, 0.05 + 0.1 * j + 0.0999) for j in range(8)]
+    strat_t = 4_096
+
+    def per_stratum_loop():
+        qgen = generator(77)
+        shares = [float(k) for k in sharded.peek_counts(strata)]
+        total = sum(shares)
+        split = qgen.multinomial(strat_t, [s / total for s in shares])
+        entropy = int(qgen.integers(1 << 63))
+        return [
+            sharded.sample_bulk(s_lo, s_hi, int(tj), seed=derive_seed(entropy, j))
+            for j, ((s_lo, s_hi), tj) in enumerate(zip(strata, split))
+        ]
+
+    one_blocks = sample_stratified(sharded, strata, strat_t, seed=77)
+    loop_blocks = per_stratum_loop()
+    check(
+        "stratified one-call == per-stratum loop (same seed)",
+        [list(map(float, b)) for b in one_blocks]
+        == [list(map(float, b)) for b in loop_blocks],
+    )
+    # Shared-CPU hosts drift more than the ~1.3x being measured, so (same
+    # protocol as the metrics-overhead gate below) compare within temporally
+    # adjacent loop/one-call pairs and judge the best pair: a real inversion
+    # depresses every pair, scheduler noise only some.
+    best_ratio, best_pair = 0.0, (0.0, 0.0)
+    for _ in range(4):
+        loop_sps = strat_t / time_callable(per_stratum_loop, repeat=3)
+        one_sps = strat_t / time_callable(
+            lambda: sample_stratified(sharded, strata, strat_t, seed=77), repeat=3
+        )
+        if loop_sps > 0.0 and one_sps / loop_sps > best_ratio:
+            best_ratio, best_pair = one_sps / loop_sps, (one_sps, loop_sps)
+    check(
+        "stratified one-call >= per-stratum loop",
+        best_ratio >= 1.0,
+        f"best pair: one-call {best_pair[0]:,.0f}/s vs loop {best_pair[1]:,.0f}/s"
+        f" ({best_ratio:.2f}x)",
     )
 
     cpus = os.cpu_count() or 1

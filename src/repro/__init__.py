@@ -35,6 +35,13 @@ And :mod:`repro.serve` puts an asyncio front end on any of them —
 newline-delimited JSON over TCP with request coalescing, typed errors,
 backpressure, and replies that are byte-identical under a fixed root
 seed (see README.md and docs/ for the guided tour).
+
+The scenario tier (:mod:`repro.scenarios`) builds the paper's workload
+stories on those primitives: :class:`WindowedIRS` samples over the last
+``W`` inserts of a stream (optionally exponentially decayed),
+:func:`sample_stratified` splits a budget exactly across caller strata,
+and :func:`adaptive_estimate` draws until a target confidence-interval
+width is met.
 """
 
 from .batch import BatchOp, BatchQuery, BatchQueryRunner, BatchResult, MixedResult
@@ -47,7 +54,9 @@ from .core import (
     WeightedDynamicIRS,
     WeightedStaticIRS,
     sample_ranks_without_replacement,
+    sample_ranks_without_replacement_bulk,
     sample_without_replacement,
+    sample_without_replacement_bulk,
 )
 from .errors import (
     CapacityError,
@@ -59,11 +68,12 @@ from .errors import (
     ReproError,
 )
 from .rng import RandomSource
+from .scenarios import EstimateResult, WindowedIRS, adaptive_estimate, sample_stratified
 from .serve import ReproServer, ServeClient, TCPServeClient
 from .shard import ShardedIRS
 from .types import Interval, QueryStats
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BatchOp",
@@ -80,7 +90,13 @@ __all__ = [
     "RangeSampler",
     "DynamicRangeSampler",
     "sample_without_replacement",
+    "sample_without_replacement_bulk",
     "sample_ranks_without_replacement",
+    "sample_ranks_without_replacement_bulk",
+    "WindowedIRS",
+    "sample_stratified",
+    "adaptive_estimate",
+    "EstimateResult",
     "RandomSource",
     "Interval",
     "QueryStats",

@@ -72,8 +72,12 @@ class BatchQuery:
 class BatchOp:
     """One operation inside a mixed read/write stream.
 
-    ``kind`` is ``"insert"``, ``"delete"``, ``"sample"`` or ``"count"``;
-    use the constructors below rather than filling fields positionally.
+    ``kind`` is ``"insert"``, ``"delete"``, ``"sample"``, ``"count"``, or
+    one of the scenario reads — ``"stratified"`` (exact multinomial split
+    of ``t`` across :attr:`strata`), ``"sample_wr"`` (bulk Floyd
+    without-replacement) and ``"estimate"`` (adaptive online aggregation
+    to a target CI half-width).  Use the constructors below rather than
+    filling fields positionally.
     """
 
     kind: str
@@ -84,6 +88,11 @@ class BatchOp:
     t: int = 0
     structure: str = DEFAULT_STRUCTURE
     seed: int | None = None
+    strata: tuple = ()
+    target: float = 0.0
+    confidence: float = 0.95
+    batch_draws: int = 256
+    max_draws: int = 65536
 
     @classmethod
     def insert(
@@ -118,6 +127,55 @@ class BatchOp:
     ) -> "BatchOp":
         """Return a range-count op (result is ``|P ∩ [lo, hi]|``)."""
         return cls("count", lo=float(lo), hi=float(hi), structure=structure)
+
+    @classmethod
+    def stratified(
+        cls,
+        strata,
+        t: int,
+        structure: str = DEFAULT_STRUCTURE,
+        seed: int | None = None,
+    ) -> "BatchOp":
+        """Return a stratified-sampling op: ``t`` split exactly across strata."""
+        bounds = tuple((float(lo), float(hi)) for lo, hi in strata)
+        return cls(
+            "stratified", t=int(t), structure=structure, seed=seed, strata=bounds
+        )
+
+    @classmethod
+    def sample_wr(
+        cls,
+        lo: float,
+        hi: float,
+        t: int,
+        structure: str = DEFAULT_STRUCTURE,
+        seed: int | None = None,
+    ) -> "BatchOp":
+        """Return a without-replacement bulk op (vectorized Floyd)."""
+        return cls(
+            "sample_wr", lo=float(lo), hi=float(hi), t=int(t),
+            structure=structure, seed=seed,
+        )
+
+    @classmethod
+    def estimate(
+        cls,
+        lo: float,
+        hi: float,
+        *,
+        target: float,
+        confidence: float = 0.95,
+        batch: int = 256,
+        max_draws: int = 65536,
+        structure: str = DEFAULT_STRUCTURE,
+        seed: int | None = None,
+    ) -> "BatchOp":
+        """Return an adaptive-estimate op (draw until CI width <= target)."""
+        return cls(
+            "estimate", lo=float(lo), hi=float(hi), structure=structure,
+            seed=seed, target=float(target), confidence=float(confidence),
+            batch_draws=int(batch), max_draws=int(max_draws),
+        )
 
 
 @dataclass(slots=True)
@@ -221,10 +279,13 @@ def _accepts_weights(sampler) -> bool:
         return False
 
 
+_SCENARIO_KINDS = ("stratified", "sample_wr", "estimate")
+
+
 def _normalize_op(op) -> BatchOp:
     """Coerce a :class:`BatchOp` or shorthand tuple to a validated op."""
     if isinstance(op, BatchOp):
-        if op.kind not in ("insert", "delete", "sample", "count"):
+        if op.kind not in ("insert", "delete", "sample", "count") + _SCENARIO_KINDS:
             raise InvalidQueryError(f"unknown op kind: {op.kind!r}")
         return op
     try:
@@ -441,6 +502,10 @@ class BatchQueryRunner:
         the runs form; with the default ``coalesce_reads=False``, reads
         execute immediately, exactly as earlier releases did.
 
+        Scenario reads (``stratified``, ``sample_wr``, ``estimate``) never
+        coalesce: each flushes its structure's pending run, then executes
+        immediately, so it observes exactly the updates that preceded it.
+
         With ``capture_errors=True``, a failing op no longer aborts the
         stream: its :class:`~repro.errors.ReproError` lands in
         :attr:`MixedResult.errors` at the op's index (the bulk update paths
@@ -603,6 +668,48 @@ class BatchQueryRunner:
             else:
                 flush_counts(name, sampler, run[1])
 
+        def exec_scenario(name: str, i: int, op: BatchOp) -> None:
+            """Run one scenario read (stratified / sample_wr / estimate)."""
+            sampler = self._structures[name]
+            try:
+                if op.kind == "stratified":
+                    from ..scenarios.stratified import sample_stratified
+
+                    blocks = sample_stratified(
+                        sampler, op.strata, op.t, seed=op.seed
+                    )
+                    result.samples[i] = blocks
+                    stats.samples_returned += sum(len(b) for b in blocks)
+                elif op.kind == "sample_wr":
+                    from ..core.without_replacement import (
+                        sample_without_replacement_bulk,
+                    )
+
+                    block = sample_without_replacement_bulk(
+                        sampler, op.lo, op.hi, op.t, seed=op.seed
+                    )
+                    result.samples[i] = block
+                    stats.samples_returned += len(block)
+                else:  # estimate
+                    from ..scenarios.estimate import adaptive_estimate
+
+                    outcome = adaptive_estimate(
+                        sampler, op.lo, op.hi,
+                        target_half_width=op.target, confidence=op.confidence,
+                        batch=op.batch_draws, max_draws=op.max_draws,
+                        seed=op.seed,
+                    )
+                    result.samples[i] = outcome
+                    stats.samples_returned += outcome.draws
+            except ReproError as exc:
+                if not capture_errors:
+                    raise
+                result.errors[i] = exc
+                return
+            stats.queries += 1
+            key = f"queries:{name}"
+            stats.extra[key] = stats.extra.get(key, 0) + 1
+
         clock = time.perf_counter
         start = clock()
         for i, op in enumerate(stream):
@@ -610,6 +717,12 @@ class BatchQueryRunner:
                 continue  # refused upfront; its batch-mates still run
             name = op.structure
             run = pending.get(name)
+            if op.kind in _SCENARIO_KINDS:
+                # Scenario reads execute immediately (never coalesced) but
+                # still order against pending writes to their structure.
+                flush(name)
+                exec_scenario(name, i, op)
+                continue
             if op.kind in ("sample", "count"):
                 if op.kind == "count":
                     count_ops += 1
@@ -684,3 +797,47 @@ class BatchQueryRunner:
             else:  # pragma: no cover - numpy is installed in CI
                 means.append(sum(samples) / len(samples))
         return means
+
+    def run_stratified(
+        self, strata: Sequence, t: int, *, structure: str = DEFAULT_STRUCTURE,
+        seed=None,
+    ) -> list:
+        """One stratified draw: ``t`` split exactly across ``strata``.
+
+        Thin wrapper over :func:`repro.scenarios.sample_stratified` against
+        a registered structure; returns the per-stratum sample blocks.
+        """
+        result = self.run_mixed(
+            [BatchOp.stratified(strata, t, structure=structure, seed=seed)]
+        )
+        return result.samples[0]
+
+    def run_without_replacement(
+        self, lo: float, hi: float, t: int, *,
+        structure: str = DEFAULT_STRUCTURE, seed=None,
+    ):
+        """One without-replacement bulk draw (``t`` distinct in-range points).
+
+        Thin wrapper over
+        :func:`repro.core.sample_without_replacement_bulk` against a
+        registered structure.
+        """
+        result = self.run_mixed(
+            [BatchOp.sample_wr(lo, hi, t, structure=structure, seed=seed)]
+        )
+        return result.samples[0]
+
+    def run_estimate(
+        self, lo: float, hi: float, *, target: float, confidence: float = 0.95,
+        batch: int = 256, max_draws: int = 65536,
+        structure: str = DEFAULT_STRUCTURE, seed=None,
+    ):
+        """One adaptive mean estimate; returns the
+        :class:`~repro.scenarios.EstimateResult`."""
+        result = self.run_mixed([
+            BatchOp.estimate(
+                lo, hi, target=target, confidence=confidence, batch=batch,
+                max_draws=max_draws, structure=structure, seed=seed,
+            )
+        ])
+        return result.samples[0]

@@ -7,6 +7,7 @@ Usage (also via ``python -m repro``)::
     repro sample  --data points.txt --weights w.txt --structure weighted ...
     repro report  --data points.txt --lo 0.2 --hi 0.8
     repro mean    --data points.txt --lo 0.2 --hi 0.8 -t 1000
+    repro estimate --data points.txt --lo 0.2 --hi 0.8 --target-ci 0.05
     repro batch   --data points.txt --queries q.txt -t 256
 
 ``--data`` is a text file of whitespace/newline-separated floats.  The CLI is
@@ -176,7 +177,7 @@ def _parser() -> argparse.ArgumentParser:
         description="Independent range sampling (PODS 2014 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    for command in ("count", "sample", "report", "mean", "batch", "serve"):
+    for command in ("count", "sample", "report", "mean", "estimate", "batch", "serve"):
         p = sub.add_parser(command)
         p.add_argument("--data", required=True, help="file of floats")
         p.add_argument("--weights", help="file of weights (weighted structures)")
@@ -295,6 +296,26 @@ def _parser() -> argparse.ArgumentParser:
         else:
             p.add_argument("--lo", type=float, required=True)
             p.add_argument("--hi", type=float, required=True)
+        if command == "estimate":
+            p.add_argument(
+                "--target-ci",
+                type=float,
+                required=True,
+                help="stop once the CI half-width is at or below this",
+            )
+            p.add_argument("--confidence", type=float, default=0.95)
+            p.add_argument(
+                "--batch-draws",
+                type=int,
+                default=256,
+                help="draws per adaptive round",
+            )
+            p.add_argument(
+                "--max-draws",
+                type=int,
+                default=65536,
+                help="hard draw budget (converged=no when exhausted first)",
+            )
         if command in ("sample", "mean", "batch"):
             p.add_argument("-t", "--samples", type=int, default=10)
     return parser
@@ -486,6 +507,25 @@ def _dispatch(args, structure) -> int:
         mean, half = mean_estimate(samples)
         count = structure.count(args.lo, args.hi)
         print(f"mean={mean:.6g} ci95=±{half:.6g} t={len(samples)} K={count}")
+    elif args.command == "estimate":
+        from .scenarios import adaptive_estimate
+
+        outcome = adaptive_estimate(
+            structure,
+            args.lo,
+            args.hi,
+            target_half_width=args.target_ci,
+            confidence=args.confidence,
+            batch=args.batch_draws,
+            max_draws=args.max_draws,
+            seed=args.seed,
+        )
+        print(
+            f"estimate={outcome.estimate:.6g} ci=±{outcome.half_width:.6g}"
+            f" confidence={outcome.confidence:g} draws={outcome.draws}"
+            f" batches={outcome.batches}"
+            f" converged={'yes' if outcome.converged else 'no'}"
+        )
     return 0
 
 

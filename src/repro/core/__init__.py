@@ -8,7 +8,9 @@ from .weighted_irs import WeightedStaticIRS
 from .weighted_dynamic import WeightedDynamicIRS
 from .without_replacement import (
     sample_ranks_without_replacement,
+    sample_ranks_without_replacement_bulk,
     sample_without_replacement,
+    sample_without_replacement_bulk,
 )
 from .em_irs import ExternalIRS
 
@@ -21,5 +23,7 @@ __all__ = [
     "WeightedDynamicIRS",
     "ExternalIRS",
     "sample_ranks_without_replacement",
+    "sample_ranks_without_replacement_bulk",
     "sample_without_replacement",
+    "sample_without_replacement_bulk",
 ]

@@ -28,10 +28,20 @@ strategies are provided:
 from __future__ import annotations
 
 from ..errors import InvalidQueryError
-from ..rng import RandomSource
-from .base import RangeSampler
+from ..rng import RandomSource, generator
+from .base import RangeSampler, validate_query
 
-__all__ = ["sample_ranks_without_replacement", "sample_without_replacement"]
+try:  # pragma: no cover - numpy is installed in CI
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+__all__ = [
+    "sample_ranks_without_replacement",
+    "sample_ranks_without_replacement_bulk",
+    "sample_without_replacement",
+    "sample_without_replacement_bulk",
+]
 
 
 def sample_ranks_without_replacement(
@@ -59,6 +69,90 @@ def sample_ranks_without_replacement(
         out.append(pick)
     rng.shuffle(out)
     return out
+
+
+def sample_ranks_without_replacement_bulk(
+    gen, lo_rank: int, hi_rank: int, t: int
+) -> list[int]:
+    """Vectorized Floyd: ``t`` distinct uniform ranks from ``[lo_rank, hi_rank)``.
+
+    Same algorithm and same subset law as
+    :func:`sample_ranks_without_replacement`, restructured for bulk ``t``:
+    all ``t`` primitive draws come from *one* ``Generator.integers`` call
+    with a vector of inclusive upper bounds (NumPy broadcasts the bound
+    array, Lemire-exact per element), the collision-resolution set pass is
+    the only per-element Python left, and the final order randomization is
+    one ``Generator.permutation``.  ``gen`` is a NumPy ``Generator`` — pass
+    :func:`repro.rng.generator` of a seed for a draw that is a pure
+    function of the seed.
+    """
+    population = hi_rank - lo_rank
+    if t > population:
+        raise InvalidQueryError(
+            f"cannot draw {t} distinct samples from {population} points"
+        )
+    if t == 0:
+        return []
+    if _np is None:  # pragma: no cover - numpy is installed in CI
+        raise InvalidQueryError("bulk without-replacement sampling requires numpy")
+    js = _np.arange(hi_rank - t, hi_rank, dtype=_np.int64)
+    draws = gen.integers(lo_rank, js + 1)  # inclusive bound j, exact per element
+    chosen: set[int] = set()
+    out: list[int] = []
+    for j, r in zip(js.tolist(), draws.tolist()):
+        pick = r if r not in chosen else j
+        chosen.add(pick)
+        out.append(pick)
+    order = gen.permutation(t)
+    return [out[i] for i in order.tolist()]
+
+
+def sample_without_replacement_bulk(
+    sampler, lo: float, hi: float, t: int, *, seed=None
+):
+    """Vectorized exact without-replacement bulk draw (NumPy array result).
+
+    The bulk twin of :func:`sample_without_replacement` for the
+    *rank-addressable* structures: ranks come from the vectorized Floyd
+    pass (:func:`sample_ranks_without_replacement_bulk`) and resolve
+    through ``rank_range`` + ``value_at_rank``
+    (:class:`~repro.core.static_irs.StaticIRS`) or ``count`` +
+    ``select_in_range`` (:class:`~repro.core.dynamic_irs.DynamicIRS`,
+    :class:`~repro.shard.ShardedIRS`, uniform
+    :class:`~repro.scenarios.WindowedIRS`).  Exact for multisets — ranks,
+    not values, are deduplicated.  An explicit ``seed`` makes the subset
+    and its order a pure function of the seed and the structure contents.
+
+    Structures without rank addressing (the weighted planes, whose
+    "without replacement" has no single canonical law) raise a typed
+    :class:`~repro.errors.InvalidQueryError`.
+    """
+    validate_query(lo, hi, t)
+    if _np is None:  # pragma: no cover - numpy is installed in CI
+        raise InvalidQueryError("bulk without-replacement sampling requires numpy")
+    gen = generator(seed) if seed is not None else _np.random.default_rng()
+    if hasattr(sampler, "rank_range") and hasattr(sampler, "value_at_rank"):
+        a, b = sampler.rank_range(lo, hi)
+        if b - a == 0 and t > 0:
+            from ..errors import EmptyRangeError
+
+            raise EmptyRangeError("no points inside the query range")
+        ranks = sample_ranks_without_replacement_bulk(gen, a, b, t)
+        return _np.asarray(
+            [sampler.value_at_rank(r) for r in ranks], dtype=float
+        )
+    if hasattr(sampler, "select_in_range"):
+        total = sampler.count(lo, hi)
+        if total == 0 and t > 0:
+            from ..errors import EmptyRangeError
+
+            raise EmptyRangeError("no points inside the query range")
+        ranks = sample_ranks_without_replacement_bulk(gen, 0, total, t)
+        return _np.asarray(sampler.select_in_range(lo, hi, ranks), dtype=float)
+    raise InvalidQueryError(
+        f"{type(sampler).__name__} is not rank-addressable; bulk "
+        "without-replacement needs rank_range+value_at_rank or select_in_range"
+    )
 
 
 def sample_without_replacement(

@@ -1,0 +1,28 @@
+"""Scenario tier: windowed, stratified, and adaptive sampling policies.
+
+Three workload families layered over the core structures (ROADMAP item 4):
+
+* :class:`WindowedIRS` — uniform or exponentially-decayed sampling over the
+  last ``W`` inserts, a policy over ``insert_bulk`` + batched expiry via
+  ``delete_bulk`` (decay rides the weighted plane);
+* :func:`sample_stratified` — split ``t`` across caller-given strata
+  *exactly* with one multinomial draw (the same scatter math as
+  :class:`repro.shard.ShardedIRS`);
+* :func:`adaptive_estimate` — online aggregation: keep drawing seeded
+  batches until a target confidence-interval width or a draw budget.
+
+Every path is seed-addressable: an explicit ``seed`` makes the result a
+pure function of the seed and the structure contents, which is what the
+serving layer's byte-identical-reply guarantee stands on.
+"""
+
+from .estimate import EstimateResult, adaptive_estimate
+from .stratified import sample_stratified
+from .windowed import WindowedIRS
+
+__all__ = [
+    "WindowedIRS",
+    "sample_stratified",
+    "adaptive_estimate",
+    "EstimateResult",
+]

@@ -82,6 +82,68 @@ class _ClientAPI:
         payload = {"op": "count", "lo": lo, "hi": hi, "structure": structure}
         return self._unwrap(await self.request(payload))
 
+    async def sample_without_replacement(
+        self,
+        lo: float,
+        hi: float,
+        t: int,
+        *,
+        structure: str = "default",
+        seed: int | None = None,
+    ) -> list[float]:
+        """Return ``t`` *distinct* in-range samples (the ``sample_wr`` op)."""
+        payload = {
+            "op": "sample_wr", "lo": lo, "hi": hi, "t": t, "structure": structure,
+        }
+        if seed is not None:
+            payload["seed"] = seed
+        return self._unwrap(await self.request(payload))
+
+    async def sample_stratified(
+        self,
+        strata,
+        t: int,
+        *,
+        structure: str = "default",
+        seed: int | None = None,
+    ) -> list[list[float]]:
+        """Split ``t`` exactly across ``strata``; per-stratum sample blocks."""
+        payload = {
+            "op": "stratified",
+            "strata": [[lo, hi] for lo, hi in strata],
+            "t": t,
+            "structure": structure,
+        }
+        if seed is not None:
+            payload["seed"] = seed
+        return self._unwrap(await self.request(payload))
+
+    async def estimate(
+        self,
+        lo: float,
+        hi: float,
+        *,
+        target: float,
+        confidence: float = 0.95,
+        batch: int = 256,
+        max_draws: int = 65536,
+        structure: str = "default",
+        seed: int | None = None,
+    ) -> dict:
+        """Adaptively estimate the in-range mean to a target CI half-width.
+
+        Returns the server's reply dict: ``estimate``, ``half_width``,
+        ``confidence``, ``draws``, ``batches``, ``converged``.
+        """
+        payload = {
+            "op": "estimate", "lo": lo, "hi": hi, "target": target,
+            "confidence": confidence, "batch": batch, "max_draws": max_draws,
+            "structure": structure,
+        }
+        if seed is not None:
+            payload["seed"] = seed
+        return self._unwrap(await self.request(payload))
+
     async def insert(
         self,
         value: float,

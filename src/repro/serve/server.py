@@ -84,6 +84,11 @@ __all__ = ["ReproServer"]
 
 _UPDATE_OPS = ("insert", "delete", "insert_bulk", "delete_bulk")
 
+# Scenario reads: pure queries (never WAL-logged) that the batch runner
+# executes through the scenario tier under the same derived-seed discipline
+# as ``sample`` — replies are byte-identical to the direct library calls.
+_SCENARIO_OPS = ("stratified", "sample_wr", "estimate")
+
 # Shared reply-span details: allocated once, never mutated (hot path).
 _REPLY_OK = {"ok": True}
 _REPLY_ERR = {"ok": False}
@@ -509,6 +514,22 @@ class ReproServer:
             "records": [r.to_dict() for r in self.traces.recent(limit)],
         }
 
+    def _resolve_seed(self, message: dict) -> int:
+        """Resolve a request's sampling seed (shared by every seeded op).
+
+        A client seed is folded into the 64-bit domain up front so an
+        exotic value can never blow up mid-batch; an absent seed derives a
+        fresh one from the server's entropy and a monotone serial, so every
+        reply stays reproducible from the trace.
+        """
+        seed = message.get("seed")
+        if seed is not None and (isinstance(seed, bool) or not isinstance(seed, int)):
+            raise RequestError("bad_request", "field 'seed' must be an integer")
+        if seed is None:
+            self._serial += 1
+            return derive_seed(self._entropy, self._serial)
+        return seed & ((1 << 64) - 1)
+
     def _admit(self, message: dict, future, loop) -> _Pending | None:
         """Validate one request; return its pending record or resolve now."""
         op = message.get("op")
@@ -532,7 +553,11 @@ class ReproServer:
                 )
             )
             return None
-        if op not in ("sample", "count") and op not in _UPDATE_OPS:
+        if (
+            op not in ("sample", "count")
+            and op not in _UPDATE_OPS
+            and op not in _SCENARIO_OPS
+        ):
             raise RequestError("unknown_op", f"unknown op: {op!r}")
         if not isinstance(structure, str) or structure not in self._runner.structures:
             raise RequestError("unknown_structure", f"unknown structure: {structure!r}")
@@ -552,7 +577,7 @@ class ReproServer:
                 else:
                     entry[1].append((request_id, future))
                 return None
-        if op == "sample":
+        if op in ("sample", "sample_wr"):
             lo = protocol.require_number(message, "lo")
             hi = protocol.require_number(message, "hi")
             if lo > hi:
@@ -560,18 +585,72 @@ class ReproServer:
             t = protocol.require_int(message, "t")
             if t > self._max_t:
                 raise RequestError("too_large", f"t={t} exceeds max_t={self._max_t}")
-            seed = message.get("seed")
-            if seed is not None and (isinstance(seed, bool) or not isinstance(seed, int)):
-                raise RequestError("bad_request", "field 'seed' must be an integer")
-            if seed is None:
-                self._serial += 1
-                seed = derive_seed(self._entropy, self._serial)
+            seed = self._resolve_seed(message)
+            if op == "sample":
+                ops = [BatchOp.sample(lo, hi, t, structure, seed=seed)]
             else:
-                # Fold into the 64-bit seed domain up front so an exotic
-                # client seed can never blow up mid-batch.
-                seed &= (1 << 64) - 1
-            ops = [BatchOp.sample(lo, hi, t, structure, seed=seed)]
-            kind, cost = "sample", max(1, t)
+                ops = [BatchOp.sample_wr(lo, hi, t, structure, seed=seed)]
+            kind, cost = op, max(1, t)
+        elif op == "stratified":
+            strata = message.get("strata")
+            if not isinstance(strata, list):
+                raise RequestError("bad_request", "field 'strata' must be a list")
+            bounds = []
+            for stratum in strata:
+                if not isinstance(stratum, (list, tuple)) or len(stratum) != 2:
+                    raise RequestError(
+                        "bad_request", "each stratum must be a [lo, hi] pair"
+                    )
+                lo = protocol.require_number({"strata": stratum[0]}, "strata")
+                hi = protocol.require_number({"strata": stratum[1]}, "strata")
+                if lo > hi:
+                    raise RequestError(
+                        "invalid_query", f"invalid stratum: {lo!r} > {hi!r}"
+                    )
+                bounds.append((lo, hi))
+            t = protocol.require_int(message, "t")
+            if t > self._max_t:
+                raise RequestError("too_large", f"t={t} exceeds max_t={self._max_t}")
+            seed = self._resolve_seed(message)
+            ops = [BatchOp.stratified(bounds, t, structure, seed=seed)]
+            kind, cost = "stratified", max(1, t)
+        elif op == "estimate":
+            lo = protocol.require_number(message, "lo")
+            hi = protocol.require_number(message, "hi")
+            if lo > hi:
+                raise RequestError("invalid_query", f"invalid interval: {lo!r} > {hi!r}")
+            target = protocol.require_number(message, "target", finite=True)
+            if not target > 0.0:
+                raise RequestError("invalid_query", "field 'target' must be > 0")
+            confidence = 0.95
+            if message.get("confidence") is not None:
+                confidence = protocol.require_number(
+                    message, "confidence", finite=True
+                )
+                if not 0.0 < confidence < 1.0:
+                    raise RequestError(
+                        "invalid_query", "field 'confidence' must be in (0, 1)"
+                    )
+            batch_draws = 256
+            if message.get("batch") is not None:
+                batch_draws = protocol.require_int(message, "batch", minimum=1)
+            max_draws = 65536
+            if message.get("max_draws") is not None:
+                max_draws = protocol.require_int(message, "max_draws", minimum=1)
+            if max_draws > self._max_t:
+                raise RequestError(
+                    "too_large",
+                    f"max_draws={max_draws} exceeds max_t={self._max_t}",
+                )
+            seed = self._resolve_seed(message)
+            ops = [
+                BatchOp.estimate(
+                    lo, hi, target=target, confidence=confidence,
+                    batch=batch_draws, max_draws=max_draws,
+                    structure=structure, seed=seed,
+                )
+            ]
+            kind, cost = "estimate", max(1, max_draws)
         elif op == "count":
             lo = protocol.require_number(message, "lo")
             hi = protocol.require_number(message, "hi")
@@ -843,7 +922,7 @@ class ReproServer:
                 self._reply(pending, response, ok=False, loop=loop)
                 continue
             samples = 0
-            if pending.kind == "sample":
+            if pending.kind in ("sample", "sample_wr"):
                 block = mixed.samples[start]
                 # ndarray.tolist() yields builtin floats at C speed; the
                 # comprehension is the list-result (scalar path) fallback.
@@ -852,6 +931,16 @@ class ReproServer:
                 else:
                     result = [float(x) for x in block]
                 samples = len(result)
+            elif pending.kind == "stratified":
+                result = [
+                    b.tolist() if hasattr(b, "tolist") else [float(x) for x in b]
+                    for b in mixed.samples[start]
+                ]
+                samples = sum(len(b) for b in result)
+            elif pending.kind == "estimate":
+                outcome = mixed.samples[start]
+                result = outcome.to_dict()
+                samples = outcome.draws
             elif pending.kind == "count":
                 result = int(mixed.samples[start])
             else:

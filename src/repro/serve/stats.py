@@ -129,7 +129,9 @@ class ServerStats:
         """Record one admitted request by op kind."""
         self.admitted += 1
         self.arrivals.append(time.perf_counter())
-        if kind == "sample":
+        if kind in ("sample", "sample_wr", "stratified", "estimate"):
+            # Scenario reads are sampling requests for accounting purposes:
+            # they drain the same sampler capacity as plain ``sample``.
             self.sample_requests += 1
         elif kind == "count":
             self.count_requests += 1

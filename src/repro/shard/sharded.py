@@ -904,6 +904,30 @@ class ShardedIRS(DynamicRangeSampler):
         ranks = sample_ranks_without_replacement(self._rng, 0, total, t)
         return self.select_in_range(lo, hi, ranks)
 
+    def sample_without_replacement_bulk(self, lo: float, hi: float, t: int, *, seed=None):
+        """Vectorized Floyd over the facade's rank space (NumPy result).
+
+        Delegates to :func:`repro.core.sample_without_replacement_bulk`,
+        which routes the chosen in-range ranks through
+        :meth:`select_in_range` — one broadcast draw replaces the scalar
+        Floyd loop of :meth:`sample_without_replacement`, and an explicit
+        ``seed`` makes the subset a pure function of the seed and contents.
+        """
+        from ..core.without_replacement import sample_without_replacement_bulk
+
+        return sample_without_replacement_bulk(self, lo, hi, t, seed=seed)
+
+    def sample_stratified(self, strata, t: int, *, seed=None) -> list:
+        """Split ``t`` exactly across ``strata``; one scatter round answers all.
+
+        Delegates to :func:`repro.scenarios.sample_stratified`, whose
+        multinomial allocation composes with this facade's own per-shard
+        scatter: the strata go down as one :meth:`sample_bulk_many` call.
+        """
+        from ..scenarios.stratified import sample_stratified
+
+        return sample_stratified(self, strata, t, seed=seed)
+
     # -- updates -----------------------------------------------------------------
 
     def _require_updatable(self) -> None:

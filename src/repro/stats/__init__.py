@@ -8,6 +8,7 @@ from .independence import (
     within_query_test,
 )
 from .estimators import (
+    RunningMeanCI,
     dkw_epsilon,
     fraction_estimate,
     mean_estimate,
@@ -32,4 +33,5 @@ __all__ = [
     "quantile_bounds",
     "dkw_epsilon",
     "required_sample_size",
+    "RunningMeanCI",
 ]

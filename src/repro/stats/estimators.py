@@ -14,6 +14,11 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+try:  # pragma: no cover - numpy is installed in CI
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 __all__ = [
     "mean_estimate",
     "sum_estimate",
@@ -22,7 +27,75 @@ __all__ = [
     "quantile_bounds",
     "dkw_epsilon",
     "required_sample_size",
+    "RunningMeanCI",
 ]
+
+
+class RunningMeanCI:
+    """Streaming mean + normal-approximation CI (Welford/Chan merging).
+
+    The online-aggregation loop (:func:`repro.scenarios.adaptive_estimate`)
+    feeds sample batches in as they arrive; ``mean`` and ``half_width`` are
+    always current without re-touching earlier samples.  Batches merge via
+    Chan's parallel update, so the running moments are exact (up to float
+    rounding) regardless of how the draws were batched.
+    """
+
+    __slots__ = ("confidence", "n", "_mean", "_m2", "_z")
+
+    def __init__(self, confidence: float = 0.95) -> None:
+        if not 0.0 < confidence < 1.0:
+            raise ValueError(f"confidence must be in (0, 1): {confidence}")
+        self.confidence = confidence
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._z = _z_of(confidence)
+
+    def update(self, samples: Sequence[float]) -> None:
+        """Fold one batch of samples into the running moments."""
+        k = len(samples)
+        if k == 0:
+            return
+        if _np is not None:
+            arr = _np.asarray(samples, dtype=float)
+            batch_mean = float(arr.mean())
+            batch_m2 = float(((arr - batch_mean) ** 2).sum())
+        else:  # pragma: no cover - numpy is installed in CI
+            total = 0.0
+            for x in samples:
+                total += float(x)
+            batch_mean = total / k
+            batch_m2 = 0.0
+            for x in samples:
+                d = float(x) - batch_mean
+                batch_m2 += d * d
+        delta = batch_mean - self._mean
+        n = self.n + k
+        self._m2 += batch_m2 + delta * delta * self.n * k / n
+        self._mean += delta * k / n
+        self.n = n
+
+    @property
+    def mean(self) -> float:
+        """The running sample mean (``nan`` before any sample)."""
+        if self.n == 0:
+            return float("nan")
+        return self._mean
+
+    @property
+    def half_width(self) -> float:
+        """Current CI half-width (``inf`` until two samples arrived)."""
+        if self.n < 2:
+            return float("inf")
+        var = self._m2 / (self.n - 1)
+        if var < 0.0:  # float rounding on constant data
+            var = 0.0
+        return self._z * math.sqrt(var / self.n)
+
+    def interval(self) -> tuple[float, float]:
+        """The current ``(mean, half_width)`` pair."""
+        return self.mean, self.half_width
 
 
 def mean_estimate(samples: Sequence[float], confidence: float = 0.95) -> tuple[float, float]:

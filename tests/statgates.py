@@ -1,0 +1,137 @@
+"""Shared statistical acceptance gates for the test suite.
+
+Every statistical gate in this repo follows the same policy, collected here
+so the suites stop re-implementing it:
+
+* **Fixed significance levels.**  Honest samplers must clear ``ALPHA``
+  (they land orders of magnitude above it); deliberately broken negative
+  controls must fall below ``NEGATIVE_ALPHA``.  The two-orders gap between
+  the thresholds is what keeps the gates non-flaky: there is no
+  distribution an implementation could have that sits between them by
+  chance.
+
+* **Seeded retry-once.**  A level-``ALPHA`` gate still false-alarms on an
+  honest sampler with probability ``ALPHA`` per run.  Each gate therefore
+  accepts a *draw function* taking the attempt index (0 then 1) and, on a
+  first failure, re-draws once — the caller derives fresh randomness from
+  the attempt index (or relies on the sampler's own RNG state advancing).
+  The false-alarm rate drops to ``ALPHA**2`` while a genuinely biased
+  sampler, whose p-values sit at ``~0`` on every draw, still fails both.
+"""
+
+from __future__ import annotations
+
+from repro.stats import (
+    chi_square_gof,
+    ks_uniform_test,
+    repeated_query_test,
+    uniformity_test,
+    within_query_test,
+)
+
+# Honest samplers must beat this; negative controls must fall far below.
+ALPHA = 1e-4
+NEGATIVE_ALPHA = 1e-6
+
+__all__ = [
+    "ALPHA",
+    "NEGATIVE_ALPHA",
+    "stat_gate",
+    "uniformity_gate",
+    "gof_gate",
+    "ks_gate",
+    "repeated_query_gate",
+    "within_query_gate",
+    "negative_control",
+    "mid_range",
+]
+
+
+def stat_gate(draw, *, alpha: float = ALPHA, label: str = "") -> float:
+    """Assert a statistical test passes, with one seeded retry.
+
+    ``draw(attempt)`` runs the test and returns ``(stat, p_value)``;
+    ``attempt`` is 0 for the first run and 1 for the retry, so the caller
+    can derive distinct seeds per attempt.  Returns the passing p-value.
+    """
+    _stat, p = draw(0)
+    if p > alpha:
+        return p
+    _stat, p = draw(1)
+    assert p > alpha, (
+        f"{label or 'statistical gate'} failed twice at alpha={alpha:g}: "
+        f"p={p:.2e}"
+    )
+    return p
+
+
+def uniformity_gate(draw_samples, population, *, alpha=ALPHA, label="") -> float:
+    """Chi-square gate: ``draw_samples(attempt)`` uniform over ``population``."""
+    return stat_gate(
+        lambda attempt: uniformity_test(draw_samples(attempt), population),
+        alpha=alpha,
+        label=label,
+    )
+
+
+def gof_gate(draw_counts, expected, *, alpha=ALPHA, label="") -> float:
+    """Chi-square goodness-of-fit gate against explicit expected masses.
+
+    ``draw_counts(attempt)`` returns observed category counts aligned with
+    ``expected`` (any positive masses; they are normalized internally).
+    """
+    return stat_gate(
+        lambda attempt: chi_square_gof(draw_counts(attempt), expected),
+        alpha=alpha,
+        label=label,
+    )
+
+
+def ks_gate(draw_samples, lo, hi, *, alpha=ALPHA, label="") -> float:
+    """KS gate: ``draw_samples(attempt)`` vs Uniform([lo, hi]), continuous data."""
+    return stat_gate(
+        lambda attempt: ks_uniform_test(draw_samples(attempt), lo, hi),
+        alpha=alpha,
+        label=label,
+    )
+
+
+def repeated_query_gate(
+    draw_one, *, repeats=600, bins=4, alpha=ALPHA, label=""
+) -> float:
+    """Cross-query independence gate over repeated single-sample queries."""
+    return stat_gate(
+        lambda attempt: repeated_query_test(draw_one, repeats=repeats, bins=bins),
+        alpha=alpha,
+        label=label,
+    )
+
+
+def within_query_gate(draw_samples, *, bins=4, alpha=ALPHA, label="") -> float:
+    """Within-query independence gate over one bulk answer per attempt."""
+    return stat_gate(
+        lambda attempt: within_query_test(draw_samples(attempt), bins=bins),
+        alpha=alpha,
+        label=label,
+    )
+
+
+def negative_control(draw, *, alpha: float = NEGATIVE_ALPHA, label: str = "") -> float:
+    """Assert a deliberately broken implementation *fails* its test.
+
+    No retry here: a negative control that only sometimes fails is a bug
+    in the control, not noise.  Returns the (damning) p-value.
+    """
+    _stat, p = draw(0)
+    assert p < alpha, (
+        f"{label or 'negative control'} slipped through at alpha={alpha:g}: "
+        f"p={p:.2e}"
+    )
+    return p
+
+
+def mid_range(data) -> tuple[float, float]:
+    """The inner-80% query range of a dataset (shared across suites)."""
+    ordered = sorted(data)
+    n = len(ordered)
+    return ordered[n // 10], ordered[(9 * n) // 10]

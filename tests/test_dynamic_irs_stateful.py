@@ -111,3 +111,83 @@ TestDynamicIRSStateful = DynamicIRSMachine.TestCase
 TestDynamicIRSStateful.settings = settings(
     max_examples=40, stateful_step_count=60, deadline=None
 )
+
+
+class WindowedIRSMachine(RuleBasedStateMachine):
+    """Model-based window-expiry rules for the uniform :class:`WindowedIRS`.
+
+    The model is simply the list of the last ``W`` arrivals.  Interleaved
+    advance/insert/sample/count/report must never surface an expired key:
+    reads flush pending expiry, so the structure observes exactly the
+    model's window regardless of how expiry batching interleaves with
+    arrivals.
+    """
+
+    @initialize(
+        seed=st.integers(0, 2**16),
+        window=st.integers(1, 24),
+        expiry_batch=st.integers(1, 8),
+    )
+    def setup(self, seed, window, expiry_batch):
+        from repro import WindowedIRS
+
+        self.window = window
+        self.structure = WindowedIRS(
+            window=window, seed=seed, expiry_batch=expiry_batch
+        )
+        self.model: list[float] = []  # the live window, oldest first
+        self.arrivals = 0
+
+    def _arrive(self, batch):
+        self.arrivals += len(batch)
+        self.model.extend(batch)
+        del self.model[: max(0, len(self.model) - self.window)]
+
+    @rule(value=_VALUES)
+    def insert(self, value):
+        self.structure.insert(value)
+        self._arrive([value])
+
+    @rule(batch=st.lists(_VALUES, max_size=40))
+    def advance(self, batch):
+        self.structure.advance(batch)
+        self._arrive(batch)
+
+    @rule(lo=_VALUES, width=st.integers(0, 200))
+    def count_sees_exactly_the_window(self, lo, width):
+        hi = lo + width
+        expected = sum(1 for v in self.model if lo <= v <= hi)
+        assert self.structure.count(lo, hi) == expected
+
+    @rule(lo=_VALUES, width=st.integers(0, 200))
+    def report_sees_exactly_the_window(self, lo, width):
+        hi = lo + width
+        expected = sorted(v for v in self.model if lo <= v <= hi)
+        assert self.structure.report(lo, hi) == expected
+
+    @rule(lo=_VALUES, width=st.integers(0, 200), t=st.integers(1, 8))
+    def samples_never_surface_expired_keys(self, lo, width, t):
+        hi = lo + width
+        live = set(v for v in self.model if lo <= v <= hi)
+        if not live:
+            return
+        for sample in self.structure.sample(lo, hi, t):
+            assert sample in live
+
+    @invariant()
+    def live_size_is_min_window_arrivals(self):
+        if hasattr(self, "model"):
+            assert len(self.structure) == len(self.model)
+            assert len(self.structure) == min(self.arrivals, self.window)
+            assert self.structure.arrivals == self.arrivals
+
+    def teardown(self):
+        if hasattr(self, "structure"):
+            self.structure.check_invariants()
+            assert self.structure.live() == self.model
+
+
+TestWindowedIRSStateful = WindowedIRSMachine.TestCase
+TestWindowedIRSStateful.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)

@@ -8,10 +8,15 @@ experiment F9's acceptance version.
 from __future__ import annotations
 
 import pytest
+from statgates import (
+    negative_control,
+    repeated_query_gate,
+    within_query_gate,
+)
 
 from repro import DynamicIRS, ExternalIRS, ShardedIRS, StaticIRS, WeightedStaticIRS
 from repro.baselines import CachedSampleBaseline, ReportThenSample, TreeWalkSampler
-from repro.stats import repeated_query_test, within_query_test
+from repro.stats import repeated_query_test
 
 N = 400
 DATA = [float(i) for i in range(N)]
@@ -32,26 +37,32 @@ HONEST = {
 @pytest.mark.parametrize("name", HONEST)
 def test_honest_samplers_pass_repeated_query_test(name):
     sampler = HONEST[name]()
-    _stat, p = repeated_query_test(
-        lambda: sampler.sample(LO, HI, 1)[0], repeats=600, bins=4
+    repeated_query_gate(
+        lambda: sampler.sample(LO, HI, 1)[0],
+        repeats=600,
+        bins=4,
+        label=f"{name} cross-query independence",
     )
-    assert p > 1e-4, f"{name} failed cross-query independence: p={p:.2e}"
 
 
 @pytest.mark.parametrize("name", HONEST)
 def test_honest_samplers_pass_within_query_test(name):
     sampler = HONEST[name]()
-    samples = sampler.sample(LO, HI, 4000)
-    _stat, p = within_query_test(samples, bins=4)
-    assert p > 1e-4, f"{name} failed within-query independence: p={p:.2e}"
+    within_query_gate(
+        lambda attempt: sampler.sample(LO, HI, 4000),
+        bins=4,
+        label=f"{name} within-query independence",
+    )
 
 
 def test_cheating_cache_fails_repeated_query_test():
     cheat = CachedSampleBaseline(DATA, seed=67)
-    _stat, p = repeated_query_test(
-        lambda: cheat.sample(LO, HI, 1)[0], repeats=600, bins=4
+    negative_control(
+        lambda attempt: repeated_query_test(
+            lambda: cheat.sample(LO, HI, 1)[0], repeats=600, bins=4
+        ),
+        label="cached-sample baseline",
     )
-    assert p < 1e-6, f"negative control slipped through: p={p:.2e}"
 
 
 def test_fresh_queries_differ():

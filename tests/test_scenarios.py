@@ -1,0 +1,358 @@
+"""Statistical acceptance gates for the scenario tier.
+
+Each new sampling path lands behind its own gate, in the shared
+``statgates`` discipline (fixed alpha, seeded retry-once):
+
+* windowed uniform  — chi-square uniformity over exactly the live window;
+* windowed decayed  — chi-square GOF against the ``decay**age`` masses;
+* stratified        — exact-count verification plus the pooled-draw law
+                      (allocation by in-range count makes the pooled output
+                      distribution-identical to one flat draw);
+* without-replacement — no duplicate ranks ever, and marginal uniformity
+                      (every point appears in a ``t``-subset with
+                      probability ``t/K``);
+* adaptive estimate — CI coverage calibration across independent seeds.
+
+Every path is also pinned byte-identical under a fixed seed;
+``test_scenarios_serve.py`` extends that through the server.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from statgates import gof_gate, uniformity_gate
+
+from repro import (
+    DynamicIRS,
+    EmptyRangeError,
+    InvalidQueryError,
+    ShardedIRS,
+    StaticIRS,
+    WeightedDynamicIRS,
+    WindowedIRS,
+    adaptive_estimate,
+    sample_stratified,
+    sample_without_replacement_bulk,
+)
+from repro.rng import derive_seed, generator
+
+
+class TestWindowedSemantics:
+    def test_len_tracks_min_window_arrivals(self):
+        w = WindowedIRS(window=10, seed=1)
+        assert len(w) == 0 and w.arrivals == 0
+        w.advance([float(i) for i in range(7)])
+        assert len(w) == 7 and w.arrivals == 7
+        w.advance([float(i) for i in range(7, 25)])
+        assert len(w) == 10 and w.arrivals == 25
+        assert w.live() == [float(i) for i in range(15, 25)]
+
+    def test_expired_keys_never_surface(self):
+        w = WindowedIRS(window=16, seed=2, expiry_batch=5)
+        for i in range(200):
+            w.insert(float(i))
+            assert w.count(-1.0, 1e9) == min(i + 1, 16)
+            oldest_live = max(0, i - 15)
+            if oldest_live:
+                # Everything before the window start is gone from reads,
+                # even while expiry is still batched internally.
+                assert w.count(-1.0, oldest_live - 0.5) == 0
+        assert w.report(0.0, 1e9) == [float(i) for i in range(184, 200)]
+        w.check_invariants()
+
+    def test_from_stream_matches_advance(self):
+        stream = [float((i * 37) % 101) for i in range(500)]
+        a = WindowedIRS.from_stream(stream, window=64, seed=9)
+        b = WindowedIRS(window=64, seed=9)
+        b.advance(stream)
+        assert a.live() == b.live()
+        assert a.arrivals == b.arrivals == 500
+        assert list(a.sample_bulk(0.0, 101.0, 50, seed=7)) == list(
+            b.sample_bulk(0.0, 101.0, 50, seed=7)
+        )
+
+    def test_duplicates_expire_one_occurrence_at_a_time(self):
+        w = WindowedIRS(window=4, seed=3, decay=0.9, expiry_batch=1)
+        w.advance([5.0, 5.0, 5.0, 7.0, 5.0, 7.0])
+        assert sorted(w.live()) == [5.0, 5.0, 7.0, 7.0]
+        assert w.count(4.9, 5.1) == 2
+        w.check_invariants()
+
+    def test_decay_validation(self):
+        with pytest.raises(InvalidQueryError):
+            WindowedIRS(window=0)
+        with pytest.raises(InvalidQueryError):
+            WindowedIRS(window=4, decay=1.5)
+        with pytest.raises(InvalidQueryError):
+            WindowedIRS(window=100_000, decay=1e-4)  # underflows the window
+
+    def test_windowed_seeded_draws_are_reproducible(self):
+        stream = [float((i * 13) % 211) for i in range(400)]
+        for decay in (None, 0.97):
+            a = WindowedIRS.from_stream(stream, window=100, seed=11, decay=decay)
+            b = WindowedIRS.from_stream(stream, window=100, seed=11, decay=decay)
+            assert list(a.sample_bulk(0.0, 211.0, 200, seed=5)) == list(
+                b.sample_bulk(0.0, 211.0, 200, seed=5)
+            )
+
+
+class TestWindowedGates:
+    def test_uniform_window_chi_square_gate(self):
+        stream = [float(i) for i in range(600)]
+        w = WindowedIRS.from_stream(stream, window=128, seed=21)
+        population = w.live()
+        uniformity_gate(
+            lambda attempt: w.sample(472.0, 599.0, 12_000),
+            population,
+            label="windowed uniform sampling",
+        )
+
+    def test_decayed_window_gof_gate(self):
+        stream = [float(i) for i in range(200)]
+        decay = 0.95
+        w = WindowedIRS.from_stream(stream, window=64, seed=22, decay=decay)
+        live = w.live()  # oldest first: ages W-1 .. 0
+        expected = [decay ** (len(live) - 1 - k) for k in range(len(live))]
+
+        def counts(attempt):
+            got = Counter(w.sample_bulk(0.0, 1e9, 40_000).tolist())
+            return [got.get(v, 0) for v in live]
+
+        gof_gate(counts, expected, label="windowed decayed sampling")
+
+    def test_decayed_window_survives_rebuild_churn(self):
+        # Tiny expiry batches + duplicate arrivals force the rebuild path.
+        w = WindowedIRS(window=32, seed=23, decay=0.9, expiry_batch=1)
+        for i in range(300):
+            w.advance([float(i % 20)])
+        w.check_invariants()
+        live = w.live()
+        expected_mass = Counter()
+        for k, v in enumerate(live):
+            expected_mass[v] += 0.9 ** (len(live) - 1 - k)
+        values = sorted(expected_mass)
+
+        def counts(attempt):
+            got = Counter(w.sample_bulk(0.0, 1e9, 30_000).tolist())
+            return [got.get(v, 0) for v in values]
+
+        gof_gate(
+            counts,
+            [expected_mass[v] for v in values],
+            label="windowed decayed sampling after rebuild churn",
+        )
+
+
+STRATIFIED_FACTORIES = {
+    "static": lambda data: StaticIRS(data, seed=31),
+    "dynamic": lambda data: DynamicIRS(data, seed=32),
+    "sharded": lambda data: ShardedIRS(data, num_shards=4, seed=33),
+    "weighted-dynamic": lambda data: WeightedDynamicIRS(
+        data, [1.0 + (i % 3) for i in range(len(data))], seed=34
+    ),
+    "windowed": lambda data: WindowedIRS(data, window=len(data), seed=35),
+}
+
+
+class TestStratified:
+    DATA = [float(i) for i in range(500)]
+    STRATA = [(0.0, 99.0), (100.0, 349.0), (350.0, 499.0)]
+
+    @pytest.mark.parametrize("name", STRATIFIED_FACTORIES)
+    def test_exact_counts_and_containment(self, name):
+        sampler = STRATIFIED_FACTORIES[name](self.DATA)
+        for t in (0, 1, 17, 400):
+            blocks = sample_stratified(sampler, self.STRATA, t, seed=77)
+            assert len(blocks) == len(self.STRATA)
+            assert sum(len(b) for b in blocks) == t
+            for (lo, hi), block in zip(self.STRATA, blocks):
+                assert all(lo <= float(x) <= hi for x in block)
+
+    @pytest.mark.parametrize("name", STRATIFIED_FACTORIES)
+    def test_seeded_calls_are_byte_identical(self, name):
+        sampler = STRATIFIED_FACTORIES[name](self.DATA)
+        a = sample_stratified(sampler, self.STRATA, 120, seed=88)
+        b = sample_stratified(sampler, self.STRATA, 120, seed=88)
+        assert [list(map(float, x)) for x in a] == [list(map(float, x)) for x in b]
+
+    def test_allocation_matches_shard_scatter_math(self):
+        """The split is the documented multinomial + derived task seeds."""
+        d = DynamicIRS(self.DATA, seed=41)
+        seed = 4242
+        got = sample_stratified(d, self.STRATA, 100, seed=seed)
+        qgen = generator(seed)
+        counts = [d.count(lo, hi) for lo, hi in self.STRATA]
+        split = qgen.multinomial(100, np.asarray(counts) / sum(counts)).tolist()
+        entropy = int(qgen.integers(1 << 63))
+        expected = [
+            d.sample_bulk(lo, hi, tj, seed=derive_seed(entropy, j))
+            for j, ((lo, hi), tj) in enumerate(zip(self.STRATA, split))
+        ]
+        assert [list(map(float, x)) for x in got] == [
+            list(map(float, x)) for x in expected
+        ]
+
+    def test_pooled_draw_is_distribution_identical_to_flat_sampling(self):
+        """Allocation by in-range count ⇒ pooled output is uniform on the union."""
+        d = DynamicIRS(self.DATA, seed=42)
+        union = [
+            v for v in self.DATA
+            if any(lo <= v <= hi for lo, hi in self.STRATA)
+        ]
+
+        def pooled(attempt):
+            blocks = sample_stratified(d, self.STRATA, 12_000)
+            return [float(x) for block in blocks for x in block]
+
+        uniformity_gate(pooled, union, label="stratified pooled draw")
+
+    def test_degenerate_inputs(self):
+        d = DynamicIRS(self.DATA, seed=43)
+        assert sample_stratified(d, [], 0) == []
+        with pytest.raises(InvalidQueryError):
+            sample_stratified(d, [], 5)
+        with pytest.raises(InvalidQueryError):
+            sample_stratified(d, [(1.0,)], 5)
+        with pytest.raises(InvalidQueryError):
+            sample_stratified(d, [(5.0, 1.0)], 5)
+        with pytest.raises(EmptyRangeError):
+            sample_stratified(d, [(1000.0, 2000.0)], 5)
+
+
+WR_FACTORIES = {
+    "static": lambda data: StaticIRS(data, seed=51),
+    "dynamic": lambda data: DynamicIRS(data, seed=52),
+    "sharded": lambda data: ShardedIRS(data, num_shards=4, seed=53),
+    "windowed": lambda data: WindowedIRS(data, window=len(data), seed=54),
+}
+
+
+class TestWithoutReplacementBulk:
+    DATA = [float(i) for i in range(120)]
+
+    @pytest.mark.parametrize("name", WR_FACTORIES)
+    def test_no_duplicates_and_exact_size(self, name):
+        sampler = WR_FACTORIES[name](self.DATA)
+        for seed in range(20):
+            got = sample_without_replacement_bulk(sampler, 10.0, 89.0, 40, seed=seed)
+            values = [float(x) for x in got]
+            assert len(values) == 40
+            assert len(set(values)) == 40  # data is distinct ⇒ ranks ⇔ values
+            assert all(10.0 <= v <= 89.0 for v in values)
+
+    def test_multiset_data_dedupes_ranks_not_values(self):
+        data = [float(i % 10) for i in range(100)]  # each value 10 times
+        d = DynamicIRS(data, seed=55)
+        got = [float(x) for x in sample_without_replacement_bulk(d, 0.0, 9.0, 100, seed=1)]
+        assert Counter(got) == Counter(data)  # a full draw returns the multiset
+
+    def test_bulk_matches_scalar_law_marginal_uniformity(self):
+        """Every point lands in a ``t``-subset with probability ``t/K``."""
+        d = DynamicIRS(self.DATA, seed=56)
+
+        def appearance_counts(attempt):
+            hits = Counter()
+            for trial in range(3000):
+                seed = derive_seed(9090, attempt, trial)
+                for x in sample_without_replacement_bulk(d, 0.0, 59.0, 10, seed=seed):
+                    hits[float(x)] += 1
+            return [hits.get(float(v), 0) for v in range(60)]
+
+        gof_gate(
+            appearance_counts,
+            [1.0] * 60,
+            label="without-replacement marginal uniformity",
+        )
+
+    def test_seeded_subsets_are_byte_identical(self):
+        for name, factory in WR_FACTORIES.items():
+            sampler = factory(self.DATA)
+            a = sample_without_replacement_bulk(sampler, 0.0, 119.0, 30, seed=123)
+            b = sample_without_replacement_bulk(sampler, 0.0, 119.0, 30, seed=123)
+            assert list(a) == list(b), name
+
+    def test_oversized_and_empty_requests(self):
+        d = DynamicIRS(self.DATA, seed=57)
+        with pytest.raises(InvalidQueryError):
+            sample_without_replacement_bulk(d, 0.0, 9.0, 11, seed=1)
+        with pytest.raises(EmptyRangeError):
+            sample_without_replacement_bulk(d, 500.0, 600.0, 1, seed=1)
+        assert len(sample_without_replacement_bulk(d, 0.0, 9.0, 0, seed=1)) == 0
+        w = WeightedDynamicIRS(self.DATA, [1.0] * len(self.DATA), seed=58)
+        with pytest.raises(InvalidQueryError):
+            sample_without_replacement_bulk(w, 0.0, 9.0, 2, seed=1)
+
+    def test_sharded_bulk_method_delegates(self):
+        s = ShardedIRS(self.DATA, num_shards=3, seed=59)
+        got = s.sample_without_replacement_bulk(0.0, 119.0, 25, seed=7)
+        twin = sample_without_replacement_bulk(s, 0.0, 119.0, 25, seed=7)
+        assert list(got) == list(twin)
+        blocks = s.sample_stratified([(0.0, 59.0), (60.0, 119.0)], 30, seed=8)
+        assert sum(len(b) for b in blocks) == 30
+
+
+class TestAdaptiveEstimate:
+    DATA = [float(i) for i in range(1000)]
+
+    def test_converges_and_reports_budget(self):
+        d = DynamicIRS(self.DATA, seed=61)
+        result = adaptive_estimate(
+            d, 0.0, 999.0, target_half_width=20.0, batch=256, seed=5
+        )
+        assert result.converged
+        assert result.half_width <= 20.0
+        assert result.draws == result.batches * 256
+        assert result.draws <= 65536
+
+    def test_budget_exhaustion_reports_unconverged(self):
+        d = DynamicIRS(self.DATA, seed=62)
+        result = adaptive_estimate(
+            d, 0.0, 999.0, target_half_width=0.001, batch=64, max_draws=256, seed=5
+        )
+        assert not result.converged
+        assert result.draws == 256
+
+    def test_seeded_runs_are_byte_identical(self):
+        d = DynamicIRS(self.DATA, seed=63)
+        a = adaptive_estimate(d, 0.0, 999.0, target_half_width=25.0, seed=99)
+        b = adaptive_estimate(d, 0.0, 999.0, target_half_width=25.0, seed=99)
+        assert a == b
+
+    def test_validation(self):
+        d = DynamicIRS(self.DATA, seed=64)
+        with pytest.raises(InvalidQueryError):
+            adaptive_estimate(d, 0.0, 1.0, target_half_width=0.0)
+        with pytest.raises(InvalidQueryError):
+            adaptive_estimate(d, 0.0, 1.0, target_half_width=1.0, batch=0)
+        with pytest.raises(InvalidQueryError):
+            adaptive_estimate(d, 0.0, 1.0, target_half_width=1.0, confidence=1.5)
+        with pytest.raises(EmptyRangeError):
+            adaptive_estimate(d, 5000.0, 6000.0, target_half_width=1.0)
+
+    def test_coverage_calibration_gate(self):
+        """~95% of seeded runs must bracket the true in-range mean.
+
+        Sequential stopping (convergence checked at batch boundaries)
+        nudges nominal coverage down slightly, so the gate sits at 88%
+        — far above what any mis-calibrated interval would achieve, far
+        below the ~95% an honest one delivers.
+        """
+        d = DynamicIRS(self.DATA, seed=65)
+        lo, hi = 100.0, 899.0
+        in_range = [v for v in self.DATA if lo <= v <= hi]
+        truth = sum(in_range) / len(in_range)
+        runs = 200
+        covered = 0
+        for trial in range(runs):
+            result = adaptive_estimate(
+                d, lo, hi,
+                target_half_width=15.0, batch=128, max_draws=8192,
+                seed=derive_seed(7777, trial),
+            )
+            assert result.converged
+            if abs(result.estimate - truth) <= result.half_width:
+                covered += 1
+        assert covered >= int(0.88 * runs), f"coverage {covered}/{runs}"

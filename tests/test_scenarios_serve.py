@@ -1,0 +1,195 @@
+"""Scenario ops through the server: byte-identical to the direct calls.
+
+The acceptance bar for the scenario tier: every new sampling path —
+windowed, stratified, without-replacement, adaptive estimate — must return
+the *same bytes* whether invoked directly on the structure or through
+:class:`~repro.serve.ReproServer` under a fixed root seed.  The server
+delegates to the identical library functions with the identical seed, so
+any drift here means a second code path grew — exactly what this suite
+exists to catch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import (
+    DynamicIRS,
+    ShardedIRS,
+    WindowedIRS,
+    adaptive_estimate,
+    sample_stratified,
+    sample_without_replacement_bulk,
+)
+from repro.serve import ReproServer, ServeClient, ServeError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+DATA = [float((i * 29) % 2003) for i in range(2000)]
+STRATA = [[0.0, 399.0], [400.0, 1299.0], [1300.0, 2002.0]]
+
+
+def fresh_structures():
+    """Twin structure sets: one to serve, one to query directly."""
+    return {
+        "default": DynamicIRS(DATA, seed=5),
+        "sharded": ShardedIRS(DATA, num_shards=4, seed=6),
+        "windowed": WindowedIRS(DATA, window=1500, seed=7),
+    }
+
+
+@pytest.mark.parametrize("structure", ["default", "sharded", "windowed"])
+def test_stratified_served_matches_direct(structure):
+    async def scenario():
+        direct = fresh_structures()[structure]
+        expected = sample_stratified(
+            direct, [tuple(s) for s in STRATA], 90, seed=1111
+        )
+        async with ReproServer(fresh_structures(), seed=99) as server:
+            client = ServeClient(server)
+            got = await client.sample_stratified(
+                STRATA, 90, structure=structure, seed=1111
+            )
+        assert got == [[float(x) for x in block] for block in expected]
+
+    run(scenario())
+
+
+@pytest.mark.parametrize("structure", ["default", "sharded", "windowed"])
+def test_sample_wr_served_matches_direct(structure):
+    async def scenario():
+        direct = fresh_structures()[structure]
+        expected = sample_without_replacement_bulk(
+            direct, 100.0, 1500.0, 64, seed=2222
+        )
+        async with ReproServer(fresh_structures(), seed=99) as server:
+            client = ServeClient(server)
+            got = await client.sample_without_replacement(
+                100.0, 1500.0, 64, structure=structure, seed=2222
+            )
+        assert got == [float(x) for x in expected]
+        assert len(set(got)) == 64  # distinct data ⇒ distinct values
+
+    run(scenario())
+
+
+@pytest.mark.parametrize("structure", ["default", "sharded", "windowed"])
+def test_estimate_served_matches_direct(structure):
+    async def scenario():
+        direct = fresh_structures()[structure]
+        expected = adaptive_estimate(
+            direct, 0.0, 2002.0, target_half_width=40.0, batch=128, seed=3333
+        )
+        async with ReproServer(fresh_structures(), seed=99) as server:
+            client = ServeClient(server)
+            got = await client.estimate(
+                0.0, 2002.0, target=40.0, batch=128,
+                structure=structure, seed=3333,
+            )
+        assert got == expected.to_dict()
+        assert got["converged"] is True
+
+    run(scenario())
+
+
+def test_windowed_sample_served_matches_direct_after_updates():
+    """The windowed path stays byte-identical through served mutation."""
+
+    async def scenario():
+        direct = fresh_structures()["windowed"]
+        arrivals = [float(3000 + i) for i in range(400)]
+        direct.insert_bulk(arrivals)
+        expected = list(direct.sample_bulk(0.0, 5000.0, 50, seed=4444))
+        async with ReproServer(fresh_structures(), seed=99) as server:
+            client = ServeClient(server)
+            assert await client.insert_bulk(arrivals, structure="windowed") == 400
+            got = await client.sample(
+                0.0, 5000.0, 50, structure="windowed", seed=4444
+            )
+            # The window slid identically on both sides: the served count
+            # sees exactly the direct twin's live window, nothing expired.
+            count = await client.count(0.0, 5000.0, structure="windowed")
+        assert got == [float(x) for x in expected]
+        assert count == direct.count(0.0, 5000.0) == 1500
+
+    run(scenario())
+
+
+def test_scenario_ops_are_admission_validated():
+    async def scenario():
+        async with ReproServer(
+            fresh_structures(), seed=99, max_t=1 << 12
+        ) as server:
+            client = ServeClient(server)
+            with pytest.raises(ServeError) as err:
+                await client.estimate(0.0, 1.0, target=-5.0)
+            assert err.value.code == "invalid_query"
+            with pytest.raises(ServeError) as err:
+                await client.estimate(0.0, 1.0, target=1.0, max_draws=1 << 13)
+            assert err.value.code == "too_large"
+            with pytest.raises(ServeError) as err:
+                await client.sample_stratified([[9.0, 1.0]], 5)
+            assert err.value.code == "invalid_query"
+            response = await client.request(
+                {"op": "stratified", "strata": "nope", "t": 3}
+            )
+            assert response["ok"] is False
+            assert response["error"]["type"] == "bad_request"
+            with pytest.raises(ServeError) as err:
+                await client.sample_without_replacement(0.0, 3.0, 4000)
+            assert err.value.code == "invalid_query"  # t exceeds population
+
+    run(scenario())
+
+
+def test_unseeded_scenario_ops_draw_fresh_randomness():
+    async def scenario():
+        async with ReproServer(fresh_structures(), seed=99) as server:
+            client = ServeClient(server)
+            a = await client.sample_without_replacement(0.0, 2002.0, 32)
+            b = await client.sample_without_replacement(0.0, 2002.0, 32)
+            assert a != b
+            ea = await client.estimate(0.0, 2002.0, target=40.0)
+            assert ea["converged"] is True
+
+    run(scenario())
+
+
+def test_scenario_ops_count_as_sample_requests():
+    async def scenario():
+        async with ReproServer(fresh_structures(), seed=99) as server:
+            client = ServeClient(server)
+            await client.sample_stratified(STRATA, 10, seed=1)
+            await client.sample_without_replacement(0.0, 2002.0, 10, seed=2)
+            await client.estimate(0.0, 2002.0, target=50.0, seed=3)
+            stats = await client.server_stats()
+        assert stats["sample_requests"] == 3
+        assert stats["update_requests"] == 0
+        assert stats["samples_returned"] >= 20
+
+    run(scenario())
+
+
+def test_scenario_replies_survive_the_wire():
+    """TCP framing: scenario replies are plain JSON like everything else."""
+
+    async def scenario():
+        from repro.serve import TCPServeClient
+
+        async with ReproServer(fresh_structures(), seed=99) as server:
+            await server.start_tcp("127.0.0.1", 0)
+            async with await TCPServeClient.connect("127.0.0.1", server.port) as tcp:
+                blocks = await tcp.sample_stratified(STRATA, 30, seed=77)
+                est = await tcp.estimate(0.0, 2002.0, target=50.0, seed=78)
+            local = ServeClient(server)
+            expected_blocks = await local.sample_stratified(STRATA, 30, seed=77)
+            expected_est = await local.estimate(0.0, 2002.0, target=50.0, seed=78)
+        assert blocks == expected_blocks
+        assert est == expected_est
+
+    run(scenario())

@@ -9,6 +9,7 @@ them, a biased one falls orders of magnitude below).
 from __future__ import annotations
 
 import pytest
+from statgates import mid_range, uniformity_gate
 
 from repro import DynamicIRS, ExternalIRS, ShardedIRS, StaticIRS
 from repro.baselines import (
@@ -18,7 +19,6 @@ from repro.baselines import (
     ReportThenSample,
     TreeWalkSampler,
 )
-from repro.stats import uniformity_test
 from repro.workloads import duplicate_heavy, gaussian_mixture, zipf_gaps
 
 DATASETS = {
@@ -43,24 +43,23 @@ EM_FACTORIES = {
 }
 
 
-def _mid_range(data):
-    ordered = sorted(data)
-    n = len(ordered)
-    return ordered[n // 10], ordered[(9 * n) // 10]
-
-
 @pytest.mark.parametrize("dataset_name", DATASETS)
 @pytest.mark.parametrize("sampler_name", list(RAM_FACTORIES) + list(EM_FACTORIES))
 def test_uniform_over_every_workload(sampler_name, dataset_name):
     data = DATASETS[dataset_name]()
     factory = {**RAM_FACTORIES, **EM_FACTORIES}[sampler_name]
     sampler = factory(data)
-    lo, hi = _mid_range(data)
+    lo, hi = mid_range(data)
     population = [v for v in data if lo <= v <= hi]
-    samples = sampler.sample(lo, hi, 12_000)
-    assert len(samples) == 12_000
-    _stat, p = uniformity_test(samples, population)
-    assert p > 1e-4, f"{sampler_name} biased on {dataset_name}: p={p:.2e}"
+
+    def draw(attempt):
+        samples = sampler.sample(lo, hi, 12_000)
+        assert len(samples) == 12_000
+        return samples
+
+    uniformity_gate(
+        draw, population, label=f"{sampler_name} on {dataset_name}"
+    )
 
 
 def test_dynamic_stays_uniform_under_interleaved_updates():
@@ -69,8 +68,10 @@ def test_dynamic_stays_uniform_under_interleaved_updates():
     for i, v in enumerate(sorted(data)[::3]):
         d.delete(v)
         d.insert(v + 1e-9 * (i + 1))
-    lo, hi = _mid_range(d.values())
+    lo, hi = mid_range(d.values())
     population = [v for v in d.values() if lo <= v <= hi]
-    samples = d.sample(lo, hi, 12_000)
-    _stat, p = uniformity_test(samples, population)
-    assert p > 1e-4
+    uniformity_gate(
+        lambda attempt: d.sample(lo, hi, 12_000),
+        population,
+        label="dynamic after interleaved updates",
+    )

@@ -318,19 +318,25 @@ class TestUniformityUnderChurn:
         population = sorted(live)
         lo, hi = population[5], population[-5]
         in_range = [v for v in population if lo <= v <= hi]
-        samples = w.sample_bulk(lo, hi, 60_000)
+        expected = [live[v] for v in in_range]
         from collections import Counter
 
-        got = Counter(samples.tolist())
-        counts = [got.get(v, 0) for v in in_range]
-        expected = [live[v] for v in in_range]
-        _stat, p = chi_square_gof(counts, expected)
-        assert p > 1e-4, f"weighted sampling biased after churn: p={p:.2e}"
+        from statgates import gof_gate
+
+        def bulk_counts(attempt):
+            got = Counter(w.sample_bulk(lo, hi, 60_000).tolist())
+            return [got.get(v, 0) for v in in_range]
+
+        gof_gate(bulk_counts, expected, label="weighted bulk sampling after churn")
+
         # The scalar path must pass the same gate on the same structure.
-        scalar = Counter(w.sample(lo, hi, 20_000))
-        counts = [scalar.get(v, 0) for v in in_range]
-        _stat, p = chi_square_gof(counts, expected)
-        assert p > 1e-4, f"scalar weighted sampling biased after churn: p={p:.2e}"
+        def scalar_counts(attempt):
+            got = Counter(w.sample(lo, hi, 20_000))
+            return [got.get(v, 0) for v in in_range]
+
+        gof_gate(
+            scalar_counts, expected, label="weighted scalar sampling after churn"
+        )
 
 
 class TestFloatRobustness:

@@ -160,3 +160,85 @@ TestWeightedDynamicStateful = WeightedDynamicMachine.TestCase
 TestWeightedDynamicStateful.settings = settings(
     max_examples=30, stateful_step_count=50, deadline=None
 )
+
+
+class DecayedWindowMachine(RuleBasedStateMachine):
+    """Window-expiry rules for the *decayed* :class:`WindowedIRS`.
+
+    Decay mode rides the weighted plane, so this machine lives with the
+    weighted stateful suite: the model is the last ``W`` arrivals, and the
+    extra hazard over the uniform machine is the duplicate-expiry rebuild
+    path (a by-value delete could strip the wrong occurrence's weight).
+    Values are drawn from a tiny domain to force duplicates constantly.
+    """
+
+    @initialize(
+        seed=st.integers(0, 2**16),
+        window=st.integers(1, 20),
+        expiry_batch=st.integers(1, 6),
+    )
+    def setup(self, seed, window, expiry_batch):
+        from repro import WindowedIRS
+
+        self.window = window
+        self.structure = WindowedIRS(
+            window=window, seed=seed, decay=0.9, expiry_batch=expiry_batch
+        )
+        self.model: list[float] = []  # the live window, oldest first
+
+    def _arrive(self, batch):
+        self.model.extend(batch)
+        del self.model[: max(0, len(self.model) - self.window)]
+
+    @rule(value=st.integers(0, 8).map(float))
+    def insert(self, value):
+        self.structure.insert(value)
+        self._arrive([value])
+
+    @rule(batch=st.lists(st.integers(0, 8).map(float), max_size=30))
+    def advance(self, batch):
+        self.structure.advance(batch)
+        self._arrive(batch)
+
+    @rule(lo=st.integers(0, 8).map(float), width=st.integers(0, 8))
+    def count_sees_exactly_the_window(self, lo, width):
+        hi = lo + width
+        expected = sum(1 for v in self.model if lo <= v <= hi)
+        assert self.structure.count(lo, hi) == expected
+
+    @rule(lo=st.integers(0, 8).map(float), width=st.integers(0, 8))
+    def report_sees_exactly_the_window(self, lo, width):
+        hi = lo + width
+        expected = sorted(v for v in self.model if lo <= v <= hi)
+        assert self.structure.report(lo, hi) == expected
+
+    @rule(
+        lo=st.integers(0, 8).map(float),
+        width=st.integers(0, 8),
+        t=st.integers(1, 6),
+    )
+    def samples_never_surface_expired_keys(self, lo, width, t):
+        hi = lo + width
+        live = set(v for v in self.model if lo <= v <= hi)
+        if not live:
+            return
+        for sample in self.structure.sample(lo, hi, t):
+            assert sample in live
+        for sample in self.structure.sample_bulk(lo, hi, t):
+            assert sample in live
+
+    @invariant()
+    def window_never_overflows(self):
+        if hasattr(self, "model"):
+            assert len(self.structure) == len(self.model) <= self.window
+
+    def teardown(self):
+        if hasattr(self, "structure"):
+            self.structure.check_invariants()
+            assert self.structure.live() == self.model
+
+
+TestDecayedWindowStateful = DecayedWindowMachine.TestCase
+TestDecayedWindowStateful.settings = settings(
+    max_examples=30, stateful_step_count=50, deadline=None
+)
