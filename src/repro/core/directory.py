@@ -1,4 +1,4 @@
-"""Shared array-backed chunk directory engine (DESIGN.md §8).
+"""Shared array-backed chunk directory engine (DESIGN.md §8, §13).
 
 Both dynamic samplers — :class:`~repro.core.dynamic_irs.DynamicIRS`
 (uniform) and :class:`~repro.core.weighted_dynamic.WeightedDynamicIRS`
@@ -20,13 +20,25 @@ arrays in this module.  The engine owns everything that is about the
   under-full chunks, the multi-index split assembly behind bulk inserts,
   and the full normalization sweep behind bulk deletes.
 
-Chunk payloads implement a tiny protocol (:class:`Chunk` for plain value
-runs, :class:`WeightedChunk` adding an aligned weight plane and a
-cumulative in-chunk weight table), and the directory never looks inside a
-payload except through it — which is exactly what lets one engine serve
-both samplers.  ``mutations`` is a monotone version stamp bumped by every
-mutating call; samplers key their own derived caches (e.g. the weighted
-sampler's flattened global cumulative-weight array) off it.
+Chunk payloads are **NumPy array planes** (PR 10): ``data`` is a 1-D
+array in the structure's value dtype (float32 or float64), and a
+:class:`WeightedChunk` adds an aligned float64 ``weights`` plane with a
+lazy cumulative table.  Two rules make this safe and fast:
+
+* **copy-on-write** — no chunk op ever mutates a plane in place; splices
+  and merges go through the kernel tier (:mod:`repro.core.kernels`) and
+  return fresh arrays.  Structural cuts produce *views*, so a structure
+  built over an adopted caller array (``from_sorted(..., copy=False)``)
+  stays zero-copy until an update actually touches a chunk;
+* the directory's own arrays (``maxes``/``mins`` float64, ``counts``
+  int64, ``wtotals`` float64) are dtype-invariant — float32 values
+  widen exactly, so routing is identical under either plane dtype.
+
+The directory never looks inside a payload except through the chunk
+protocol — which is exactly what lets one engine serve both samplers.
+``mutations`` is a monotone version stamp bumped by every mutating call;
+samplers key their own derived caches (e.g. the weighted sampler's
+flattened global cumulative-weight array) off it.
 """
 
 from __future__ import annotations
@@ -34,6 +46,8 @@ from __future__ import annotations
 from itertools import accumulate
 
 import numpy as _np  # a hard dependency of the package (pyproject.toml)
+
+from . import kernels as _kernels
 
 __all__ = ["Chunk", "WeightedChunk", "ChunkDirectory", "split_sizes"]
 
@@ -56,130 +70,118 @@ def split_sizes(n: int, cap: int) -> list[int]:
 
 
 class Chunk:
-    """A sorted run of points (the unweighted chunk payload).
+    """A sorted run of points stored as one NumPy array plane.
 
     Directory information (key extent, size, position) lives in the owning
     :class:`ChunkDirectory`'s parallel arrays, not on the chunk, so bulk
-    repairs can touch it with vectorized array ops.
+    repairs can touch it with vectorized array ops.  ``data`` may be a
+    view into a larger plane (the build path slices one array; adopted
+    caller arrays stay zero-copy) — every mutation replaces it with a
+    fresh array, never writes through it.
     """
 
-    __slots__ = ("data", "np_data")
+    __slots__ = ("data",)
 
     #: Class-level flag: the directory maintains a weight plane iff True.
     weighted = False
 
-    def __init__(self, data: list[float]) -> None:
+    def __init__(self, data) -> None:
         self.data = data
-        #: Lazily-built NumPy view of ``data`` for the bulk sampling path.
-        #: Any mutation of ``data`` must go through :meth:`touch`.
-        self.np_data = None
 
     def array(self):
-        """Return (building if stale) the NumPy view of this chunk."""
-        if self.np_data is None:
-            self.np_data = _np.asarray(self.data, dtype=float)
-        return self.np_data
+        """Return the chunk's value plane (the bulk-sampling gather view)."""
+        return self.data
 
     def touch(self) -> None:
-        """Invalidate derived per-chunk caches after a ``data`` mutation."""
-        self.np_data = None
+        """Invalidate derived per-chunk caches after a ``data`` swap."""
 
     @property
     def mass(self) -> float:
         """The chunk's directory weight (its size, for uniform sampling)."""
-        return float(len(self.data))
+        return float(self.data.size)
 
     # -- structural protocol (used by the directory's repair passes) -------
 
     def cut(self, sizes: list[int]) -> list["Chunk"]:
-        """Keep the first ``sizes[0]`` points; return the rest as new chunks."""
+        """Keep the first ``sizes[0]`` points; return the rest as new chunks.
+
+        The pieces are views — cutting never copies the plane.
+        """
         data = self.data
         out: list[Chunk] = []
         at = sizes[0]
         for size in sizes[1:]:
             out.append(Chunk(data[at : at + size]))
             at += size
-        self.data = data[:sizes[0]]
-        self.touch()
+        self.data = data[: sizes[0]]
         return out
 
     def absorb(self, other: "Chunk") -> None:
         """Append ``other``'s run (adjacent in key order) onto this one."""
-        self.data = self.data + other.data
-        self.touch()
+        self.data = _np.concatenate((self.data, other.data))
 
     def borrow_from_next(self, right: "Chunk") -> float:
         """Move the right neighbor's first point here; return moved mass."""
-        self.data.append(right.data.pop(0))
-        self.touch()
-        right.touch()
+        self.data = _np.concatenate((self.data, right.data[:1]))
+        right.data = right.data[1:]
         return 1.0
 
     def borrow_from_prev(self, left: "Chunk") -> float:
         """Move the left neighbor's last point here; return moved mass."""
-        self.data.insert(0, left.data.pop())
-        self.touch()
-        left.touch()
+        self.data = _np.concatenate((left.data[-1:], self.data))
+        left.data = left.data[:-1]
         return 1.0
 
 
 class WeightedChunk(Chunk):
-    """A sorted run of points with an aligned weight plane.
+    """A sorted run of points with an aligned float64 weight plane.
 
     ``data`` holds the values, ``weights`` aligns with it, and
     :meth:`cum_table` is the in-chunk inclusive cumulative weight table —
     the second pass of the weighted two-pass draw bisects it.  The table
-    and the NumPy views are all *lazy*: any mutation just drops them via
-    :meth:`touch` (``O(1)``), and the first read that needs one rebuilds
-    it — so bulk updates never pay table work for chunks nobody queries.
+    is *lazy*: any mutation just drops it via :meth:`touch` (``O(1)``),
+    and the first read that needs it rebuilds it through the kernel tier
+    (a strictly sequential sum on both backends) — so bulk updates never
+    pay table work for chunks nobody queries.
     """
 
-    __slots__ = ("weights", "cum", "np_cum")
+    __slots__ = ("weights", "cum")
 
     weighted = True
 
-    def __init__(self, data: list[float], weights: list[float]) -> None:
+    def __init__(self, data, weights) -> None:
         self.data = data
         self.weights = weights
-        self.np_data = None
-        self.np_cum = None
-        self.cum: list[float] | None = None
+        self.cum = None
 
     def touch(self) -> None:
-        """Drop the cumulative table and the NumPy views (rebuilt lazily)."""
+        """Drop the cumulative table (rebuilt lazily on next read)."""
         self.cum = None
-        self.np_data = None
-        self.np_cum = None
 
-    def cum_table(self) -> list[float]:
+    def cum_table(self):
         """Return (building if stale) the inclusive cumulative weight table."""
         if self.cum is None:
-            self.cum = list(accumulate(self.weights))
+            self.cum = _kernels.get().cum_table(self.weights)
         return self.cum
 
     def np_arrays(self):
-        """Return cached NumPy views ``(values, cum)`` for the bulk path."""
-        if self.np_data is None:
-            self.np_data = _np.asarray(self.data, dtype=float)
-            self.np_cum = _np.asarray(self.cum_table(), dtype=float)
-        return self.np_data, self.np_cum
+        """Return the ``(values, cum)`` planes for the bulk sampling path."""
+        return self.data, self.cum_table()
 
     @property
     def mass(self) -> float:
         """Total weight stored in this chunk."""
         cum = self.cum_table()
-        return cum[-1] if cum else 0.0
+        return float(cum[-1]) if cum.size else 0.0
 
     def prefix(self, count: int) -> float:
         """Weight of the first ``count`` points."""
-        return self.cum_table()[count - 1] if count > 0 else 0.0
+        return float(self.cum_table()[count - 1]) if count > 0 else 0.0
 
     def locate(self, target: float) -> int:
         """Index of the point owning cumulative mass position ``target``."""
-        from bisect import bisect_right
-
-        i = bisect_right(self.cum_table(), target)
-        return min(i, len(self.data) - 1)
+        i = _kernels.get().search_right_scalar(self.cum_table(), target)
+        return min(int(i), self.data.size - 1)
 
     # -- structural protocol -----------------------------------------------
 
@@ -191,31 +193,35 @@ class WeightedChunk(Chunk):
         for size in sizes[1:]:
             out.append(WeightedChunk(data[at : at + size], weights[at : at + size]))
             at += size
-        self.data = data[:sizes[0]]
-        self.weights = weights[:sizes[0]]
+        self.data = data[: sizes[0]]
+        self.weights = weights[: sizes[0]]
         self.touch()
         return out
 
     def absorb(self, other: "WeightedChunk") -> None:
         """Append ``other``'s run (adjacent in key order) onto this one."""
-        self.data = self.data + other.data
-        self.weights = self.weights + other.weights
+        self.data = _np.concatenate((self.data, other.data))
+        self.weights = _np.concatenate((self.weights, other.weights))
         self.touch()
 
     def borrow_from_next(self, right: "WeightedChunk") -> float:
         """Move the right neighbor's first point here; return moved mass."""
-        self.data.append(right.data.pop(0))
-        moved = right.weights.pop(0)
-        self.weights.append(moved)
+        moved = float(right.weights[0])
+        self.data = _np.concatenate((self.data, right.data[:1]))
+        self.weights = _np.concatenate((self.weights, right.weights[:1]))
+        right.data = right.data[1:]
+        right.weights = right.weights[1:]
         self.touch()
         right.touch()
         return moved
 
     def borrow_from_prev(self, left: "WeightedChunk") -> float:
         """Move the left neighbor's last point here; return moved mass."""
-        self.data.insert(0, left.data.pop())
-        moved = left.weights.pop()
-        self.weights.insert(0, moved)
+        moved = float(left.weights[-1])
+        self.data = _np.concatenate((left.data[-1:], self.data))
+        self.weights = _np.concatenate((left.weights[-1:], self.weights))
+        left.data = left.data[:-1]
+        left.weights = left.weights[:-1]
         self.touch()
         left.touch()
         return moved
@@ -267,7 +273,7 @@ class ChunkDirectory:
             data = chunk.data
             maxes.append(data[-1])
             mins.append(data[0])
-            counts.append(len(data))
+            counts.append(data.size)
             if self.weighted:
                 wtotals.append(chunk.mass)
         self.maxes = _np.asarray(maxes, dtype=float)
@@ -413,7 +419,7 @@ class ChunkDirectory:
         data = chunk.data
         self.maxes[i] = data[-1]
         self.mins[i] = data[0]
-        self.counts[i] = len(data)
+        self.counts[i] = data.size
         if self.weighted:
             self.wtotals[i] = chunk.mass
         self.mutations += 1
@@ -423,7 +429,7 @@ class ChunkDirectory:
         data = chunk.data
         self.maxes = _np.insert(self.maxes, i, data[-1])
         self.mins = _np.insert(self.mins, i, data[0])
-        self.counts = _np.insert(self.counts, i, len(data))
+        self.counts = _np.insert(self.counts, i, data.size)
         if self.weighted:
             self.wtotals = _np.insert(self.wtotals, i, chunk.mass)
         self.mutations += 1
@@ -442,7 +448,7 @@ class ChunkDirectory:
     def split_chunk(self, i: int, cap: int) -> None:
         """Split an over-full chunk into balanced pieces in place."""
         chunk = self.chunks[i]
-        pieces = chunk.cut(split_sizes(len(chunk.data), cap))
+        pieces = chunk.cut(split_sizes(chunk.data.size, cap))
         self.refresh_entry(i)
         for j, piece in enumerate(pieces, start=i + 1):
             self.chunks.insert(j, piece)
@@ -467,7 +473,7 @@ class ChunkDirectory:
         chunks = self.chunks
         chunk = chunks[i]
         right = chunks[i + 1] if i + 1 < len(chunks) else None
-        if right is not None and len(right.data) > s:
+        if right is not None and right.data.size > s:
             moved = chunk.borrow_from_next(right)
             self.refresh_entry(i)
             self.refresh_entry(i + 1)
@@ -475,7 +481,7 @@ class ChunkDirectory:
             self.note_delta(i + 1, -1, -moved)
             return
         left = chunks[i - 1] if i > 0 else None
-        if left is not None and len(left.data) > s:
+        if left is not None and left.data.size > s:
             moved = chunk.borrow_from_prev(left)
             self.refresh_entry(i)
             self.refresh_entry(i - 1)
@@ -506,7 +512,7 @@ class ChunkDirectory:
         inserts: list[tuple[int, object]] = []
         for p in positions:
             chunk = chunks[p]
-            pieces = chunk.cut(split_sizes(len(chunk.data), cap))
+            pieces = chunk.cut(split_sizes(chunk.data.size, cap))
             self.refresh_entry(p)
             for piece in pieces:
                 inserts.append((p + 1, piece))
@@ -521,7 +527,7 @@ class ChunkDirectory:
         idxs = [idx for idx, _ in inserts]
         self.maxes = _np.insert(self.maxes, idxs, [c.data[-1] for _, c in inserts])
         self.mins = _np.insert(self.mins, idxs, [c.data[0] for _, c in inserts])
-        self.counts = _np.insert(self.counts, idxs, [len(c.data) for _, c in inserts])
+        self.counts = _np.insert(self.counts, idxs, [c.data.size for _, c in inserts])
         if self.weighted:
             self.wtotals = _np.insert(self.wtotals, idxs, [c.mass for _, c in inserts])
         self.invalidate_prefix()
@@ -536,25 +542,25 @@ class ChunkDirectory:
         out: list = []
         pending = None
         for chunk in self.chunks:
-            if not chunk.data:
+            if chunk.data.size == 0:
                 continue
             if pending is not None:
                 pending.absorb(chunk)
                 chunk = pending
                 pending = None
-            if len(chunk.data) < s:
+            if chunk.data.size < s:
                 pending = chunk
                 continue
             out.append(chunk)
-            if len(chunk.data) > cap:
-                out.extend(chunk.cut(split_sizes(len(chunk.data), cap)))
+            if chunk.data.size > cap:
+                out.extend(chunk.cut(split_sizes(chunk.data.size, cap)))
         if pending is not None:
             if out:
                 tail = out.pop()
                 tail.absorb(pending)
                 out.append(tail)
-                if len(tail.data) > cap:
-                    out.extend(tail.cut(split_sizes(len(tail.data), cap)))
+                if tail.data.size > cap:
+                    out.extend(tail.cut(split_sizes(tail.data.size, cap)))
             else:
                 out.append(pending)
         self.load(out)
@@ -572,27 +578,26 @@ class ChunkDirectory:
         prev_value = float("-inf")
         for i, chunk in enumerate(chunks):
             data = chunk.data
-            assert data, "empty chunk"
-            assert data == sorted(data), "chunk not sorted"
+            assert data.size, "empty chunk"
+            assert data.ndim == 1, "plane not 1-D"
+            assert not bool((data[1:] < data[:-1]).any()), "chunk not sorted"
             assert data[0] >= prev_value, "chunks out of order"
             if n > cap:
-                assert s <= len(data) <= cap, (
-                    f"chunk size {len(data)} outside [{s}, {cap}]"
+                assert s <= data.size <= cap, (
+                    f"chunk size {data.size} outside [{s}, {cap}]"
                 )
             assert self.maxes[i] == data[-1], "maxes stale"
             assert self.mins[i] == data[0], "mins stale"
-            assert self.counts[i] == len(data), "counts stale"
+            assert self.counts[i] == data.size, "counts stale"
             if self.weighted:
                 assert abs(self.wtotals[i] - chunk.mass) <= 1e-9 * max(
                     1.0, abs(chunk.mass)
                 ), "wtotals stale"
-            if chunk.np_data is not None:
-                assert list(chunk.np_data) == data, "numpy cache stale"
             prev_value = data[-1]
-            seen += len(data)
+            seen += data.size
         assert seen == n, f"size mismatch: {seen} != {n}"
         if self._prefix is not None:
-            expect = list(accumulate(len(c.data) for c in chunks))
+            expect = list(accumulate(c.data.size for c in chunks))
             folded = list(self._prefix)
             for j, delta in self._pending.items():
                 for k in range(j, len(folded)):

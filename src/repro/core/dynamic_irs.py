@@ -10,7 +10,7 @@ Guarantees (matching the published bounds of Hu–Qiao–Tao, PODS 2014):
 Design (see DESIGN.md §2.2 for the full analysis).  Points live in sorted
 *chunks* of size ``s .. 2s`` with ``s = Θ(log n)``.  The chunk directory is
 the shared **array-backed engine** of :mod:`repro.core.directory`
-(DESIGN.md §8): chunks sit in a plain Python list in key order and three
+(DESIGN.md §8): chunks hold NumPy array planes in key order and three
 parallel arrays (``maxes``, ``mins``, ``counts``) describe them —
 
 * boundary chunks of a query are found with one C-level ``searchsorted``
@@ -27,36 +27,34 @@ parallel arrays (``maxes``, ``mins``, ``counts``) describe them —
   the density-bounded window the paper gets from a packed-memory array
   falls out of the directory for free, with no gaps to reject.
 
-The array directory is what makes the *bulk-update engine* fast: a sorted
-batch is routed to its target chunks with one vectorized ``searchsorted``,
-each touched chunk absorbs its whole segment with one splice, and the
-directory is repaired with a single deferred pass (vectorized count/extent
-updates, one splice-assembly for chunk splits) instead of ``t`` separate
-``O(log n)`` pointer walks.  The trade recorded in DESIGN.md §5: a
-structural change (split/merge) shifts the directory arrays — ``O(n/s)``
-cells, but at C-memmove speed and only every ``Θ(s)`` updates — so the
-scalar update cost is ``O(log n)`` search work plus amortized
-``O(n/log² n)`` array-move work.  That is asymptotically weaker than the
-paper's pointer-machine ``O(log n)`` amortized bound, and measured
-strictly faster at every ``n`` up to ``10⁶`` because the moved cells cost
-~0.1 ns each where a pointer-node repair costs ~1 µs.
+Every hot loop dispatches through the kernel tier
+(:mod:`repro.core.kernels`, DESIGN.md §13): scalar splices, bulk
+merge/take-out passes, the middle-rejection accept/reject scan and the
+rank-resolution searches each run as one compiled call under the numba
+backend, with the vectorized NumPy twins as the always-available
+fallback.  All randomness (Philox counter streams, the scalar stream's
+draw order) and all accounting stay in this driver, so the two backends
+consume identical draws and produce byte-identical results.
+
+Storage planes are dtype-generic (PR 10): ``dtype=float32`` at
+construction halves resident bytes, with every value coerced through the
+plane dtype on the way in so routing, equality, and sortedness are
+computed on exactly the stored representation.  Sampling and export
+surfaces return float64 (float32 values widen exactly).  With
+``from_sorted(..., copy=False)`` the caller's array is adopted without a
+copy (see :mod:`repro.core.planes` for the strict contract).
 
 Global rebuilds keep ``s`` in step with ``log n``: the structure is rebuilt
 whenever ``n`` drifts outside ``[n0/2, 2·n0]``, which is amortized ``O(1)``
 per update.
-
-This class is deliberately a *thin policy* over the shared directory:
-everything uniform-specific (the rank plan, the rejection middle sampler,
-rank selection) lives here; everything geometric (routing, prefix caches,
-split/merge/borrow, bulk splice repair) lives in the engine that
-:class:`~repro.core.weighted_dynamic.WeightedDynamicIRS` shares.
 """
 
 from __future__ import annotations
 
 import math
-from bisect import bisect_left, bisect_right, insort
 from typing import Iterable, Iterator
+
+import numpy as _np
 
 from ..errors import InvalidQueryError, KeyNotFoundError
 from ..rng import RandomSource
@@ -65,12 +63,8 @@ from ..types import QueryStats
 from .base import DynamicRangeSampler, coerce_query_bounds, validate_query
 from .directory import Chunk as _Chunk
 from .directory import ChunkDirectory
-from .static_irs import _checked_sorted_list
-
-try:  # NumPy is optional at runtime; the vectorized paths use it when present.
-    import numpy as _np
-except ImportError:  # pragma: no cover - numpy is installed in CI
-    _np = None
+from .kernels import get as _kernels
+from .planes import as_plane, resolve_dtype
 
 __all__ = ["DynamicIRS"]
 
@@ -99,15 +93,18 @@ class _MiddlePlan:
       accepted pair is an exactly uniform middle point in ``O(1)`` expected
       probes; used for wide middles where gathering would break the
       ``O(log n + t)`` budget.
+
+    The mode decision depends only on structure content and ``t`` — never
+    on the active kernel backend — so draw consumption is backend-free.
     """
 
     __slots__ = ("mode", "window_lo", "window_hi", "cap", "chunks", "cum")
 
     def sample_rank(self, rank: int) -> float:
         """cumulative mode: map an in-range middle rank to its value."""
-        i = bisect_right(self.cum, rank)
-        prev = self.cum[i - 1] if i else 0
-        return self.chunks[i].data[rank - prev]
+        i = int(_kernels().search_right_scalar(self.cum, rank))
+        prev = int(self.cum[i - 1]) if i else 0
+        return float(self.chunks[i].data[rank - prev])
 
     def sample_draw(self, randbelow, stats: QueryStats) -> float:
         """rejection mode: draw a fresh uniform middle element.
@@ -125,8 +122,8 @@ class _MiddlePlan:
             draw = randbelow(span)
             data = chunks[window_lo + draw // cap].data
             idx = draw % cap
-            if idx < len(data):
-                return data[idx]
+            if idx < data.size:
+                return float(data[idx])
             stats.rejections += 1
 
 
@@ -142,6 +139,10 @@ class DynamicIRS(DynamicRangeSampler):
     chunk_scale:
         Multiplier on the ``Θ(log n)`` chunk size — exposed for the ablation
         experiment F10; leave at 1.0 for normal use.
+    dtype:
+        Value-plane dtype (``float32`` or ``float64``).  ``None`` keeps a
+        float32/float64 ndarray input's dtype and defaults everything else
+        to float64.
     """
 
     def __init__(
@@ -149,9 +150,13 @@ class DynamicIRS(DynamicRangeSampler):
         values: Iterable[float] = (),
         seed: int | None = None,
         chunk_scale: float = 1.0,
+        *,
+        dtype=None,
     ) -> None:
-        self._init_common(seed, chunk_scale)
-        self._build(sorted(values))
+        self._init_common(seed, chunk_scale, resolve_dtype(values, dtype))
+        if not isinstance(values, _np.ndarray):
+            values = _np.asarray(list(values), dtype=self._dtype)
+        self._build(_np.sort(values.astype(self._dtype, copy=False)))
 
     @classmethod
     def from_sorted(
@@ -159,58 +164,92 @@ class DynamicIRS(DynamicRangeSampler):
         values: Iterable[float],
         seed: int | None = None,
         chunk_scale: float = 1.0,
+        *,
+        dtype=None,
+        copy: bool = True,
     ) -> "DynamicIRS":
         """O(n) fast constructor over already-sorted input.
 
         Skips the ``O(n log n)`` sort of ``__init__``; the input is verified
-        nondecreasing in ``O(n)`` (one vectorized pass under NumPy) and a
-        :class:`ValueError` is raised otherwise.
+        nondecreasing in ``O(n)`` (one vectorized pass) and a
+        :class:`ValueError` is raised otherwise.  ``copy=False`` adopts a
+        caller ndarray zero-copy under the strict contract of
+        :func:`repro.core.planes.as_plane` (chunks become views of it;
+        mutating it afterwards is undefined behavior).
         """
         self = cls.__new__(cls)
-        self._init_common(seed, chunk_scale)
-        self._build(_checked_sorted_list(values))
+        arr = as_plane(values, dtype=dtype, copy=copy)
+        self._init_common(seed, chunk_scale, arr.dtype)
+        self._build(arr)
         return self
 
-    def _init_common(self, seed: int | None, chunk_scale: float) -> None:
+    def _init_common(self, seed: int | None, chunk_scale: float, dtype=None) -> None:
         self._rng = RandomSource(seed)
         self._chunk_scale = chunk_scale
         self.stats = QueryStats()
         self._bulk_gen = None  # lazily-spawned NumPy side stream (sample_bulk)
+        self._dtype = _np.dtype(dtype) if dtype is not None else _np.dtype(_np.float64)
         self._dir = ChunkDirectory(weighted=False)
+
+    def _coerce(self, value) -> float:
+        """Round ``value`` through the plane dtype (identity for float64).
+
+        Every scalar entering the structure is coerced *before* routing or
+        comparison, so searches run against exactly the stored bits.
+        float32→float64 widening is exact, so the result is still a plain
+        Python float.
+        """
+        if self._dtype.itemsize == 8:
+            return float(value)
+        return float(self._dtype.type(value))
 
     # -- construction / rebuild ------------------------------------------------
 
-    def _build(self, data: list[float]) -> None:
+    def _build(self, data) -> None:
         """(Re)build the chunk list and directory from sorted points."""
-        self._n = len(data)
+        if not isinstance(data, _np.ndarray) or data.dtype != self._dtype:
+            data = _np.asarray(data, dtype=self._dtype)
+        self._n = int(data.size)
         self._n0 = max(self._n, 1)
         raw = self._chunk_scale * max(1.0, math.log2(self._n0 + 2))
         self._s = max(_MIN_CHUNK, int(raw))
         self._cap = 2 * self._s
         # Build at the midpoint of the [s, 2s] window so fresh chunks have
         # slack on both sides: deletes can borrow instead of merging and
-        # inserts absorb s/2 points before the first split.
+        # inserts absorb s/2 points before the first split.  Pieces are
+        # views — building over an adopted array allocates no planes.
         s = self._s
         step = (3 * s) // 2
-        pieces = [data[i : i + step] for i in range(0, len(data), step)]
-        if len(pieces) > 1 and len(pieces[-1]) < s:
+        pieces = [data[i : i + step] for i in range(0, self._n, step)]
+        if len(pieces) > 1 and pieces[-1].size < s:
             tail = pieces.pop()
-            pieces[-1] = pieces[-1] + tail
-            if len(pieces[-1]) > self._cap:
-                merged = pieces.pop()
-                half = len(merged) // 2
+            merged = _np.concatenate((pieces.pop(), tail))
+            if merged.size > self._cap:
+                half = merged.size // 2
                 pieces.append(merged[:half])
                 pieces.append(merged[half:])
+            else:
+                pieces.append(merged)
         self._dir.load([_Chunk(piece) for piece in pieces])
 
     def _maybe_rebuild(self) -> None:
         if self._n > 2 * self._n0 or (self._n0 > _MIN_CHUNK and 2 * self._n < self._n0):
-            self._build(self.values())
+            self._build(self.export_sorted())
 
     # -- basic accessors ----------------------------------------------------------
 
     def __len__(self) -> int:
         return self._n
+
+    @property
+    def dtype(self):
+        """The value-plane dtype (``float32`` or ``float64``)."""
+        return self._dtype
+
+    @property
+    def plane_nbytes(self) -> int:
+        """Logical bytes of the stored value plane (``n × itemsize``)."""
+        return self._n * self._dtype.itemsize
 
     @property
     def chunk_size_bounds(self) -> tuple[int, int]:
@@ -227,66 +266,81 @@ class DynamicIRS(DynamicRangeSampler):
 
     def _iter_values(self) -> Iterator[float]:
         for chunk in self._dir.chunks:
-            yield from chunk.data
+            yield from chunk.data.tolist()
 
     def values(self) -> list[float]:
         """Return every stored point in sorted order (``O(n)``)."""
         out: list[float] = []
         for chunk in self._dir.chunks:
-            out.extend(chunk.data)
+            out.extend(chunk.data.tolist())
         return out
 
     def __contains__(self, value: float) -> bool:
-        i = self._dir.first_max_ge(value)
+        value = self._coerce(value)
+        kernel = _kernels()
+        i = int(kernel.search_left_scalar(self._dir.maxes, value))
         if i >= len(self._dir.chunks):
             return False
         data = self._dir.chunks[i].data
-        j = bisect_left(data, value)
-        return j < len(data) and data[j] == value
+        j = int(kernel.search_left_scalar(data, value))
+        return j < data.size and data[j] == value
 
     # -- scalar updates --------------------------------------------------------------
 
     def insert(self, value: float) -> None:
-        """Insert one point in ``O(log n)`` amortized time."""
+        """Insert one point in ``O(log n)`` amortized time.
+
+        The route (one binary search over ``maxes``), the in-chunk
+        position search, and the splice are three kernel calls; under the
+        compiled backend each is a single Python→native transition with
+        the splice allocating exactly one fresh ``s``-element plane.
+        """
+        value = self._coerce(value)
         directory = self._dir
         chunks = directory.chunks
         if not chunks:
-            self._build([value])
+            self._build(_np.asarray([value], dtype=self._dtype))
             return
-        i = min(directory.first_max_ge(value), len(chunks) - 1)
+        kernel = _kernels()
+        i = int(kernel.search_left_scalar(directory.maxes, value))
+        if i >= len(chunks):
+            i = len(chunks) - 1
         chunk = chunks[i]
-        insort(chunk.data, value)
+        pos = kernel.search_right_scalar(chunk.data, value)
+        chunk.data = kernel.splice_insert(chunk.data, pos, value)
         chunk.touch()
         directory.refresh_entry(i)
         self._n += 1
         directory.note_delta(i, 1)
-        if len(chunk.data) > self._cap:
+        if chunk.data.size > self._cap:
             directory.split_chunk(i, self._cap)
         self._maybe_rebuild()
 
     def delete(self, value: float) -> None:
         """Delete one occurrence of ``value`` in ``O(log n)`` amortized time."""
+        value = self._coerce(value)
         directory = self._dir
         chunks = directory.chunks
-        i = directory.first_max_ge(value)
+        kernel = _kernels()
+        i = int(kernel.search_left_scalar(directory.maxes, value))
         j = -1
         if i < len(chunks):
             data = chunks[i].data
-            j = bisect_left(data, value)
-            if j >= len(data) or data[j] != value:
+            j = int(kernel.search_left_scalar(data, value))
+            if j >= data.size or data[j] != value:
                 j = -1
         if j < 0:
             raise KeyNotFoundError(f"value not present: {value!r}")
         chunk = chunks[i]
-        chunk.data.pop(j)
+        chunk.data = kernel.splice_delete(chunk.data, j)
         chunk.touch()
         self._n -= 1
         directory.note_delta(i, -1)
-        if not chunk.data:
+        if chunk.data.size == 0:
             directory.remove_chunk(i)
             return
         directory.refresh_entry(i)
-        if len(chunk.data) < self._s and len(chunks) > 1:
+        if chunk.data.size < self._s and len(chunks) > 1:
             directory.repair_underfull(i, self._s)
         self._maybe_rebuild()
 
@@ -295,42 +349,37 @@ class DynamicIRS(DynamicRangeSampler):
     def insert_bulk(self, values: Iterable[float]) -> None:
         """Insert a whole batch with one deferred directory repair.
 
-        The batch is sorted once (NumPy when available), routed to its
-        target chunks with a single vectorized ``searchsorted``, and each
-        touched chunk absorbs its segment with one splice.  Directory
-        counts and key extents are then repaired with three vectorized
-        array ops and over-full chunks are re-split in one assembly pass —
-        ``O(b log b + touched·s)`` for a batch of ``b`` instead of ``b``
-        separate ``O(log n)`` update paths.  The global-rebuild check is
-        hoisted: a batch that would push ``n`` past ``2·n0`` rebuilds
-        wholesale *before* routing (the only way an insert batch can
-        trip it), so no trailing ``_maybe_rebuild`` is needed.  Per-chunk
-        NumPy caches are invalidated only for touched chunks.
+        The batch is sorted once, routed to its target chunks with a
+        single vectorized ``searchsorted``, and each touched chunk absorbs
+        its segment with one kernel merge (stable, chunk-first on ties).
+        Directory counts and key extents are then repaired with three
+        vectorized array ops and over-full chunks are re-split in one
+        assembly pass — ``O(b log b + touched·s)`` for a batch of ``b``
+        instead of ``b`` separate ``O(log n)`` update paths.  The
+        global-rebuild check is hoisted: a batch that would push ``n``
+        past ``2·n0`` rebuilds wholesale *before* routing (the only way an
+        insert batch can trip it), so no trailing ``_maybe_rebuild`` is
+        needed.
         """
-        if _np is None:  # pragma: no cover - numpy is installed in CI
-            for value in values:
-                self.insert(value)
-            return
-        values = list(values)
+        if not isinstance(values, _np.ndarray):
+            values = list(values)
         if len(values) <= _BULK_CUTOFF:
             # Below the cutoff the vectorized prelude (array round trip,
             # searchsorted, unique) costs more than the scalar loop.
             for value in values:
                 self.insert(float(value))
             return
-        batch = _np.sort(_np.asarray(values, dtype=float))
+        batch = _np.sort(_np.asarray(values, dtype=self._dtype))
         m = int(batch.size)
         if self._n == 0:
-            self._build(batch.tolist())
+            self._build(batch)
             return
         if self._n + m > 2 * self._n0:
             # The batch alone crosses the global-rebuild threshold: merge
-            # into one sorted list (Timsort galloping over two runs) and
-            # rebuild wholesale — amortized O(1) per element, and it picks
-            # the right chunk size for the new n immediately.
-            merged = self.values()
-            merged.extend(batch.tolist())
-            merged.sort()
+            # into one sorted array and rebuild wholesale — amortized O(1)
+            # per element, and it picks the right chunk size for the new n
+            # immediately.
+            merged = _np.sort(_np.concatenate((self.export_sorted(), batch)))
             self._build(merged)
             return
         directory = self._dir
@@ -345,19 +394,14 @@ class DynamicIRS(DynamicRangeSampler):
         directory.counts[uniq] += ends - starts
         directory.maxes[uniq] = _np.maximum(directory.maxes[uniq], batch[ends - 1])
         directory.mins[uniq] = _np.minimum(directory.mins[uniq], batch[starts])
-        bulk_list = batch.tolist()
+        kernel = _kernels()
         cap = self._cap
         oversized: list[int] = []
         for p, g0, g1 in zip(uniq.tolist(), starts.tolist(), ends.tolist()):
             chunk = chunks[p]
-            data = chunk.data
-            if g1 - g0 == 1:
-                insort(data, bulk_list[g0])
-            else:
-                data.extend(bulk_list[g0:g1])
-                data.sort()  # Timsort merges the two sorted runs in O(len)
+            chunk.data = kernel.merge_runs(chunk.data, batch[g0:g1])
             chunk.touch()
-            if len(data) > cap:
+            if chunk.data.size > cap:
                 oversized.append(p)
         self._n += m
         directory.invalidate_prefix()
@@ -369,22 +413,19 @@ class DynamicIRS(DynamicRangeSampler):
 
         Atomic: if any value is absent the structure is left untouched and
         :class:`~repro.errors.KeyNotFoundError` is raised.  The batch is
-        sorted once, routed with one vectorized ``searchsorted``, and each
-        touched chunk gives up its whole segment in one merge-subtract
+        sorted once, routed with one vectorized ``searchsorted``, each
+        touched chunk gives up its whole segment in one kernel take-out
         pass; empty and under-full chunks are then repaired in a single
         normalization sweep followed by one ``_maybe_rebuild`` check.
         """
-        if _np is None:  # pragma: no cover - numpy is installed in CI
-            for value in values:
-                self.delete(value)
-            return
-        values = [float(v) for v in values]
+        values = [self._coerce(v) for v in values]
         m = len(values)
         if m == 0:
             return
         directory = self._dir
         chunks = directory.chunks
         n_chunks = len(chunks)
+        kernel = _kernels()
         if m <= _BULK_CUTOFF:
             # Small batch: skip the vectorized prelude but keep the shared
             # verify/apply path (and with it the atomicity guarantee).
@@ -399,7 +440,7 @@ class DynamicIRS(DynamicRangeSampler):
                 else:
                     groups.append((p, g, g + 1))
         else:
-            batch = _np.sort(_np.asarray(values, dtype=float))
+            batch = _np.sort(_np.asarray(values, dtype=self._dtype))
             pos = (
                 _np.searchsorted(directory.maxes, batch, side="left")
                 if n_chunks
@@ -414,13 +455,13 @@ class DynamicIRS(DynamicRangeSampler):
             groups = list(zip(uniq.tolist(), starts.tolist(), ends.tolist()))
         # Verify phase: resolve every target to its (chunk, offset) without
         # mutating anything, so a missing value aborts atomically.  Only
-        # C-level bisects and integer appends — no list copies.
+        # C-level searches and integer appends — no plane copies.
         plan: dict[int, list[int]] = {}
         mins = directory.mins
         for p, g0, g1 in groups:
             j = p
             data = chunks[p].data
-            size = len(data)
+            size = data.size
             hits = plan.get(p)
             if hits is None:
                 hits = plan[p] = []
@@ -430,7 +471,9 @@ class DynamicIRS(DynamicRangeSampler):
             for g in range(g0, g1):
                 value = bulk_list[g]
                 while True:
-                    i = bisect_left(data, value, at)
+                    i = int(kernel.search_left_scalar(data, value))
+                    if i < at:
+                        i = at
                     if i < size and data[i] == value:
                         hits.append(i)
                         at = i + 1
@@ -441,32 +484,24 @@ class DynamicIRS(DynamicRangeSampler):
                     if j >= n_chunks or mins[j] > value:
                         raise KeyNotFoundError(f"value not present: {value!r}")
                     data = chunks[j].data
-                    size = len(data)
+                    size = data.size
                     hits = plan.get(j)
                     if hits is None:
                         hits = plan[j] = []
                         at = 0
                     else:
                         at = hits[-1] + 1
-        # Apply phase: delete the recorded offsets in place (ascending per
-        # chunk, so slice assembly needs no index adjustment).
+        # Apply phase: splice out the recorded offsets (ascending per
+        # chunk) with one kernel take-out per touched chunk.
         violation = False
         s = self._s
         for p, hits in plan.items():
             chunk = chunks[p]
-            data = chunk.data
-            if len(hits) == 1:
-                del data[hits[0]]
-            else:
-                parts: list[float] = []
-                at = 0
-                for i in hits:
-                    parts.extend(data[at:i])
-                    at = i + 1
-                parts.extend(data[at:])
-                chunk.data = data = parts
+            chunk.data = kernel.take_out(
+                chunk.data, _np.asarray(hits, dtype=_np.int64)
+            )
             chunk.touch()
-            if len(data) < s:
+            if chunk.data.size < s:
                 violation = True
         self._n -= m
         directory.invalidate_prefix()
@@ -477,7 +512,7 @@ class DynamicIRS(DynamicRangeSampler):
             # directory rows with three vectorized assignments.
             changed = list(plan)
             idx = _np.asarray(changed, dtype=_np.int64)
-            directory.counts[idx] = [len(chunks[p].data) for p in changed]
+            directory.counts[idx] = [chunks[p].data.size for p in changed]
             directory.maxes[idx] = [chunks[p].data[-1] for p in changed]
             directory.mins[idx] = [chunks[p].data[0] for p in changed]
         self._maybe_rebuild()
@@ -497,18 +532,21 @@ class DynamicIRS(DynamicRangeSampler):
         Boundary-chunk resolution (one ``searchsorted`` over ``maxes`` and
         one over ``mins`` for *all* bounds at once) and the whole-chunk
         middle mass (prefix-sum differences) are vectorized; only the two
-        in-chunk boundary bisects remain per query, so the total cost is
+        in-chunk boundary searches remain per query, so the total cost is
         ``O(q log n)`` with the directory passes done in C.
         """
-        if _np is None:  # pragma: no cover - numpy is installed in CI
-            return [self.count(lo, hi) for lo, hi in queries]
         los, his = coerce_query_bounds(queries)
+        if self._dtype.itemsize == 4:
+            # Round bounds through the plane dtype (see ``_plan``).
+            los = los.astype(_np.float32).astype(_np.float64)
+            his = his.astype(_np.float32).astype(_np.float64)
         q = len(los)
         out = _np.zeros(q, dtype=_np.int64)
         directory = self._dir
         chunks = directory.chunks
         if not chunks:
             return out
+        kernel = _kernels()
         a_idx = _np.searchsorted(directory.maxes, los, side="left")
         b_idx = _np.searchsorted(directory.mins, his, side="right") - 1
         # Fold the pending scalar deltas into a query-local copy so the
@@ -520,10 +558,12 @@ class DynamicIRS(DynamicRangeSampler):
                 continue
             data_a = chunks[a].data
             if a == b:
-                out[i] = bisect_right(data_a, his[i]) - bisect_left(data_a, los[i])
+                out[i] = kernel.search_right_scalar(
+                    data_a, his[i]
+                ) - kernel.search_left_scalar(data_a, los[i])
                 continue
-            k = len(data_a) - bisect_left(data_a, los[i])
-            k += bisect_right(chunks[b].data, his[i])
+            k = data_a.size - int(kernel.search_left_scalar(data_a, los[i]))
+            k += int(kernel.search_right_scalar(chunks[b].data, his[i]))
             if b - a > 1:
                 k += int(prefix[b - 1] - prefix[a])
             out[i] = k
@@ -532,25 +572,31 @@ class DynamicIRS(DynamicRangeSampler):
     def export_sorted(self):
         """Return every stored point as a sorted NumPy array (shard hook).
 
-        ``O(n)`` — one concatenation of the per-chunk views; the result is
-        freshly assembled, so callers own it.
+        ``O(n)`` — one concatenation of the per-chunk planes in the
+        structure's dtype; the result is freshly assembled, so callers
+        own it.
         """
-        if _np is None:  # pragma: no cover
-            return self.values()
         if not self._dir.chunks:
-            return _np.empty(0, dtype=float)
-        return _np.concatenate([chunk.array() for chunk in self._dir.chunks])
+            return _np.empty(0, dtype=self._dtype)
+        return _np.concatenate([chunk.data for chunk in self._dir.chunks])
 
     def report(self, lo: float, hi: float) -> list[float]:
         validate_query(lo, hi, 0)
+        lo = self._coerce(lo)
+        hi = self._coerce(hi)
         out: list[float] = []
         chunks = self._dir.chunks
+        kernel = _kernels()
         i = self._dir.first_max_ge(lo)
         while i < len(chunks) and chunks[i].data[0] <= hi:
             data = chunks[i].data
-            a = bisect_left(data, lo) if data[0] < lo else 0
-            b = bisect_right(data, hi) if data[-1] > hi else len(data)
-            out.extend(data[a:b])
+            a = int(kernel.search_left_scalar(data, lo)) if data[0] < lo else 0
+            b = (
+                int(kernel.search_right_scalar(data, hi))
+                if data[-1] > hi
+                else data.size
+            )
+            out.extend(data[a:b].tolist())
             i += 1
         return out
 
@@ -561,7 +607,14 @@ class DynamicIRS(DynamicRangeSampler):
         chunk indices; the middle run is the index window ``[a+1, b-1]``.
         The single-chunk case is encoded entirely in the "left" fields with
         ``a == b``.
+
+        Bounds are coerced through the plane dtype first (identity for
+        float64): every in-chunk comparison then runs against values that
+        are exactly representable in the plane, which is what keeps the
+        two kernel backends' searches bit-identical on float32 planes.
         """
+        lo = self._coerce(lo)
+        hi = self._coerce(hi)
         directory = self._dir
         chunks = directory.chunks
         a = directory.first_max_ge(lo)
@@ -570,17 +623,18 @@ class DynamicIRS(DynamicRangeSampler):
         b = directory.last_min_le(hi)
         if b < a:
             return None
+        kernel = _kernels()
         if a == b:
             data = chunks[a].data
-            la = bisect_left(data, lo)
-            ra = bisect_right(data, hi)
+            la = int(kernel.search_left_scalar(data, lo))
+            ra = int(kernel.search_right_scalar(data, hi))
             if ra <= la:
                 return None
             return ra - la, a, la, ra - la, 0, b, 0
         data_a = chunks[a].data
-        la = bisect_left(data_a, lo)
-        k_left = len(data_a) - la
-        k_right = bisect_right(chunks[b].data, hi)
+        la = int(kernel.search_left_scalar(data_a, lo))
+        k_left = data_a.size - la
+        k_right = int(kernel.search_right_scalar(chunks[b].data, hi))
         k_mid = directory.points_between(a, b)
         total = k_left + k_mid + k_right
         if total == 0:
@@ -608,7 +662,7 @@ class DynamicIRS(DynamicRangeSampler):
         for _ in range(t):
             r = randbelow(total)
             if r < k_left:
-                append(left_data[la + r])
+                append(float(left_data[la + r]))
             elif r < k_lm:
                 if middle is None:
                     middle = self._middle_plan(a + 1, b - 1, t)
@@ -617,11 +671,11 @@ class DynamicIRS(DynamicRangeSampler):
                 else:
                     append(middle.sample_draw(randbelow, stats))
             else:
-                append(right_data[r - k_lm])
+                append(float(right_data[r - k_lm]))
         return out
 
     def sample_bulk(self, lo: float, hi: float, t: int, *, seed=None):
-        """Vectorized :meth:`sample` returning a NumPy array.
+        """Vectorized :meth:`sample` returning a float64 NumPy array.
 
         Semantics match :meth:`sample` (``t`` independent uniform samples),
         but the randomness comes from a NumPy side stream spawned once via
@@ -633,13 +687,12 @@ class DynamicIRS(DynamicRangeSampler):
 
         The query plan's three-way split is resolved vectorized: one batch
         of uniform ranks in ``[0, K)``, boolean masks for the left/middle/
-        right parts, and gathers against per-chunk NumPy views that are
-        cached on the chunks and invalidated by every update that touches
-        them.  Wide middles fall back to the same index-window rejection
-        scheme as the scalar path (batched draws, per-probe chunk lookup).
+        right parts, and gathers against the chunks' array planes.  Wide
+        middles fall back to the same index-window rejection scheme as the
+        scalar path, with the accept/reject scan run as one kernel call
+        per draw batch — all draws are generated *here*, in draw order,
+        so the stream position after the call is backend-invariant.
         """
-        if _np is None:  # pragma: no cover
-            return self.sample(lo, hi, t)
         validate_query(lo, hi, t)
         plan = self._plan(lo, hi)
         if self._require_nonempty(0 if plan is None else plan[0], t):
@@ -661,9 +714,9 @@ class DynamicIRS(DynamicRangeSampler):
         left_mask = ranks < k_left
         right_mask = ranks >= k_lm
         if left_mask.any():
-            out[left_mask] = chunks[a].array()[la + ranks[left_mask]]
+            out[left_mask] = chunks[a].data[la + ranks[left_mask]]
         if right_mask.any():
-            out[right_mask] = chunks[b].array()[ranks[right_mask] - k_lm]
+            out[right_mask] = chunks[b].data[ranks[right_mask] - k_lm]
         mid_mask = ~(left_mask | right_mask)
         n_mid = int(mid_mask.sum())
         if n_mid:
@@ -684,10 +737,11 @@ class DynamicIRS(DynamicRangeSampler):
         """Resolve middle-run ranks (cumulative mode) or draw fresh middle
         elements (rejection mode) for :meth:`sample_bulk`."""
         plan = self._middle_plan(mid_lo, mid_hi, count)
+        kernel = _kernels()
         out = _np.empty(count, dtype=float)
         if plan.mode == "cumulative":
-            cum = _np.asarray(plan.cum)
-            idx = _np.searchsorted(cum, mid_ranks, side="right")
+            cum = plan.cum
+            idx = kernel.search_right(cum, mid_ranks)
             starts = _np.concatenate(([0], cum[:-1]))
             offsets = mid_ranks - starts[idx]
             # Group samples by chunk via one sort, then assign contiguous
@@ -699,28 +753,40 @@ class DynamicIRS(DynamicRangeSampler):
             uniq, group_starts = _np.unique(grouped_idx, return_index=True)
             group_ends = _np.append(group_starts[1:], count)
             for chunk_i, g0, g1 in zip(uniq, group_starts, group_ends):
-                out[order[g0:g1]] = plan.chunks[chunk_i].array()[grouped_off[g0:g1]]
+                out[order[g0:g1]] = plan.chunks[chunk_i].data[grouped_off[g0:g1]]
             return out
         # rejection mode: the in-range rank of a middle sample is irrelevant
         # (each middle hit just needs a fresh uniform middle element), so
-        # draw batches of chunk/slot codes and keep the accepted ones.
+        # draw batches of chunk/slot codes and keep the accepted ones.  The
+        # accept/reject scan is one kernel call per batch with the exact
+        # sequential consumed/rejected accounting of the scalar loop.
         window_lo = plan.window_lo
         cap = plan.cap
         span = (plan.window_hi - window_lo + 1) * cap
         chunks = plan.chunks
+        counts = self._dir.counts
         filled = 0
         while filled < count:
-            draws = gen.integers(0, span, size=2 * (count - filled) + 8)
-            for draw in draws:
-                cell, idx = divmod(int(draw), cap)
-                data = chunks[window_lo + cell].data
-                if idx < len(data):
-                    out[filled] = data[idx]
-                    filled += 1
-                    if filled == count:
-                        break
-                else:
-                    stats.rejections += 1
+            codes = gen.integers(0, span, size=2 * (count - filled) + 8)
+            cells, slots, consumed = kernel.rejection_split(
+                codes, counts, window_lo, cap, count - filled
+            )
+            got = int(cells.size)
+            stats.rejections += consumed - got
+            if not got:
+                continue
+            # Gather the accepted (chunk, slot) pairs grouped by chunk,
+            # scattering back into draw order.
+            order = _np.argsort(cells, kind="stable")
+            grouped_cells = cells[order]
+            grouped_slots = slots[order]
+            uniq, group_starts = _np.unique(grouped_cells, return_index=True)
+            group_ends = _np.append(group_starts[1:], got)
+            slot_base = filled + order
+            for cell, g0, g1 in zip(uniq, group_starts, group_ends):
+                data = chunks[window_lo + int(cell)].data
+                out[slot_base[g0:g1]] = data[grouped_slots[g0:g1]]
+            filled += got
         return out
 
     def _middle_plan(self, mid_lo: int, mid_hi: int, t: int) -> _MiddlePlan:
@@ -735,15 +801,9 @@ class DynamicIRS(DynamicRangeSampler):
         """
         plan = _MiddlePlan()
         if mid_hi - mid_lo + 1 <= max(_NARROW, 2 * t):
-            chunks = self._dir.chunks[mid_lo : mid_hi + 1]
             plan.mode = "cumulative"
-            plan.chunks = chunks
-            cum: list[int] = []
-            acc = 0
-            for c in chunks:
-                acc += len(c.data)
-                cum.append(acc)
-            plan.cum = cum
+            plan.chunks = self._dir.chunks[mid_lo : mid_hi + 1]
+            plan.cum = _np.cumsum(self._dir.counts[mid_lo : mid_hi + 1])
             return plan
         plan.mode = "rejection"
         plan.window_lo = mid_lo
@@ -787,8 +847,8 @@ class DynamicIRS(DynamicRangeSampler):
                 if index == b:
                     chunk_offset, chunk_len = 0, k_right
                 else:
-                    chunk_offset, chunk_len = 0, len(chunks[index].data)
-            out[i] = chunks[index].data[chunk_offset + (rank - chunk_start)]
+                    chunk_offset, chunk_len = 0, chunks[index].data.size
+            out[i] = float(chunks[index].data[chunk_offset + (rank - chunk_start)])
         return out  # type: ignore[return-value]
 
     def kth_in_range(self, lo: float, hi: float, k: int) -> float:
@@ -815,3 +875,5 @@ class DynamicIRS(DynamicRangeSampler):
     def check_invariants(self) -> None:
         """Assert every structural invariant; ``O(n)``, tests only."""
         self._dir.check(self._s, self._cap, self._n)
+        for chunk in self._dir.chunks:
+            assert chunk.data.dtype == self._dtype, "plane dtype drift"

@@ -10,21 +10,24 @@ uniform integer generation over a rank interval:
 
 The paper treats this as the warm-up solution; here it doubles as the
 ground-truth yardstick that every other structure is tested against.
+
+Storage is a single NumPy plane (PR 10): ``dtype=float32`` at
+construction halves resident bytes, and ``from_sorted(..., copy=False)``
+adopts a caller array zero-copy under the strict contract of
+:mod:`repro.core.planes`.  Sampling surfaces return float64 regardless of
+the plane dtype (float32 values widen exactly).
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
 from typing import Iterable, Sequence
+
+import numpy as _np
 
 from ..errors import EmptyRangeError, InvalidQueryError
 from ..rng import RandomSource, seeded_ranks
 from .base import RangeSampler, coerce_query_bounds, validate_query
-
-try:  # NumPy is optional at runtime; bulk sampling uses it when present.
-    import numpy as _np
-except ImportError:  # pragma: no cover - numpy is installed in CI
-    _np = None
+from .planes import as_plane, resolve_dtype
 
 __all__ = ["StaticIRS"]
 
@@ -38,40 +41,69 @@ class StaticIRS(RangeSampler):
         The point set (any iterable of floats; duplicates allowed).
     seed:
         Seed for the sampler's private random stream.
+    dtype:
+        Storage-plane dtype (``float32`` or ``float64``); ``None`` keeps a
+        float32/float64 ndarray input's dtype and defaults everything else
+        to float64.
     """
 
-    def __init__(self, values: Iterable[float], seed: int | None = None) -> None:
-        self._init_from_sorted(sorted(values), seed)
+    def __init__(
+        self, values: Iterable[float], seed: int | None = None, *, dtype=None
+    ) -> None:
+        resolved = resolve_dtype(values, dtype)
+        if not isinstance(values, _np.ndarray):
+            values = _np.asarray(list(values), dtype=resolved)
+        self._init_from_sorted(_np.sort(values.astype(resolved, copy=False)), seed)
 
     @classmethod
     def from_sorted(
-        cls, values: Iterable[float], seed: int | None = None
+        cls,
+        values: Iterable[float],
+        seed: int | None = None,
+        *,
+        dtype=None,
+        copy: bool = True,
     ) -> "StaticIRS":
         """O(n) fast constructor over already-sorted input (skips the sort).
 
         The input is verified nondecreasing in ``O(n)`` (one vectorized
-        pass under NumPy); :class:`ValueError` is raised otherwise.
+        pass); :class:`ValueError` is raised otherwise.  ``copy=False``
+        adopts a caller ndarray zero-copy under the strict contract of
+        :func:`repro.core.planes.as_plane` (the structure never mutates
+        it; mutating it afterwards is undefined behavior).
         """
         self = cls.__new__(cls)
-        self._init_from_sorted(_checked_sorted_list(values), seed)
+        self._init_from_sorted(as_plane(values, dtype=dtype, copy=copy), seed)
         return self
 
-    def _init_from_sorted(self, data: list[float], seed: int | None) -> None:
+    def _init_from_sorted(self, data, seed: int | None) -> None:
         self._data = data
+        self._dtype = data.dtype
         self._rng = RandomSource(seed)
-        # Bulk-path state, built lazily on the first sample_bulk call: the
-        # NumPy view of the (immutable) point set and the vectorized side
-        # stream.  Caching the view across calls is what keeps sample_bulk
-        # at O(log n + t) per query instead of paying an O(n)
-        # re-materialization per call; building it lazily keeps scalar-only
-        # users free of the extra O(n) copy.
-        self._np_data = None
+        # NumPy side stream for the bulk path, spawned lazily on the first
+        # sample_bulk call so scalar-only users never pay for it.
         self._bulk_gen = None
+
+    def _coerce(self, value) -> float:
+        """Round a query bound through the plane dtype (see DynamicIRS)."""
+        if self._dtype.itemsize == 8:
+            return float(value)
+        return float(self._dtype.type(value))
 
     # -- bookkeeping -----------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._data)
+        return int(self._data.size)
+
+    @property
+    def dtype(self):
+        """The storage-plane dtype (``float32`` or ``float64``)."""
+        return self._dtype
+
+    @property
+    def plane_nbytes(self) -> int:
+        """Resident bytes of the storage plane."""
+        return int(self._data.nbytes)
 
     @property
     def values(self) -> Sequence[float]:
@@ -82,7 +114,12 @@ class StaticIRS(RangeSampler):
         """Return the half-open rank interval ``[a, b)`` of points in range."""
         if lo > hi:
             raise InvalidQueryError(f"invalid interval: {lo!r} > {hi!r}")
-        return bisect_left(self._data, lo), bisect_right(self._data, hi)
+        lo = self._coerce(lo)
+        hi = self._coerce(hi)
+        return (
+            int(_np.searchsorted(self._data, lo, side="left")),
+            int(_np.searchsorted(self._data, hi, side="right")),
+        )
 
     def count(self, lo: float, hi: float) -> int:
         a, b = self.rank_range(lo, hi)
@@ -98,33 +135,33 @@ class StaticIRS(RangeSampler):
         uses for count-only workloads — ``O(q log n)`` total with the two
         binary-search passes done in C.
         """
-        if _np is None:  # pragma: no cover - numpy is installed in CI
-            return [self.count(lo, hi) for lo, hi in queries]
         los, his = coerce_query_bounds(queries)
-        arr = self._export_array()
+        if self._dtype.itemsize == 4:
+            # Round the bounds through the plane dtype and keep them there:
+            # float32 needles against the float32 plane avoid the O(n)
+            # promotion copy a float64 needle array would force.
+            los = los.astype(_np.float32)
+            his = his.astype(_np.float32)
+        arr = self._data
         return _np.searchsorted(arr, his, side="right") - _np.searchsorted(
             arr, los, side="left"
         )
 
     def _export_array(self):
-        """Return (building and caching if needed) the NumPy value view."""
-        if self._np_data is None:
-            self._np_data = _np.asarray(self._data, dtype=float)
-        return self._np_data
+        """Return the storage plane itself (read-only by convention)."""
+        return self._data
 
     def export_sorted(self):
         """Return the sorted points as a NumPy array (shard-engine hook).
 
-        The returned array is the structure's own cached view — callers
+        The returned array is the structure's own storage plane — callers
         must treat it as read-only.
         """
-        if _np is None:  # pragma: no cover
-            return list(self._data)
-        return self._export_array()
+        return self._data
 
     def report(self, lo: float, hi: float) -> list[float]:
         a, b = self.rank_range(lo, hi)
-        return self._data[a:b]
+        return self._data[a:b].tolist()
 
     # -- sampling ---------------------------------------------------------------
 
@@ -136,7 +173,7 @@ class StaticIRS(RangeSampler):
         data = self._data
         width = b - a
         randbelow = self._rng.randbelow_fn(t)
-        return [data[a + randbelow(width)] for _ in range(t)]
+        return [float(data[a + randbelow(width)]) for _ in range(t)]
 
     def sample_ranks(self, lo: float, hi: float, t: int) -> list[int]:
         """Like :meth:`sample` but return global ranks instead of values.
@@ -153,7 +190,7 @@ class StaticIRS(RangeSampler):
         return [a + randrange(width) for _ in range(t)]
 
     def sample_bulk(self, lo: float, hi: float, t: int, *, seed=None):
-        """Vectorized :meth:`sample` returning a NumPy array.
+        """Vectorized :meth:`sample` returning a float64 NumPy array.
 
         This is the path heavy-traffic consumers (online aggregation, the
         batch engine) use; semantics are identical to :meth:`sample` but
@@ -167,11 +204,8 @@ class StaticIRS(RangeSampler):
         contract.
 
         Cost is ``O(log n + t)`` per call — two bisects plus one vectorized
-        gather against a NumPy view built on the first bulk call and cached
-        for every call after.
+        gather against the storage plane.
         """
-        if _np is None:  # pragma: no cover
-            return self.sample(lo, hi, t)
         validate_query(lo, hi, t)
         a, b = self.rank_range(lo, hi)
         if self._require_nonempty(b - a, t):
@@ -182,7 +216,7 @@ class StaticIRS(RangeSampler):
             if self._bulk_gen is None:
                 self._bulk_gen = self._rng.spawn_numpy()
             ranks = self._bulk_gen.integers(a, b, size=t)
-        return self._export_array()[ranks]
+        return self._data[ranks].astype(_np.float64, copy=False)
 
     def sample_bulk_many(self, queries, *, seeds=None) -> list:
         """Answer many ``(lo, hi, t)`` queries in one vectorized pass.
@@ -206,15 +240,13 @@ class StaticIRS(RangeSampler):
             seeds = [None] * len(queries)
         elif len(seeds) != len(queries):
             raise InvalidQueryError("seeds must align with queries")
-        if _np is None:  # pragma: no cover
-            return [self.sample(lo, hi, t) for lo, hi, t in queries]
         for lo, hi, t in queries:
             validate_query(lo, hi, t)
         if not queries:
             return []
-        arr = self._export_array()
-        los = _np.asarray([q[0] for q in queries])
-        his = _np.asarray([q[1] for q in queries])
+        arr = self._data
+        los = _np.asarray([self._coerce(q[0]) for q in queries], dtype=self._dtype)
+        his = _np.asarray([self._coerce(q[1]) for q in queries], dtype=self._dtype)
         starts = _np.searchsorted(arr, los, side="left")
         ends = _np.searchsorted(arr, his, side="right")
         results: list = [None] * len(queries)
@@ -236,7 +268,7 @@ class StaticIRS(RangeSampler):
                 ends[seeded] - starts[seeded],
                 counts,
             )
-            gathered = arr[ranks]
+            gathered = arr[ranks].astype(_np.float64, copy=False)
             at = 0
             for i, t in zip(seeded, counts):
                 results[i] = gathered[at : at + t]
@@ -245,20 +277,13 @@ class StaticIRS(RangeSampler):
 
     def value_at_rank(self, rank: int) -> float:
         """Return the point with the given global rank (0-based)."""
-        return self._data[rank]
+        return float(self._data[rank])
 
 
 def _checked_sorted_list(values: Iterable[float]) -> list[float]:
-    """Materialize ``values`` as a list of floats, verifying sortedness."""
-    if _np is not None:
-        if isinstance(values, _np.ndarray):
-            arr = values.astype(float, copy=False)
-        else:
-            arr = _np.asarray(list(values), dtype=float)
-        if arr.size > 1 and bool((arr[1:] < arr[:-1]).any()):
-            raise ValueError("from_sorted requires nondecreasing input")
-        return arr.tolist()
-    data = [float(v) for v in values]  # pragma: no cover - numpy is in CI
-    if any(a > b for a, b in zip(data, data[1:])):  # pragma: no cover
-        raise ValueError("from_sorted requires nondecreasing input")
-    return data  # pragma: no cover
+    """Materialize ``values`` as a sorted-verified list of floats.
+
+    Retained for back-compat with earlier consumers; new code should use
+    :func:`repro.core.planes.as_plane`.
+    """
+    return as_plane(values, dtype=_np.float64, copy=True).tolist()

@@ -23,11 +23,13 @@ point; experiment T2's dynamic column tracks it.
 
 Design (DESIGN.md §8).  Points live in sorted chunks of ``Θ(log n)``
 values with an aligned *weight plane*: each
-:class:`~repro.core.directory.WeightedChunk` keeps its weights and an
-in-chunk cumulative weight table, and the shared
-:class:`~repro.core.directory.ChunkDirectory` adds a per-chunk total-mass
-array (``wtotals``) with a lazily cached cumulative-weight prefix (pending
-per-chunk deltas, exactly like the count prefix).  A query:
+:class:`~repro.core.directory.WeightedChunk` keeps a NumPy value plane
+(float32 or float64, chosen at construction — weights are always
+float64), an aligned weight plane, and a lazy in-chunk cumulative weight
+table; the shared :class:`~repro.core.directory.ChunkDirectory` adds a
+per-chunk total-mass array (``wtotals``) with a lazily cached
+cumulative-weight prefix (pending per-chunk deltas, exactly like the
+count prefix).  A query:
 
 1. resolves boundary runs and their masses from the chunks' cumulative
    tables and the whole-chunk middle mass from the weight prefix;
@@ -37,19 +39,29 @@ per-chunk deltas, exactly like the count prefix).  A query:
    (one ``searchsorted`` over the weight prefix), then point by the
    chunk's own weight table.
 
+Hot loops dispatch through the kernel tier (:mod:`repro.core.kernels`,
+DESIGN.md §13): scalar splices, the two-plane bulk merge, bulk take-out,
+cumulative tables and every cumulative-search draw are single kernel
+calls, compiled under the numba backend with vectorized NumPy fallbacks.
+All randomness and all float *accounting* (``fsum`` run masses, the
+sequential removed-mass sums) stay in this driver so both backends are
+byte-identical.  Query bounds and stored values are coerced through the
+value-plane dtype on entry, so every comparison runs against exactly the
+stored representation on either backend.
+
 ``sample_bulk`` vectorizes both passes, and for heavy batches flattens the
 per-chunk tables into one *global* cumulative-weight array (cached across
 queries, invalidated by the directory's mutation stamp) so every middle
-draw is one C-level ``searchsorted`` — no per-sample descent of any kind.
+draw is one fused cumulative-search kernel call — no per-sample descent
+of any kind.
 """
 
 from __future__ import annotations
 
 import math
-from bisect import bisect_left, bisect_right
-from itertools import accumulate
-from operator import itemgetter
 from typing import Iterable, Iterator
+
+import numpy as _np
 
 from ..errors import EmptyRangeError, InvalidWeightError, KeyNotFoundError
 from ..rng import RandomSource
@@ -58,11 +70,8 @@ from ..types import QueryStats
 from .base import coerce_query_bounds, validate_query
 from .directory import ChunkDirectory
 from .directory import WeightedChunk as _WChunk
-
-try:  # NumPy is optional at runtime; the vectorized paths use it when present.
-    import numpy as _np
-except ImportError:  # pragma: no cover - numpy is installed in CI
-    _np = None
+from .kernels import get as _kernels
+from .planes import as_plane, resolve_dtype
 
 __all__ = ["WeightedDynamicIRS"]
 
@@ -79,7 +88,9 @@ class WeightedDynamicIRS:
 
     Points are inserted with positive finite weights; ``sample`` draws each
     result with probability exactly proportional to weight within the query
-    range, independently of everything drawn before.
+    range, independently of everything drawn before.  ``dtype`` selects the
+    value-plane precision (``float32`` or ``float64``); the weight plane is
+    always float64.
     """
 
     def __init__(
@@ -87,10 +98,20 @@ class WeightedDynamicIRS:
         values: Iterable[float] = (),
         weights: Iterable[float] | None = None,
         seed: int | None = None,
+        *,
+        dtype=None,
     ) -> None:
-        self._init_common(seed)
-        pairs = sorted(self._checked_pairs(values, weights), key=itemgetter(0))
-        self._build(pairs)
+        self._init_common(seed, resolve_dtype(values, dtype))
+        if not isinstance(values, _np.ndarray):
+            values = _np.asarray(list(values), dtype=self._dtype)
+        vals = values.astype(self._dtype, copy=False)
+        if vals.ndim != 1:
+            raise ValueError(f"values must be 1-D, got shape {vals.shape}")
+        warr = self._coerced_weights(int(vals.size), weights)
+        # Stable sort keeps weight alignment deterministic among duplicate
+        # values (including values made equal by float32 rounding).
+        order = _np.argsort(vals, kind="stable")
+        self._build(vals[order], warr[order])
 
     @classmethod
     def from_sorted(
@@ -98,39 +119,61 @@ class WeightedDynamicIRS:
         values: Iterable[float],
         weights: Iterable[float] | None = None,
         seed: int | None = None,
+        *,
+        dtype=None,
+        copy: bool = True,
     ) -> "WeightedDynamicIRS":
         """O(n) fast constructor over value-sorted input (skips the sort).
 
         ``values`` must be nondecreasing (verified in ``O(n)``, raising
         :class:`ValueError` otherwise); ``weights`` aligns with it.
+        ``copy=False`` adopts a caller value array zero-copy under the
+        strict contract of :func:`repro.core.planes.as_plane`; the weight
+        plane is always copied (it is float64 working storage).
         """
         self = cls.__new__(cls)
-        self._init_common(seed)
-        pairs = self._checked_pairs(values, weights)
-        if any(a[0] > b[0] for a, b in zip(pairs, pairs[1:])):
-            raise ValueError("from_sorted requires nondecreasing values")
-        self._build(pairs)
+        arr = as_plane(values, dtype=dtype, copy=copy)
+        self._init_common(seed, arr.dtype)
+        warr = self._coerced_weights(int(arr.size), weights)
+        self._build(arr, warr)
         return self
 
-    def _init_common(self, seed: int | None) -> None:
+    def _init_common(self, seed: int | None, dtype=None) -> None:
         self._rng = RandomSource(seed)
         self.stats = QueryStats()
         self._bulk_gen = None  # lazily-spawned NumPy side stream (sample_bulk)
+        self._dtype = _np.dtype(dtype) if dtype is not None else _np.dtype(_np.float64)
         self._dir = ChunkDirectory(weighted=True)
         self._flat = None  # (values, global cum, offsets, chunk bases)
         self._flat_stamp = -1
 
-    @classmethod
-    def _checked_pairs(
-        cls, values: Iterable[float], weights: Iterable[float] | None
-    ) -> list[tuple[float, float]]:
-        values = list(values)
+    def _coerce(self, value) -> float:
+        """Round ``value`` through the value-plane dtype (see DynamicIRS)."""
+        if self._dtype.itemsize == 8:
+            return float(value)
+        return float(self._dtype.type(value))
+
+    def _coerced_weights(self, n: int, weights):
+        """Materialize and validate a float64 weight plane of length ``n``."""
         if weights is None:
-            weights = [1.0] * len(values)
-        pairs = list(zip(values, list(weights), strict=True))
-        for _v, w in pairs:
-            cls._check_weight(w)
-        return pairs
+            return _np.ones(n, dtype=_np.float64)
+        if not isinstance(weights, _np.ndarray):
+            weights = list(weights)
+        warr = _np.array(weights, dtype=_np.float64, copy=True)
+        if warr.ndim != 1 or int(warr.size) != n:
+            raise ValueError(
+                f"values and weights differ in length: {n} != {warr.size}"
+            )
+        self._check_weights_array(warr)
+        return warr
+
+    def _check_weights_array(self, warr) -> None:
+        """Vectorized weight validation with the scalar check as fallback."""
+        if warr.size and not (
+            bool(_np.isfinite(warr).all()) and bool((warr > 0.0).all())
+        ):
+            for w in warr.tolist():
+                self._check_weight(w)
 
     @staticmethod
     def _check_weight(weight: float) -> None:
@@ -139,34 +182,54 @@ class WeightedDynamicIRS:
 
     # -- construction / rebuild ----------------------------------------------
 
-    def _build(self, pairs: list[tuple[float, float]]) -> None:
-        self._n = len(pairs)
+    def _build(self, vals, warr) -> None:
+        if not isinstance(vals, _np.ndarray) or vals.dtype != self._dtype:
+            vals = _np.asarray(vals, dtype=self._dtype)
+        if not isinstance(warr, _np.ndarray) or warr.dtype != _np.float64:
+            warr = _np.asarray(warr, dtype=_np.float64)
+        self._n = int(vals.size)
         self._n0 = max(self._n, 1)
         self._s = max(_MIN_CHUNK, int(math.log2(self._n0 + 2)))
         self._cap = 2 * self._s
         # Build at the midpoint of the [s, 2s] window so fresh chunks have
         # slack on both sides (same policy as the unweighted structure).
+        # Pieces are views of the two planes — no per-chunk copies.
         step = (3 * self._s) // 2
-        pieces = [pairs[i : i + step] for i in range(0, len(pairs), step)]
-        if len(pieces) > 1 and len(pieces[-1]) < self._s:
-            tail = pieces.pop()
-            pieces[-1] = pieces[-1] + tail
-            if len(pieces[-1]) > self._cap:
-                merged = pieces.pop()
-                half = len(merged) // 2
-                pieces.extend((merged[:half], merged[half:]))
-        self._dir.load(
-            [_WChunk([p[0] for p in piece], [p[1] for p in piece]) for piece in pieces]
-        )
+        pieces = [
+            (vals[i : i + step], warr[i : i + step]) for i in range(0, self._n, step)
+        ]
+        if len(pieces) > 1 and pieces[-1][0].size < self._s:
+            tv, tw = pieces.pop()
+            pv, pw = pieces.pop()
+            mv = _np.concatenate((pv, tv))
+            mw = _np.concatenate((pw, tw))
+            if mv.size > self._cap:
+                half = mv.size // 2
+                pieces.append((mv[:half], mw[:half]))
+                pieces.append((mv[half:], mw[half:]))
+            else:
+                pieces.append((mv, mw))
+        self._dir.load([_WChunk(v, w) for v, w in pieces])
 
     def _maybe_rebuild(self) -> None:
         if self._n > 2 * self._n0 or (self._n0 > _MIN_CHUNK and 2 * self._n < self._n0):
-            self._build(list(self._iter_pairs()))
+            vals, warr = self.export_sorted_pairs()
+            self._build(vals, warr)
 
     # -- accessors --------------------------------------------------------------
 
     def __len__(self) -> int:
         return self._n
+
+    @property
+    def dtype(self):
+        """The value-plane dtype (``float32`` or ``float64``)."""
+        return self._dtype
+
+    @property
+    def plane_nbytes(self) -> int:
+        """Logical bytes of the value and weight planes combined."""
+        return self._n * (self._dtype.itemsize + 8)
 
     @property
     def _chunks(self) -> list[_WChunk]:
@@ -178,7 +241,7 @@ class WeightedDynamicIRS:
 
     def _iter_pairs(self) -> Iterator[tuple[float, float]]:
         for chunk in self._dir.chunks:
-            yield from zip(chunk.data, chunk.weights)
+            yield from zip(chunk.data.tolist(), chunk.weights.tolist())
 
     def items(self) -> list[tuple[float, float]]:
         """Return all ``(value, weight)`` pairs in sorted value order."""
@@ -187,19 +250,19 @@ class WeightedDynamicIRS:
     def export_sorted_pairs(self):
         """Return ``(values, weights)`` sorted by value (shard-engine hook).
 
-        ``O(n)`` — one concatenation of the per-chunk lists into two fresh
-        NumPy arrays, which the caller owns.
+        ``O(n)`` — one concatenation per plane into two fresh NumPy arrays
+        (values in the structure's dtype, weights float64), which the
+        caller owns.
         """
-        values: list[float] = []
-        weights: list[float] = []
-        for chunk in self._dir.chunks:
-            values.extend(chunk.data)
-            weights.extend(chunk.weights)
-        if _np is None:  # pragma: no cover
-            return values, weights
+        chunks = self._dir.chunks
+        if not chunks:
+            return (
+                _np.empty(0, dtype=self._dtype),
+                _np.empty(0, dtype=_np.float64),
+            )
         return (
-            _np.asarray(values, dtype=float),
-            _np.asarray(weights, dtype=float),
+            _np.concatenate([chunk.data for chunk in chunks]),
+            _np.concatenate([chunk.weights for chunk in chunks]),
         )
 
     def export_sorted(self):
@@ -210,12 +273,9 @@ class WeightedDynamicIRS:
         :meth:`export_sorted_pairs`, which is what the snapshot store
         actually persists for them.
         """
-        values: list[float] = []
-        for chunk in self._dir.chunks:
-            values.extend(chunk.data)
-        if _np is None:  # pragma: no cover
-            return values
-        return _np.asarray(values, dtype=float)
+        if not self._dir.chunks:
+            return _np.empty(0, dtype=self._dtype)
+        return _np.concatenate([chunk.data for chunk in self._dir.chunks])
 
     @property
     def total_weight(self) -> float:
@@ -227,48 +287,57 @@ class WeightedDynamicIRS:
     def insert(self, value: float, weight: float = 1.0) -> None:
         """Insert one weighted point in ``O(log n)`` amortized time."""
         self._check_weight(weight)
+        value = self._coerce(value)
+        weight = float(weight)
         directory = self._dir
         chunks = directory.chunks
         if not chunks:
-            self._build([(value, weight)])
+            self._build(
+                _np.asarray([value], dtype=self._dtype),
+                _np.asarray([weight], dtype=_np.float64),
+            )
             return
         i = min(directory.first_max_ge(value), len(chunks) - 1)
         chunk = chunks[i]
-        j = bisect_left(chunk.data, value)
-        chunk.data.insert(j, value)
-        chunk.weights.insert(j, weight)
+        kernel = _kernels()
+        j = kernel.search_left_scalar(chunk.data, value)
+        chunk.data = kernel.splice_insert(chunk.data, j, value)
+        chunk.weights = kernel.splice_insert(chunk.weights, j, weight)
         chunk.touch()
         directory.refresh_entry(i)
         self._n += 1
         directory.note_delta(i, 1, weight)
-        if len(chunk.data) > self._cap:
+        if chunk.data.size > self._cap:
             directory.split_chunk(i, self._cap)
         self._maybe_rebuild()
 
     def delete(self, value: float) -> float:
         """Delete one occurrence of ``value``; returns its weight."""
+        value = self._coerce(value)
         directory = self._dir
         chunks = directory.chunks
+        kernel = _kernels()
         i = directory.first_max_ge(value)
         j = -1
         if i < len(chunks):
             data = chunks[i].data
-            j = bisect_left(data, value)
-            if j >= len(data) or data[j] != value:
+            j = int(kernel.search_left_scalar(data, value))
+            if j >= data.size or data[j] != value:
                 j = -1
         if j < 0:
             raise KeyNotFoundError(f"value not present: {value!r}")
         chunk = chunks[i]
-        chunk.data.pop(j)
-        weight = chunk.weights.pop(j)
+        weight = float(chunk.weights[j])
+        chunk.data = kernel.splice_delete(chunk.data, j)
+        chunk.weights = kernel.splice_delete(chunk.weights, j)
         chunk.touch()
         self._n -= 1
         directory.note_delta(i, -1, -weight)
-        if not chunk.data:
+        if chunk.data.size == 0:
             directory.remove_chunk(i)
             return weight
         directory.refresh_entry(i)
-        if len(chunk.data) < self._s and len(chunks) > 1:
+        if chunk.data.size < self._s and len(chunks) > 1:
             directory.repair_underfull(i, self._s)
         self._maybe_rebuild()
         return weight
@@ -277,25 +346,30 @@ class WeightedDynamicIRS:
         """Re-weight one occurrence of ``value``; returns the old weight.
 
         ``O(log n)`` — one directory search, one in-chunk bisect, one
-        cumulative-table rebuild and one pending weight delta; the chunk
-        list's shape is untouched, so no structural repair can trigger.
-        Raises :class:`~repro.errors.KeyNotFoundError` if absent.
+        copy-on-write weight-plane swap and one pending weight delta; the
+        chunk list's shape is untouched, so no structural repair can
+        trigger.  Raises :class:`~repro.errors.KeyNotFoundError` if absent.
         """
         self._check_weight(weight)
+        value = self._coerce(value)
         directory = self._dir
         chunks = directory.chunks
         i = directory.first_max_ge(value)
         if i >= len(chunks):
             raise KeyNotFoundError(f"value not present: {value!r}")
         chunk = chunks[i]
-        j = bisect_left(chunk.data, value)
-        if j >= len(chunk.data) or chunk.data[j] != value:
+        j = int(_kernels().search_left_scalar(chunk.data, value))
+        if j >= chunk.data.size or chunk.data[j] != value:
             raise KeyNotFoundError(f"value not present: {value!r}")
-        old = chunk.weights[j]
-        chunk.weights[j] = weight
+        old = float(chunk.weights[j])
+        # Copy-on-write: the plane may be a view shared with an adopted
+        # caller array's lineage — never write through it.
+        weights = chunk.weights.copy()
+        weights[j] = float(weight)
+        chunk.weights = weights
         chunk.touch()
         directory.refresh_entry(i)
-        directory.note_delta(i, 0, weight - old)
+        directory.note_delta(i, 0, float(weight) - old)
         return old
 
     # -- bulk updates -------------------------------------------------------------
@@ -307,55 +381,51 @@ class WeightedDynamicIRS:
 
         The batch is sorted once and routed to its target chunks with a
         single vectorized ``searchsorted`` over the directory ``maxes``;
-        each touched chunk absorbs its whole segment with one splice
-        (Timsort galloping over the two sorted runs) and one cumulative-
-        table rebuild, and over-full chunks are re-split with the shared
-        multi-index directory assembly — the exact machinery of
+        each touched chunk absorbs its whole segment with one two-plane
+        kernel merge (stable, chunk elements first on value ties), and
+        over-full chunks are re-split with the shared multi-index
+        directory assembly — the exact machinery of
         :meth:`~repro.core.dynamic_irs.DynamicIRS.insert_bulk`, plus the
         aligned weight plane.
         """
-        values = list(values)
-        if weights is None:
-            weights = [1.0] * len(values)
-        else:
-            weights = list(weights)
-            if len(weights) != len(values):
-                raise ValueError(
-                    f"values and weights differ in length: "
-                    f"{len(values)} != {len(weights)}"
-                )
+        if not isinstance(values, _np.ndarray):
+            values = list(values)
         m = len(values)
+        if weights is not None:
+            if not isinstance(weights, _np.ndarray):
+                weights = list(weights)
+            if len(weights) != m:
+                raise ValueError(
+                    f"values and weights differ in length: {m} != {len(weights)}"
+                )
         if m == 0:
             return
-        directory = self._dir
-        if _np is None or m <= _BULK_CUTOFF:  # scalar loop below the cutoff
-            for _v, w in zip(values, weights):
-                self._check_weight(w)
-            for value, weight in zip(values, weights):
-                self.insert(value, weight)
-            return
-        batch = _np.asarray(values, dtype=float)
-        warr = _np.asarray(weights, dtype=float)
-        # Vectorized weight validation (the scalar check, one array pass).
-        if not (_np.isfinite(warr).all() and bool((warr > 0.0).all())):
+        if m <= _BULK_CUTOFF:  # scalar loop below the cutoff
+            if weights is None:
+                weights = [1.0] * m
             for w in weights:
-                self._check_weight(w)
+                self._check_weight(float(w))
+            for value, weight in zip(values, weights):
+                self.insert(float(value), float(weight))
+            return
+        batch = _np.asarray(values, dtype=self._dtype)
+        warr = self._coerced_weights(m, weights)
         order = _np.argsort(batch, kind="stable")
         batch = batch[order]
         warr = warr[order]
+        directory = self._dir
         if not directory.chunks:
-            self._build(list(zip(batch.tolist(), warr.tolist())))
+            self._build(batch, warr)
             return
         if self._n + m > 2 * self._n0:
-            merged = list(self._iter_pairs())
-            merged.extend(zip(batch.tolist(), warr.tolist()))
-            merged.sort(key=itemgetter(0))
-            self._build(merged)
+            vals, ws = self.export_sorted_pairs()
+            allv = _np.concatenate((vals, batch.astype(self._dtype, copy=False)))
+            allw = _np.concatenate((ws, warr))
+            merged = _np.argsort(allv, kind="stable")
+            self._build(allv[merged], allw[merged])
             return
         chunks = directory.chunks
         last = len(chunks) - 1
-        bulk_v = batch.tolist()
-        bulk_w = warr.tolist()
         pos = _np.searchsorted(directory.maxes, batch, side="left")
         if int(pos[-1]) > last:  # values beyond the global max join the tail
             pos = _np.minimum(pos, last)
@@ -367,22 +437,16 @@ class WeightedDynamicIRS:
         directory.maxes[uniq] = _np.maximum(directory.maxes[uniq], batch[ends - 1])
         directory.mins[uniq] = _np.minimum(directory.mins[uniq], batch[starts])
         directory.wtotals[uniq] += _np.add.reduceat(warr, starts)
+        kernel = _kernels()
         cap = self._cap
         oversized: list[int] = []
         for p, g0, g1 in zip(uniq.tolist(), starts.tolist(), ends.tolist()):
             chunk = chunks[p]
-            if g1 - g0 == 1:
-                j = bisect_left(chunk.data, bulk_v[g0])
-                chunk.data.insert(j, bulk_v[g0])
-                chunk.weights.insert(j, bulk_w[g0])
-            else:
-                merged = list(zip(chunk.data, chunk.weights))
-                merged.extend(zip(bulk_v[g0:g1], bulk_w[g0:g1]))
-                merged.sort(key=itemgetter(0))  # Timsort merges two sorted runs
-                chunk.data = [q[0] for q in merged]
-                chunk.weights = [q[1] for q in merged]
+            chunk.data, chunk.weights = kernel.merge_pair_runs(
+                chunk.data, chunk.weights, batch[g0:g1], warr[g0:g1]
+            )
             chunk.touch()
-            if len(chunk.data) > cap:
+            if chunk.data.size > cap:
                 oversized.append(p)
         self._n += m
         directory.invalidate_prefix()
@@ -403,13 +467,14 @@ class WeightedDynamicIRS:
         return value and the directory's mass column is repaired with one
         vectorized subtraction.
         """
-        values = [float(v) for v in values]
+        values = [self._coerce(v) for v in values]
         m = len(values)
         if m == 0:
             return []
         directory = self._dir
         chunks = directory.chunks
         n_chunks = len(chunks)
+        kernel = _kernels()
         order = sorted(range(m), key=values.__getitem__)
         bulk_list = [values[k] for k in order]
         if n_chunks == 0:
@@ -427,7 +492,7 @@ class WeightedDynamicIRS:
                 else:
                     groups.append((p, g, g + 1))
         else:
-            batch = _np.asarray(bulk_list, dtype=float)
+            batch = _np.asarray(bulk_list, dtype=self._dtype)
             pos = _np.searchsorted(directory.maxes, batch, side="left")
             if int(pos[-1]) >= n_chunks:
                 missing = float(batch[pos >= n_chunks][0])
@@ -447,7 +512,7 @@ class WeightedDynamicIRS:
             chunk = chunks[p]
             data = chunk.data
             weights = chunk.weights
-            size = len(data)
+            size = data.size
             hits = plan.get(p)
             if hits is None:
                 hits = plan[p] = []
@@ -457,10 +522,12 @@ class WeightedDynamicIRS:
             for g in range(g0, g1):
                 value = bulk_list[g]
                 while True:
-                    i = bisect_left(data, value, at)
+                    i = int(kernel.search_left_scalar(data, value))
+                    if i < at:
+                        i = at
                     if i < size and data[i] == value:
                         hits.append(i)
-                        out[order[g]] = weights[i]
+                        out[order[g]] = float(weights[i])
                         at = i + 1
                         break
                     # Spill into the next chunk: possible only when the
@@ -471,45 +538,32 @@ class WeightedDynamicIRS:
                     chunk = chunks[j]
                     data = chunk.data
                     weights = chunk.weights
-                    size = len(data)
+                    size = data.size
                     hits = plan.get(j)
                     if hits is None:
                         hits = plan[j] = []
                         at = 0
                     else:
                         at = hits[-1] + 1
-        # Apply phase: delete the recorded offsets from both planes in
-        # place (ascending per chunk, so slice assembly needs no index
-        # adjustment), then repair the directory rows vectorized.
+        # Apply phase: splice out the recorded offsets from both planes
+        # with one kernel take-out per plane.  The removed mass per chunk
+        # is summed *sequentially* (accounting stays in the driver, so it
+        # is backend-invariant by construction).
         violation = False
         s = self._s
         removed_mass: list[float] = []
         for p, hits in plan.items():
             chunk = chunks[p]
-            data = chunk.data
             weights = chunk.weights
-            if len(hits) == 1:
-                i = hits[0]
-                removed_mass.append(weights[i])
-                del data[i]
-                del weights[i]
-            else:
-                parts: list[float] = []
-                wparts: list[float] = []
-                removed = 0.0
-                at = 0
-                for i in hits:
-                    parts.extend(data[at:i])
-                    wparts.extend(weights[at:i])
-                    removed += weights[i]
-                    at = i + 1
-                parts.extend(data[at:])
-                wparts.extend(weights[at:])
-                chunk.data = data = parts
-                chunk.weights = wparts
-                removed_mass.append(removed)
+            removed = 0.0
+            for i in hits:
+                removed += float(weights[i])
+            hidx = _np.asarray(hits, dtype=_np.int64)
+            chunk.data = kernel.take_out(chunk.data, hidx)
+            chunk.weights = kernel.take_out(weights, hidx)
             chunk.touch()
-            if len(data) < s:
+            removed_mass.append(removed)
+            if chunk.data.size < s:
                 violation = True
         self._n -= m
         directory.invalidate_prefix()
@@ -520,7 +574,7 @@ class WeightedDynamicIRS:
             # directory rows with four vectorized assignments.
             changed = list(plan)
             idx = _np.asarray(changed, dtype=_np.int64)
-            directory.counts[idx] = [len(chunks[p].data) for p in changed]
+            directory.counts[idx] = [chunks[p].data.size for p in changed]
             directory.maxes[idx] = [chunks[p].data[-1] for p in changed]
             directory.mins[idx] = [chunks[p].data[0] for p in changed]
             directory.wtotals[idx] -= _np.asarray(removed_mass, dtype=float)
@@ -547,6 +601,8 @@ class WeightedDynamicIRS:
         their runs — but is the float-cancellation caveat recorded in
         DESIGN.md §8.)
         """
+        lo = self._coerce(lo)
+        hi = self._coerce(hi)
         directory = self._dir
         chunks = directory.chunks
         a = directory.first_max_ge(lo)
@@ -555,25 +611,26 @@ class WeightedDynamicIRS:
         b = directory.last_min_le(hi)
         if b < a:
             return None
+        kernel = _kernels()
         ca = chunks[a]
         if a == b:
-            la = bisect_left(ca.data, lo)
-            ra = bisect_right(ca.data, hi)
+            la = int(kernel.search_left_scalar(ca.data, lo))
+            ra = int(kernel.search_right_scalar(ca.data, hi))
             if ra <= la:
                 return None
             w = math.fsum(ca.weights[la:ra])
             return ra - la, w, (a, la, ra, w, 0.0, b, ra, 0.0)
         cb = chunks[b]
-        la = bisect_left(ca.data, lo)
-        rb = bisect_right(cb.data, hi)
+        la = int(kernel.search_left_scalar(ca.data, lo))
+        rb = int(kernel.search_right_scalar(cb.data, hi))
         w_left = math.fsum(ca.weights[la:])
         w_right = math.fsum(cb.weights[:rb])
-        k_left = len(ca.data) - la
+        k_left = ca.data.size - la
         k_mid = directory.points_between(a, b)
         w_mid = directory.weight_between(a, b) if k_mid else 0.0
         count = k_left + k_mid + rb
         weight = w_left + w_mid + w_right
-        return count, weight, (a, la, len(ca.data), w_left, w_mid, b, rb, w_right)
+        return count, weight, (a, la, ca.data.size, w_left, w_mid, b, rb, w_right)
 
     def count(self, lo: float, hi: float) -> int:
         """Return ``|P ∩ [lo, hi]|``."""
@@ -587,6 +644,13 @@ class WeightedDynamicIRS:
         plan = self._plan(lo, hi)
         return plan[1] if plan is not None else 0.0
 
+    def _coerce_bounds_arrays(self, los, his):
+        """Round query-bound arrays through the value-plane dtype."""
+        if self._dtype.itemsize == 4:
+            los = los.astype(_np.float32).astype(_np.float64)
+            his = his.astype(_np.float32).astype(_np.float64)
+        return los, his
+
     def peek_counts(self, queries):
         """Vectorized multi-range count over the chunk directory.
 
@@ -597,15 +661,15 @@ class WeightedDynamicIRS:
         prefix difference, and only the two in-chunk bisects remain per
         query — ``O(q log n)`` total.
         """
-        if _np is None:  # pragma: no cover - numpy is installed in CI
-            return [self.count(lo, hi) for lo, hi in queries]
         los, his = coerce_query_bounds(queries)
+        los, his = self._coerce_bounds_arrays(los, his)
         q = len(los)
         out = _np.zeros(q, dtype=_np.int64)
         directory = self._dir
         chunks = directory.chunks
         if not chunks:
             return out
+        kernel = _kernels()
         a_idx = _np.searchsorted(directory.maxes, los, side="left")
         b_idx = _np.searchsorted(directory.mins, his, side="right") - 1
         prefix = directory.folded_prefix()
@@ -615,10 +679,12 @@ class WeightedDynamicIRS:
                 continue
             data_a = chunks[a].data
             if a == b:
-                out[i] = bisect_right(data_a, his[i]) - bisect_left(data_a, los[i])
+                out[i] = kernel.search_right_scalar(
+                    data_a, his[i]
+                ) - kernel.search_left_scalar(data_a, los[i])
                 continue
-            k = len(data_a) - bisect_left(data_a, los[i])
-            k += bisect_right(chunks[b].data, his[i])
+            k = data_a.size - int(kernel.search_left_scalar(data_a, los[i]))
+            k += int(kernel.search_right_scalar(chunks[b].data, his[i]))
             if b - a > 1:
                 k += int(prefix[b - 1] - prefix[a])
             out[i] = k
@@ -633,15 +699,15 @@ class WeightedDynamicIRS:
         from the chunks' own tables.  Returns a float array aligned with
         the input.
         """
-        if _np is None:  # pragma: no cover - numpy is installed in CI
-            return [self.range_weight(lo, hi) for lo, hi in queries]
         los, his = coerce_query_bounds(queries)
+        los, his = self._coerce_bounds_arrays(los, his)
         q = len(los)
         out = _np.zeros(q, dtype=float)
         directory = self._dir
         chunks = directory.chunks
         if not chunks:
             return out
+        kernel = _kernels()
         a_idx = _np.searchsorted(directory.maxes, los, side="left")
         b_idx = _np.searchsorted(directory.mins, his, side="right") - 1
         wprefix = directory.folded_wprefix()
@@ -650,16 +716,17 @@ class WeightedDynamicIRS:
             if a >= len(chunks) or b < a:
                 continue
             ca = chunks[a]
-            la = bisect_left(ca.data, los[i])
+            la = int(kernel.search_left_scalar(ca.data, los[i]))
             # Boundary-run masses are direct fsum sums, mirroring _plan
             # (a prefix diff can round a positive run's mass to 0.0).
             if a == b:
-                ra = bisect_right(ca.data, his[i])
+                ra = int(kernel.search_right_scalar(ca.data, his[i]))
                 out[i] = math.fsum(ca.weights[la:ra])
                 continue
             cb = chunks[b]
             w = math.fsum(ca.weights[la:])
-            w += math.fsum(cb.weights[: bisect_right(cb.data, his[i])])
+            rb = int(kernel.search_right_scalar(cb.data, his[i]))
+            w += math.fsum(cb.weights[:rb])
             if b - a > 1:
                 w += float(wprefix[b - 1] - wprefix[a])
             out[i] = w
@@ -668,14 +735,19 @@ class WeightedDynamicIRS:
     def report(self, lo: float, hi: float) -> list[tuple[float, float]]:
         """Return the in-range ``(value, weight)`` pairs in sorted order."""
         validate_query(lo, hi, 0)
+        lo = self._coerce(lo)
+        hi = self._coerce(hi)
         out: list[tuple[float, float]] = []
         chunks = self._dir.chunks
+        kernel = _kernels()
         i = self._dir.first_max_ge(lo)
         while i < len(chunks) and chunks[i].data[0] <= hi:
             chunk = chunks[i]
-            a = bisect_left(chunk.data, lo)
-            b = bisect_right(chunk.data, hi)
-            out.extend(zip(chunk.data[a:b], chunk.weights[a:b]))
+            a = int(kernel.search_left_scalar(chunk.data, lo))
+            b = int(kernel.search_right_scalar(chunk.data, hi))
+            out.extend(
+                zip(chunk.data[a:b].tolist(), chunk.weights[a:b].tolist())
+            )
             i += 1
         return out
 
@@ -703,7 +775,9 @@ class WeightedDynamicIRS:
             if u < w_left:
                 # Clamp into the run [la, ra): round-off between the fsum
                 # mass and the cumulative table must not leave the range.
-                out.append(ca.data[min(max(ca.locate(base_left + u), la), ra - 1)])
+                out.append(
+                    float(ca.data[min(max(ca.locate(base_left + u), la), ra - 1)])
+                )
             elif u < w_lm:
                 # Two cumulative binary searches: chunk by the directory's
                 # weight prefix, then point by the chunk's own table.  The
@@ -717,13 +791,15 @@ class WeightedDynamicIRS:
                 ci = int(_np.searchsorted(wprefix, target, side="right"))
                 ci = min(max(ci, a + 1), b - 1)
                 chunk = chunks[ci]
-                out.append(chunk.data[chunk.locate(target - float(wprefix[ci - 1]))])
+                out.append(
+                    float(chunk.data[chunk.locate(target - float(wprefix[ci - 1]))])
+                )
             else:
-                out.append(cb.data[min(cb.locate(u - w_lm), rb - 1)])
+                out.append(float(cb.data[min(cb.locate(u - w_lm), rb - 1)]))
         return out
 
     def sample_bulk(self, lo: float, hi: float, t: int, *, seed=None):
-        """Vectorized :meth:`sample` returning a NumPy array.
+        """Vectorized :meth:`sample` returning a float64 NumPy array.
 
         Semantics match :meth:`sample` (``t`` independent weight-
         proportional samples), with randomness from a NumPy side stream
@@ -731,13 +807,11 @@ class WeightedDynamicIRS:
         differs from the scalar path by design); an explicit ``seed``
         overrides the side stream (seed-addressable draws).  The three-way
         mass split is resolved vectorized: one batch of uniform mass
-        positions, boundary parts gathered against the chunks' cached
-        NumPy tables, and middle draws resolved by the two-pass
-        cumulative-``searchsorted`` scheme of :meth:`_middle_bulk` — zero
-        per-sample descents of any kind.
+        positions, boundary parts gathered against the chunks' cumulative
+        tables, and middle draws resolved by the two-pass cumulative-
+        ``searchsorted`` scheme of :meth:`_middle_bulk` — zero per-sample
+        descents of any kind.
         """
-        if _np is None:  # pragma: no cover - numpy is installed in CI
-            return self.sample(lo, hi, t)
         validate_query(lo, hi, t)
         if t == 0:
             return _np.empty(0, dtype=float)
@@ -760,6 +834,7 @@ class WeightedDynamicIRS:
         left_mask = u < w_left
         mid_mask = (~left_mask) & (u < w_left + w_mid)
         right_mask = ~(left_mask | mid_mask)
+        kernel = _kernels()
         # Boundary gathers are clamped into their runs ([la, ra) of chunk
         # a, [0, rb) of chunk b): round-off between the fsum run masses
         # and the cumulative tables must never surface an out-of-range
@@ -767,13 +842,13 @@ class WeightedDynamicIRS:
         if left_mask.any():
             vals, cum = chunks[a].np_arrays()
             base_left = chunks[a].prefix(la)
-            idx = _np.searchsorted(cum, base_left + u[left_mask], side="right")
-            out[left_mask] = vals[_np.clip(idx, la, ra - 1)]
+            out[left_mask] = kernel.flat_pick(
+                vals, cum, base_left + u[left_mask], la, ra - 1
+            )
         if right_mask.any():
             vals, cum = chunks[b].np_arrays()
             residual = u[right_mask] - (w_left + w_mid)
-            idx = _np.searchsorted(cum, residual, side="right")
-            out[right_mask] = vals[_np.minimum(idx, rb - 1)]
+            out[right_mask] = kernel.flat_pick(vals, cum, residual, 0, rb - 1)
         n_mid = int(mid_mask.sum())
         if n_mid:
             out[mid_mask] = self._middle_bulk(a, b, u[mid_mask] - w_left, n_mid)
@@ -784,24 +859,25 @@ class WeightedDynamicIRS:
 
         With the flattened global cumulative-weight array warm (or a batch
         large enough to amortize rebuilding it), every draw is **one**
-        C-level ``searchsorted`` into the global table, clamped into the
-        middle window.  Otherwise: pass 1 routes all draws to chunks with
-        one ``searchsorted`` over the directory weight prefix; pass 2
-        groups the draws per distinct chunk (one stable argsort) and
-        bisects each chunk's own cumulative table — ``O(t log n)`` total
-        with both passes in C, never a per-sample descent.
+        fused cumulative-search kernel call against the global table,
+        clamped into the middle window.  Otherwise: pass 1 routes all
+        draws to chunks with one ``searchsorted`` over the directory
+        weight prefix; pass 2 groups the draws per distinct chunk (one
+        stable argsort) and bisects each chunk's own cumulative table —
+        ``O(t log n)`` total with both passes in C, never a per-sample
+        descent.
         """
         directory = self._dir
+        kernel = _kernels()
         if self._flat_stamp == directory.mutations or count >= _FLAT_MIN:
             vals, gcum, offsets, base = self._ensure_flat()
             o1 = int(offsets[a + 1])
             o2 = int(offsets[b])
-            idx = _np.searchsorted(gcum, base[a + 1] + residuals, side="right")
-            return vals[_np.clip(idx, o1, o2 - 1)]
+            return kernel.flat_pick(vals, gcum, base[a + 1] + residuals, o1, o2 - 1)
         chunks = directory.chunks
         wprefix = directory.folded_wprefix()
         targets = float(wprefix[a]) + residuals
-        ci = _np.searchsorted(wprefix, targets, side="right")
+        ci = kernel.search_right(wprefix, targets)
         ci = _np.clip(ci, a + 1, b - 1)
         inner = targets - wprefix[ci - 1]
         out = _np.empty(count, dtype=float)
@@ -813,8 +889,9 @@ class WeightedDynamicIRS:
         for chunk_i, g0, g1 in zip(uniq, group_starts, group_ends):
             chunk = chunks[chunk_i]
             vals, cum = chunk.np_arrays()
-            idx = _np.searchsorted(cum, grouped_inner[g0:g1], side="right")
-            out[order[g0:g1]] = vals[_np.minimum(idx, len(vals) - 1)]
+            out[order[g0:g1]] = kernel.flat_pick(
+                vals, cum, grouped_inner[g0:g1], 0, vals.size - 1
+            )
         return out
 
     def _ensure_flat(self):
@@ -822,11 +899,12 @@ class WeightedDynamicIRS:
 
         One array per plane over *all* points, rebuilt only when the
         directory's mutation stamp moved: ``values`` is the full sorted
-        point array, ``global cum`` the strictly increasing global
-        cumulative weight (per-chunk tables shifted by the chunk's
-        cumulative base mass), ``offsets[i]`` the flat position of chunk
-        ``i``'s first point, and ``bases[i]`` the total mass before chunk
-        ``i``.  ``O(n)`` to build, cached across queries.
+        point array (structure dtype), ``global cum`` the strictly
+        increasing global cumulative weight (per-chunk tables shifted by
+        the chunk's cumulative base mass), ``offsets[i]`` the flat
+        position of chunk ``i``'s first point, and ``bases[i]`` the total
+        mass before chunk ``i``.  ``O(n)`` to build, cached across
+        queries.
         """
         directory = self._dir
         if self._flat is not None and self._flat_stamp == directory.mutations:
@@ -835,7 +913,7 @@ class WeightedDynamicIRS:
         pairs = [c.np_arrays() for c in chunks]
         vals = _np.concatenate([p[0] for p in pairs])
         cums = _np.concatenate([p[1] for p in pairs])
-        counts = _np.asarray(directory.counts, dtype=_np.int64)
+        counts = directory.counts
         offsets = _np.concatenate(([0], _np.cumsum(counts)))
         base = _np.concatenate(([0.0], _np.cumsum(directory.wtotals)))
         gcum = cums + _np.repeat(base[:-1], counts)
@@ -863,8 +941,6 @@ class WeightedDynamicIRS:
             raise InvalidQueryError("seeds must align with queries")
         for lo, hi, t in queries:
             validate_query(lo, hi, t)
-        if _np is None:  # pragma: no cover - numpy is installed in CI
-            return [self.sample(lo, hi, t) for lo, hi, t in queries]
         if sum(t for _lo, _hi, t in queries) >= _FLAT_MIN and self._dir.chunks:
             self._ensure_flat()  # one shared build for the whole batch
         return [
@@ -879,13 +955,13 @@ class WeightedDynamicIRS:
         self._dir.check(self._s, self._cap, self._n)
         total = 0.0
         for chunk in self._dir.chunks:
-            assert len(chunk.data) == len(chunk.weights)
-            assert all(w > 0.0 for w in chunk.weights)
+            assert chunk.data.size == chunk.weights.size
+            assert chunk.data.dtype == self._dtype, "value plane dtype drift"
+            assert chunk.weights.dtype == _np.float64, "weight plane not float64"
+            assert bool((chunk.weights > 0.0).all())
             if chunk.cum is not None:
-                assert len(chunk.cum) == len(chunk.weights)
-                expect = list(accumulate(chunk.weights))
-                assert all(abs(x - y) < 1e-9 for x, y in zip(expect, chunk.cum))
+                assert chunk.cum.size == chunk.weights.size
+                expect = _np.cumsum(chunk.weights)
+                assert bool((_np.abs(expect - chunk.cum) < 1e-9).all())
             total += chunk.mass
         assert abs(total - self.total_weight) <= 1e-6 * max(1.0, total)
-
-

@@ -15,6 +15,8 @@ __all__ = [
     "InvalidWeightError",
     "KeyNotFoundError",
     "CapacityError",
+    "ZeroCopyError",
+    "KernelBackendError",
     "StorageError",
     "BlockNotAllocatedError",
     "CorruptRecordError",
@@ -59,6 +61,27 @@ class KeyNotFoundError(ReproError, KeyError):
 
 class CapacityError(ReproError):
     """Raised when a fixed-capacity substrate (e.g. a block) overflows."""
+
+
+class ZeroCopyError(ReproError, ValueError):
+    """Raised when ``from_sorted(..., copy=False)`` cannot adopt the input.
+
+    Zero-copy adoption is a contract, not a hint: the caller's array must
+    already be a one-dimensional, C-contiguous NumPy array of exactly the
+    requested plane dtype.  Anything else (wrong dtype, a strided view, a
+    plain list) raises this error instead of silently falling back to a
+    copy — a silent copy would defeat the caller's memory budget and hide
+    the aliasing semantics the contract documents.
+    """
+
+
+class KernelBackendError(ReproError, RuntimeError):
+    """Raised when a requested kernel backend cannot be activated.
+
+    ``REPRO_KERNELS=numba`` (or ``set_backend("numba")``) with no importable
+    ``numba`` raises this instead of silently serving the NumPy fallback:
+    an explicit request for the compiled tier must not degrade quietly.
+    """
 
 
 class StorageError(ReproError):

@@ -42,11 +42,14 @@ POINT_BYTES = 8
 def structure_bytes(structure) -> int:
     """Price one (non-sharded) structure's logical array planes.
 
-    The accounting is *logical*: 8 bytes per resident float plane entry
-    (values; weighted structures carry a second weight plane; external
-    structures are priced by their pooled frames rather than the full
-    on-device file).  It deliberately ignores Python object overhead —
-    the point is a stable, comparable load signal, not an allocator
+    The accounting is *logical*: the structure's own ``plane_nbytes``
+    when it reports one (dtype-aware — a float32 plane prices at 4 bytes
+    per point, and a structure built zero-copy over a caller array still
+    prices its adopted plane), otherwise 8 bytes per resident float plane
+    entry (values; weighted structures carry a second weight plane;
+    external structures are priced by their pooled frames rather than the
+    full on-device file).  It deliberately ignores Python object overhead
+    — the point is a stable, comparable load signal, not an allocator
     audit.
     """
     pool = getattr(structure, "pool", None)
@@ -57,6 +60,9 @@ def structure_bytes(structure) -> int:
         )
         frames = len(getattr(pool, "_frames", ()))
         return (frames * block + _buffered_points(structure)) * POINT_BYTES
+    nbytes = getattr(structure, "plane_nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
     n = len(structure)
     planes = 2 if _is_weighted(structure) else 1
     return n * planes * POINT_BYTES

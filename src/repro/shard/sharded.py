@@ -44,6 +44,7 @@ from typing import Iterable, Sequence
 from ..core.base import DynamicRangeSampler, validate_query
 from ..core.dynamic_irs import DynamicIRS
 from ..core.em_irs import ExternalIRS
+from ..core.planes import resolve_dtype
 from ..core.static_irs import StaticIRS
 from ..core.weighted_dynamic import WeightedDynamicIRS
 from ..core.weighted_irs import WeightedStaticIRS
@@ -71,6 +72,26 @@ __all__ = ["ShardedIRS", "SHARD_KINDS"]
 
 SHARD_KINDS = ("static", "dynamic", "weighted", "weighted-dynamic", "external")
 _WEIGHTED_KINDS = ("weighted", "weighted-dynamic")
+
+#: Shard kinds whose structures store float64 planes only (no ``dtype=``).
+_F64_ONLY_KINDS = ("weighted", "external")
+
+
+def _resolve_shard_dtype(values, dtype, shard_kind):
+    """Resolve the facade's value-plane dtype for a shard kind.
+
+    The plane kinds (static/dynamic/weighted-dynamic and callables) follow
+    the core resolution rule; the tree- and block-backed kinds store
+    float64 only, so an explicit narrower ``dtype`` is rejected rather
+    than silently widened.
+    """
+    if isinstance(shard_kind, str) and shard_kind in _F64_ONLY_KINDS:
+        if dtype is not None and _np.dtype(dtype) != _np.float64:
+            raise ValueError(
+                f"shard_kind {shard_kind!r} stores float64 planes only"
+            )
+        return _np.dtype(_np.float64)
+    return resolve_dtype(values, dtype)
 
 #: Scalar updates between rebalance-skew checks (bulk ops always check).
 _REBALANCE_EVERY = 256
@@ -139,6 +160,15 @@ class ShardedIRS(DynamicRangeSampler):
         triggers a rebalance (split + merge pass).  Must be > 1.
     block_size:
         Block size forwarded to ``external`` shards.
+    dtype:
+        Value-plane dtype (``float32`` or ``float64``) forwarded to the
+        array-plane shard kinds; ``None`` keeps a float32/float64 ndarray
+        input's dtype and defaults everything else to float64.  The
+        ``weighted`` and ``external`` kinds store float64 only.  Routing
+        bounds, snapshots and sample outputs stay float64 (float32 values
+        widen exactly); update and query bounds are rounded through the
+        plane dtype before routing so the facade and its shards always
+        agree on range membership.
     task_timeout:
         Optional deadline (seconds) for one scatter's shard tasks on the
         parallel backends.  Expiry — like a dead worker process — raises
@@ -162,11 +192,16 @@ class ShardedIRS(DynamicRangeSampler):
         max_workers: int | None = None,
         rebalance_factor: float = 2.0,
         block_size: int = 1024,
+        dtype=None,
         task_timeout: float | None = None,
     ) -> None:
         if _np is None:  # pragma: no cover - numpy is installed in CI
             raise RuntimeError("ShardedIRS requires NumPy")
-        values = _np.asarray(list(values), dtype=float)
+        resolved = _resolve_shard_dtype(values, dtype, shard_kind)
+        if isinstance(values, _np.ndarray):
+            values = values.astype(resolved, copy=False)
+        else:
+            values = _np.asarray(list(values), dtype=resolved)
         if weights is None:
             order = _np.argsort(values, kind="stable")
             sorted_weights = None
@@ -183,6 +218,7 @@ class ShardedIRS(DynamicRangeSampler):
             num_shards, seed, shard_kind, backend, max_workers,
             rebalance_factor, block_size, task_timeout,
         )
+        self._dtype = resolved
         self._build_partitions(values[order], sorted_weights)
 
     @classmethod
@@ -198,11 +234,14 @@ class ShardedIRS(DynamicRangeSampler):
         max_workers: int | None = None,
         rebalance_factor: float = 2.0,
         block_size: int = 1024,
+        dtype=None,
         task_timeout: float | None = None,
     ) -> "ShardedIRS":
         """O(n) constructor over already-sorted input (skips the sort)."""
+        resolved = _resolve_shard_dtype(values, dtype, shard_kind)
         values = _np.asarray(
-            values if isinstance(values, _np.ndarray) else list(values), dtype=float
+            values if isinstance(values, _np.ndarray) else list(values),
+            dtype=resolved,
         )
         if values.size > 1 and bool((values[1:] < values[:-1]).any()):
             raise ValueError("from_sorted requires nondecreasing input")
@@ -218,6 +257,7 @@ class ShardedIRS(DynamicRangeSampler):
             num_shards, seed, shard_kind, backend, max_workers,
             rebalance_factor, block_size, task_timeout,
         )
+        self._dtype = resolved
         self._build_partitions(values, weights)
         return self
 
@@ -275,9 +315,9 @@ class ShardedIRS(DynamicRangeSampler):
         if callable(kind):
             return kind(values, weights, seed)
         if kind == "static":
-            return StaticIRS.from_sorted(values, seed=seed)
+            return StaticIRS.from_sorted(values, seed=seed, dtype=self._dtype)
         if kind == "dynamic":
-            return DynamicIRS.from_sorted(values, seed=seed)
+            return DynamicIRS.from_sorted(values, seed=seed, dtype=self._dtype)
         if kind == "external":
             return ExternalIRS.from_sorted(
                 values.tolist(), block_size=self._block_size, seed=seed
@@ -288,7 +328,9 @@ class ShardedIRS(DynamicRangeSampler):
             # Timsort-linear.
             return WeightedStaticIRS(values, weights, seed=seed)
         if kind == "weighted-dynamic":
-            return WeightedDynamicIRS.from_sorted(values, weights, seed=seed)
+            return WeightedDynamicIRS.from_sorted(
+                values, weights, seed=seed, dtype=self._dtype
+            )
         raise ValueError(f"unknown shard_kind {kind!r}")  # pragma: no cover
 
     def _build_partitions(self, values, weights) -> None:
@@ -342,12 +384,33 @@ class ShardedIRS(DynamicRangeSampler):
             cumw = _np.concatenate(
                 ([0.0], _np.cumsum(_np.asarray(weights, dtype=float)))
             )
+        # Snapshots are the read-side transport plane and stay float64
+        # regardless of the shard dtype: the shm protocol and the scatter
+        # workers assume f8, and float32 values widen exactly.
         return _Snapshot(_np.asarray(values, dtype=float), cumw)
 
     # -- bookkeeping -------------------------------------------------------------
 
     def __len__(self) -> int:
         return self._n
+
+    @property
+    def dtype(self):
+        """The shard value-plane dtype (``float32`` or ``float64``)."""
+        return self._dtype
+
+    def _coerce(self, value) -> float:
+        """Round a value through the plane dtype before routing.
+
+        Routing must see exactly the value the shard stores and compares:
+        a float64 routed raw but stored float32-rounded could land on the
+        wrong side of a shard bound, and a query bound compared raw
+        against float64 snapshots would disagree with the shards' own
+        dtype-coerced range membership.
+        """
+        if self._dtype.itemsize == 8:
+            return float(value)
+        return float(self._dtype.type(value))
 
     @property
     def num_shards(self) -> int:
@@ -386,10 +449,10 @@ class ShardedIRS(DynamicRangeSampler):
         durability tier (:mod:`repro.store.snapshot`) persists.
         """
         if not self._shards:
-            return _np.empty(0, dtype=float)
+            return _np.empty(0, dtype=self._dtype)
         return _np.concatenate(
             [self._shard_values(i) for i in range(len(self._shards))]
-        )
+        ).astype(self._dtype, copy=False)
 
     def export_sorted_pairs(self):
         """Return ``(values, weights)`` planes in sorted value order.
@@ -407,8 +470,11 @@ class ShardedIRS(DynamicRangeSampler):
             values.append(v)
             weights.append(w)
         if not values:
-            return _np.empty(0, dtype=float), _np.empty(0, dtype=float)
-        return _np.concatenate(values), _np.concatenate(weights)
+            return _np.empty(0, dtype=self._dtype), _np.empty(0, dtype=float)
+        return (
+            _np.concatenate(values).astype(self._dtype, copy=False),
+            _np.concatenate(weights),
+        )
 
     def close(self) -> None:
         """Release the backend's workers and every shared-memory segment."""
@@ -435,9 +501,9 @@ class ShardedIRS(DynamicRangeSampler):
         shard = self._shards[i]
         if self._weighted:
             values, weights = shard.export_sorted_pairs()
-            return _np.asarray(values, dtype=float), _np.asarray(weights, dtype=float)
+            return _np.asarray(values), _np.asarray(weights, dtype=float)
         exported = shard.export_sorted()
-        return _np.asarray(exported, dtype=float), None
+        return _np.asarray(exported), None
 
     def _refresh(self, i: int) -> _Snapshot:
         """Re-export a stale snapshot; publish it if the backend needs shm."""
@@ -498,6 +564,9 @@ class ShardedIRS(DynamicRangeSampler):
     def count(self, lo: float, hi: float) -> int:
         """Return ``|P ∩ [lo, hi]|``, summed over the overlapping shards."""
         validate_query(lo, hi, 0)
+        # Coerce the bounds through the plane dtype before windowing so
+        # the shard window agrees with the shards' own coerced membership.
+        lo, hi = self._coerce(lo), self._coerce(hi)
         return sum(self._shards[i].count(lo, hi) for i in self._window(lo, hi))
 
     def peek_counts(self, queries):
@@ -521,6 +590,7 @@ class ShardedIRS(DynamicRangeSampler):
     def report(self, lo: float, hi: float) -> list:
         """Return every in-range point in sorted order (shards are ordered)."""
         validate_query(lo, hi, 0)
+        lo, hi = self._coerce(lo), self._coerce(hi)
         out: list = []
         for i in self._window(lo, hi):
             out.extend(self._shards[i].report(lo, hi))
@@ -531,6 +601,7 @@ class ShardedIRS(DynamicRangeSampler):
         if not self._weighted:
             raise InvalidQueryError("range_weight requires weighted shards")
         validate_query(lo, hi, 0)
+        lo, hi = self._coerce(lo), self._coerce(hi)
         return sum(
             self._shards[i].range_weight(lo, hi) for i in self._window(lo, hi)
         )
@@ -572,6 +643,7 @@ class ShardedIRS(DynamicRangeSampler):
         independent and each has its shard's conditional distribution.
         """
         validate_query(lo, hi, t)
+        lo, hi = self._coerce(lo), self._coerce(hi)
         window = list(self._window(lo, hi))
         counts = [self._shards[i].count(lo, hi) for i in window]
         if self._require_nonempty(sum(counts), t):
@@ -629,7 +701,12 @@ class ShardedIRS(DynamicRangeSampler):
         queries share the scatter round.  The serving layer uses this for
         per-request reproducibility.
         """
-        queries = [(float(lo), float(hi), int(ti)) for lo, hi, ti in queries]
+        # Bounds are rounded through the plane dtype up front: the planner
+        # probes float64 snapshots, and the coerced bounds make those
+        # probes agree exactly with the shards' own range membership.
+        queries = [
+            (self._coerce(lo), self._coerce(hi), int(ti)) for lo, hi, ti in queries
+        ]
         for lo, hi, ti in queries:
             validate_query(lo, hi, ti)
         if seeds is None:
@@ -850,6 +927,7 @@ class ShardedIRS(DynamicRangeSampler):
         ranks with its own rank machinery in one call.
         """
         validate_query(lo, hi, 0)
+        lo, hi = self._coerce(lo), self._coerce(hi)
         window = list(self._window(lo, hi))
         counts = [self._shards[i].count(lo, hi) for i in window]
         total = sum(counts)
@@ -947,19 +1025,21 @@ class ShardedIRS(DynamicRangeSampler):
 
     def _insert_plain(self, value: float) -> None:
         self._require_updatable()
+        value = self._coerce(value)
         i = self._route_one(value)
-        self._shards[i].insert(float(value))
+        self._shards[i].insert(value)
         self._after_update(i, 1)
 
     def _insert_weighted(self, value: float, weight: float = 1.0) -> None:
         self._require_updatable()
+        value = self._coerce(value)
         i = self._route_one(value)
-        self._shards[i].insert(float(value), weight)
+        self._shards[i].insert(value, weight)
         self._after_update(i, 1)
 
     def _insert_bulk_plain(self, values) -> None:
         self._require_updatable()
-        batch = _np.sort(_np.asarray(list(values), dtype=float))
+        batch = _np.sort(_np.asarray(list(values), dtype=self._dtype))
         if not batch.size:
             return
         for i, g0, g1 in self._route_groups(batch):
@@ -976,7 +1056,7 @@ class ShardedIRS(DynamicRangeSampler):
 
     def _insert_bulk_weighted(self, values, weights=None) -> None:
         self._require_updatable()
-        batch = _np.asarray(list(values), dtype=float)
+        batch = _np.asarray(list(values), dtype=self._dtype)
         if weights is None:
             wbatch = _np.ones(batch.size, dtype=float)
         else:
@@ -999,8 +1079,9 @@ class ShardedIRS(DynamicRangeSampler):
     def delete(self, value: float):
         """Delete one occurrence of ``value`` (routed by the partition)."""
         self._require_updatable()
+        value = self._coerce(value)
         i = self._route_one(value)
-        result = self._shards[i].delete(float(value))
+        result = self._shards[i].delete(value)
         self._after_update(i, -1)
         return result
 
@@ -1014,7 +1095,7 @@ class ShardedIRS(DynamicRangeSampler):
         nothing contract of the single-structure bulk path.
         """
         self._require_updatable()
-        batch = _np.sort(_np.asarray(list(values), dtype=float))
+        batch = _np.sort(_np.asarray(list(values), dtype=self._dtype))
         if not batch.size:
             return
         applied: list[tuple[int, object, object]] = []

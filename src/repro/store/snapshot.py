@@ -2,13 +2,14 @@
 
 A snapshot of a structure set is a directory ``snap-<wal_seq>`` holding
 
-* one raw little-endian ``float64`` *values plane* per structure
-  (``export_sorted`` output, written via NumPy ``tobytes``),
+* one raw little-endian *values plane* per structure (``export_sorted``
+  output, written via NumPy ``tobytes`` in the structure's own plane
+  dtype — ``.f8`` files for float64, ``.f4`` for float32 structures),
 * an optional *weights plane* for weighted structures
-  (``export_sorted_pairs``), and
+  (``export_sorted_pairs``; always float64), and
 * ``manifest.json`` — per-structure kind, element count, plane files
-  with CRC32s, rebuild parameters, and the WAL sequence number the
-  snapshot covers.
+  with CRC32s and dtype codes, rebuild parameters, and the WAL sequence
+  number the snapshot covers.
 
 Durable-write discipline: planes are written and fsynced into a
 temporary directory, the manifest is written last, and one atomic
@@ -17,8 +18,9 @@ temporary directory, the manifest is written last, and one atomic
 
 Recovery is the O(n) inverse: :func:`build_from_sorted` feeds each plane
 pair to the recorded kind's ``from_sorted`` constructor, skipping the
-sort entirely, and the caller then replays the WAL suffix with
-``seq > wal_seq``.
+sort entirely — for the array-plane kinds the decoded plane is *adopted*
+zero-copy (``copy=False``), so recovery allocates no second value plane —
+and the caller then replays the WAL suffix with ``seq > wal_seq``.
 """
 
 from __future__ import annotations
@@ -65,15 +67,19 @@ def snapshot_spec(sampler) -> dict:
             raise StorageError(
                 "cannot snapshot a ShardedIRS built from a callable shard_kind"
             )
+        params = {
+            "num_shards": sampler._target_shards,
+            "shard_kind": kind,
+            "backend": sampler.backend_name,
+            "block_size": sampler._block_size,
+        }
+        dtype = getattr(sampler, "dtype", None)
+        if dtype is not None and _np is not None and _np.dtype(dtype) != _np.float64:
+            params["dtype"] = _np.dtype(dtype).name
         return {
             "kind": "sharded",
             "weighted": bool(sampler._weighted),
-            "params": {
-                "num_shards": sampler._target_shards,
-                "shard_kind": kind,
-                "backend": sampler.backend_name,
-                "block_size": sampler._block_size,
-            },
+            "params": params,
         }
     if isinstance(sampler, ExternalIRS):
         return {
@@ -88,7 +94,14 @@ def snapshot_spec(sampler) -> dict:
         (StaticIRS, "static", False),
     ):
         if isinstance(sampler, klass):
-            return {"kind": kind, "weighted": weighted, "params": {}}
+            params: dict = {}
+            dtype = getattr(sampler, "dtype", None)
+            if dtype is not None and _np is not None and _np.dtype(dtype) != _np.float64:
+                # Non-default plane dtype: recorded so recovery rebuilds the
+                # structure at the same precision (float64 stays implicit,
+                # keeping manifests byte-identical to older snapshots).
+                params["dtype"] = _np.dtype(dtype).name
+            return {"kind": kind, "weighted": weighted, "params": params}
     if hasattr(sampler, "export_sorted") and hasattr(type(sampler), "from_sorted"):
         # Custom sampler honoring the uniform snapshot surface: recoverable
         # as long as the same class is registered again at recovery time.
@@ -119,14 +132,25 @@ def build_from_sorted(spec: dict, values, weights=None, *, seed=None):
 
     kind = spec.get("kind")
     params = spec.get("params", {})
+    dtype = params.get("dtype")
+    # Adopt the decoded plane zero-copy when it already has the target
+    # dtype (the common case: planes are stored in the structure's own
+    # dtype) — recovery then allocates no second value plane.
+    adopt = (
+        _np is not None
+        and isinstance(values, _np.ndarray)
+        and (dtype is None or _np.dtype(dtype) == values.dtype)
+    )
     if kind == "static":
-        return StaticIRS.from_sorted(values, seed=seed)
+        return StaticIRS.from_sorted(values, seed=seed, dtype=dtype, copy=not adopt)
     if kind == "dynamic":
-        return DynamicIRS.from_sorted(values, seed=seed)
+        return DynamicIRS.from_sorted(values, seed=seed, dtype=dtype, copy=not adopt)
     if kind == "weighted":
         return WeightedStaticIRS.from_sorted(values, weights, seed=seed)
     if kind == "weighted-dynamic":
-        return WeightedDynamicIRS.from_sorted(values, weights, seed=seed)
+        return WeightedDynamicIRS.from_sorted(
+            values, weights, seed=seed, dtype=dtype, copy=not adopt
+        )
     if kind == "external":
         data = values.tolist() if hasattr(values, "tolist") else list(values)
         return ExternalIRS.from_sorted(
@@ -141,23 +165,33 @@ def build_from_sorted(spec: dict, values, weights=None, *, seed=None):
             shard_kind=params.get("shard_kind", "dynamic"),
             backend=params.get("backend", "serial"),
             block_size=int(params.get("block_size", 1024)),
+            dtype=dtype,
         )
     raise StorageError(f"cannot rebuild snapshot of unknown kind {kind!r}")
 
 
-def _plane_bytes(array) -> bytes:
-    """Encode one plane as raw little-endian float64 bytes."""
+def _plane_bytes(array) -> tuple[bytes, str]:
+    """Encode one plane as raw little-endian bytes; return ``(raw, code)``.
+
+    The dtype code (``f8`` or ``f4``) doubles as the plane file suffix
+    and is recorded in the manifest so :func:`_plane_values` can decode
+    it.  float32 planes are persisted as-is — the snapshot halves with
+    the structure.
+    """
     if _np is not None:
-        return _np.asarray(array, dtype="<f8").tobytes()
+        arr = _np.asarray(array)
+        if arr.dtype == _np.float32:
+            return arr.astype("<f4", copy=False).tobytes(), "f4"
+        return _np.asarray(arr, dtype="<f8").tobytes(), "f8"
     import array as _array  # pragma: no cover - numpy is installed in CI
 
-    return _array.array("d", [float(v) for v in array]).tobytes()
+    return _array.array("d", [float(v) for v in array]).tobytes(), "f8"
 
 
-def _plane_values(raw: bytes):
+def _plane_values(raw: bytes, code: str = "f8"):
     """Decode one plane back to a float array (list without NumPy)."""
     if _np is not None:
-        return _np.frombuffer(raw, dtype="<f8")
+        return _np.frombuffer(raw, dtype="<f4" if code == "f4" else "<f8")
     import array as _array  # pragma: no cover - numpy is installed in CI
 
     out = _array.array("d")
@@ -238,10 +272,14 @@ class SnapshotStore:
             for plane, data in (("values", values), ("weights", weights)):
                 if data is None:
                     continue
-                raw = _plane_bytes(data)
-                fname = f"s{index:04d}.{plane}.f8"
+                raw, code = _plane_bytes(data)
+                fname = f"s{index:04d}.{plane}.{code}"
                 _fsync_write(os.path.join(tmp, fname), raw)
-                entry["planes"][plane] = {"file": fname, "crc": zlib.crc32(raw)}
+                entry["planes"][plane] = {
+                    "file": fname,
+                    "crc": zlib.crc32(raw),
+                    "dtype": code,
+                }
             manifest["structures"][name] = entry
         _fsync_write(
             os.path.join(tmp, "manifest.json"),
@@ -284,7 +322,7 @@ class SnapshotStore:
                     raise CorruptRecordError(
                         f"snapshot plane {meta['file']} failed its CRC check"
                     )
-                planes[plane] = _plane_values(raw)
+                planes[plane] = _plane_values(raw, meta.get("dtype", "f8"))
             spec = {
                 "kind": entry["kind"],
                 "weighted": entry["weighted"],
